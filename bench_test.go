@@ -1,0 +1,284 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§6). Each benchmark prints/reports the series the paper
+// reports; run them all with
+//
+//	go test -bench=. -benchmem
+//
+// The cmd/experiments tool produces the full text reports; these
+// benchmarks measure the same pipelines under the testing.B harness and
+// expose the headline numbers as benchmark metrics.
+package tprof
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/pmu"
+	"repro/internal/queries"
+	"repro/internal/vm"
+)
+
+const benchSF = 0.5
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	return experiments.NewEnv(benchSF, 42)
+}
+
+func benchEngine(b *testing.B) (*engine.Engine, *experiments.Env) {
+	env := benchEnv(b)
+	return engine.New(env.Cat, engine.DefaultOptions()), env
+}
+
+// BenchmarkAnnotatedIRProfile regenerates Listing 1 / Fig. 6b: the intro
+// query profiled at IR granularity.
+func BenchmarkAnnotatedIRProfile(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Listing1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanCostProfile regenerates Fig. 6a / Fig. 9: per-operator plan
+// costs. The group-by and join shares are reported as metrics.
+func BenchmarkPlanCostProfile(b *testing.B) {
+	eng, _ := benchEngine(b)
+	w := queries.Intro(true)
+	cq, err := eng.CompileQuery(w.Query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var gb, join float64
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Run(cq, &pmu.Config{Event: vm.EvCycles, Period: 5000, Format: pmu.FormatIPTimeRegs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gb, join = 0, 0
+		for _, c := range res.Profile.OperatorCosts() {
+			switch c.Kind {
+			case "group by":
+				gb += c.Pct
+			case "hash join":
+				join += c.Pct
+			}
+		}
+	}
+	b.ReportMetric(gb, "groupby_pct")
+	b.ReportMetric(join, "join_pct")
+}
+
+// BenchmarkOperatorActivity regenerates Fig. 7: the activity timeline.
+func BenchmarkOperatorActivity(b *testing.B) {
+	eng, _ := benchEngine(b)
+	cq, err := eng.CompileQuery(queries.Fig9().Query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Run(cq, &pmu.Config{Event: vm.EvCycles, Period: 1000, Format: pmu.FormatIPTimeRegs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tl := res.Profile.BuildTimeline(60)
+		if len(tl.Activity) != 60 {
+			b.Fatal("timeline bins missing")
+		}
+	}
+}
+
+// BenchmarkOptimizerPlans regenerates Fig. 10/11: both plans of the 3-way
+// join; the speedup of the alternative plan is reported as a metric.
+func BenchmarkOptimizerPlans(b *testing.B) {
+	eng, _ := benchEngine(b)
+	cqOpt, err := eng.CompileQuery(queries.Fig10(false).Query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cqAlt, err := eng.CompileQuery(queries.Fig10(true).Query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rOpt, err := eng.Run(cqOpt, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rAlt, err := eng.Run(cqAlt, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = float64(rOpt.Stats.Cycles) / float64(rAlt.Stats.Cycles)
+	}
+	b.ReportMetric(speedup, "alt_speedup")
+}
+
+// BenchmarkMemoryProfile regenerates Fig. 12: load sampling with address
+// capture and per-operator access maps.
+func BenchmarkMemoryProfile(b *testing.B) {
+	env := benchEnv(b)
+	eng := engine.New(env.Cat, engine.DefaultOptions())
+	eng.Opts.EagerColumnLoads = true
+	cq, err := eng.CompileQuery(queries.Fig9().Query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pts int
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Run(cq, &pmu.Config{Event: vm.EvMemLoads, Period: 1000, Format: pmu.FormatIPTimeRegs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = 0
+		for _, m := range res.Profile.MemByOp {
+			pts += len(m)
+		}
+	}
+	b.ReportMetric(float64(pts), "mem_points")
+}
+
+// BenchmarkSamplingOverhead regenerates Fig. 13: one sub-benchmark per
+// record format at the paper's default 0.7 MHz equivalent; the measured
+// overhead is the reported metric (paper: 35% / 38% / 529%).
+func BenchmarkSamplingOverhead(b *testing.B) {
+	eng, _ := benchEngine(b)
+	cq, err := eng.CompileQuery(queries.Q16().Query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := eng.Run(cq, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, f := range []struct {
+		name   string
+		format pmu.Format
+	}{
+		{"IP_Time", pmu.FormatIPTime},
+		{"IP_Time_Registers", pmu.FormatIPTimeRegs},
+		{"IP_Callstack", pmu.FormatCallStack},
+	} {
+		b.Run(f.name, func(b *testing.B) {
+			var ov float64
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Run(cq, &pmu.Config{Event: vm.EvCycles, Period: 5000, Format: f.format})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ov = float64(res.Stats.TotalCycles())/float64(base.Stats.Cycles) - 1
+			}
+			b.ReportMetric(100*ov, "overhead_pct")
+		})
+	}
+}
+
+// BenchmarkSamplingFrequencySweep regenerates the Fig. 13 x-axis: the
+// IP+Time+Registers overhead at 100 kHz, 350 kHz, 700 kHz and 1 MHz.
+func BenchmarkSamplingFrequencySweep(b *testing.B) {
+	eng, _ := benchEngine(b)
+	cq, err := eng.CompileQuery(queries.Q16().Query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := eng.Run(cq, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, period := range []int64{35000, 10000, 5000, 3500} {
+		b.Run(fmt.Sprintf("%dkHz", 3_500_000/period), func(b *testing.B) {
+			var ov float64
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Run(cq, &pmu.Config{Event: vm.EvCycles, Period: period, Format: pmu.FormatIPTimeRegs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ov = float64(res.Stats.TotalCycles())/float64(base.Stats.Cycles) - 1
+			}
+			b.ReportMetric(100*ov, "overhead_pct")
+		})
+	}
+}
+
+// BenchmarkRegisterReservation regenerates the §6.2 measurement: the
+// slowdown from reserving the tag register (paper: 2.8% average).
+func BenchmarkRegisterReservation(b *testing.B) {
+	env := benchEnv(b)
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		_, v, err := env.RegReserve()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = v
+	}
+	b.ReportMetric(100*avg, "overhead_pct")
+}
+
+// BenchmarkAttribution regenerates Table 2: the attribution shares across
+// the whole query suite (paper: 95.4% operators / 2.6% kernel / 2.0% none).
+func BenchmarkAttribution(b *testing.B) {
+	env := benchEnv(b)
+	var rows []experiments.AttributionRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rows, err = env.Attribution()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	total := rows[len(rows)-1]
+	b.ReportMetric(total.OperatorPct, "operators_pct")
+	b.ReportMetric(total.KernelPct, "kernel_pct")
+	b.ReportMetric(total.NoAttrib, "unattributed_pct")
+}
+
+// BenchmarkAccuracy regenerates the §6.3 validation; the tag-mismatch
+// count must stay zero (paper: no mismatches).
+func BenchmarkAccuracy(b *testing.B) {
+	env := benchEnv(b)
+	var st *experiments.AccuracyStats
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, st, err = env.Accuracy()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(st.TagMismatches), "tag_mismatches")
+	b.ReportMetric(st.TSCDeltaDev, "tsc_dev_cycles")
+}
+
+// BenchmarkCompileQuery measures end-to-end query compilation (plan →
+// pipelines → IR optimization → register allocation → native code),
+// including Tagging Dictionary population.
+func BenchmarkCompileQuery(b *testing.B) {
+	eng, _ := benchEngine(b)
+	w := queries.Fig9()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.CompileQuery(w.Query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecuteUnprofiled measures raw simulated execution, the
+// baseline all overhead numbers are relative to.
+func BenchmarkExecuteUnprofiled(b *testing.B) {
+	eng, _ := benchEngine(b)
+	cq, err := eng.CompileQuery(queries.Q16().Query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(cq, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation. Run with -exp all (default) for the full report, or select a
+// single experiment:
+//
+//	experiments -exp listing1     Listing 1 / Fig. 6b annotated IR profile
+//	experiments -exp plan_costs   Fig. 6a / Fig. 9 per-operator plan costs
+//	experiments -exp activity     Fig. 7 operator activity over time
+//	experiments -exp optimizer    Fig. 10/11 alternative plans
+//	experiments -exp memory       Fig. 12 memory access profiles
+//	experiments -exp analyze      §6.1 EXPLAIN ANALYZE vs sampled time
+//	experiments -exp overhead     Fig. 13 + §6.2 storage costs
+//	experiments -exp regreserve   §6.2 register reservation overhead
+//	experiments -exp attribution  Table 2 sample attribution
+//	experiments -exp accuracy     §6.3 accuracy validation
+//	experiments -exp table1       Table 1 optimization support matrix
+//	experiments -exp loc          Table 3 implementation effort
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (see -help)")
+	sf := flag.Float64("sf", 0.2, "data scale factor (1.0 ≈ TPC-H SF 0.01)")
+	seed := flag.Uint64("seed", 42, "data generator seed")
+	root := flag.String("root", ".", "repository root (for -exp loc)")
+	flag.Parse()
+
+	env := experiments.NewEnv(*sf, *seed)
+
+	type runner struct {
+		name string
+		run  func() (string, error)
+	}
+	runners := []runner{
+		{"listing1", env.Listing1},
+		{"plan_costs", env.PlanCosts},
+		{"activity", env.Activity},
+		{"optimizer", env.Optimizer},
+		{"memory", env.Memory},
+		{"analyze", env.ExplainAnalyze},
+		{"overhead", func() (string, error) { s, _, err := env.Overhead(); return s, err }},
+		{"regreserve", func() (string, error) { s, _, err := env.RegReserve(); return s, err }},
+		{"attribution", func() (string, error) { s, _, err := env.Attribution(); return s, err }},
+		{"accuracy", func() (string, error) { s, _, err := env.Accuracy(); return s, err }},
+		{"table1", func() (string, error) { s, _, err := env.Table1(); return s, err }},
+		{"loc", func() (string, error) { return experiments.LoC(*root) }},
+	}
+
+	ran := false
+	for _, r := range runners {
+		if *exp != "all" && *exp != r.name {
+			continue
+		}
+		ran = true
+		out, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,123 @@
+// Command minidb runs SQL against the generated TPC-H-like dataset on the
+// compiling engine — compile-to-native execution on the simulated CPU,
+// without profiling. Use -explain to see the optimized plan, -verify to
+// cross-check results against the interpreted reference executor.
+//
+//	minidb "select count(*) from lineitem where l_quantity < 24"
+//	minidb -explain "select l_orderkey, sum(l_quantity) from lineitem group by l_orderkey limit 5"
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/ref"
+	"repro/internal/viz"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.5, "data scale factor")
+	seed := flag.Uint64("seed", 42, "data generator seed")
+	explain := flag.Bool("explain", false, "print the optimized plan")
+	verify := flag.Bool("verify", false, "cross-check against the reference executor")
+	analyze := flag.Bool("analyze", false, "show EXPLAIN ANALYZE tuple counts per operator")
+	maxRows := flag.Int("rows", 50, "maximum rows to print")
+	flag.Parse()
+
+	cat := datagen.Generate(datagen.Config{ScaleFactor: *sf, Seed: *seed})
+	opts := engine.DefaultOptions()
+	opts.TupleCounters = *analyze
+	eng := engine.New(cat, opts)
+
+	stmts := flag.Args()
+	if len(stmts) == 0 {
+		// Read statements from stdin (one per line or ;-separated).
+		sc := bufio.NewScanner(os.Stdin)
+		var buf strings.Builder
+		for sc.Scan() {
+			buf.WriteString(sc.Text())
+			buf.WriteByte('\n')
+		}
+		for _, s := range strings.Split(buf.String(), ";") {
+			if strings.TrimSpace(s) != "" {
+				stmts = append(stmts, s)
+			}
+		}
+	}
+	if len(stmts) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: minidb [flags] \"select ...\"")
+		os.Exit(2)
+	}
+
+	for _, sql := range stmts {
+		if err := runOne(eng, sql, *explain, *verify, *analyze, *maxRows); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runOne(eng *engine.Engine, sql string, explain, verify, analyze bool, maxRows int) error {
+	cq, err := eng.CompileSQL(sql)
+	if err != nil {
+		return err
+	}
+	if explain {
+		fmt.Print(plan.Render(cq.Plan, func(n plan.Node) string {
+			return fmt.Sprintf("(est. %.0f rows)", n.EstRows())
+		}))
+		fmt.Println()
+	}
+	res, err := eng.Run(cq, nil)
+	if err != nil {
+		return err
+	}
+	if analyze {
+		fmt.Print(viz.AnalyzedPlan(cq.Plan, cq.Pipe, res.TupleCounts, nil))
+		fmt.Println()
+	}
+	fmt.Print(viz.ResultTable(res, maxRows))
+	fmt.Printf("(%d rows; %.3f ms simulated, %d instructions)\n",
+		len(res.Rows), float64(res.Stats.Cycles)/3.5e6, res.Stats.Instructions)
+
+	if verify {
+		want, err := ref.Execute(cq.Plan)
+		if err != nil {
+			return fmt.Errorf("reference executor: %w", err)
+		}
+		if !equalRows(res.Rows, want, len(cq.Plan.OrderBy) > 0) {
+			return fmt.Errorf("VERIFICATION FAILED: compiled result differs from reference")
+		}
+		fmt.Println("verified against reference executor ✓")
+	}
+	return nil
+}
+
+func equalRows(a, b [][]int64, ordered bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := make([]string, len(a))
+	bs := make([]string, len(b))
+	for i := range a {
+		as[i] = fmt.Sprint(a[i])
+		bs[i] = fmt.Sprint(b[i])
+	}
+	if !ordered {
+		sort.Strings(as)
+		sort.Strings(bs)
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

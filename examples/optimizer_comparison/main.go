@@ -1,0 +1,69 @@
+// Optimizer comparison: the optimizer-developer use case of §6.1
+// (Fig. 10/11). Two join orders with identical intermediate result sizes
+// behave very differently because lineitem is stored in orderkey order and
+// o_orderdate correlates with o_orderkey: past the date cutoff, the orders
+// join eliminates every tuple, which branch predictors exploit. The
+// operator-activity timeline makes the phase change visible.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tprof "repro"
+	"repro/internal/plan"
+)
+
+func main() {
+	cat := tprof.GenerateData(tprof.DataConfig{ScaleFactor: 2, Seed: 42})
+	eng := tprof.NewEngine(cat, tprof.DefaultOptions())
+
+	base := `
+		select sum(ps_supplycost * l_quantity) as total_cost
+		from lineitem, orders, partsupp
+		where o_orderkey = l_orderkey
+		  and ps_partkey = l_partkey
+		  and o_orderdate < '1995-06-17'`
+
+	// The hints force the two probe orders of Fig. 10; everything else
+	// (filters, estimates, build sides) stays identical.
+	plans := []struct {
+		name  string
+		hints plan.Hints
+	}{
+		{"optimizer's plan (Fig. 10a): probe partsupp, then orders",
+			plan.Hints{ProbeBase: "lineitem", ProbeOrder: []string{"partsupp", "orders"}}},
+		{"alternative plan (Fig. 10b): probe orders, then partsupp",
+			plan.Hints{ProbeBase: "lineitem", ProbeOrder: []string{"orders", "partsupp"}}},
+	}
+
+	var cycles []uint64
+	for _, pl := range plans {
+		q, err := tprof.Parse(base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q.Hints = pl.hints
+		cq, err := eng.CompileQuery(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.Run(cq, &tprof.SamplingConfig{
+			Event: tprof.EventCycles, Period: 2000, Format: tprof.FormatIPTimeRegs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cycles = append(cycles, res.Stats.Cycles)
+
+		fmt.Printf("═══ %s ═══\n", pl.name)
+		fmt.Printf("runtime %.2f ms, %d branch mispredictions (%.2f%% of branches)\n\n",
+			float64(res.Stats.Cycles)/3.5e6, res.Stats.BranchMisses,
+			100*float64(res.Stats.BranchMisses)/float64(res.Stats.Branches))
+		fmt.Println(tprof.AnnotatedPlan(cq.Plan, cq, res.Profile))
+		fmt.Println(tprof.TimelineChart(res.Profile, 64))
+	}
+
+	fmt.Printf("alternative plan speedup: %.2fx\n", float64(cycles[0])/float64(cycles[1]))
+	fmt.Println("→ the cost model treats both plans alike; the timeline reveals why the data layout favours the alternative.")
+}

@@ -1,0 +1,219 @@
+// Package catalog holds schemas and in-memory columnar tables. All values
+// are int64: dates are day numbers, strings are dictionary-encoded at load
+// time (see DESIGN.md §6) — keeping the generated code and the simulated
+// machine purely integer, like the paper's examples.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Type is a column type.
+type Type uint8
+
+const (
+	TInt Type = iota
+	TDate
+	TStr // dictionary-encoded string
+)
+
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "int"
+	case TDate:
+		return "date"
+	case TStr:
+		return "str"
+	}
+	return "?"
+}
+
+// Dict is a string dictionary for one TStr column.
+type Dict struct {
+	byID  []string
+	byStr map[string]int64
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict { return &Dict{byStr: make(map[string]int64)} }
+
+// ID returns the code for s, adding it if new.
+func (d *Dict) ID(s string) int64 {
+	if id, ok := d.byStr[s]; ok {
+		return id
+	}
+	id := int64(len(d.byID))
+	d.byID = append(d.byID, s)
+	d.byStr[s] = id
+	return id
+}
+
+// Lookup returns the code for s and whether it exists.
+func (d *Dict) Lookup(s string) (int64, bool) {
+	id, ok := d.byStr[s]
+	return id, ok
+}
+
+// String returns the string for a code.
+func (d *Dict) String(id int64) string {
+	if id < 0 || id >= int64(len(d.byID)) {
+		return fmt.Sprintf("<dict:%d>", id)
+	}
+	return d.byID[id]
+}
+
+// Len returns the number of distinct strings.
+func (d *Dict) Len() int { return len(d.byID) }
+
+// Column is one column of a table.
+type Column struct {
+	Name string
+	Type Type
+	Data []int64
+	Dict *Dict // for TStr columns
+
+	// Unique marks primary-key-like columns (enables group-join fusion
+	// and tight hash-table sizing).
+	Unique bool
+}
+
+// Stats summarizes a column for the optimizer.
+type Stats struct {
+	Min, Max int64
+	Distinct int // estimate, capped
+}
+
+// ComputeStats scans the column.
+func (c *Column) ComputeStats() Stats {
+	s := Stats{}
+	if len(c.Data) == 0 {
+		return s
+	}
+	s.Min, s.Max = c.Data[0], c.Data[0]
+	const cap = 1 << 16
+	seen := make(map[int64]struct{}, 1024)
+	for _, v := range c.Data {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		if len(seen) < cap {
+			seen[v] = struct{}{}
+		}
+	}
+	s.Distinct = len(seen)
+	if c.Unique {
+		s.Distinct = len(c.Data)
+	}
+	return s
+}
+
+// Table is a named columnar table.
+type Table struct {
+	Name string
+	Cols []*Column
+
+	stats map[string]Stats
+}
+
+// NewTable creates an empty table.
+func NewTable(name string) *Table {
+	return &Table{Name: name, stats: make(map[string]Stats)}
+}
+
+// AddCol appends a column and returns it.
+func (t *Table) AddCol(name string, typ Type) *Column {
+	c := &Column{Name: name, Type: typ}
+	if typ == TStr {
+		c.Dict = NewDict()
+	}
+	t.Cols = append(t.Cols, c)
+	return c
+}
+
+// Col returns the named column, or nil.
+func (t *Table) Col(name string) *Column {
+	for _, c := range t.Cols {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Rows returns the row count.
+func (t *Table) Rows() int {
+	if len(t.Cols) == 0 {
+		return 0
+	}
+	return len(t.Cols[0].Data)
+}
+
+// ColStats returns (cached) statistics for a column.
+func (t *Table) ColStats(name string) Stats {
+	if s, ok := t.stats[name]; ok {
+		return s
+	}
+	c := t.Col(name)
+	if c == nil {
+		return Stats{}
+	}
+	s := c.ComputeStats()
+	t.stats[name] = s
+	return s
+}
+
+// Validate checks that all columns have equal length.
+func (t *Table) Validate() error {
+	n := t.Rows()
+	for _, c := range t.Cols {
+		if len(c.Data) != n {
+			return fmt.Errorf("catalog: table %s column %s has %d rows, want %d", t.Name, c.Name, len(c.Data), n)
+		}
+	}
+	return nil
+}
+
+// Catalog is a set of tables.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// New returns an empty catalog.
+func New() *Catalog { return &Catalog{tables: make(map[string]*Table)} }
+
+// Add registers a table; it replaces an existing table of the same name.
+func (c *Catalog) Add(t *Table) { c.tables[t.Name] = t }
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Names returns all table names, sorted.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,137 @@
+package catalog
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDictRoundTrip(t *testing.T) {
+	d := NewDict()
+	a := d.ID("Chip")
+	b := d.ID("Board")
+	if a == b {
+		t.Fatal("distinct strings share an id")
+	}
+	if again := d.ID("Chip"); again != a {
+		t.Fatal("repeat ID not stable")
+	}
+	if d.String(a) != "Chip" || d.String(b) != "Board" {
+		t.Fatal("decode broken")
+	}
+	if _, ok := d.Lookup("Chip"); !ok {
+		t.Fatal("lookup existing failed")
+	}
+	if _, ok := d.Lookup("missing"); ok {
+		t.Fatal("lookup missing succeeded")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("len = %d", d.Len())
+	}
+}
+
+func TestTableColumns(t *testing.T) {
+	tb := NewTable("t")
+	c1 := tb.AddCol("a", TInt)
+	tb.AddCol("b", TStr)
+	c1.Data = []int64{1, 2, 3}
+	tb.Col("b").Data = []int64{0, 0, 0}
+	if tb.Rows() != 3 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+	if tb.ColIndex("b") != 1 || tb.ColIndex("z") != -1 {
+		t.Fatal("ColIndex broken")
+	}
+	if tb.Col("b").Dict == nil {
+		t.Fatal("TStr column lacks dictionary")
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tb.Col("b").Data = append(tb.Col("b").Data, 0)
+	if err := tb.Validate(); err == nil {
+		t.Fatal("ragged table validated")
+	}
+}
+
+func TestStats(t *testing.T) {
+	tb := NewTable("t")
+	c := tb.AddCol("v", TInt)
+	c.Data = []int64{5, -3, 5, 9, 9, 9}
+	st := tb.ColStats("v")
+	if st.Min != -3 || st.Max != 9 {
+		t.Fatalf("min/max = %d/%d", st.Min, st.Max)
+	}
+	if st.Distinct != 3 {
+		t.Fatalf("distinct = %d", st.Distinct)
+	}
+	// Unique column reports exact row count.
+	u := tb.AddCol("id", TInt)
+	u.Unique = true
+	u.Data = []int64{1, 2, 3, 4, 5, 6}
+	if st := tb.ColStats("id"); st.Distinct != 6 {
+		t.Fatalf("unique distinct = %d", st.Distinct)
+	}
+}
+
+func TestStatsCached(t *testing.T) {
+	tb := NewTable("t")
+	c := tb.AddCol("v", TInt)
+	c.Data = []int64{1, 2}
+	first := tb.ColStats("v")
+	c.Data = append(c.Data, 100)
+	second := tb.ColStats("v")
+	if first != second {
+		t.Fatal("stats should be cached per table")
+	}
+}
+
+func TestCatalogLookup(t *testing.T) {
+	c := New()
+	c.Add(NewTable("orders"))
+	c.Add(NewTable("lineitem"))
+	if _, err := c.Table("orders"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Table("nope"); err == nil {
+		t.Fatal("missing table found")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "lineitem" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestDateRoundTrip(t *testing.T) {
+	if err := quick.Check(func(n uint16) bool {
+		day := int64(n % 3000)
+		s := FormatDate(day)
+		back, err := ParseDate(s)
+		return err == nil && back == day
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDateKnownValues(t *testing.T) {
+	if d := DateOf(1992, 1, 1); d != 0 {
+		t.Fatalf("epoch = %d", d)
+	}
+	if d := DateOf(1992, 1, 2); d != 1 {
+		t.Fatalf("day 2 = %d", d)
+	}
+	if d, err := ParseDate("1995-04-01"); err != nil || d != DateOf(1995, 4, 1) {
+		t.Fatalf("parse: %d %v", d, err)
+	}
+	if _, err := ParseDate("not-a-date"); err == nil {
+		t.Fatal("bad date parsed")
+	}
+}
+
+func TestDateOrderingMatchesCalendar(t *testing.T) {
+	if DateOf(1995, 4, 1) <= DateOf(1995, 3, 31) {
+		t.Fatal("date encoding not monotonic")
+	}
+	if DateOf(1998, 8, 2) <= DateOf(1992, 6, 1) {
+		t.Fatal("date encoding not monotonic across years")
+	}
+}

@@ -1,0 +1,334 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// Config controls the backend.
+type Config struct {
+	// RegisterTagging reserves the tag register (isa.TagReg), removing it
+	// from allocation, and is required for the PMU's captured tag values
+	// to be meaningful.
+	RegisterTagging bool
+	// FuseCmpBranch enables compare-and-branch peephole fusion (Table 1
+	// "instruction fusing"); on by default via DefaultConfig.
+	FuseCmpBranch bool
+	// StagingAddr is the heap address of the 4-slot call-argument staging
+	// area.
+	StagingAddr int64
+	// SpillBase is the heap address where spill slots start; SpillCap is
+	// the region size in bytes.
+	SpillBase int64
+	SpillCap  int64
+}
+
+// DefaultConfig returns the standard backend configuration for the given
+// memory layout.
+func DefaultConfig(stagingAddr, spillBase, spillCap int64) Config {
+	return Config{
+		FuseCmpBranch: true,
+		StagingAddr:   stagingAddr,
+		SpillBase:     spillBase,
+		SpillCap:      spillCap,
+	}
+}
+
+// Result is a compiled program plus its debug information.
+type Result struct {
+	Program *isa.Program
+	// NMap is the native→IR debug info (the DWARF analogue).
+	NMap *core.NativeMap
+	// SpillSlots is the total number of spill slots used.
+	SpillSlots int
+	// Spills counts spilled live intervals (code-quality metric for the
+	// register-reservation experiment).
+	Spills int
+	// FusedBranches counts fused compare-and-branch instructions.
+	FusedBranches int
+}
+
+// emitter assembles the final program.
+type emitter struct {
+	cfg   Config
+	prog  *isa.Program
+	nmap  *core.NativeMap
+	res   *Result
+	slots int
+
+	callFix map[int]string // native pos → callee symbol
+	symbols map[string]int // symbol → entry
+}
+
+// Compile lowers a module to native code. The function named "main" is
+// placed at instruction 0 (the VM entry point); runtime routines are
+// appended and calls resolved by symbol.
+func Compile(m *ir.Module, cfg Config) (*Result, error) {
+	e := &emitter{
+		cfg:     cfg,
+		prog:    &isa.Program{},
+		nmap:    core.NewNativeMap(0),
+		callFix: map[int]string{},
+		symbols: map[string]int{},
+	}
+	e.res = &Result{Program: e.prog, NMap: e.nmap}
+
+	funcs := make([]*ir.Func, 0, len(m.Funcs))
+	for _, f := range m.Funcs {
+		if f.Name == "main" {
+			funcs = append(funcs, f)
+		}
+	}
+	for _, f := range m.Funcs {
+		if f.Name != "main" {
+			funcs = append(funcs, f)
+		}
+	}
+	if len(funcs) == 0 || funcs[0].Name != "main" {
+		return nil, fmt.Errorf("codegen: module has no main function")
+	}
+
+	slotBase := 0
+	for _, f := range funcs {
+		lf, err := lowerFunc(f, &cfg)
+		if err != nil {
+			return nil, err
+		}
+		alloc, next, err := allocate(lf, cfg.RegisterTagging, slotBase)
+		if err != nil {
+			return nil, err
+		}
+		slotBase = next
+		e.res.Spills += alloc.spills
+		if err := e.emitFunc(lf, alloc); err != nil {
+			return nil, err
+		}
+	}
+	e.slots = slotBase
+	e.res.SpillSlots = slotBase
+	if int64(slotBase*8) > cfg.SpillCap {
+		return nil, fmt.Errorf("codegen: %d spill slots exceed spill region (%d bytes)", slotBase, cfg.SpillCap)
+	}
+
+	emitRuntime(e)
+
+	// Resolve calls.
+	for pos, name := range e.callFix {
+		entry, ok := e.symbols[name]
+		if !ok {
+			return nil, fmt.Errorf("codegen: undefined symbol %q", name)
+		}
+		e.prog.Code[pos].Imm = int64(entry)
+	}
+	return e.res, nil
+}
+
+func (e *emitter) push(in isa.Instr, irIDs []int, region core.RegionKind, routine string) int {
+	pos := len(e.prog.Code)
+	e.prog.Code = append(e.prog.Code, in)
+	e.nmap.IRs = append(e.nmap.IRs, irIDs)
+	e.nmap.Region = append(e.nmap.Region, region)
+	e.nmap.Routine = append(e.nmap.Routine, routine)
+	return pos
+}
+
+func (e *emitter) spillAddr(slot int) int64 { return e.cfg.SpillBase + int64(slot)*8 }
+
+// readInto materializes vreg v into a physical register: either its
+// assigned register, or a load from its spill slot into scratch.
+func (e *emitter) readInto(a *allocation, v vreg, scratch isa.Reg, irIDs []int) isa.Reg {
+	r, slot, inReg := a.location(v)
+	if inReg {
+		return r
+	}
+	e.push(isa.Instr{Op: isa.LOAD64, Dst: scratch, Abs: true, Imm: e.spillAddr(slot)}, irIDs, core.RegionGenerated, "")
+	return scratch
+}
+
+// destReg returns the register an instruction should compute into, plus a
+// spill store to run afterwards (or -1 when none).
+func (e *emitter) destReg(a *allocation, v vreg) (isa.Reg, int) {
+	r, slot, inReg := a.location(v)
+	if inReg {
+		return r, -1
+	}
+	return scratchA, slot
+}
+
+func (e *emitter) flushDest(slot int, from isa.Reg, irIDs []int) {
+	if slot < 0 {
+		return
+	}
+	e.push(isa.Instr{Op: isa.STORE64, Dst: from, Abs: true, Imm: e.spillAddr(slot)}, irIDs, core.RegionGenerated, "")
+}
+
+func (e *emitter) emitFunc(fn *lfunc, a *allocation) error {
+	entry := len(e.prog.Code)
+	blockPos := make([]int, len(fn.blocks))
+	type fix struct {
+		pos   int
+		block int
+		imm2  bool
+	}
+	var fixes []fix
+
+	for bi, b := range fn.blocks {
+		blockPos[bi] = len(e.prog.Code)
+		for ii := range b.ins {
+			l := &b.ins[ii]
+			ids := l.irIDs
+			switch l.pseudo {
+			case pParam:
+				if l.imm >= isa.NumArgRegs {
+					return fmt.Errorf("codegen: parameter %d out of range", l.imm)
+				}
+				src := isa.Reg(l.imm)
+				if r, slot, inReg := a.location(l.dst); inReg {
+					e.push(isa.Instr{Op: isa.MOVRR, Dst: r, Src1: src}, ids, core.RegionGenerated, "")
+				} else {
+					e.push(isa.Instr{Op: isa.STORE64, Dst: src, Abs: true, Imm: e.spillAddr(slot)}, ids, core.RegionGenerated, "")
+				}
+				continue
+			case pRetVal:
+				src := e.readInto(a, l.a, scratchA, ids)
+				if src != 0 {
+					e.push(isa.Instr{Op: isa.MOVRR, Dst: 0, Src1: src}, ids, core.RegionGenerated, "")
+				}
+				continue
+			case pCall:
+				e.emitCall(a, l)
+				continue
+			}
+
+			switch l.op {
+			case isa.MOVRI:
+				dst := isa.TagReg
+				slot := -1
+				if !l.tagWrite {
+					dst, slot = e.destReg(a, l.dst)
+				}
+				e.push(isa.Instr{Op: isa.MOVRI, Dst: dst, Imm: l.imm}, ids, core.RegionGenerated, "")
+				e.flushDest(slot, dst, ids)
+
+			case isa.MOVRR:
+				switch {
+				case l.tagWrite:
+					src := e.readInto(a, l.a, scratchA, ids)
+					e.push(isa.Instr{Op: isa.MOVRR, Dst: isa.TagReg, Src1: src}, ids, core.RegionGenerated, "")
+				case l.tagRead:
+					dst, slot := e.destReg(a, l.dst)
+					e.push(isa.Instr{Op: isa.MOVRR, Dst: dst, Src1: isa.TagReg}, ids, core.RegionGenerated, "")
+					e.flushDest(slot, dst, ids)
+				default:
+					src := e.readInto(a, l.a, scratchA, ids)
+					dst, slot := e.destReg(a, l.dst)
+					if dst != src || slot >= 0 {
+						if dst != src {
+							e.push(isa.Instr{Op: isa.MOVRR, Dst: dst, Src1: src}, ids, core.RegionGenerated, "")
+						}
+						e.flushDest(slot, dst, ids)
+					}
+				}
+
+			case isa.LOAD8, isa.LOAD32, isa.LOAD64:
+				base := e.readInto(a, l.a, scratchA, ids)
+				dst, slot := e.destReg(a, l.dst)
+				e.push(isa.Instr{Op: l.op, Dst: dst, Src1: base, Imm: l.imm}, ids, core.RegionGenerated, "")
+				e.flushDest(slot, dst, ids)
+
+			case isa.STORE8, isa.STORE32, isa.STORE64:
+				base := e.readInto(a, l.a, scratchA, ids)
+				val := e.readInto(a, l.dst, scratchB, ids)
+				e.push(isa.Instr{Op: l.op, Dst: val, Src1: base, Imm: l.imm}, ids, core.RegionGenerated, "")
+
+			case isa.JMP:
+				if l.tgt == bi+1 {
+					continue // fallthrough
+				}
+				pos := e.push(isa.Instr{Op: isa.JMP}, ids, core.RegionGenerated, "")
+				fixes = append(fixes, fix{pos, l.tgt, false})
+
+			case isa.JNZ, isa.JZ:
+				cond := e.readInto(a, l.a, scratchA, ids)
+				pos := e.push(isa.Instr{Op: l.op, Src1: cond}, ids, core.RegionGenerated, "")
+				fixes = append(fixes, fix{pos, l.tgt, false})
+
+			case isa.JEQ, isa.JNE, isa.JLT, isa.JGE:
+				x := e.readInto(a, l.a, scratchA, ids)
+				in := isa.Instr{Op: l.op, Src1: x}
+				if l.useImm {
+					in.UseImm = true
+					in.Imm = l.imm
+				} else {
+					in.Src2 = e.readInto(a, l.b, scratchB, ids)
+				}
+				pos := e.push(in, ids, core.RegionGenerated, "")
+				fixes = append(fixes, fix{pos, l.tgt, true})
+				e.res.FusedBranches++
+
+			case isa.RET, isa.HALT, isa.NOP:
+				e.push(isa.Instr{Op: l.op}, ids, core.RegionGenerated, "")
+
+			case isa.TRAP:
+				e.push(isa.Instr{Op: isa.TRAP, Imm: l.imm}, ids, core.RegionGenerated, "")
+
+			default: // binary ALU / compare
+				x := e.readInto(a, l.a, scratchA, ids)
+				in := isa.Instr{Op: l.op, Src1: x}
+				if l.useImm {
+					in.UseImm = true
+					in.Imm = l.imm
+				} else {
+					in.Src2 = e.readInto(a, l.b, scratchB, ids)
+				}
+				dst, slot := e.destReg(a, l.dst)
+				in.Dst = dst
+				e.push(in, ids, core.RegionGenerated, "")
+				e.flushDest(slot, dst, ids)
+			}
+		}
+	}
+
+	for _, f := range fixes {
+		target := int64(blockPos[f.block])
+		if f.imm2 {
+			e.prog.Code[f.pos].Imm2 = target
+		} else {
+			e.prog.Code[f.pos].Imm = target
+		}
+	}
+	e.symbols[fn.name] = entry
+	e.prog.Funcs = append(e.prog.Funcs, isa.FuncSym{Name: fn.name, Entry: entry, End: len(e.prog.Code)})
+	return nil
+}
+
+// emitCall expands a call: stage argument values through memory (so
+// argument-register shuffling can never clobber a source), load them into
+// r0..r3, call, and store the result.
+func (e *emitter) emitCall(a *allocation, l *lins) {
+	ids := l.irIDs
+	if len(l.args) > isa.NumArgRegs {
+		panic("codegen: too many call arguments")
+	}
+	for i, arg := range l.args {
+		src := e.readInto(a, arg, scratchA, ids)
+		e.push(isa.Instr{Op: isa.STORE64, Dst: src, Abs: true, Imm: e.cfg.StagingAddr + int64(i)*8}, ids, core.RegionGenerated, "")
+	}
+	for i := range l.args {
+		e.push(isa.Instr{Op: isa.LOAD64, Dst: isa.Reg(i), Abs: true, Imm: e.cfg.StagingAddr + int64(i)*8}, ids, core.RegionGenerated, "")
+	}
+	pos := e.push(isa.Instr{Op: isa.CALL}, ids, core.RegionGenerated, "")
+	e.callFix[pos] = l.callee
+	if l.hasRes {
+		if r, slot, inReg := a.location(l.dst); inReg {
+			if r != 0 {
+				e.push(isa.Instr{Op: isa.MOVRR, Dst: r, Src1: 0}, ids, core.RegionGenerated, "")
+			}
+		} else {
+			e.push(isa.Instr{Op: isa.STORE64, Dst: 0, Abs: true, Imm: e.spillAddr(slot)}, ids, core.RegionGenerated, "")
+		}
+	}
+}

@@ -1,0 +1,548 @@
+// Package codegen is the backend: lowering step 3 of the paper's stack
+// (Fig. 8d). It translates the IR of internal/ir into the native
+// instruction set of internal/isa — via a low-level IR (LIR) over virtual
+// registers, liveness analysis, linear-scan register allocation with
+// spilling, and peephole instruction fusing — and produces the per-native-
+// instruction debug information (core.NativeMap) that stands in for DWARF:
+// every emitted instruction records which IR instruction(s) it descends
+// from, so the profiler can map samples back up the stack.
+//
+// When Register Tagging is enabled the allocator excludes the reserved tag
+// register from allocation (the paper's -ffixed flag / LLVM change, §5.3),
+// which is the source of the measured code-quality overhead.
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// vreg is a virtual register; 0 is invalid.
+type vreg int32
+
+// lins is one LIR instruction: an isa-shaped operation over virtual
+// registers with symbolic branch targets and attached debug info.
+type lins struct {
+	op     isa.Op
+	pseudo pseudo
+
+	dst, a, b vreg
+	useImm    bool
+	imm, imm2 int64
+
+	tgt, tgt2 int // successor lblock indices for branches
+
+	callee string
+	args   []vreg
+	hasRes bool
+
+	// tagWrite/tagRead route MOVRR/MOVRI through the reserved tag
+	// register instead of dst/a.
+	tagWrite bool
+	tagRead  bool
+
+	irIDs []int // debug info: owning IR instruction IDs
+}
+
+type pseudo uint8
+
+const (
+	pNone pseudo = iota
+	pCall
+	pRetVal
+	pParam // dst ← argument register #imm
+)
+
+// lblock is a basic block of LIR.
+type lblock struct {
+	name  string
+	ins   []lins
+	succs []int
+}
+
+// lfunc is a function being lowered.
+type lfunc struct {
+	name   string
+	blocks []*lblock
+	nvreg  vreg
+}
+
+func (f *lfunc) newVreg() vreg {
+	f.nvreg++
+	return f.nvreg
+}
+
+// lowerer translates one ir.Func into an lfunc.
+type lowerer struct {
+	cfg     *Config
+	f       *ir.Func
+	out     *lfunc
+	blockIx map[*ir.Block]int
+	regOf   map[*ir.Instr]vreg
+	uses    map[*ir.Instr]int
+	fused   map[*ir.Instr]bool // compare instructions folded into branches
+}
+
+func lowerFunc(f *ir.Func, cfg *Config) (*lfunc, error) {
+	lo := &lowerer{
+		cfg:     cfg,
+		f:       f,
+		out:     &lfunc{name: f.Name},
+		blockIx: make(map[*ir.Block]int),
+		regOf:   make(map[*ir.Instr]vreg),
+		uses:    make(map[*ir.Instr]int),
+		fused:   make(map[*ir.Instr]bool),
+	}
+	for i, b := range f.Blocks {
+		lo.blockIx[b] = i
+		lo.out.blocks = append(lo.out.blocks, &lblock{name: b.Name})
+	}
+	lo.countUses()
+	lo.planFusion()
+	for i, b := range f.Blocks {
+		if err := lo.lowerBlock(i, b); err != nil {
+			return nil, err
+		}
+	}
+	if err := lo.lowerPhis(); err != nil {
+		return nil, err
+	}
+	lo.sweepDeadMovi()
+	return lo.out, nil
+}
+
+func (lo *lowerer) countUses() {
+	for _, b := range lo.f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				lo.uses[a]++
+			}
+		}
+	}
+}
+
+// vregFor returns the virtual register holding an IR value.
+func (lo *lowerer) vregFor(in *ir.Instr) vreg {
+	v, ok := lo.regOf[in]
+	if !ok {
+		v = lo.out.newVreg()
+		lo.regOf[in] = v
+	}
+	return v
+}
+
+func (lo *lowerer) emit(bi int, in lins) {
+	lo.out.blocks[bi].ins = append(lo.out.blocks[bi].ins, in)
+}
+
+// opnd resolves an IR operand to a vreg; constants were materialized at
+// their definition site (SSA dominance makes that always correct).
+func (lo *lowerer) opnd(a *ir.Instr) vreg { return lo.vregFor(a) }
+
+var binOps = map[ir.Op]isa.Op{
+	ir.OpAdd: isa.ADD, ir.OpSub: isa.SUB, ir.OpMul: isa.MUL,
+	ir.OpSDiv: isa.DIV, ir.OpSMod: isa.MOD,
+	ir.OpAnd: isa.AND, ir.OpOr: isa.OR, ir.OpXor: isa.XOR,
+	ir.OpShl: isa.SHL, ir.OpShr: isa.SHR, ir.OpRotr: isa.ROTR,
+	ir.OpCrc32: isa.CRC32,
+	ir.OpCmpEq: isa.CMPEQ, ir.OpCmpNe: isa.CMPNE,
+	ir.OpCmpLt: isa.CMPLT, ir.OpCmpLe: isa.CMPLE,
+	ir.OpCmpGt: isa.CMPGT, ir.OpCmpGe: isa.CMPGE,
+}
+
+var commutative = map[ir.Op]bool{
+	ir.OpAdd: true, ir.OpMul: true, ir.OpAnd: true, ir.OpOr: true,
+	ir.OpXor: true, ir.OpCrc32: true, ir.OpCmpEq: true, ir.OpCmpNe: true,
+}
+
+func (lo *lowerer) lowerBlock(bi int, b *ir.Block) error {
+	lb := lo.out.blocks[bi]
+	for _, in := range b.Instrs {
+		switch in.Op {
+		case ir.OpConst:
+			lo.emit(bi, lins{op: isa.MOVRI, dst: lo.vregFor(in), imm: in.Imm, irIDs: []int{in.ID}})
+
+		case ir.OpParam:
+			lo.emit(bi, lins{pseudo: pParam, dst: lo.vregFor(in), imm: in.Imm, irIDs: []int{in.ID}})
+
+		case ir.OpPhi:
+			lo.vregFor(in) // reserve; moves are inserted by lowerPhis
+
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpSDiv, ir.OpSMod,
+			ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr, ir.OpRotr,
+			ir.OpCrc32, ir.OpCmpEq, ir.OpCmpNe, ir.OpCmpLt, ir.OpCmpLe,
+			ir.OpCmpGt, ir.OpCmpGe:
+			lo.lowerBin(bi, in)
+
+		case ir.OpLoad8, ir.OpLoad32, ir.OpLoad64:
+			base, off, extra := lo.addr(in.Args[0])
+			op := map[ir.Op]isa.Op{ir.OpLoad8: isa.LOAD8, ir.OpLoad32: isa.LOAD32, ir.OpLoad64: isa.LOAD64}[in.Op]
+			lo.emit(bi, lins{op: op, dst: lo.vregFor(in), a: base, imm: off, irIDs: appendID(extra, in.ID)})
+
+		case ir.OpStore8, ir.OpStore32, ir.OpStore64:
+			base, off, extra := lo.addr(in.Args[0])
+			val := lo.opnd(in.Args[1])
+			op := map[ir.Op]isa.Op{ir.OpStore8: isa.STORE8, ir.OpStore32: isa.STORE32, ir.OpStore64: isa.STORE64}[in.Op]
+			lo.emit(bi, lins{op: op, dst: val, a: base, imm: off, irIDs: appendID(extra, in.ID)})
+
+		case ir.OpBr:
+			t := lo.blockIx[in.Targets[0]]
+			lb.succs = []int{t}
+			lo.emit(bi, lins{op: isa.JMP, tgt: t, irIDs: []int{in.ID}})
+
+		case ir.OpCondBr:
+			lo.lowerCondBr(bi, in)
+
+		case ir.OpRet:
+			if len(in.Args) > 0 {
+				lo.emit(bi, lins{pseudo: pRetVal, a: lo.opnd(in.Args[0]), irIDs: []int{in.ID}})
+			}
+			lo.emit(bi, lins{op: isa.RET, irIDs: []int{in.ID}})
+
+		case ir.OpCall:
+			args := make([]vreg, len(in.Args))
+			for i, a := range in.Args {
+				args[i] = lo.opnd(a)
+			}
+			l := lins{pseudo: pCall, callee: in.Callee, args: args, irIDs: []int{in.ID}}
+			if in.Type != ir.Void {
+				l.hasRes = true
+				l.dst = lo.vregFor(in)
+			}
+			lo.emit(bi, l)
+
+		case ir.OpSetTag:
+			arg := in.Args[0]
+			if arg.Op == ir.OpConst {
+				lo.emit(bi, lins{op: isa.MOVRI, tagWrite: true, imm: arg.Imm, irIDs: []int{in.ID}})
+			} else {
+				lo.emit(bi, lins{op: isa.MOVRR, tagWrite: true, a: lo.opnd(arg), irIDs: []int{in.ID}})
+			}
+
+		case ir.OpGetTag:
+			lo.emit(bi, lins{op: isa.MOVRR, tagRead: true, dst: lo.vregFor(in), irIDs: []int{in.ID}})
+
+		case ir.OpHalt:
+			lo.emit(bi, lins{op: isa.HALT, irIDs: []int{in.ID}})
+
+		case ir.OpTrap:
+			lo.emit(bi, lins{op: isa.TRAP, imm: in.Imm, irIDs: []int{in.ID}})
+
+		default:
+			return fmt.Errorf("codegen: cannot lower %s", in.Op)
+		}
+	}
+	return nil
+}
+
+func (lo *lowerer) lowerBin(bi int, in *ir.Instr) {
+	if lo.fused[in] {
+		return // folded into a branch
+	}
+	op := binOps[in.Op]
+	x, y := in.Args[0], in.Args[1]
+	// Fold a constant second operand into the immediate form; exploit
+	// commutativity to fold a constant first operand too.
+	if x.Op == ir.OpConst && y.Op != ir.OpConst && commutative[in.Op] {
+		x, y = y, x
+	}
+	l := lins{op: op, dst: lo.vregFor(in), a: lo.opnd(x), irIDs: []int{in.ID}}
+	if y.Op == ir.OpConst {
+		l.useImm = true
+		l.imm = y.Imm
+	} else {
+		l.b = lo.opnd(y)
+	}
+	lo.emit(bi, l)
+}
+
+// addr decomposes an address operand into base + constant displacement
+// (peephole address folding; the folded Add's IR ID joins the debug info).
+func (lo *lowerer) addr(a *ir.Instr) (base vreg, off int64, foldedIDs []int) {
+	if a.Op == ir.OpAdd {
+		x, y := a.Args[0], a.Args[1]
+		if y.Op == ir.OpConst && lo.uses[a] == 1 && x.Op != ir.OpConst {
+			lo.fused[a] = true
+			return lo.opnd(x), y.Imm, []int{a.ID}
+		}
+		if x.Op == ir.OpConst && lo.uses[a] == 1 && y.Op != ir.OpConst {
+			lo.fused[a] = true
+			return lo.opnd(y), x.Imm, []int{a.ID}
+		}
+	}
+	return lo.opnd(a), 0, nil
+}
+
+// planFusion pre-marks comparisons that will fold into their (single)
+// consuming conditional branch, so lowerBin skips them even though they
+// appear earlier in the block than the branch.
+func (lo *lowerer) planFusion() {
+	if !lo.cfg.FuseCmpBranch {
+		return
+	}
+	for _, b := range lo.f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpCondBr {
+				continue
+			}
+			cond := in.Args[0]
+			if cond.Block != in.Block || lo.uses[cond] != 1 {
+				continue
+			}
+			if fop, _, _, _ := fuseKind(cond); fop != isa.NOP {
+				lo.fused[cond] = true
+			}
+		}
+	}
+}
+
+// lowerCondBr emits a fused compare-and-branch when planFusion marked the
+// condition (Table 1 "instruction fusing": the fused native instruction's
+// debug info lists both the compare's and the branch's IR IDs).
+func (lo *lowerer) lowerCondBr(bi int, in *ir.Instr) {
+	lb := lo.out.blocks[bi]
+	then := lo.blockIx[in.Targets[0]]
+	els := lo.blockIx[in.Targets[1]]
+	lb.succs = []int{then, els}
+
+	cond := in.Args[0]
+	if lo.fused[cond] {
+		if fop, srcA, srcB, swap := fuseKind(cond); fop != isa.NOP {
+			l := lins{op: fop, tgt: then, tgt2: els, irIDs: []int{cond.ID, in.ID}}
+			x, y := srcA, srcB
+			if swap {
+				x, y = y, x
+			}
+			l.a = lo.opnd(x)
+			if y.Op == ir.OpConst && !swap {
+				l.useImm = true
+				l.imm = y.Imm
+			} else {
+				l.b = lo.opnd(y)
+			}
+			lo.emit(bi, l)
+			lo.emit(bi, lins{op: isa.JMP, tgt: els, irIDs: []int{in.ID}})
+			return
+		}
+	}
+	lo.emit(bi, lins{op: isa.JNZ, a: lo.opnd(cond), tgt: then, tgt2: els, irIDs: []int{in.ID}})
+	lo.emit(bi, lins{op: isa.JMP, tgt: els, irIDs: []int{in.ID}})
+}
+
+// fuseKind maps a comparison to a fused branch opcode. swap indicates the
+// operands must be exchanged (a<=b  ≡  b>=a).
+func fuseKind(cmp *ir.Instr) (op isa.Op, a, b *ir.Instr, swap bool) {
+	x, y := cmp.Args[0], cmp.Args[1]
+	switch cmp.Op {
+	case ir.OpCmpEq:
+		return isa.JEQ, x, y, false
+	case ir.OpCmpNe:
+		return isa.JNE, x, y, false
+	case ir.OpCmpLt:
+		return isa.JLT, x, y, false
+	case ir.OpCmpGe:
+		return isa.JGE, x, y, false
+	case ir.OpCmpLe:
+		return isa.JGE, x, y, true
+	case ir.OpCmpGt:
+		return isa.JLT, x, y, true
+	}
+	return isa.NOP, nil, nil, false
+}
+
+func appendID(ids []int, id int) []int { return append(ids, id) }
+
+// lowerPhis inserts the parallel copies that realize phi nodes. Copies are
+// placed at the end of each predecessor; when the predecessor has several
+// successors (a critical edge) a fresh edge block is spliced in so the
+// copies execute on the right path only.
+func (lo *lowerer) lowerPhis() error {
+	for bIdx, b := range lo.f.Blocks {
+		var phis []*ir.Instr
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				phis = append(phis, in)
+			}
+		}
+		if len(phis) == 0 {
+			continue
+		}
+		for pi, pred := range b.Preds {
+			var moves []phimove
+			for _, phi := range phis {
+				arg := phi.Args[pi]
+				m := phimove{dst: lo.vregFor(phi), irID: phi.ID}
+				if arg.Op == ir.OpConst {
+					m.srcConst = arg
+				} else {
+					m.src = lo.vregFor(arg)
+				}
+				moves = append(moves, m)
+			}
+			predIx := lo.blockIx[pred]
+			target := predIx
+			if len(lo.out.blocks[predIx].succs) > 1 {
+				// Critical edge: splice in an edge block.
+				eb := &lblock{name: fmt.Sprintf("%s.to.%s", pred.Name, b.Name), succs: []int{bIdx}}
+				lo.out.blocks = append(lo.out.blocks, eb)
+				ebIx := len(lo.out.blocks) - 1
+				retargetBranch(lo.out.blocks[predIx], bIdx, ebIx)
+				eb.ins = append(eb.ins, lins{op: isa.JMP, tgt: bIdx})
+				target = ebIx
+			}
+			// Order the parallel copies so no source is clobbered before
+			// it is read; break cycles through a temporary.
+			seq, err := schedule(moves, lo.out)
+			if err != nil {
+				return fmt.Errorf("codegen: %s: %v", lo.f.Name, err)
+			}
+			insertBeforeTerminator(lo.out.blocks[target], seq)
+		}
+	}
+	return nil
+}
+
+// phimove is one pending parallel copy for a phi edge.
+type phimove struct {
+	dst, src vreg
+	srcConst *ir.Instr // non-nil when the incoming value is a constant
+	irID     int
+}
+
+// schedule orders parallel moves; cycles are broken with a fresh temp vreg.
+func schedule(moves []phimove, f *lfunc) ([]lins, error) {
+	var out []lins
+	pending := moves
+	for len(pending) > 0 {
+		progressed := false
+		for i := 0; i < len(pending); i++ {
+			m := pending[i]
+			// A move is safe when its destination is not a source of any
+			// other pending move.
+			safe := true
+			for j, o := range pending {
+				if j != i && o.srcConst == nil && o.src == m.dst {
+					safe = false
+					break
+				}
+			}
+			if !safe {
+				continue
+			}
+			out = append(out, moveIns(m.dst, m.src, m.srcConst, m.irID))
+			pending = append(pending[:i], pending[i+1:]...)
+			i--
+			progressed = true
+		}
+		if !progressed {
+			// Cycle: save one endangered source into a temp and retarget.
+			m := pending[0]
+			if m.srcConst != nil {
+				return nil, fmt.Errorf("phi move cycle through constant")
+			}
+			tmp := f.newVreg()
+			out = append(out, lins{op: isa.MOVRR, dst: tmp, a: m.src, irIDs: []int{m.irID}})
+			for i := range pending {
+				if pending[i].srcConst == nil && pending[i].src == m.src {
+					pending[i].src = tmp
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func moveIns(dst, src vreg, c *ir.Instr, irID int) lins {
+	if c != nil {
+		return lins{op: isa.MOVRI, dst: dst, imm: c.Imm, irIDs: []int{irID}}
+	}
+	return lins{op: isa.MOVRR, dst: dst, a: src, irIDs: []int{irID}}
+}
+
+// insertBeforeTerminator places code before the block's trailing branch
+// sequence (a fused Jcc + JMP pair counts as the terminator).
+func insertBeforeTerminator(b *lblock, seq []lins) {
+	cut := len(b.ins)
+	for cut > 0 && isTerminatorIns(&b.ins[cut-1]) {
+		cut--
+	}
+	// Safety check: the terminator must not read any copied-to register.
+	for i := cut; i < len(b.ins); i++ {
+		t := &b.ins[i]
+		for _, m := range seq {
+			if m.dst != 0 && (t.a == m.dst || (!t.useImm && t.b == m.dst)) {
+				panic(fmt.Sprintf("codegen: phi copy clobbers terminator operand in %s", b.name))
+			}
+		}
+	}
+	tail := make([]lins, len(b.ins)-cut)
+	copy(tail, b.ins[cut:])
+	b.ins = append(b.ins[:cut], append(seq, tail...)...)
+}
+
+func isTerminatorIns(l *lins) bool {
+	switch l.op {
+	case isa.JMP, isa.JNZ, isa.JZ, isa.JEQ, isa.JNE, isa.JLT, isa.JGE,
+		isa.RET, isa.HALT, isa.TRAP:
+		return l.pseudo == pNone
+	}
+	return false
+}
+
+// retargetBranch rewrites branch targets old→new in b's terminators.
+func retargetBranch(b *lblock, old, new int) {
+	for i := range b.ins {
+		l := &b.ins[i]
+		if l.tgt == old && isTerminatorIns(l) {
+			l.tgt = new
+		}
+		if l.tgt2 == old && isTerminatorIns(l) {
+			l.tgt2 = new
+		}
+	}
+	for i, s := range b.succs {
+		if s == old {
+			b.succs[i] = new
+		}
+	}
+}
+
+// sweepDeadMovi removes constant materializations whose value is never
+// consumed (every use was folded into an immediate operand).
+func (lo *lowerer) sweepDeadMovi() {
+	used := make(map[vreg]bool)
+	for _, b := range lo.out.blocks {
+		for i := range b.ins {
+			l := &b.ins[i]
+			if l.a != 0 {
+				used[l.a] = true
+			}
+			if !l.useImm && l.b != 0 {
+				used[l.b] = true
+			}
+			if l.op == isa.STORE8 || l.op == isa.STORE32 || l.op == isa.STORE64 {
+				used[l.dst] = true
+			}
+			if l.pseudo == pCall {
+				for _, a := range l.args {
+					used[a] = true
+				}
+			}
+			if l.pseudo == pRetVal {
+				used[l.a] = true
+			}
+		}
+	}
+	for _, b := range lo.out.blocks {
+		kept := b.ins[:0]
+		for _, l := range b.ins {
+			if l.op == isa.MOVRI && l.pseudo == pNone && !l.tagWrite && !used[l.dst] {
+				continue
+			}
+			kept = append(kept, l)
+		}
+		b.ins = kept
+	}
+}

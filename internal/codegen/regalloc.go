@@ -1,0 +1,360 @@
+package codegen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Register allocation: liveness analysis over the LIR, whole-interval
+// construction, and Poletto/Sarkar linear scan with spilling.
+//
+// Two general-purpose registers (r13, r14) are reserved as spill scratch.
+// When Register Tagging is enabled the tag register (isa.TagReg, r15) is
+// additionally removed from allocation — the paper's "-ffixed" reservation
+// (§5.3) — which is what the register-reservation overhead experiment
+// measures. Values live across a CALL may not sit in the clobbered
+// registers r0..r4.
+const (
+	scratchA = isa.Reg(13)
+	scratchB = isa.Reg(14)
+)
+
+// allocatableRegs returns the registers available to the allocator.
+func allocatableRegs(registerTagging bool) []isa.Reg {
+	regs := []isa.Reg{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	if !registerTagging {
+		regs = append(regs, isa.TagReg)
+	}
+	return regs
+}
+
+// operands returns the vregs defined and used by one LIR instruction.
+func (l *lins) operands() (defs, uses []vreg) {
+	switch l.pseudo {
+	case pParam:
+		return []vreg{l.dst}, nil
+	case pRetVal:
+		return nil, []vreg{l.a}
+	case pCall:
+		if l.hasRes {
+			defs = []vreg{l.dst}
+		}
+		return defs, l.args
+	}
+	switch l.op {
+	case isa.MOVRI:
+		if l.tagWrite {
+			return nil, nil
+		}
+		return []vreg{l.dst}, nil
+	case isa.MOVRR:
+		if l.tagWrite {
+			return nil, []vreg{l.a}
+		}
+		if l.tagRead {
+			return []vreg{l.dst}, nil
+		}
+		return []vreg{l.dst}, []vreg{l.a}
+	case isa.LOAD8, isa.LOAD32, isa.LOAD64:
+		return []vreg{l.dst}, []vreg{l.a}
+	case isa.STORE8, isa.STORE32, isa.STORE64:
+		return nil, []vreg{l.a, l.dst}
+	case isa.JMP, isa.RET, isa.HALT, isa.TRAP, isa.NOP, isa.CALL:
+		return nil, nil
+	case isa.JNZ, isa.JZ:
+		return nil, []vreg{l.a}
+	case isa.JEQ, isa.JNE, isa.JLT, isa.JGE:
+		if l.useImm {
+			return nil, []vreg{l.a}
+		}
+		return nil, []vreg{l.a, l.b}
+	default: // binary ALU / compare
+		if l.useImm {
+			return []vreg{l.dst}, []vreg{l.a}
+		}
+		return []vreg{l.dst}, []vreg{l.a, l.b}
+	}
+}
+
+// interval is a live interval over linearized LIR positions.
+type interval struct {
+	v          vreg
+	start, end int
+	crossCall  bool
+	reg        isa.Reg
+	spilled    bool
+	slot       int
+	// weight estimates dynamic access frequency (uses and defs scaled by
+	// loop depth); the allocator prefers spilling cold intervals.
+	weight float64
+}
+
+// allocation is the result of register allocation for one function.
+type allocation struct {
+	regOf  map[vreg]isa.Reg
+	slotOf map[vreg]int // global spill-slot index
+	spills int
+}
+
+// loc describes where a vreg lives.
+func (a *allocation) location(v vreg) (isa.Reg, int, bool) {
+	if r, ok := a.regOf[v]; ok {
+		return r, 0, true
+	}
+	return 0, a.slotOf[v], false
+}
+
+// allocate runs liveness + linear scan for fn. slotBase is the first free
+// global spill-slot index; the returned next value continues the counter
+// so functions never share slots (main's spilled values survive pipeline
+// calls).
+func allocate(fn *lfunc, registerTagging bool, slotBase int) (*allocation, int, error) {
+	// Linearize positions.
+	type posRef struct{ block, idx int }
+	var linear []posRef
+	blockStart := make([]int, len(fn.blocks))
+	blockEnd := make([]int, len(fn.blocks))
+	for bi, b := range fn.blocks {
+		blockStart[bi] = len(linear)
+		for i := range b.ins {
+			linear = append(linear, posRef{bi, i})
+		}
+		blockEnd[bi] = len(linear) - 1
+	}
+
+	nv := int(fn.nvreg) + 1
+
+	// Per-block gen/kill.
+	gen := make([]map[vreg]bool, len(fn.blocks))
+	kill := make([]map[vreg]bool, len(fn.blocks))
+	for bi, b := range fn.blocks {
+		g, k := map[vreg]bool{}, map[vreg]bool{}
+		for i := range b.ins {
+			defs, uses := b.ins[i].operands()
+			for _, u := range uses {
+				if u != 0 && !k[u] {
+					g[u] = true
+				}
+			}
+			for _, d := range defs {
+				if d != 0 {
+					k[d] = true
+				}
+			}
+		}
+		gen[bi], kill[bi] = g, k
+	}
+
+	// Backward fixpoint for live-in/out.
+	liveIn := make([]map[vreg]bool, len(fn.blocks))
+	liveOut := make([]map[vreg]bool, len(fn.blocks))
+	for i := range liveIn {
+		liveIn[i], liveOut[i] = map[vreg]bool{}, map[vreg]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for bi := len(fn.blocks) - 1; bi >= 0; bi-- {
+			out := liveOut[bi]
+			for _, s := range fn.blocks[bi].succs {
+				for v := range liveIn[s] {
+					if !out[v] {
+						out[v] = true
+						changed = true
+					}
+				}
+			}
+			in := liveIn[bi]
+			for v := range gen[bi] {
+				if !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+			for v := range out {
+				if !kill[bi][v] && !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Build whole intervals.
+	starts := make([]int, nv)
+	ends := make([]int, nv)
+	for i := range starts {
+		starts[i] = -1
+	}
+	extend := func(v vreg, p int) {
+		if v == 0 {
+			return
+		}
+		if starts[v] == -1 {
+			starts[v], ends[v] = p, p
+			return
+		}
+		if p < starts[v] {
+			starts[v] = p
+		}
+		if p > ends[v] {
+			ends[v] = p
+		}
+	}
+	// Approximate loop depth per block: a backward branch from block b to
+	// target t nests every block in [t, b]. Our lowering emits loop
+	// bodies between header and latch, so this recovers nesting well
+	// enough to weight spill decisions.
+	depth := make([]int, len(fn.blocks))
+	for bi, b := range fn.blocks {
+		for _, tgt := range b.succs {
+			if tgt <= bi {
+				for j := tgt; j <= bi; j++ {
+					if depth[j] < 3 {
+						depth[j]++
+					}
+				}
+			}
+		}
+	}
+	weightOf := func(bi int) float64 {
+		w := 1.0
+		for d := 0; d < depth[bi]; d++ {
+			w *= 10
+		}
+		return w
+	}
+
+	weights := make([]float64, nv)
+	var callPositions []int
+	for p, ref := range linear {
+		l := &fn.blocks[ref.block].ins[ref.idx]
+		defs, uses := l.operands()
+		for _, d := range defs {
+			extend(d, p)
+			weights[d] += weightOf(ref.block)
+		}
+		for _, u := range uses {
+			extend(u, p)
+			weights[u] += weightOf(ref.block)
+		}
+		if l.pseudo == pCall {
+			callPositions = append(callPositions, p)
+		}
+	}
+	for bi := range fn.blocks {
+		if len(fn.blocks[bi].ins) == 0 {
+			continue
+		}
+		for v := range liveIn[bi] {
+			extend(v, blockStart[bi])
+		}
+		for v := range liveOut[bi] {
+			extend(v, blockEnd[bi])
+		}
+	}
+
+	var ivs []*interval
+	for v := 1; v < nv; v++ {
+		if starts[v] == -1 {
+			continue
+		}
+		iv := &interval{v: vreg(v), start: starts[v], end: ends[v], weight: weights[v]}
+		for _, cp := range callPositions {
+			if iv.start < cp && cp < iv.end {
+				iv.crossCall = true
+				break
+			}
+		}
+		ivs = append(ivs, iv)
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].start != ivs[j].start {
+			return ivs[i].start < ivs[j].start
+		}
+		return ivs[i].v < ivs[j].v
+	})
+
+	// Linear scan.
+	regs := allocatableRegs(registerTagging)
+	usable := func(iv *interval, r isa.Reg) bool {
+		return !iv.crossCall || r > isa.LastClobbered
+	}
+	alloc := &allocation{regOf: map[vreg]isa.Reg{}, slotOf: map[vreg]int{}}
+	nextSlot := slotBase
+	var active []*interval
+	for _, iv := range ivs {
+		// Expire finished intervals.
+		kept := active[:0]
+		for _, a := range active {
+			if a.end >= iv.start {
+				kept = append(kept, a)
+			}
+		}
+		active = kept
+
+		inUse := map[isa.Reg]bool{}
+		for _, a := range active {
+			if !a.spilled {
+				inUse[a.reg] = true
+			}
+		}
+		assigned := false
+		for _, r := range regs {
+			if !inUse[r] && usable(iv, r) {
+				iv.reg = r
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			// Spill the coldest candidate: the active interval with the
+			// lowest estimated access frequency (ties: furthest end)
+			// whose register this interval can use. Frequency weighting
+			// keeps loop-resident values (column bases, cursors) in
+			// registers; the furthest-end-only policy would evict them.
+			var victim *interval
+			for _, a := range active {
+				if a.spilled || !usable(iv, a.reg) {
+					continue
+				}
+				if victim == nil || a.weight < victim.weight ||
+					(a.weight == victim.weight && a.end > victim.end) {
+					victim = a
+				}
+			}
+			if victim != nil && victim.weight < iv.weight {
+				iv.reg = victim.reg
+				victim.spilled = true
+				victim.slot = nextSlot
+				nextSlot++
+				alloc.spills++
+				delete(alloc.regOf, victim.v)
+				alloc.slotOf[victim.v] = victim.slot
+				assigned = true
+			} else {
+				iv.spilled = true
+				iv.slot = nextSlot
+				nextSlot++
+				alloc.spills++
+			}
+		}
+		if iv.spilled {
+			alloc.slotOf[iv.v] = iv.slot
+		} else {
+			alloc.regOf[iv.v] = iv.reg
+		}
+		active = append(active, iv)
+	}
+
+	// Sanity: no vreg unmapped.
+	for _, iv := range ivs {
+		if _, okR := alloc.regOf[iv.v]; !okR {
+			if _, okS := alloc.slotOf[iv.v]; !okS {
+				return nil, 0, fmt.Errorf("codegen: vreg v%d unallocated in %s", iv.v, fn.name)
+			}
+		}
+	}
+	return alloc, nextSlot, nil
+}

@@ -1,0 +1,165 @@
+package core
+
+// Class buckets a sample the way Table 2 of the paper reports attribution.
+type Class uint8
+
+const (
+	// ClassOperator means the sample mapped to dataflow-graph operators.
+	ClassOperator Class = iota
+	// ClassKernel means the sample landed in runtime-system code.
+	ClassKernel
+	// ClassUnattributed means no mapping exists (untagged libraries).
+	ClassUnattributed
+)
+
+// Credit assigns a fraction of one sample to a task and its operator.
+// Multi-links (fused or CSE'd code) split a sample across several credits.
+type Credit struct {
+	Task     ComponentID
+	Operator ComponentID
+	Weight   float64
+}
+
+// IRCredit assigns a fraction of one sample to an IR instruction.
+type IRCredit struct {
+	IRID   int
+	Weight float64
+}
+
+// Attribution is the result of mapping one sample bottom-up (§4.2.6).
+type Attribution struct {
+	Class     Class
+	Credits   []Credit
+	IRCredits []IRCredit
+	Routine   string // for shared/kernel/library regions
+}
+
+// Attributor maps samples to abstraction levels using the Tagging
+// Dictionary (Logs A and B) and the backend debug info (NativeMap). It is
+// the post-processing phase of Fig. 4/5.
+type Attributor struct {
+	Dict *Dictionary
+	NMap *NativeMap
+}
+
+// NewAttributor returns an attributor over the given compile-time metadata.
+func NewAttributor(dict *Dictionary, nmap *NativeMap) *Attributor {
+	return &Attributor{Dict: dict, NMap: nmap}
+}
+
+// Attribute maps one sample. The mapping proceeds exactly as in the paper:
+// native IP → (debug info) → IR instruction(s) → (Log B) → task(s) →
+// (Log A) → operator(s). Samples on shared code locations are
+// disambiguated by the tag register (Register Tagging) or, failing that, by
+// walking the recorded call stack (call-stack sampling).
+func (a *Attributor) Attribute(s *Sample) Attribution {
+	if s.IP < 0 || s.IP >= len(a.NMap.Region) {
+		return Attribution{Class: ClassUnattributed}
+	}
+	switch a.NMap.Region[s.IP] {
+	case RegionKernel:
+		return Attribution{
+			Class:   ClassKernel,
+			Routine: a.NMap.Routine[s.IP],
+			Credits: []Credit{{
+				Task:     a.Dict.Registry.KernelTask,
+				Operator: a.Dict.Registry.KernelOperator,
+				Weight:   1,
+			}},
+		}
+	case RegionLibrary:
+		return Attribution{Class: ClassUnattributed, Routine: a.NMap.Routine[s.IP]}
+	case RegionShared:
+		task := a.resolveShared(s)
+		if task == NoComponent {
+			return Attribution{Class: ClassUnattributed, Routine: a.NMap.Routine[s.IP]}
+		}
+		return Attribution{
+			Class:   ClassOperator,
+			Routine: a.NMap.Routine[s.IP],
+			Credits: []Credit{{Task: task, Operator: a.Dict.OperatorOf(task), Weight: 1}},
+		}
+	}
+
+	// Generated code: resolve through debug info and Log B.
+	irIDs := a.NMap.IRs[s.IP]
+	if len(irIDs) == 0 {
+		return Attribution{Class: ClassUnattributed}
+	}
+	att := Attribution{Class: ClassOperator}
+	irW := 1.0 / float64(len(irIDs))
+	taskW := make(map[ComponentID]float64)
+	for _, irID := range irIDs {
+		att.IRCredits = append(att.IRCredits, IRCredit{IRID: irID, Weight: irW})
+		var tasks []ComponentID
+		if a.Dict.IsShared(irID) {
+			// CSE'd instruction owned by several tasks: prefer runtime
+			// disambiguation; fall back to splitting across owners.
+			if t := a.resolveShared(s); t != NoComponent {
+				tasks = []ComponentID{t}
+			} else {
+				tasks = a.Dict.TasksOf(irID)
+			}
+		} else {
+			tasks = a.Dict.TasksOf(irID)
+		}
+		if len(tasks) == 0 {
+			continue
+		}
+		w := irW / float64(len(tasks))
+		for _, t := range tasks {
+			taskW[t] += w
+		}
+	}
+	if len(taskW) == 0 {
+		return Attribution{Class: ClassUnattributed}
+	}
+	// Deterministic order: tasks were registered in ascending ID order.
+	total := 0.0
+	for t := ComponentID(1); int(t) <= a.Dict.Registry.Len(); t++ {
+		if w, ok := taskW[t]; ok {
+			att.Credits = append(att.Credits, Credit{Task: t, Operator: a.Dict.OperatorOf(t), Weight: w})
+			total += w
+		}
+	}
+	// Normalize so each sample contributes weight 1 in aggregate even if
+	// some IR instructions had no links.
+	if total > 0 && total != 1 {
+		for i := range att.Credits {
+			att.Credits[i].Weight /= total
+		}
+	}
+	return att
+}
+
+// resolveShared determines the active task for a sample taken inside a
+// shared code location.
+func (a *Attributor) resolveShared(s *Sample) ComponentID {
+	// Register Tagging: the tag register holds the active task's ID.
+	if s.HasRegs && s.Tag > 0 && int(s.Tag) <= a.Dict.Registry.Len() {
+		c := ComponentID(s.Tag)
+		if a.Dict.Registry.Get(c).Level == LevelTask {
+			return c
+		}
+	}
+	// Call-stack sampling: walk outward from the innermost frame; the
+	// first caller in generated code with an unambiguous owner wins.
+	if s.HasStack {
+		for i := len(s.Stack) - 1; i >= 0; i-- {
+			callIP := s.Stack[i] - 1 // the CALL preceding the return address
+			if callIP < 0 || callIP >= len(a.NMap.Region) {
+				continue
+			}
+			if a.NMap.Region[callIP] != RegionGenerated {
+				continue
+			}
+			for _, irID := range a.NMap.IRs[callIP] {
+				tasks := a.Dict.TasksOf(irID)
+				if len(tasks) > 0 {
+					return tasks[0]
+				}
+			}
+		}
+	}
+	return NoComponent
+}

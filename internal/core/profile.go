@@ -1,0 +1,303 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/vm"
+)
+
+// SliceSamples returns the samples whose timestamps fall in [from, to] —
+// the paper's §4.3 drill-down: spot a temporal hotspot in the timeline,
+// then rebuild the profile for just that interval at a lower abstraction
+// level.
+func SliceSamples(samples []Sample, from, to uint64) []Sample {
+	var out []Sample
+	for _, s := range samples {
+		if s.TSC >= from && s.TSC <= to {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// MemPoint is one memory-access observation: when, and which address.
+type MemPoint struct {
+	TSC  uint64
+	Addr int64
+}
+
+// timedCredit retains the time dimension per attributed sample so the
+// profile can be re-aggregated into operator-activity timelines (Fig. 7/11)
+// and restricted to time intervals, as §4.3 describes.
+type timedCredit struct {
+	tsc     uint64
+	credits []Credit
+}
+
+// Profile is the aggregated result of attributing all samples of one run.
+// It supports every report of the paper: per-operator cost (Fig. 6a/9b),
+// annotated IR listings (Fig. 6b), operator activity over time (Fig. 7/11),
+// per-operator memory access profiles (Fig. 12), and attribution statistics
+// (Table 2).
+type Profile struct {
+	Registry *Registry
+	Dict     *Dictionary
+
+	TotalSamples int
+	OpWeight     map[ComponentID]float64
+	TaskWeight   map[ComponentID]float64
+	IRWeight     map[int]float64
+	NativeCount  []float64
+	RoutineCount map[string]float64
+
+	KernelWeight float64
+	Unattributed float64
+
+	MemByOp map[ComponentID][]MemPoint
+
+	MinTSC, MaxTSC uint64
+
+	timed []timedCredit
+}
+
+// BuildProfile attributes samples and aggregates them.
+func BuildProfile(att *Attributor, samples []Sample) *Profile {
+	p := &Profile{
+		Registry:     att.Dict.Registry,
+		Dict:         att.Dict,
+		OpWeight:     make(map[ComponentID]float64),
+		TaskWeight:   make(map[ComponentID]float64),
+		IRWeight:     make(map[int]float64),
+		NativeCount:  make([]float64, len(att.NMap.Region)),
+		RoutineCount: make(map[string]float64),
+		MemByOp:      make(map[ComponentID][]MemPoint),
+		MinTSC:       ^uint64(0),
+	}
+	for i := range samples {
+		s := &samples[i]
+		p.TotalSamples++
+		if s.TSC < p.MinTSC {
+			p.MinTSC = s.TSC
+		}
+		if s.TSC > p.MaxTSC {
+			p.MaxTSC = s.TSC
+		}
+		if s.IP >= 0 && s.IP < len(p.NativeCount) {
+			p.NativeCount[s.IP]++
+		}
+		a := att.Attribute(s)
+		if a.Routine != "" {
+			p.RoutineCount[a.Routine]++
+		}
+		if a.Class == ClassUnattributed {
+			p.Unattributed++
+			continue
+		}
+		for _, c := range a.Credits {
+			p.TaskWeight[c.Task] += c.Weight
+			p.OpWeight[c.Operator] += c.Weight
+			if c.Operator == p.Registry.KernelOperator {
+				p.KernelWeight += c.Weight
+			}
+		}
+		for _, ic := range a.IRCredits {
+			p.IRWeight[ic.IRID] += ic.Weight
+		}
+		p.timed = append(p.timed, timedCredit{tsc: s.TSC, credits: a.Credits})
+		if s.Event == vm.EvMemLoads || s.Event == vm.EvL3Miss {
+			for _, c := range a.Credits {
+				if c.Weight >= 0.5 { // assign the point to the dominant owner
+					p.MemByOp[c.Operator] = append(p.MemByOp[c.Operator], MemPoint{TSC: s.TSC, Addr: s.Addr})
+				}
+			}
+		}
+	}
+	if p.TotalSamples == 0 {
+		p.MinTSC = 0
+	}
+	return p
+}
+
+// OpCost is one row of a per-operator cost report.
+type OpCost struct {
+	ID      ComponentID
+	Name    string
+	Kind    string
+	Samples float64
+	Pct     float64
+}
+
+// OperatorCosts returns per-operator costs sorted by descending share,
+// excluding the kernel pseudo-operator (reported separately).
+func (p *Profile) OperatorCosts() []OpCost {
+	return p.costs(p.OpWeight, p.Registry.KernelOperator)
+}
+
+// TaskCosts returns per-task costs sorted by descending share.
+func (p *Profile) TaskCosts() []OpCost {
+	return p.costs(p.TaskWeight, p.Registry.KernelTask)
+}
+
+func (p *Profile) costs(w map[ComponentID]float64, kernel ComponentID) []OpCost {
+	total := float64(p.TotalSamples)
+	if total == 0 {
+		total = 1
+	}
+	out := make([]OpCost, 0, len(w))
+	for id, weight := range w {
+		if id == kernel {
+			continue
+		}
+		c := p.Registry.Get(id)
+		out = append(out, OpCost{ID: id, Name: c.Name, Kind: c.Kind, Samples: weight, Pct: 100 * weight / total})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Samples != out[j].Samples {
+			return out[i].Samples > out[j].Samples
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// OpPct returns one operator's share of all samples, in percent.
+func (p *Profile) OpPct(id ComponentID) float64 {
+	if p.TotalSamples == 0 {
+		return 0
+	}
+	return 100 * p.OpWeight[id] / float64(p.TotalSamples)
+}
+
+// AttributionSummary reproduces Table 2's buckets.
+type AttributionSummary struct {
+	OperatorPct     float64 // samples mapped to dataflow-graph operators
+	KernelPct       float64 // runtime-system ("kernel tasks") samples
+	AttributedPct   float64 // OperatorPct + KernelPct ("Umbra" row)
+	UnattributedPct float64 // system libraries, no mapping
+}
+
+// Attribution returns the Table 2 summary for this profile.
+func (p *Profile) Attribution() AttributionSummary {
+	total := float64(p.TotalSamples)
+	if total == 0 {
+		return AttributionSummary{}
+	}
+	kernel := 100 * p.KernelWeight / total
+	unatt := 100 * p.Unattributed / total
+	return AttributionSummary{
+		OperatorPct:     100 - kernel - unatt,
+		KernelPct:       kernel,
+		AttributedPct:   100 - unatt,
+		UnattributedPct: unatt,
+	}
+}
+
+// Timeline is an operator-activity-over-time report (Fig. 7/11): for each
+// time bin, each operator's share of the samples in that bin.
+type Timeline struct {
+	Operators []ComponentID
+	Names     []string
+	BinCycles uint64
+	StartTSC  uint64
+	// Activity[bin][opIndex] is the operator's share (0..1) of bin samples.
+	Activity [][]float64
+	// BinTotal[bin] is the number of samples in the bin.
+	BinTotal []float64
+}
+
+// BuildTimeline aggregates the profile into nBins equal time bins between
+// the first and last sample. Restricting to a sub-interval — the paper's
+// "zoom in on the hotspot" workflow — is done via BuildTimelineRange.
+func (p *Profile) BuildTimeline(nBins int) *Timeline {
+	return p.BuildTimelineRange(nBins, p.MinTSC, p.MaxTSC)
+}
+
+// BuildTimelineRange aggregates activity between fromTSC and toTSC.
+func (p *Profile) BuildTimelineRange(nBins int, fromTSC, toTSC uint64) *Timeline {
+	if nBins <= 0 {
+		nBins = 1
+	}
+	span := toTSC - fromTSC + 1
+	binCycles := span / uint64(nBins)
+	if binCycles == 0 {
+		binCycles = 1
+	}
+	ops := p.Registry.ByLevel(LevelOperator)
+	tl := &Timeline{BinCycles: binCycles, StartTSC: fromTSC}
+	idx := make(map[ComponentID]int)
+	for _, op := range ops {
+		if op.ID == p.Registry.KernelOperator {
+			continue
+		}
+		idx[op.ID] = len(tl.Operators)
+		tl.Operators = append(tl.Operators, op.ID)
+		tl.Names = append(tl.Names, op.Name)
+	}
+	tl.Activity = make([][]float64, nBins)
+	tl.BinTotal = make([]float64, nBins)
+	for i := range tl.Activity {
+		tl.Activity[i] = make([]float64, len(tl.Operators))
+	}
+	for _, tc := range p.timed {
+		if tc.tsc < fromTSC || tc.tsc > toTSC {
+			continue
+		}
+		bin := int((tc.tsc - fromTSC) / binCycles)
+		if bin >= nBins {
+			bin = nBins - 1
+		}
+		for _, c := range tc.credits {
+			if j, ok := idx[c.Operator]; ok {
+				tl.Activity[bin][j] += c.Weight
+				tl.BinTotal[bin] += c.Weight
+			}
+		}
+	}
+	// Normalize bins to shares.
+	for b := range tl.Activity {
+		if tl.BinTotal[b] == 0 {
+			continue
+		}
+		for j := range tl.Activity[b] {
+			tl.Activity[b][j] /= tl.BinTotal[b]
+		}
+	}
+	return tl
+}
+
+// Interval is a half-open time range [From, To) in TSC cycles.
+type Interval struct {
+	From, To uint64
+}
+
+// DetectIterations splits an operator's activity into iterations using
+// sample timestamps (§4.2.6: the Tagging Dictionary cannot distinguish
+// iterations of an iterative dataflow, so post-processing uses time gaps).
+// A new iteration starts whenever consecutive samples of the operator are
+// more than gap cycles apart.
+func (p *Profile) DetectIterations(op ComponentID, gap uint64) []Interval {
+	var times []uint64
+	for _, tc := range p.timed {
+		for _, c := range tc.credits {
+			if c.Operator == op && c.Weight > 0 {
+				times = append(times, tc.tsc)
+				break
+			}
+		}
+	}
+	if len(times) == 0 {
+		return nil
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	var out []Interval
+	start, prev := times[0], times[0]
+	for _, t := range times[1:] {
+		if t-prev > gap {
+			out = append(out, Interval{From: start, To: prev + 1})
+			start = t
+		}
+		prev = t
+	}
+	out = append(out, Interval{From: start, To: prev + 1})
+	return out
+}

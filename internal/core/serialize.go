@@ -1,0 +1,178 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/vm"
+)
+
+// The paper's post-processing is offline: "at the end of the compilation
+// phase we write all logs into a meta-data file, which is read by the
+// post-processing phase" (§5.2.2), and samples arrive separately via perf
+// script. This file implements that split: Metadata bundles everything the
+// attribution needs (registry, Logs A and B, shared flags, native debug
+// info), serializable as JSON; SampleLog carries the raw samples. A
+// profile can then be built in a different process than the one that ran
+// the query.
+
+// componentJSON mirrors Component for serialization.
+type componentJSON struct {
+	ID       ComponentID `json:"id"`
+	Level    Level       `json:"level"`
+	Name     string      `json:"name"`
+	Kind     string      `json:"kind"`
+	Pipeline int         `json:"pipeline"`
+	Parent   ComponentID `json:"parent"`
+}
+
+// linkJSON is one Log B entry.
+type linkJSON struct {
+	IR     int           `json:"ir"`
+	Tasks  []ComponentID `json:"tasks"`
+	Shared bool          `json:"shared,omitempty"`
+}
+
+// nativeJSON is one native instruction's debug info.
+type nativeJSON struct {
+	IRs     []int      `json:"irs,omitempty"`
+	Region  RegionKind `json:"region,omitempty"`
+	Routine string     `json:"routine,omitempty"`
+}
+
+// Metadata is the serializable compile-time profiling state.
+type Metadata struct {
+	Components []componentJSON        `json:"components"`
+	KernelOp   ComponentID            `json:"kernel_op"`
+	KernelTask ComponentID            `json:"kernel_task"`
+	LogA       map[string]ComponentID `json:"log_a"` // task id → operator id
+	LogB       []linkJSON             `json:"log_b"`
+	Native     []nativeJSON           `json:"native"`
+}
+
+// ExportMetadata captures a dictionary and native map as Metadata.
+func ExportMetadata(d *Dictionary, nm *NativeMap) *Metadata {
+	m := &Metadata{
+		KernelOp:   d.Registry.KernelOperator,
+		KernelTask: d.Registry.KernelTask,
+		LogA:       map[string]ComponentID{},
+	}
+	for i := 1; i <= d.Registry.Len(); i++ {
+		c := d.Registry.Get(ComponentID(i))
+		m.Components = append(m.Components, componentJSON{
+			ID: c.ID, Level: c.Level, Name: c.Name, Kind: c.Kind,
+			Pipeline: c.Pipeline, Parent: c.Parent,
+		})
+	}
+	for task, op := range d.taskToOp {
+		m.LogA[fmt.Sprint(task)] = op
+	}
+	for irID, tasks := range d.irToTask {
+		m.LogB = append(m.LogB, linkJSON{IR: irID, Tasks: tasks, Shared: d.sharedIR[irID]})
+	}
+	for i := range nm.IRs {
+		m.Native = append(m.Native, nativeJSON{
+			IRs: nm.IRs[i], Region: nm.Region[i], Routine: nm.Routine[i],
+		})
+	}
+	return m
+}
+
+// WriteMetadata serializes the compile-time state as JSON.
+func WriteMetadata(w io.Writer, d *Dictionary, nm *NativeMap) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(ExportMetadata(d, nm))
+}
+
+// ReadMetadata reconstructs a dictionary and native map from JSON.
+func ReadMetadata(r io.Reader) (*Dictionary, *NativeMap, error) {
+	var m Metadata
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, nil, fmt.Errorf("core: reading metadata: %w", err)
+	}
+	reg := &Registry{}
+	for _, c := range m.Components {
+		got := reg.Add(c.Level, c.Name, c.Kind, c.Pipeline, c.Parent)
+		if got != c.ID {
+			return nil, nil, fmt.Errorf("core: component ids not dense (%d vs %d)", got, c.ID)
+		}
+	}
+	reg.KernelOperator = m.KernelOp
+	reg.KernelTask = m.KernelTask
+
+	d := NewDictionary(reg)
+	for taskStr, op := range m.LogA {
+		var task ComponentID
+		if _, err := fmt.Sscan(taskStr, &task); err != nil {
+			return nil, nil, fmt.Errorf("core: bad Log A key %q", taskStr)
+		}
+		d.LinkTask(task, op)
+	}
+	for _, l := range m.LogB {
+		d.irToTask[l.IR] = l.Tasks
+		if l.Shared {
+			d.sharedIR[l.IR] = true
+		}
+	}
+	nm := NewNativeMap(len(m.Native))
+	for i, n := range m.Native {
+		nm.IRs[i] = n.IRs
+		nm.Region[i] = n.Region
+		nm.Routine[i] = n.Routine
+	}
+	return d, nm, nil
+}
+
+// sampleJSON mirrors Sample compactly.
+type sampleJSON struct {
+	IP    int      `json:"ip"`
+	TSC   uint64   `json:"tsc"`
+	Event vm.Event `json:"ev"`
+	Addr  int64    `json:"addr,omitempty"`
+	Tag   int64    `json:"tag,omitempty"`
+	Regs  bool     `json:"regs,omitempty"`
+	// Stack must not be omitempty: an empty-but-present stack (sampled at
+	// top level in call-stack mode) is distinct from no stack captured.
+	Stack []int `json:"stack"`
+}
+
+// WriteSamples serializes a sample log as JSON lines (one record per line,
+// like perf script output).
+func WriteSamples(w io.Writer, samples []Sample) error {
+	enc := json.NewEncoder(w)
+	for i := range samples {
+		s := &samples[i]
+		rec := sampleJSON{IP: s.IP, TSC: s.TSC, Event: s.Event, Addr: s.Addr, Tag: s.Tag, Regs: s.HasRegs}
+		if s.HasStack {
+			rec.Stack = s.Stack
+			if rec.Stack == nil {
+				rec.Stack = []int{}
+			}
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSamples parses a JSON-lines sample log.
+func ReadSamples(r io.Reader) ([]Sample, error) {
+	dec := json.NewDecoder(r)
+	var out []Sample
+	for {
+		var rec sampleJSON
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("core: reading samples: %w", err)
+		}
+		s := Sample{IP: rec.IP, TSC: rec.TSC, Event: rec.Event, Addr: rec.Addr, Tag: rec.Tag, HasRegs: rec.Regs}
+		if rec.Stack != nil {
+			s.Stack = rec.Stack
+			s.HasStack = true
+		}
+		out = append(out, s)
+	}
+}

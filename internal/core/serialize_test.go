@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// TestMetadataRoundTrip: exporting and re-importing the compile-time state
+// must attribute samples identically — the offline post-processing path of
+// §5.2.2.
+func TestMetadataRoundTrip(t *testing.T) {
+	_, d, nm, _, _, _, t2 := testSetup()
+
+	var buf bytes.Buffer
+	if err := WriteMetadata(&buf, d, nm); err != nil {
+		t.Fatal(err)
+	}
+	d2, nm2, err := ReadMetadata(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	samples := []Sample{
+		{IP: 0, TSC: 1},
+		{IP: 3, TSC: 2}, // fused
+		{IP: 4, TSC: 3, Tag: int64(t2), HasRegs: true}, // shared via tag
+		{IP: 5, TSC: 4}, // kernel
+		{IP: 6, TSC: 5}, // library
+	}
+	before := NewAttributor(d, nm)
+	after := NewAttributor(d2, nm2)
+	for i := range samples {
+		a := before.Attribute(&samples[i])
+		b := after.Attribute(&samples[i])
+		if a.Class != b.Class || !reflect.DeepEqual(a.Credits, b.Credits) {
+			t.Fatalf("sample %d attribution changed after round trip:\n%+v\n%+v", i, a, b)
+		}
+	}
+	if d2.Registry.Len() != d.Registry.Len() {
+		t.Fatal("registry size changed")
+	}
+	if d2.Registry.KernelTask != d.Registry.KernelTask {
+		t.Fatal("kernel task id changed")
+	}
+}
+
+func TestSampleLogRoundTrip(t *testing.T) {
+	in := []Sample{
+		{IP: 10, TSC: 100, Event: vm.EvCycles, Addr: 4096, Tag: 3, HasRegs: true},
+		{IP: 20, TSC: 200, Event: vm.EvMemLoads, Addr: 8192},
+		{IP: 30, TSC: 300, Event: vm.EvCycles, Stack: []int{5, 9}, HasStack: true},
+		{IP: 40, TSC: 400, Event: vm.EvBranchMiss, Stack: []int{}, HasStack: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteSamples(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadSamples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("count %d vs %d", len(out), len(in))
+	}
+	for i := range in {
+		a, b := in[i], out[i]
+		if a.IP != b.IP || a.TSC != b.TSC || a.Event != b.Event ||
+			a.Addr != b.Addr || a.Tag != b.Tag || a.HasRegs != b.HasRegs ||
+			a.HasStack != b.HasStack || !reflect.DeepEqual(a.Stack, b.Stack) {
+			t.Fatalf("sample %d round trip:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+func TestReadMetadataRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadMetadata(bytes.NewBufferString("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

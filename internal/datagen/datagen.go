@@ -1,0 +1,255 @@
+// Package datagen produces deterministic TPC-H-like tables plus the
+// sales/products tables from the paper's introduction example.
+//
+// It is the substitute for dbgen (DESIGN.md §1): the generated data keeps
+// exactly the physical properties the paper's use cases depend on —
+// lineitem is stored in l_orderkey order, and o_orderdate grows with
+// o_orderkey (plus jitter), so that a date filter on orders passes a
+// prefix of the orderkey range and the branch-prediction phenomenon of
+// Fig. 10/11 *emerges* from the data rather than being scripted.
+package datagen
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/xrand"
+)
+
+// Date converts a calendar date into its day-number encoding
+// (see catalog.Epoch).
+func Date(y, m, d int) int64 { return catalog.DateOf(y, m, d) }
+
+// Config scales the generated dataset. ScaleFactor 1.0 corresponds to
+// TPC-H SF 0.01 (15k orders, ~60k lineitems) — sized for a simulated CPU;
+// the workload *shape* (relative table sizes, key distributions) follows
+// TPC-H.
+type Config struct {
+	ScaleFactor float64
+	Seed        uint64
+}
+
+// Sizes derived from the scale factor.
+func (c Config) orders() int    { return max(64, int(15000*c.ScaleFactor)) }
+func (c Config) parts() int     { return max(32, int(2000*c.ScaleFactor)) }
+func (c Config) suppliers() int { return max(16, int(100*c.ScaleFactor)) }
+func (c Config) customers() int { return max(32, int(1500*c.ScaleFactor)) }
+func (c Config) products() int  { return max(32, int(1000*c.ScaleFactor)) }
+func (c Config) sales() int     { return max(128, int(20000*c.ScaleFactor)) }
+
+// Generate builds the full catalog.
+func Generate(cfg Config) *catalog.Catalog {
+	if cfg.ScaleFactor <= 0 {
+		cfg.ScaleFactor = 1
+	}
+	cat := catalog.New()
+	r := xrand.New(cfg.Seed ^ 0xdb9e)
+	cat.Add(genPart(cfg, r))
+	cat.Add(genSupplier(cfg, r))
+	cat.Add(genCustomer(cfg, r))
+	orders := genOrders(cfg, r)
+	cat.Add(orders)
+	cat.Add(genLineitem(cfg, r, orders))
+	cat.Add(genPartsupp(cfg, r))
+	cat.Add(genProducts(cfg, r))
+	cat.Add(genSales(cfg, r))
+	return cat
+}
+
+var partCategories = []string{"Chip", "Board", "Case", "Cable", "Tool", "Display"}
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+var brands = []string{"Brand#11", "Brand#12", "Brand#21", "Brand#22", "Brand#31"}
+
+func genPart(cfg Config, r *xrand.Rand) *catalog.Table {
+	n := cfg.parts()
+	t := catalog.NewTable("part")
+	key := t.AddCol("p_partkey", catalog.TInt)
+	key.Unique = true
+	cat := t.AddCol("p_category", catalog.TStr)
+	brand := t.AddCol("p_brand", catalog.TStr)
+	price := t.AddCol("p_retailprice", catalog.TInt)
+	size := t.AddCol("p_size", catalog.TInt)
+	for i := 0; i < n; i++ {
+		key.Data = append(key.Data, int64(i+1))
+		cat.Data = append(cat.Data, cat.Dict.ID(partCategories[r.Intn(len(partCategories))]))
+		brand.Data = append(brand.Data, brand2(brand, r))
+		price.Data = append(price.Data, r.Int64Range(100, 10000))
+		size.Data = append(size.Data, r.Int64Range(1, 50))
+	}
+	return t
+}
+
+func brand2(c *catalog.Column, r *xrand.Rand) int64 {
+	return c.Dict.ID(brands[r.Intn(len(brands))])
+}
+
+func genSupplier(cfg Config, r *xrand.Rand) *catalog.Table {
+	n := cfg.suppliers()
+	t := catalog.NewTable("supplier")
+	key := t.AddCol("s_suppkey", catalog.TInt)
+	key.Unique = true
+	nation := t.AddCol("s_nationkey", catalog.TInt)
+	bal := t.AddCol("s_acctbal", catalog.TInt)
+	for i := 0; i < n; i++ {
+		key.Data = append(key.Data, int64(i+1))
+		nation.Data = append(nation.Data, r.Int64Range(0, 24))
+		bal.Data = append(bal.Data, r.Int64Range(-999, 9999))
+	}
+	return t
+}
+
+func genCustomer(cfg Config, r *xrand.Rand) *catalog.Table {
+	n := cfg.customers()
+	t := catalog.NewTable("customer")
+	key := t.AddCol("c_custkey", catalog.TInt)
+	key.Unique = true
+	nation := t.AddCol("c_nationkey", catalog.TInt)
+	seg := t.AddCol("c_mktsegment", catalog.TStr)
+	bal := t.AddCol("c_acctbal", catalog.TInt)
+	for i := 0; i < n; i++ {
+		key.Data = append(key.Data, int64(i+1))
+		nation.Data = append(nation.Data, r.Int64Range(0, 24))
+		seg.Data = append(seg.Data, seg.Dict.ID(segments[r.Intn(len(segments))]))
+		bal.Data = append(bal.Data, r.Int64Range(-999, 9999))
+	}
+	return t
+}
+
+// genOrders makes o_orderdate increase with o_orderkey (±30 days of
+// jitter) across 1992-01-01..1998-08-02, mimicking how TPC-H order keys
+// correlate with time and enabling the Fig. 10/11 use case.
+func genOrders(cfg Config, r *xrand.Rand) *catalog.Table {
+	n := cfg.orders()
+	t := catalog.NewTable("orders")
+	key := t.AddCol("o_orderkey", catalog.TInt)
+	key.Unique = true
+	cust := t.AddCol("o_custkey", catalog.TInt)
+	date := t.AddCol("o_orderdate", catalog.TDate)
+	total := t.AddCol("o_totalprice", catalog.TInt)
+	span := Date(1998, 8, 2)
+	for i := 0; i < n; i++ {
+		key.Data = append(key.Data, int64(i+1))
+		cust.Data = append(cust.Data, r.Int64Range(1, int64(cfg.customers())))
+		base := span * int64(i) / int64(n)
+		jit := r.Int64Range(-30, 30)
+		d := base + jit
+		if d < 0 {
+			d = 0
+		}
+		if d > span {
+			d = span
+		}
+		date.Data = append(date.Data, d)
+		total.Data = append(total.Data, r.Int64Range(1000, 500000))
+	}
+	return t
+}
+
+// genLineitem emits 1–7 lines per order, physically ordered by
+// l_orderkey — the data-layout property the optimizer use case hinges on.
+func genLineitem(cfg Config, r *xrand.Rand, orders *catalog.Table) *catalog.Table {
+	t := catalog.NewTable("lineitem")
+	okey := t.AddCol("l_orderkey", catalog.TInt)
+	pkey := t.AddCol("l_partkey", catalog.TInt)
+	skey := t.AddCol("l_suppkey", catalog.TInt)
+	qty := t.AddCol("l_quantity", catalog.TInt)
+	price := t.AddCol("l_extendedprice", catalog.TInt)
+	disc := t.AddCol("l_discount", catalog.TInt)
+	tax := t.AddCol("l_tax", catalog.TInt)
+	ship := t.AddCol("l_shipdate", catalog.TDate)
+	rflag := t.AddCol("l_returnflag", catalog.TStr)
+	lstat := t.AddCol("l_linestatus", catalog.TStr)
+	odate := orders.Col("o_orderdate")
+	endDate := Date(1998, 8, 2)
+	for i, ok := range orders.Col("o_orderkey").Data {
+		lines := 1 + r.Intn(7)
+		for l := 0; l < lines; l++ {
+			okey.Data = append(okey.Data, ok)
+			pkey.Data = append(pkey.Data, r.Int64Range(1, int64(cfg.parts())))
+			skey.Data = append(skey.Data, r.Int64Range(1, int64(cfg.suppliers())))
+			q := r.Int64Range(1, 50)
+			qty.Data = append(qty.Data, q)
+			price.Data = append(price.Data, q*r.Int64Range(100, 2000))
+			disc.Data = append(disc.Data, r.Int64Range(0, 10))
+			tax.Data = append(tax.Data, r.Int64Range(0, 8))
+			sd := odate.Data[i] + r.Int64Range(1, 121)
+			ship.Data = append(ship.Data, sd)
+			// TPC-H semantics: shipped long ago → returned or not (A/R),
+			// recent → still open; linestatus follows shipment age.
+			flag := "N"
+			if sd < endDate-180 {
+				flag = []string{"A", "R"}[r.Intn(2)]
+			}
+			rflag.Data = append(rflag.Data, rflag.Dict.ID(flag))
+			status := "O"
+			if sd < endDate-90 {
+				status = "F"
+			}
+			lstat.Data = append(lstat.Data, lstat.Dict.ID(status))
+		}
+	}
+	return t
+}
+
+func genPartsupp(cfg Config, r *xrand.Rand) *catalog.Table {
+	t := catalog.NewTable("partsupp")
+	pkey := t.AddCol("ps_partkey", catalog.TInt)
+	skey := t.AddCol("ps_suppkey", catalog.TInt)
+	avail := t.AddCol("ps_availqty", catalog.TInt)
+	cost := t.AddCol("ps_supplycost", catalog.TInt)
+	for p := 1; p <= cfg.parts(); p++ {
+		for s := 0; s < 4; s++ {
+			pkey.Data = append(pkey.Data, int64(p))
+			skey.Data = append(skey.Data, r.Int64Range(1, int64(cfg.suppliers())))
+			avail.Data = append(avail.Data, r.Int64Range(1, 9999))
+			cost.Data = append(cost.Data, r.Int64Range(1, 1000))
+		}
+	}
+	return t
+}
+
+// genProducts and genSales build the introduction example's tables
+// (Fig. 3a): sales rows reference products; vat_factor and prod_costs are
+// strictly positive so the generated division chain cannot trap.
+func genProducts(cfg Config, r *xrand.Rand) *catalog.Table {
+	n := cfg.products()
+	t := catalog.NewTable("products")
+	key := t.AddCol("id", catalog.TInt)
+	key.Unique = true
+	cat := t.AddCol("category", catalog.TStr)
+	name := t.AddCol("name", catalog.TStr)
+	for i := 0; i < n; i++ {
+		key.Data = append(key.Data, int64(i+1))
+		// 'Chip' dominates the catalog (~40%), so the introduction
+		// query's aggregation — with its division chain — processes most
+		// sales, giving the Fig. 6 cost split its paper-like shape.
+		category := "Chip"
+		if !r.Bool(0.4) {
+			category = partCategories[1+r.Intn(len(partCategories)-1)]
+		}
+		cat.Data = append(cat.Data, cat.Dict.ID(category))
+		name.Data = append(name.Data, name.Dict.ID("product"))
+	}
+	return t
+}
+
+func genSales(cfg Config, r *xrand.Rand) *catalog.Table {
+	n := cfg.sales()
+	t := catalog.NewTable("sales")
+	id := t.AddCol("id", catalog.TInt)
+	price := t.AddCol("price", catalog.TInt)
+	vat := t.AddCol("vat_factor", catalog.TInt)
+	costs := t.AddCol("prod_costs", catalog.TInt)
+	for i := 0; i < n; i++ {
+		id.Data = append(id.Data, r.Int64Range(1, int64(cfg.products())))
+		price.Data = append(price.Data, r.Int64Range(100, 100000))
+		vat.Data = append(vat.Data, r.Int64Range(1, 4))
+		costs.Data = append(costs.Data, r.Int64Range(1, 50))
+	}
+	return t
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,207 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+func gen(t *testing.T, sf float64, seed uint64) *catalog.Catalog {
+	t.Helper()
+	return Generate(Config{ScaleFactor: sf, Seed: seed})
+}
+
+func TestDeterministic(t *testing.T) {
+	a := gen(t, 0.1, 7)
+	b := gen(t, 0.1, 7)
+	for _, name := range a.Names() {
+		ta, _ := a.Table(name)
+		tb, _ := b.Table(name)
+		if ta.Rows() != tb.Rows() {
+			t.Fatalf("%s: row counts differ", name)
+		}
+		for ci := range ta.Cols {
+			for r := 0; r < ta.Rows(); r++ {
+				if ta.Cols[ci].Data[r] != tb.Cols[ci].Data[r] {
+					t.Fatalf("%s.%s row %d differs", name, ta.Cols[ci].Name, r)
+				}
+			}
+		}
+	}
+}
+
+func TestSeedChangesData(t *testing.T) {
+	a := gen(t, 0.1, 1)
+	b := gen(t, 0.1, 2)
+	ta, _ := a.Table("orders")
+	tb, _ := b.Table("orders")
+	same := true
+	for r := 0; r < ta.Rows() && r < 100; r++ {
+		if ta.Col("o_totalprice").Data[r] != tb.Col("o_totalprice").Data[r] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical prices")
+	}
+}
+
+func TestAllTablesPresent(t *testing.T) {
+	c := gen(t, 0.1, 3)
+	for _, name := range []string{"lineitem", "orders", "part", "partsupp", "supplier", "customer", "sales", "products"} {
+		tb, err := c.Table(name)
+		if err != nil {
+			t.Fatalf("missing table %s", name)
+		}
+		if tb.Rows() == 0 {
+			t.Fatalf("table %s empty", name)
+		}
+		if err := tb.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestScaling(t *testing.T) {
+	small, _ := gen(t, 0.2, 1).Table("orders")
+	big, _ := gen(t, 1.0, 1).Table("orders")
+	if big.Rows() <= small.Rows() {
+		t.Fatalf("scaling broken: %d vs %d", small.Rows(), big.Rows())
+	}
+	if big.Rows() != 15000 {
+		t.Fatalf("SF 1.0 orders = %d, want 15000", big.Rows())
+	}
+}
+
+// TestLineitemOrderedByOrderkey checks the physical ordering the Fig. 10/11
+// use case depends on.
+func TestLineitemOrderedByOrderkey(t *testing.T) {
+	c := gen(t, 0.5, 9)
+	li, _ := c.Table("lineitem")
+	keys := li.Col("l_orderkey").Data
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			t.Fatalf("lineitem not ordered by orderkey at row %d", i)
+		}
+	}
+}
+
+// TestOrderdateCorrelatesWithOrderkey checks the date/key correlation
+// (±30 days jitter around a linear ramp).
+func TestOrderdateCorrelatesWithOrderkey(t *testing.T) {
+	c := gen(t, 1.0, 9)
+	o, _ := c.Table("orders")
+	dates := o.Col("o_orderdate").Data
+	n := len(dates)
+	span := catalog.DateOf(1998, 8, 2)
+	for i, d := range dates {
+		expect := span * int64(i) / int64(n)
+		if d < expect-31 || d > expect+31 {
+			t.Fatalf("row %d: date %d too far from ramp %d", i, d, expect)
+		}
+	}
+}
+
+// TestForeignKeysValid checks referential integrity of the generated data.
+func TestForeignKeysValid(t *testing.T) {
+	c := gen(t, 0.3, 4)
+	li, _ := c.Table("lineitem")
+	orders, _ := c.Table("orders")
+	parts, _ := c.Table("part")
+	sales, _ := c.Table("sales")
+	products, _ := c.Table("products")
+
+	maxOrder := int64(orders.Rows())
+	maxPart := int64(parts.Rows())
+	for i, k := range li.Col("l_orderkey").Data {
+		if k < 1 || k > maxOrder {
+			t.Fatalf("lineitem %d: bad orderkey %d", i, k)
+		}
+	}
+	for i, k := range li.Col("l_partkey").Data {
+		if k < 1 || k > maxPart {
+			t.Fatalf("lineitem %d: bad partkey %d", i, k)
+		}
+	}
+	maxProduct := int64(products.Rows())
+	for i, k := range sales.Col("id").Data {
+		if k < 1 || k > maxProduct {
+			t.Fatalf("sales %d: bad product id %d", i, k)
+		}
+	}
+}
+
+// TestDivisorsNonZero guards the intro query's division chain.
+func TestDivisorsNonZero(t *testing.T) {
+	c := gen(t, 0.5, 5)
+	s, _ := c.Table("sales")
+	for i := range s.Col("vat_factor").Data {
+		if s.Col("vat_factor").Data[i] <= 0 || s.Col("prod_costs").Data[i] <= 0 {
+			t.Fatalf("sales row %d has non-positive divisor", i)
+		}
+	}
+}
+
+// TestChipDominates checks the category weighting the Fig. 6 profile
+// shape depends on.
+func TestChipDominates(t *testing.T) {
+	c := gen(t, 1.0, 6)
+	p, _ := c.Table("products")
+	cat := p.Col("category")
+	chip, ok := cat.Dict.Lookup("Chip")
+	if !ok {
+		t.Fatal("no Chip category")
+	}
+	n := 0
+	for _, v := range cat.Data {
+		if v == chip {
+			n++
+		}
+	}
+	frac := float64(n) / float64(len(cat.Data))
+	if frac < 0.3 || frac > 0.5 {
+		t.Fatalf("Chip share = %v, want ~0.4", frac)
+	}
+}
+
+// TestUniqueKeysMarked checks the primary keys used for group-join fusion
+// and arena sizing.
+func TestUniqueKeysMarked(t *testing.T) {
+	c := gen(t, 0.1, 8)
+	for _, tc := range []struct{ table, col string }{
+		{"orders", "o_orderkey"}, {"part", "p_partkey"},
+		{"products", "id"}, {"customer", "c_custkey"}, {"supplier", "s_suppkey"},
+	} {
+		tb, _ := c.Table(tc.table)
+		col := tb.Col(tc.col)
+		if !col.Unique {
+			t.Errorf("%s.%s not marked unique", tc.table, tc.col)
+		}
+		seen := map[int64]bool{}
+		for _, v := range col.Data {
+			if seen[v] {
+				t.Fatalf("%s.%s has duplicate %d", tc.table, tc.col, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestLinesPerOrderInRange(t *testing.T) {
+	c := gen(t, 0.5, 10)
+	li, _ := c.Table("lineitem")
+	orders, _ := c.Table("orders")
+	counts := map[int64]int{}
+	for _, k := range li.Col("l_orderkey").Data {
+		counts[k]++
+	}
+	if len(counts) != orders.Rows() {
+		t.Fatalf("%d orders have lines, want %d", len(counts), orders.Rows())
+	}
+	for k, n := range counts {
+		if n < 1 || n > 7 {
+			t.Fatalf("order %d has %d lines", k, n)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/pmu"
+	"repro/internal/ref"
+	"repro/internal/vm"
+)
+
+// edgeCatalog builds tables with degenerate shapes.
+func edgeCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+
+	empty := catalog.NewTable("empty")
+	ek := empty.AddCol("k", catalog.TInt)
+	ek.Unique = true
+	empty.AddCol("v", catalog.TInt)
+	c.Add(empty)
+
+	one := catalog.NewTable("one")
+	ok := one.AddCol("k", catalog.TInt)
+	ok.Unique = true
+	ok.Data = []int64{42}
+	one.AddCol("v", catalog.TInt).Data = []int64{7}
+	c.Add(one)
+
+	dup := catalog.NewTable("dup")
+	dup.AddCol("k", catalog.TInt).Data = []int64{1, 1, 1, 2}
+	dup.AddCol("v", catalog.TInt).Data = []int64{10, 20, 30, 40}
+	c.Add(dup)
+	return c
+}
+
+func runEdge(t *testing.T, sql string) *Result {
+	t.Helper()
+	e := New(edgeCatalog(t), DefaultOptions())
+	cq, err := e.CompileSQL(sql)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", sql, err)
+	}
+	want, err := ref.Execute(cq.Plan)
+	if err != nil {
+		t.Fatalf("%s: ref: %v", sql, err)
+	}
+	res, err := e.Run(cq, &pmu.Config{Event: vm.EvCycles, Period: 100, Format: pmu.FormatIPTimeRegs})
+	if err != nil {
+		t.Fatalf("%s: run: %v", sql, err)
+	}
+	rowsEqual(t, res.Rows, want, len(cq.Plan.OrderBy) > 0)
+	return res
+}
+
+func TestEmptyTableScan(t *testing.T) {
+	res := runEdge(t, "select k, v from empty")
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestEmptyBuildSide(t *testing.T) {
+	res := runEdge(t, "select d.v from dup d, empty e where d.k = e.k")
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestEmptyProbeSide(t *testing.T) {
+	runEdge(t, "select e.v from empty e, one o where e.k = o.k")
+}
+
+func TestGroupByEmptyInput(t *testing.T) {
+	res := runEdge(t, "select k, count(*) from empty group by k")
+	if len(res.Rows) != 0 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+}
+
+func TestGlobalAggOverEmpty(t *testing.T) {
+	// SQL semantics would return one row (count 0); our engine follows
+	// group-by-with-no-groups semantics and returns none — the reference
+	// executor agrees, which is what this pins down.
+	runEdge(t, "select count(*) from empty")
+}
+
+func TestSingleRowJoin(t *testing.T) {
+	res := runEdge(t, "select o.v from one o, dup d where d.k = o.k")
+	if len(res.Rows) != 0 {
+		t.Fatalf("42 should not match dup keys: %v", res.Rows)
+	}
+}
+
+func TestDuplicateKeysAllMatch(t *testing.T) {
+	res := runEdge(t, "select d.v, o.v from dup d, one o where d.k = o.k")
+	_ = res
+}
+
+func TestSelfJoinViaAliases(t *testing.T) {
+	res := runEdge(t, "select a.v, b.v from dup a, dup b where a.k = b.k")
+	// 3×3 for key 1 plus 1×1 for key 2.
+	if len(res.Rows) != 10 {
+		t.Fatalf("self join rows = %d, want 10", len(res.Rows))
+	}
+}
+
+func TestFilterSelectsNothing(t *testing.T) {
+	res := runEdge(t, "select v from dup where k > 100")
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestArithmeticInProjection(t *testing.T) {
+	res := runEdge(t, "select v * 2 + k from dup where k = 2")
+	if len(res.Rows) != 1 || res.Rows[0][0] != 82 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestMinMaxSingleGroup(t *testing.T) {
+	res := runEdge(t, "select k, min(v), max(v), avg(v) from dup group by k order by k")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][1] != 10 || res.Rows[0][2] != 30 || res.Rows[0][3] != 20 {
+		t.Fatalf("key1 aggs = %v", res.Rows[0])
+	}
+}
+
+func TestLimitZeroRowsRemaining(t *testing.T) {
+	e := New(edgeCatalog(t), DefaultOptions())
+	cq, err := e.CompileSQL("select v from dup order by v limit 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(cq, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0] != 10 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+// TestNegativeValuesThroughHash: negative keys must hash and compare
+// correctly end to end.
+func TestNegativeValuesThroughHash(t *testing.T) {
+	c := catalog.New()
+	a := catalog.NewTable("a")
+	a.AddCol("k", catalog.TInt).Data = []int64{-5, -1, 0, 3}
+	a.AddCol("v", catalog.TInt).Data = []int64{1, 2, 3, 4}
+	b := catalog.NewTable("b")
+	kb := b.AddCol("k", catalog.TInt)
+	kb.Unique = true
+	kb.Data = []int64{-5, 3}
+	b.AddCol("w", catalog.TInt).Data = []int64{100, 200}
+	c.Add(a)
+	c.Add(b)
+
+	e := New(c, DefaultOptions())
+	cq, err := e.CompileQuery(&plan.Query{
+		Tables: []plan.TableRef{{Name: "a"}, {Name: "b"}},
+		Where:  []plan.Expr{plan.Eq(plan.Col("a.k"), plan.Col("b.k"))},
+		Select: []plan.SelectItem{{Expr: plan.Col("v")}, {Expr: plan.Col("w")}},
+		Limit:  -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Execute(cq.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(cq, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsEqual(t, res.Rows, want, false)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}

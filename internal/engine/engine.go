@@ -1,0 +1,415 @@
+// Package engine is the top of the stack: it plans a query, lays out the
+// simulated machine's memory, drives the three lowering steps (pipeline →
+// IR optimization → native code), stages table data into the VM heap, runs
+// the program — optionally under PMU sampling — and post-processes samples
+// into a core.Profile.
+//
+// It corresponds to Umbra's query engine plus the experiment driver in the
+// paper's Fig. 4: compilation populates the Tagging Dictionary, execution
+// produces samples, and the profiler maps them onto any abstraction level.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/iropt"
+	"repro/internal/pipeline"
+	"repro/internal/plan"
+	"repro/internal/pmu"
+	"repro/internal/sqlparse"
+	"repro/internal/vm"
+)
+
+// Options configures compilation.
+type Options struct {
+	// RegisterTagging reserves the tag register and wraps shared-code
+	// calls (§4.2.5); required for register-based disambiguation.
+	RegisterTagging bool
+	// TagEverything enables the §6.3 validation mode.
+	TagEverything bool
+	// EagerColumnLoads attributes column loads to scans (Fig. 12 mode).
+	EagerColumnLoads bool
+	// TupleCounters instruments every task with EXPLAIN ANALYZE row
+	// counters, read back into Result.TupleCounts.
+	TupleCounters bool
+	// Optimize selects IR optimization passes.
+	Optimize iropt.Options
+	// FuseCmpBranch enables backend compare-and-branch fusion.
+	FuseCmpBranch bool
+	// MaxInstructions bounds a run (0 = default of 4e9).
+	MaxInstructions uint64
+}
+
+// DefaultOptions is the standard configuration: Register Tagging on, all
+// optimizations enabled.
+func DefaultOptions() Options {
+	return Options{
+		RegisterTagging: true,
+		Optimize:        iropt.AllOptions(),
+		FuseCmpBranch:   true,
+	}
+}
+
+// Engine plans, compiles and runs queries against a catalog.
+type Engine struct {
+	Cat  *catalog.Catalog
+	Opts Options
+}
+
+// New creates an engine.
+func New(cat *catalog.Catalog, opts Options) *Engine {
+	return &Engine{Cat: cat, Opts: opts}
+}
+
+// slotWrite stages one 64-bit value into the heap before execution.
+type slotWrite struct {
+	addr int64
+	val  int64
+}
+
+// Compiled is a fully compiled query, ready to run (repeatedly).
+type Compiled struct {
+	Plan     *plan.Output
+	Pipe     *pipeline.Compiled
+	Code     *codegen.Result
+	Layout   *pipeline.Layout
+	OptStats iropt.Stats
+
+	heapSize   int
+	writes     []slotWrite
+	cols       []colStage
+	resultBase int64
+	resultEnd  int64
+	rowBytes   int64
+}
+
+type colStage struct {
+	addr int64
+	data []int64
+}
+
+// Memory layout constants (DESIGN.md: fixed low-memory regions, then
+// state, descriptors, table data, hash areas, result buffer).
+const (
+	stagingAddr = 256
+	spillBase   = 512
+	spillCap    = 64 << 10
+	layoutStart = spillBase + spillCap
+)
+
+// counterSlots bounds the tuple-counter region: one slot per component
+// ID, far above any real query's component count.
+const counterSlots = 1024
+
+// DataFloor is the lowest heap address holding query data; everything
+// below it is call staging and spill slots (the stack analogue). Memory
+// profiles filter below this address.
+const DataFloor int64 = layoutStart
+
+func align(x int64, a int64) int64 { return (x + a - 1) &^ (a - 1) }
+
+// CompileSQL parses, plans and compiles a SQL statement.
+func (e *Engine) CompileSQL(sql string) (*Compiled, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.CompileQuery(q)
+}
+
+// CompileQuery plans and compiles a query.
+func (e *Engine) CompileQuery(q *plan.Query) (*Compiled, error) {
+	pl, err := plan.Plan(e.Cat, q)
+	if err != nil {
+		return nil, err
+	}
+	return e.CompilePlan(pl)
+}
+
+// CompilePlan compiles an already-built plan.
+func (e *Engine) CompilePlan(pl *plan.Output) (*Compiled, error) {
+	cq := &Compiled{Plan: pl}
+	lay, err := e.buildLayout(pl, cq)
+	if err != nil {
+		return nil, err
+	}
+	cq.Layout = lay
+
+	pc, err := pipeline.Compile(pl, lay, pipeline.Options{
+		RegisterTagging:  e.Opts.RegisterTagging,
+		TagEverything:    e.Opts.TagEverything,
+		EagerColumnLoads: e.Opts.EagerColumnLoads,
+		TupleCounters:    e.Opts.TupleCounters,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cq.Pipe = pc
+
+	cq.OptStats = iropt.Optimize(pc.Module, pc.Dict, e.Opts.Optimize)
+	if err := pc.Module.Verify(); err != nil {
+		return nil, fmt.Errorf("engine: IR invalid after optimization: %w", err)
+	}
+
+	ccfg := codegen.DefaultConfig(stagingAddr, spillBase, spillCap)
+	ccfg.RegisterTagging = e.Opts.RegisterTagging
+	ccfg.FuseCmpBranch = e.Opts.FuseCmpBranch
+	code, err := codegen.Compile(pc.Module, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	cq.Code = code
+	return cq, nil
+}
+
+// buildLayout assigns heap addresses for state slots, table columns, hash
+// tables and the result buffer, and records the staging writes.
+func (e *Engine) buildLayout(pl *plan.Output, cq *Compiled) (*pipeline.Layout, error) {
+	lay := &pipeline.Layout{
+		ColSlots:  map[pipeline.ColKey]int{},
+		RowsSlots: map[string]int{},
+		HT:        map[plan.Node]*pipeline.HTLayout{},
+	}
+
+	// Gather scans and materializing nodes.
+	var scans []*plan.Scan
+	var mats []plan.Node
+	plan.Walk(pl, func(n plan.Node) {
+		switch x := n.(type) {
+		case *plan.Scan:
+			scans = append(scans, x)
+		default:
+			if pipeline.Materializes(n) {
+				mats = append(mats, n)
+			}
+		}
+	})
+
+	// State slots: one per scanned column plus one row count per scan.
+	slot := 0
+	for _, s := range scans {
+		for _, ci := range s.Cols {
+			lay.ColSlots[pipeline.ColKey{Alias: s.Alias, Col: ci}] = slot
+			slot++
+		}
+		lay.RowsSlots[s.Alias] = slot
+		slot++
+	}
+
+	cur := int64(layoutStart)
+	lay.StateBase = cur
+	cur = align(cur+int64(slot)*8, 64)
+
+	// Hash-table descriptors and the result descriptor.
+	descBase := cur
+	for range mats {
+		cur += codegen.HTDescSize
+	}
+	lay.ResultDesc = cur
+	cur = align(cur+codegen.AllocDescSize, 64)
+
+	if e.Opts.TupleCounters {
+		lay.CounterBase = cur
+		cur = align(cur+counterSlots*8, 64)
+	}
+
+	// Table columns.
+	for _, s := range scans {
+		for _, ci := range s.Cols {
+			col := s.Table.Cols[ci]
+			cq.cols = append(cq.cols, colStage{addr: cur, data: col.Data})
+			cq.writes = append(cq.writes, slotWrite{
+				addr: lay.StateBase + int64(lay.ColSlots[pipeline.ColKey{Alias: s.Alias, Col: ci}])*8,
+				val:  cur,
+			})
+			cur = align(cur+int64(len(col.Data))*8, 64)
+		}
+		cq.writes = append(cq.writes, slotWrite{
+			addr: lay.StateBase + int64(lay.RowsSlots[s.Alias])*8,
+			val:  int64(s.Table.Rows()),
+		})
+	}
+
+	// Hash tables: directory + arena per materializing node.
+	for i, n := range mats {
+		entries := pipeline.BuildBound(n)
+		dirSlots := pipeline.DirSlots(entries)
+		entrySize := pipeline.EntrySize(n)
+		desc := descBase + int64(i)*codegen.HTDescSize
+
+		dir := cur
+		cur = align(cur+dirSlots*8, 64)
+		arena := cur
+		arenaEnd := arena + int64(entries+16)*entrySize
+		cur = align(arenaEnd, 64)
+
+		lay.HT[n] = &pipeline.HTLayout{
+			Desc: desc, Dir: dir, DirSlots: dirSlots,
+			Arena: arena, ArenaEnd: arenaEnd, EntrySize: entrySize,
+		}
+		cq.writes = append(cq.writes,
+			slotWrite{desc + codegen.HTDescDir, dir},
+			slotWrite{desc + codegen.HTDescMask, dirSlots - 1},
+			slotWrite{desc + codegen.HTDescCursor, arena},
+			slotWrite{desc + codegen.HTDescEnd, arenaEnd},
+		)
+	}
+
+	// Result buffer.
+	cq.rowBytes = int64(len(pl.Exprs)) * 8
+	resRows := int64(pl.BoundRows() + 16)
+	cq.resultBase = cur
+	cq.resultEnd = cur + resRows*cq.rowBytes
+	cur = align(cq.resultEnd, 64)
+	cq.writes = append(cq.writes,
+		slotWrite{lay.ResultDesc + codegen.AllocDescCursor, cq.resultBase},
+		slotWrite{lay.ResultDesc + codegen.AllocDescEnd, cq.resultEnd},
+	)
+
+	cq.heapSize = int(cur + (1 << 20))
+	return lay, nil
+}
+
+// Result is one query execution's outcome.
+type Result struct {
+	Rows [][]int64
+	Cols []plan.ColMeta
+
+	Stats vm.Stats
+	CPU   *vm.CPU
+
+	// Profiling outputs (nil without sampling).
+	PMU     *pmu.PMU
+	Samples []core.Sample
+	Profile *core.Profile
+
+	// TupleCounts holds EXPLAIN ANALYZE row counters per task component
+	// (only with Options.TupleCounters).
+	TupleCounts map[core.ComponentID]int64
+}
+
+// Run executes a compiled query. cfg selects PMU sampling; pass nil to run
+// unprofiled (the overhead experiments' baseline).
+func (e *Engine) Run(cq *Compiled, cfg *pmu.Config) (*Result, error) {
+	return e.RunIterations(cq, 1, cfg)
+}
+
+// RunIterations executes a compiled query n times within one profiled
+// session, modelling an iterative dataflow: the TSC and sample stream run
+// continuously across iterations (mutable state — hash tables, result
+// buffer, counters — is re-staged between passes), so the profile's
+// DetectIterations can split them by timestamp, the paper's §4.2.6
+// mechanism. The returned rows are the last iteration's.
+func (e *Engine) RunIterations(cq *Compiled, n int, cfg *pmu.Config) (*Result, error) {
+	if n < 1 {
+		n = 1
+	}
+	cpu := vm.New(cq.heapSize)
+	for _, cs := range cq.cols {
+		for i, v := range cs.data {
+			cpu.WriteI64(cs.addr+int64(i)*8, v)
+		}
+	}
+	cpu.Load(cq.Code.Program)
+
+	var p *pmu.PMU
+	if cfg != nil {
+		p = pmu.New(*cfg)
+		p.Attach(cpu)
+	}
+
+	budget := e.Opts.MaxInstructions
+	if budget == 0 {
+		budget = 4_000_000_000
+	}
+	var stats vm.Stats
+	for it := 0; it < n; it++ {
+		// (Re-)stage mutable state: descriptors, cursors, counters.
+		for _, w := range cq.writes {
+			cpu.WriteI64(w.addr, w.val)
+		}
+		if cq.Layout.CounterBase != 0 {
+			for i := int64(0); i < counterSlots; i++ {
+				cpu.WriteI64(cq.Layout.CounterBase+i*8, 0)
+			}
+		}
+		if it > 0 {
+			cpu.Restart()
+		}
+		var err error
+		stats, err = cpu.Run(budget)
+		if err != nil {
+			return nil, fmt.Errorf("engine: execution failed (iteration %d): %w", it, err)
+		}
+	}
+
+	res := &Result{Cols: cq.Plan.Out(), Stats: stats, CPU: cpu, PMU: p}
+	res.Rows = e.readRows(cq, cpu)
+	sortRows(res.Rows, cq.Plan)
+	if cq.Plan.Limit >= 0 && len(res.Rows) > cq.Plan.Limit {
+		res.Rows = res.Rows[:cq.Plan.Limit]
+	}
+
+	if p != nil {
+		res.Samples = p.Samples()
+		att := core.NewAttributor(cq.Pipe.Dict, cq.Code.NMap)
+		res.Profile = core.BuildProfile(att, res.Samples)
+	}
+	if cq.Layout.CounterBase != 0 {
+		res.TupleCounts = map[core.ComponentID]int64{}
+		for _, task := range cq.Pipe.Registry.ByLevel(core.LevelTask) {
+			if int64(task.ID) >= counterSlots {
+				continue
+			}
+			if n := cpu.ReadI64(cq.Layout.CounterBase + int64(task.ID)*8); n != 0 {
+				res.TupleCounts[task.ID] = n
+			}
+		}
+	}
+	return res, nil
+}
+
+func (e *Engine) readRows(cq *Compiled, cpu *vm.CPU) [][]int64 {
+	cursor := cpu.ReadI64(cq.Layout.ResultDesc + codegen.AllocDescCursor)
+	n := (cursor - cq.resultBase) / cq.rowBytes
+	w := int(cq.rowBytes / 8)
+	rows := make([][]int64, 0, n)
+	for i := int64(0); i < n; i++ {
+		row := make([]int64, w)
+		for j := 0; j < w; j++ {
+			row[j] = cpu.ReadI64(cq.resultBase + i*cq.rowBytes + int64(j)*8)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// sortRows applies the plan's host-side ORDER BY (see DESIGN.md §6).
+// Dictionary-encoded string columns sort by their decoded strings, so the
+// SQL collation matches what a user expects rather than insertion order.
+func sortRows(rows [][]int64, pl *plan.Output) {
+	if len(pl.OrderBy) == 0 {
+		return
+	}
+	metas := pl.Out()
+	less := plan.RowLess(pl.OrderBy, pl.Desc, metas)
+	sort.SliceStable(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
+}
+
+// FormatValue renders a result value using column metadata (decoding
+// dictionary strings and dates).
+func FormatValue(v int64, m plan.ColMeta) string {
+	switch m.Type {
+	case catalog.TDate:
+		return catalog.FormatDate(v)
+	case catalog.TStr:
+		if m.Dict != nil {
+			return m.Dict.String(v)
+		}
+	}
+	return fmt.Sprintf("%d", v)
+}

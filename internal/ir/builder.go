@@ -1,0 +1,184 @@
+package ir
+
+import "fmt"
+
+// Builder constructs IR with a current-insertion-point API, the way the
+// dataflow system's code generator emits instructions during the
+// produce/consume traversal.
+//
+// OnCreate, when set, is invoked for every created instruction; the
+// pipeline lowering uses it to register each instruction with the active
+// task in the Tagging Dictionary (the paper's "single code location"
+// through which all instruction generation is funnelled, §5.2).
+type Builder struct {
+	Func     *Func
+	Cur      *Block
+	OnCreate func(*Instr)
+}
+
+// NewBuilder returns a builder positioned at f's entry block.
+func NewBuilder(f *Func) *Builder {
+	return &Builder{Func: f, Cur: f.Entry()}
+}
+
+// NewBlock appends a new block to the function (does not move the
+// insertion point).
+func (b *Builder) NewBlock(name string) *Block {
+	blk := &Block{Name: name, Func: b.Func}
+	b.Func.Blocks = append(b.Func.Blocks, blk)
+	return blk
+}
+
+// SetBlock moves the insertion point to blk.
+func (b *Builder) SetBlock(blk *Block) { b.Cur = blk }
+
+func (b *Builder) emit(in *Instr) *Instr {
+	if t := b.Cur.Terminator(); t != nil {
+		panic(fmt.Sprintf("ir: emitting %s into terminated block %s", in.Op, b.Cur.Name))
+	}
+	in.ID = b.Func.Module.NewID()
+	in.Block = b.Cur
+	b.Cur.Instrs = append(b.Cur.Instrs, in)
+	if b.OnCreate != nil {
+		b.OnCreate(in)
+	}
+	return in
+}
+
+// Const materializes an integer constant.
+func (b *Builder) Const(v int64) *Instr {
+	return b.emit(&Instr{Op: OpConst, Type: I64, Imm: v})
+}
+
+// Param references function parameter i.
+func (b *Builder) Param(i int) *Instr {
+	if i >= b.Func.NumParams {
+		panic("ir: parameter index out of range")
+	}
+	return b.emit(&Instr{Op: OpParam, Type: I64, Imm: int64(i)})
+}
+
+// Bin emits a binary arithmetic/logic instruction.
+func (b *Builder) Bin(op Op, x, y *Instr) *Instr {
+	t := I64
+	switch op {
+	case OpCmpEq, OpCmpNe, OpCmpLt, OpCmpLe, OpCmpGt, OpCmpGe:
+		t = I1
+	}
+	return b.emit(&Instr{Op: op, Type: t, Args: []*Instr{x, y}})
+}
+
+func (b *Builder) Add(x, y *Instr) *Instr  { return b.Bin(OpAdd, x, y) }
+func (b *Builder) Sub(x, y *Instr) *Instr  { return b.Bin(OpSub, x, y) }
+func (b *Builder) Mul(x, y *Instr) *Instr  { return b.Bin(OpMul, x, y) }
+func (b *Builder) SDiv(x, y *Instr) *Instr { return b.Bin(OpSDiv, x, y) }
+func (b *Builder) And(x, y *Instr) *Instr  { return b.Bin(OpAnd, x, y) }
+func (b *Builder) Xor(x, y *Instr) *Instr  { return b.Bin(OpXor, x, y) }
+func (b *Builder) Shl(x, y *Instr) *Instr  { return b.Bin(OpShl, x, y) }
+func (b *Builder) Shr(x, y *Instr) *Instr  { return b.Bin(OpShr, x, y) }
+func (b *Builder) Rotr(x, y *Instr) *Instr { return b.Bin(OpRotr, x, y) }
+
+// Crc32 emits one hash mixing step combining a constant with a value, as in
+// the paper's generated hash pipelines (Listing 1 lines %7, %8).
+func (b *Builder) Crc32(c *Instr, v *Instr) *Instr { return b.Bin(OpCrc32, c, v) }
+
+// Load emits a load of the given width (8, 32 or 64 bits) from addr.
+func (b *Builder) Load(width int, addr *Instr) *Instr {
+	var op Op
+	switch width {
+	case 8:
+		op = OpLoad8
+	case 32:
+		op = OpLoad32
+	case 64:
+		op = OpLoad64
+	default:
+		panic("ir: bad load width")
+	}
+	return b.emit(&Instr{Op: op, Type: I64, Args: []*Instr{addr}})
+}
+
+// Store emits a store of the given width to addr.
+func (b *Builder) Store(width int, addr, val *Instr) *Instr {
+	var op Op
+	switch width {
+	case 8:
+		op = OpStore8
+	case 32:
+		op = OpStore32
+	case 64:
+		op = OpStore64
+	default:
+		panic("ir: bad store width")
+	}
+	return b.emit(&Instr{Op: op, Type: Void, Args: []*Instr{addr, val}})
+}
+
+// Phi emits a phi node; the caller appends incoming values with AddIncoming
+// as predecessor edges are created.
+func (b *Builder) Phi() *Instr {
+	return b.emit(&Instr{Op: OpPhi, Type: I64})
+}
+
+// AddIncoming appends an incoming value to a phi, parallel to the owning
+// block's Preds list.
+func AddIncoming(phi *Instr, v *Instr) {
+	if phi.Op != OpPhi {
+		panic("ir: AddIncoming on non-phi")
+	}
+	phi.Args = append(phi.Args, v)
+}
+
+// Br terminates the current block with an unconditional branch.
+func (b *Builder) Br(target *Block) *Instr {
+	in := b.emit(&Instr{Op: OpBr, Type: Void, Targets: []*Block{target}})
+	target.Preds = append(target.Preds, b.Cur)
+	return in
+}
+
+// CondBr terminates the current block with a conditional branch.
+func (b *Builder) CondBr(cond *Instr, then, els *Block) *Instr {
+	in := b.emit(&Instr{Op: OpCondBr, Type: Void, Args: []*Instr{cond}, Targets: []*Block{then, els}})
+	then.Preds = append(then.Preds, b.Cur)
+	els.Preds = append(els.Preds, b.Cur)
+	return in
+}
+
+// Ret terminates the current block with a return; v may be nil.
+func (b *Builder) Ret(v *Instr) *Instr {
+	in := &Instr{Op: OpRet, Type: Void}
+	if v != nil {
+		in.Args = []*Instr{v}
+	}
+	return b.emit(in)
+}
+
+// Call emits a call to the named function. hasResult selects whether the
+// call produces a value (runtime allocation routines return pointers).
+func (b *Builder) Call(callee string, hasResult bool, args ...*Instr) *Instr {
+	t := Void
+	if hasResult {
+		t = I64
+	}
+	return b.emit(&Instr{Op: OpCall, Type: t, Callee: callee, Args: args})
+}
+
+// SetTag writes v into the reserved tag register (Register Tagging).
+func (b *Builder) SetTag(v *Instr) *Instr {
+	return b.emit(&Instr{Op: OpSetTag, Type: Void, Args: []*Instr{v}})
+}
+
+// GetTag reads the reserved tag register.
+func (b *Builder) GetTag() *Instr {
+	return b.emit(&Instr{Op: OpGetTag, Type: I64})
+}
+
+// Halt terminates the program (only valid in the driver main).
+func (b *Builder) Halt() *Instr {
+	return b.emit(&Instr{Op: OpHalt, Type: Void})
+}
+
+// Trap emits a runtime error with the given code.
+func (b *Builder) Trap(code int64) *Instr {
+	return b.emit(&Instr{Op: OpTrap, Type: Void, Imm: code})
+}

@@ -1,0 +1,255 @@
+// Package ir defines the intermediate representation the dataflow system
+// lowers pipelines into — the analogue of LLVM IR in the paper (Fig. 8c,
+// Listing 1). It is a conventional SSA IR: functions of basic blocks,
+// instructions producing at most one value, phi nodes at block heads,
+// explicit terminators.
+//
+// Every instruction carries a process-unique ID. Those IDs are the keys of
+// the Tagging Dictionary's Log B (IR instruction → task): the lowering code
+// in internal/pipeline registers each created instruction with the active
+// task, and the optimizer in internal/iropt reports every transformation
+// through a lineage callback so links stay correct (Table 1 of the paper).
+package ir
+
+import "fmt"
+
+// Type is an IR value type. The engine computes exclusively on 64-bit
+// integers (strings are dictionary-encoded, dates are day numbers), so the
+// type system stays minimal.
+type Type uint8
+
+const (
+	Void Type = iota
+	I1        // comparison results
+	I64       // integers and pointers
+)
+
+func (t Type) String() string {
+	switch t {
+	case Void:
+		return "void"
+	case I1:
+		return "i1"
+	case I64:
+		return "i64"
+	}
+	return "?"
+}
+
+// Op is an IR opcode.
+type Op uint8
+
+const (
+	OpConst Op = iota // Imm
+	OpParam           // function parameter #Imm
+
+	OpAdd
+	OpSub
+	OpMul
+	OpSDiv
+	OpSMod
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpRotr
+	OpCrc32 // hash mixing step, Imm holds the constant when Args has 1 element
+
+	OpCmpEq
+	OpCmpNe
+	OpCmpLt
+	OpCmpLe
+	OpCmpGt
+	OpCmpGe
+
+	OpLoad8
+	OpLoad32
+	OpLoad64
+	OpStore8 // Args[0]=addr, Args[1]=value
+	OpStore32
+	OpStore64
+
+	OpPhi    // Args parallel to Block.Preds
+	OpBr     // unconditional; Targets[0]
+	OpCondBr // Args[0]=cond; Targets[0]=then, Targets[1]=else
+	OpRet    // optional Args[0]
+	OpCall   // Callee symbol, Args = arguments
+
+	OpSetTag // Args[0]=value to write into the tag register
+	OpGetTag // reads the tag register
+
+	OpHalt
+	OpTrap // Imm = trap code
+)
+
+var opNames = map[Op]string{
+	OpConst: "const", OpParam: "param",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpSDiv: "sdiv", OpSMod: "smod",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr",
+	OpRotr: "rotr", OpCrc32: "crc32",
+	OpCmpEq: "cmpeq", OpCmpNe: "cmpne", OpCmpLt: "cmplt", OpCmpLe: "cmple",
+	OpCmpGt: "cmpgt", OpCmpGe: "cmpge",
+	OpLoad8: "load8", OpLoad32: "load32", OpLoad64: "load64",
+	OpStore8: "store8", OpStore32: "store32", OpStore64: "store64",
+	OpPhi: "phi", OpBr: "br", OpCondBr: "condbr", OpRet: "ret", OpCall: "call",
+	OpSetTag: "settag", OpGetTag: "gettag",
+	OpHalt: "halt", OpTrap: "trap",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsTerminator reports whether the op must end a basic block.
+func (o Op) IsTerminator() bool {
+	switch o {
+	case OpBr, OpCondBr, OpRet, OpHalt, OpTrap:
+		return true
+	}
+	return false
+}
+
+// IsPure reports whether the instruction has no side effects and its result
+// depends only on its operands (candidates for CSE/DCE/constant folding).
+func (o Op) IsPure() bool {
+	switch o {
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr, OpRotr,
+		OpCrc32, OpCmpEq, OpCmpNe, OpCmpLt, OpCmpLe, OpCmpGt, OpCmpGe,
+		OpConst:
+		return true
+		// Division is pure except for the divide-by-zero trap; the optimizer
+		// treats it as CSE-able but not dead-code-removable unless the divisor
+		// is a non-zero constant. IsPure stays conservative here.
+	}
+	return false
+}
+
+// Instr is one IR instruction. Instructions are identified by ID; the
+// ID namespace is per Module and never reused, so the Tagging Dictionary
+// can key links by ID across optimization passes.
+type Instr struct {
+	ID      int
+	Op      Op
+	Type    Type
+	Args    []*Instr
+	Imm     int64
+	Callee  string   // for OpCall: runtime routine or function symbol
+	Targets []*Block // for terminators
+	Block   *Block
+
+	// Comment carries a human-readable note rendered by the printer
+	// (e.g. "directory lookup"), purely cosmetic.
+	Comment string
+}
+
+// NumValue reports whether the instruction produces an SSA value.
+func (in *Instr) NumValue() bool { return in.Type != Void }
+
+func (in *Instr) String() string {
+	return fmt.Sprintf("%%%d = %s", in.ID, in.Op)
+}
+
+// Block is a basic block.
+type Block struct {
+	Name   string
+	Instrs []*Instr
+	Preds  []*Block
+	Func   *Func
+}
+
+// Terminator returns the block's final instruction, or nil if the block is
+// still under construction.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	t := b.Instrs[len(b.Instrs)-1]
+	if !t.Op.IsTerminator() {
+		return nil
+	}
+	return t
+}
+
+// Succs returns the block's successor blocks.
+func (b *Block) Succs() []*Block {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	return t.Targets
+}
+
+// Func is an IR function.
+type Func struct {
+	Name      string
+	NumParams int
+	Blocks    []*Block
+	Module    *Module
+}
+
+// Entry returns the function's entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// Module is a compilation unit: all pipeline functions of one query plus
+// the driver main.
+type Module struct {
+	Funcs  []*Func
+	nextID int
+}
+
+// NewModule returns an empty module.
+func NewModule() *Module { return &Module{} }
+
+// NewFunc appends a new function with a single entry block.
+func (m *Module) NewFunc(name string, numParams int) *Func {
+	f := &Func{Name: name, NumParams: numParams, Module: m}
+	b := &Block{Name: "entry", Func: f}
+	f.Blocks = append(f.Blocks, b)
+	m.Funcs = append(m.Funcs, f)
+	return f
+}
+
+// NewID allocates a fresh instruction ID.
+func (m *Module) NewID() int {
+	m.nextID++
+	return m.nextID
+}
+
+// MaxID returns the highest allocated instruction ID.
+func (m *Module) MaxID() int { return m.nextID }
+
+// FuncByName finds a function by symbol name, or nil.
+func (m *Module) FuncByName(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// InstrCount returns the total number of instructions in the module.
+func (m *Module) InstrCount() int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Instrs)
+		}
+	}
+	return n
+}
+
+// ForEachInstr visits every instruction in deterministic order.
+func (m *Module) ForEachInstr(fn func(*Func, *Block, *Instr)) {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				fn(f, b, in)
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Annotator supplies the per-line decorations the profiler attaches to IR
+// listings (sample percentages and owning operators, Fig. 6b). A nil
+// Annotator prints a plain listing.
+type Annotator interface {
+	// Prefix returns the text printed before the instruction (e.g. "32.1%").
+	Prefix(in *Instr) string
+	// Suffix returns the text printed after the instruction (e.g. "hash join").
+	Suffix(in *Instr) string
+	// BlockHeader returns extra text for a block label line
+	// (e.g. "(tablescan 2.4% hash join 45.7%)").
+	BlockHeader(b *Block) string
+}
+
+// Print renders a function as text.
+func (f *Func) Print(a Annotator) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(%d args):\n", f.Name, f.NumParams)
+	for _, b := range f.Blocks {
+		hdr := ""
+		if a != nil {
+			hdr = a.BlockHeader(b)
+		}
+		if hdr != "" {
+			fmt.Fprintf(&sb, "%s: %s\n", b.Name, hdr)
+		} else {
+			fmt.Fprintf(&sb, "%s:\n", b.Name)
+		}
+		for _, in := range b.Instrs {
+			prefix, suffix := "", ""
+			if a != nil {
+				prefix = a.Prefix(in)
+				suffix = a.Suffix(in)
+			}
+			line := formatInstr(in)
+			if in.Comment != "" {
+				line += " ; " + in.Comment
+			}
+			if suffix != "" {
+				fmt.Fprintf(&sb, "  %8s %-60s %s\n", prefix, line, suffix)
+			} else if prefix != "" {
+				fmt.Fprintf(&sb, "  %8s %s\n", prefix, line)
+			} else {
+				fmt.Fprintf(&sb, "  %s\n", line)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// Print renders the whole module.
+func (m *Module) Print(a Annotator) string {
+	var sb strings.Builder
+	for _, f := range m.Funcs {
+		sb.WriteString(f.Print(a))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func formatInstr(in *Instr) string {
+	ref := func(a *Instr) string { return fmt.Sprintf("%%%d", a.ID) }
+	args := make([]string, len(in.Args))
+	for i, a := range in.Args {
+		args[i] = ref(a)
+	}
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("%%%d = const i64 %d", in.ID, in.Imm)
+	case OpParam:
+		return fmt.Sprintf("%%%d = param %d", in.ID, in.Imm)
+	case OpPhi:
+		parts := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			name := "?"
+			if i < len(in.Block.Preds) {
+				name = in.Block.Preds[i].Name
+			}
+			parts[i] = fmt.Sprintf("[%s, %%%s]", ref(a), name)
+		}
+		return fmt.Sprintf("%%%d = phi %s", in.ID, strings.Join(parts, " "))
+	case OpBr:
+		return fmt.Sprintf("br %%%s", in.Targets[0].Name)
+	case OpCondBr:
+		return fmt.Sprintf("condbr %s %%%s %%%s", args[0], in.Targets[0].Name, in.Targets[1].Name)
+	case OpRet:
+		if len(in.Args) == 0 {
+			return "ret"
+		}
+		return fmt.Sprintf("ret %s", args[0])
+	case OpCall:
+		if in.Type == Void {
+			return fmt.Sprintf("call @%s(%s)", in.Callee, strings.Join(args, ", "))
+		}
+		return fmt.Sprintf("%%%d = call @%s(%s)", in.ID, in.Callee, strings.Join(args, ", "))
+	case OpStore8, OpStore32, OpStore64:
+		return fmt.Sprintf("%s %s, %s", in.Op, args[0], args[1])
+	case OpSetTag:
+		return fmt.Sprintf("settag %s", args[0])
+	case OpGetTag:
+		return fmt.Sprintf("%%%d = gettag", in.ID)
+	case OpHalt:
+		return "halt"
+	case OpTrap:
+		return fmt.Sprintf("trap %d", in.Imm)
+	default:
+		return fmt.Sprintf("%%%d = %s %s %s", in.ID, in.Op, in.Type, strings.Join(args, ", "))
+	}
+}
+
+// FormatInstr renders a single instruction (exported for reports).
+func FormatInstr(in *Instr) string { return formatInstr(in) }

@@ -1,0 +1,72 @@
+package ir
+
+import "fmt"
+
+// Verify checks structural invariants of the module: every block ends in a
+// terminator, phi argument counts match predecessor counts, operands
+// produce values, targets belong to the same function, and instruction IDs
+// are unique. The engine verifies after construction and after every
+// optimization pass in tests.
+func (m *Module) Verify() error {
+	seen := make(map[int]*Instr, m.InstrCount())
+	for _, f := range m.Funcs {
+		if len(f.Blocks) == 0 {
+			return fmt.Errorf("ir: function %s has no blocks", f.Name)
+		}
+		blockSet := make(map[*Block]bool, len(f.Blocks))
+		for _, b := range f.Blocks {
+			blockSet[b] = true
+		}
+		for _, b := range f.Blocks {
+			if err := verifyBlock(f, b, blockSet, seen); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func verifyBlock(f *Func, b *Block, blockSet map[*Block]bool, seen map[int]*Instr) error {
+	if len(b.Instrs) == 0 {
+		return fmt.Errorf("ir: %s.%s is empty", f.Name, b.Name)
+	}
+	t := b.Terminator()
+	if t == nil {
+		return fmt.Errorf("ir: %s.%s lacks a terminator", f.Name, b.Name)
+	}
+	for i, in := range b.Instrs {
+		if prev, dup := seen[in.ID]; dup {
+			return fmt.Errorf("ir: duplicate instruction ID %%%d (%s and %s)", in.ID, prev.Op, in.Op)
+		}
+		seen[in.ID] = in
+		if in.Block != b {
+			return fmt.Errorf("ir: %%%d has wrong owner block", in.ID)
+		}
+		if in.Op.IsTerminator() && i != len(b.Instrs)-1 {
+			return fmt.Errorf("ir: %s.%s has terminator %s mid-block", f.Name, b.Name, in.Op)
+		}
+		if in.Op == OpPhi {
+			if i > 0 && b.Instrs[i-1].Op != OpPhi {
+				return fmt.Errorf("ir: %s.%s phi %%%d not at block head", f.Name, b.Name, in.ID)
+			}
+			if len(in.Args) != len(b.Preds) {
+				return fmt.Errorf("ir: %s.%s phi %%%d has %d incoming values for %d preds",
+					f.Name, b.Name, in.ID, len(in.Args), len(b.Preds))
+			}
+		}
+		for _, a := range in.Args {
+			if a == nil {
+				return fmt.Errorf("ir: %%%d has nil operand", in.ID)
+			}
+			if a.Type == Void {
+				return fmt.Errorf("ir: %%%d uses void value %%%d", in.ID, a.ID)
+			}
+		}
+		for _, tgt := range in.Targets {
+			if !blockSet[tgt] {
+				return fmt.Errorf("ir: %%%d targets block %s outside function %s", in.ID, tgt.Name, f.Name)
+			}
+		}
+	}
+	return nil
+}

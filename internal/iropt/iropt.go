@@ -1,0 +1,292 @@
+// Package iropt implements the IR-level optimizations of Table 1 that the
+// engine applies between code generation and backend lowering: constant
+// folding, dead-code elimination (the paper's "code elimination"), and
+// common-subexpression elimination. Every transformation is reported to a
+// core.Lineage (implemented by the Tagging Dictionary) so profiling
+// attribution stays correct across optimization:
+//
+//   - folding/elimination drop instructions that can never be sampled;
+//   - CSE makes the surviving instruction a *shared source location*
+//     owned by every task whose expression it now computes (§4.2.7).
+//
+// Loop unrolling and polyhedral transformations are not implemented,
+// matching the Umbra prototype's Table 1 column; compare-and-branch
+// instruction fusing is implemented in the backend (internal/codegen).
+package iropt
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// Options selects passes; the zero value runs nothing.
+type Options struct {
+	ConstFold bool
+	DCE       bool
+	CSE       bool
+}
+
+// AllOptions enables every implemented pass.
+func AllOptions() Options { return Options{ConstFold: true, DCE: true, CSE: true} }
+
+// Stats reports what the optimizer did.
+type Stats struct {
+	Folded     int
+	Eliminated int
+	CSEMerged  int
+}
+
+// Optimize runs the enabled passes to a fixpoint.
+func Optimize(m *ir.Module, lin core.Lineage, opts Options) Stats {
+	var st Stats
+	for {
+		changed := 0
+		if opts.ConstFold {
+			n := ConstFold(m, lin)
+			st.Folded += n
+			changed += n
+		}
+		if opts.CSE {
+			n := CSE(m, lin)
+			st.CSEMerged += n
+			changed += n
+		}
+		if opts.DCE {
+			n := DCE(m, lin)
+			st.Eliminated += n
+			changed += n
+		}
+		if changed == 0 {
+			return st
+		}
+	}
+}
+
+// ConstFold evaluates pure instructions whose operands are all constants,
+// rewriting them into OpConst in place (the instruction ID — and therefore
+// its Tagging Dictionary links — is preserved; the operands may become
+// dead and fall to DCE, mirroring §4.2.7 "constant folding is solely a
+// compile-time operation; we just apply code elimination").
+func ConstFold(m *ir.Module, lin core.Lineage) int {
+	n := 0
+	m.ForEachInstr(func(_ *ir.Func, _ *ir.Block, in *ir.Instr) {
+		if in.Op == ir.OpConst || len(in.Args) != 2 {
+			return
+		}
+		foldable := in.Op.IsPure() || in.Op == ir.OpSDiv || in.Op == ir.OpSMod
+		if !foldable {
+			return
+		}
+		a, b := in.Args[0], in.Args[1]
+		if a.Op != ir.OpConst || b.Op != ir.OpConst {
+			return
+		}
+		if (in.Op == ir.OpSDiv || in.Op == ir.OpSMod) && b.Imm == 0 {
+			return // preserve the runtime trap
+		}
+		v, ok := evalBin(in.Op, a.Imm, b.Imm)
+		if !ok {
+			return
+		}
+		in.Op = ir.OpConst
+		in.Type = ir.I64
+		in.Imm = v
+		in.Args = nil
+		n++
+	})
+	return n
+}
+
+// DCE removes instructions without side effects whose results are unused,
+// iterating until stable. Eliminated instructions are reported so the
+// Tagging Dictionary can drop their links.
+func DCE(m *ir.Module, lin core.Lineage) int {
+	removed := 0
+	for {
+		uses := countUses(m)
+		n := 0
+		for _, f := range m.Funcs {
+			for _, b := range f.Blocks {
+				kept := b.Instrs[:0]
+				for _, in := range b.Instrs {
+					if removable(in) && uses[in] == 0 {
+						lin.Removed(in.ID)
+						n++
+						continue
+					}
+					kept = append(kept, in)
+				}
+				b.Instrs = kept
+			}
+		}
+		removed += n
+		if n == 0 {
+			return removed
+		}
+	}
+}
+
+func removable(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpLoad8, ir.OpLoad32, ir.OpLoad64:
+		return true // loads are side-effect free in this machine model
+	case ir.OpPhi:
+		return true
+	case ir.OpGetTag:
+		return true
+	default:
+		return in.Op.IsPure()
+	}
+}
+
+// CSE performs value numbering over single-predecessor block chains: an
+// instruction computing an expression already available is removed and its
+// uses rewired to the surviving instruction. The survivor inherits the
+// eliminated instruction's tasks (a shared source location; §4.2.7 treats
+// CSE exactly like shared code).
+func CSE(m *ir.Module, lin core.Lineage) int {
+	merged := 0
+	for _, f := range m.Funcs {
+		avail := make(map[*ir.Block]map[string]*ir.Instr, len(f.Blocks))
+		for _, b := range f.Blocks {
+			// Inherit available expressions from a unique predecessor
+			// (which, in a chain, dominates this block).
+			table := map[string]*ir.Instr{}
+			if len(b.Preds) == 1 {
+				for k, v := range avail[b.Preds[0]] {
+					table[k] = v
+				}
+			}
+			kept := b.Instrs[:0]
+			var replaced []replacement
+			for _, in := range b.Instrs {
+				if !in.Op.IsPure() {
+					kept = append(kept, in)
+					continue
+				}
+				k := exprKey(in)
+				if prev, ok := table[k]; ok {
+					replaced = append(replaced, replacement{old: in, new: prev})
+					lin.Replaced(in.ID, prev.ID)
+					merged++
+					continue
+				}
+				table[k] = in
+				kept = append(kept, in)
+			}
+			b.Instrs = kept
+			avail[b] = table
+			for _, r := range replaced {
+				rewriteUses(f, r.old, r.new)
+			}
+		}
+	}
+	return merged
+}
+
+type replacement struct{ old, new *ir.Instr }
+
+// exprKey canonicalizes an expression for value numbering. Constants are
+// keyed by value (distinct OpConst instructions holding the same literal
+// are equal), so repeated address computations like tid*8 merge even
+// though each occurrence materialized its own constant.
+func exprKey(in *ir.Instr) string {
+	if in.Op == ir.OpConst {
+		return fmt.Sprintf("k%d", in.Imm)
+	}
+	k := fmt.Sprintf("%d:", in.Op)
+	for _, a := range in.Args {
+		if a.Op == ir.OpConst {
+			k += fmt.Sprintf("k%d,", a.Imm)
+		} else {
+			k += fmt.Sprintf("%d,", a.ID)
+		}
+	}
+	return k
+}
+
+func rewriteUses(f *ir.Func, old, new *ir.Instr) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				if a == old {
+					in.Args[i] = new
+				}
+			}
+		}
+	}
+}
+
+func countUses(m *ir.Module) map[*ir.Instr]int {
+	uses := make(map[*ir.Instr]int)
+	m.ForEachInstr(func(_ *ir.Func, _ *ir.Block, in *ir.Instr) {
+		for _, a := range in.Args {
+			uses[a]++
+		}
+	})
+	return uses
+}
+
+// evalBin mirrors the VM's ALU semantics (cross-checked by tests).
+func evalBin(op ir.Op, a, b int64) (int64, bool) {
+	switch op {
+	case ir.OpAdd:
+		return a + b, true
+	case ir.OpSub:
+		return a - b, true
+	case ir.OpMul:
+		return a * b, true
+	case ir.OpSDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case ir.OpSMod:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case ir.OpAnd:
+		return a & b, true
+	case ir.OpOr:
+		return a | b, true
+	case ir.OpXor:
+		return a ^ b, true
+	case ir.OpShl:
+		return a << (uint64(b) & 63), true
+	case ir.OpShr:
+		return int64(uint64(a) >> (uint64(b) & 63)), true
+	case ir.OpRotr:
+		s := uint64(b) & 63
+		u := uint64(a)
+		return int64(u>>s | u<<(64-s)), true
+	case ir.OpCrc32:
+		x := uint64(a) ^ uint64(b)*0x9e3779b97f4a7c15
+		x ^= x >> 32
+		x *= 0xd6e8feb86659fd93
+		x ^= x >> 32
+		return int64(x), true
+	case ir.OpCmpEq:
+		return b2i(a == b), true
+	case ir.OpCmpNe:
+		return b2i(a != b), true
+	case ir.OpCmpLt:
+		return b2i(a < b), true
+	case ir.OpCmpLe:
+		return b2i(a <= b), true
+	case ir.OpCmpGt:
+		return b2i(a > b), true
+	case ir.OpCmpGe:
+		return b2i(a >= b), true
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,275 @@
+package iropt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// harness builds a function and a dictionary with two tasks to observe
+// lineage updates.
+type harness struct {
+	m    *ir.Module
+	f    *ir.Func
+	b    *ir.Builder
+	reg  *core.Registry
+	dict *core.Dictionary
+	t1   core.ComponentID
+	t2   core.ComponentID
+	cur  core.ComponentID
+}
+
+func newHarness() *harness {
+	reg := core.NewRegistry()
+	op := reg.Add(core.LevelOperator, "op", "op", -1, core.NoComponent)
+	h := &harness{
+		m:    ir.NewModule(),
+		reg:  reg,
+		dict: core.NewDictionary(reg),
+	}
+	h.t1 = reg.Add(core.LevelTask, "t1", "t1", 0, op)
+	h.t2 = reg.Add(core.LevelTask, "t2", "t2", 0, op)
+	h.dict.LinkTask(h.t1, op)
+	h.dict.LinkTask(h.t2, op)
+	h.f = h.m.NewFunc("main", 0)
+	h.b = ir.NewBuilder(h.f)
+	h.cur = h.t1
+	h.b.OnCreate = func(in *ir.Instr) { h.dict.LinkIR(in.ID, h.cur) }
+	return h
+}
+
+func TestConstFoldArithmetic(t *testing.T) {
+	h := newHarness()
+	x := h.b.Const(6)
+	y := h.b.Const(7)
+	prod := h.b.Mul(x, y)
+	h.b.Store(64, h.b.Const(64), prod)
+	h.b.Halt()
+
+	n := ConstFold(h.m, h.dict)
+	if n == 0 {
+		t.Fatal("nothing folded")
+	}
+	if prod.Op != ir.OpConst || prod.Imm != 42 {
+		t.Fatalf("mul not folded: %v imm=%d", prod.Op, prod.Imm)
+	}
+	// The ID (and its dictionary links) must be preserved.
+	if len(h.dict.TasksOf(prod.ID)) != 1 {
+		t.Fatal("folded instruction lost its links")
+	}
+}
+
+func TestConstFoldPreservesDivByZeroTrap(t *testing.T) {
+	h := newHarness()
+	q := h.b.SDiv(h.b.Const(5), h.b.Const(0))
+	h.b.Store(64, h.b.Const(64), q)
+	h.b.Halt()
+	ConstFold(h.m, h.dict)
+	if q.Op == ir.OpConst {
+		t.Fatal("division by zero folded away")
+	}
+}
+
+func TestDCERemovesUnusedChains(t *testing.T) {
+	h := newHarness()
+	a := h.b.Const(1)
+	bb := h.b.Add(a, a)   // dead
+	cc := h.b.Mul(bb, bb) // dead
+	kept := h.b.Load(64, h.b.Const(128))
+	h.b.Store(64, h.b.Const(64), kept)
+	h.b.Halt()
+	ccID, bbID := cc.ID, bb.ID
+
+	n := DCE(h.m, h.dict)
+	if n < 2 {
+		t.Fatalf("eliminated %d, want ≥ 2", n)
+	}
+	if len(h.dict.TasksOf(ccID)) != 0 || len(h.dict.TasksOf(bbID)) != 0 {
+		t.Fatal("dictionary links of eliminated instructions not dropped")
+	}
+	// The store, the load and the used constants must survive.
+	for _, blk := range h.f.Blocks {
+		for _, in := range blk.Instrs {
+			if in == bb || in == cc {
+				t.Fatal("dead instruction survived")
+			}
+		}
+	}
+}
+
+func TestDCEKeepsStoresAndCalls(t *testing.T) {
+	h := newHarness()
+	h.b.Store(64, h.b.Const(64), h.b.Const(1))
+	h.b.Call("memset64", false, h.b.Const(64))
+	h.b.Halt()
+	before := h.m.InstrCount()
+	DCE(h.m, h.dict)
+	if h.m.InstrCount() != before {
+		t.Fatal("side-effecting instructions eliminated")
+	}
+}
+
+func TestCSEMergesAcrossTasks(t *testing.T) {
+	h := newHarness()
+	x := h.b.Load(64, h.b.Const(128))
+	h.cur = h.t1
+	e1 := h.b.Mul(x, x)
+	h.b.Store(64, h.b.Const(64), e1)
+	h.cur = h.t2
+	e2 := h.b.Mul(x, x) // same expression, other task
+	h.b.Store(64, h.b.Const(72), e2)
+	h.b.Halt()
+
+	n := CSE(h.m, h.dict)
+	if n != 1 {
+		t.Fatalf("merged %d, want 1", n)
+	}
+	// Survivor must be multi-linked and marked shared (§4.2.7).
+	tasks := h.dict.TasksOf(e1.ID)
+	if len(tasks) != 2 {
+		t.Fatalf("survivor tasks = %v", tasks)
+	}
+	if !h.dict.IsShared(e1.ID) {
+		t.Fatal("cross-task CSE survivor not marked shared")
+	}
+	// All uses must point at the survivor.
+	for _, blk := range h.f.Blocks {
+		for _, in := range blk.Instrs {
+			for _, a := range in.Args {
+				if a == e2 {
+					t.Fatal("use of eliminated instruction remains")
+				}
+			}
+		}
+	}
+	if err := h.m.Verify(); err != nil {
+		t.Fatalf("verify after CSE: %v", err)
+	}
+}
+
+func TestCSEAcrossSinglePredChain(t *testing.T) {
+	h := newHarness()
+	x := h.b.Load(64, h.b.Const(128))
+	e1 := h.b.Mul(x, x)
+	h.b.Store(64, h.b.Const(64), e1)
+	next := h.b.NewBlock("next")
+	h.b.Br(next)
+	h.b.SetBlock(next)
+	e2 := h.b.Mul(x, x)
+	h.b.Store(64, h.b.Const(72), e2)
+	h.b.Halt()
+	if n := CSE(h.m, h.dict); n != 1 {
+		t.Fatalf("chain CSE merged %d, want 1", n)
+	}
+}
+
+func TestCSEDoesNotCrossMerges(t *testing.T) {
+	h := newHarness()
+	x := h.b.Load(64, h.b.Const(128))
+	e1 := h.b.Mul(x, x)
+	h.b.Store(64, h.b.Const(64), e1)
+	then := h.b.NewBlock("then")
+	els := h.b.NewBlock("els")
+	merge := h.b.NewBlock("merge")
+	cond := h.b.Bin(ir.OpCmpLt, x, x)
+	h.b.CondBr(cond, then, els)
+	h.b.SetBlock(then)
+	h.b.Br(merge)
+	h.b.SetBlock(els)
+	h.b.Br(merge)
+	h.b.SetBlock(merge)
+	// merge has two preds: available-expression propagation must stop,
+	// even though e1 would in fact dominate here (conservatism is fine,
+	// unsoundness is not — this guards the conservative behaviour).
+	e2 := h.b.Mul(x, x)
+	h.b.Store(64, h.b.Const(72), e2)
+	h.b.Halt()
+	if n := CSE(h.m, h.dict); n != 0 {
+		t.Fatalf("CSE across merge point: %d", n)
+	}
+}
+
+func TestOptimizeReachesFixpoint(t *testing.T) {
+	h := newHarness()
+	// (2*3)+x where x is dead after folding the condition below.
+	c := h.b.Mul(h.b.Const(2), h.b.Const(3))
+	sum := h.b.Add(c, h.b.Const(10))
+	h.b.Store(64, h.b.Const(64), sum)
+	h.b.Halt()
+	st := Optimize(h.m, h.dict, AllOptions())
+	if st.Folded == 0 || st.Eliminated == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if sum.Op != ir.OpConst || sum.Imm != 16 {
+		t.Fatalf("transitive folding failed: %v %d", sum.Op, sum.Imm)
+	}
+	if err := h.m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvalBinMatchesVM cross-checks the folder's constant evaluator
+// against the VM ALU via the shared semantics (property test).
+func TestEvalBinMatchesVM(t *testing.T) {
+	ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor,
+		ir.OpShl, ir.OpShr, ir.OpRotr, ir.OpCrc32,
+		ir.OpCmpEq, ir.OpCmpNe, ir.OpCmpLt, ir.OpCmpLe, ir.OpCmpGt, ir.OpCmpGe}
+	f := func(opIdx uint8, a, b int64) bool {
+		op := ops[int(opIdx)%len(ops)]
+		got, ok := evalBin(op, a, b)
+		if !ok {
+			return false
+		}
+		want := goldenEval(op, a, b)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// goldenEval is an independent re-statement of the ALU semantics.
+func goldenEval(op ir.Op, a, b int64) int64 {
+	switch op {
+	case ir.OpAdd:
+		return a + b
+	case ir.OpSub:
+		return a - b
+	case ir.OpMul:
+		return a * b
+	case ir.OpAnd:
+		return a & b
+	case ir.OpOr:
+		return a | b
+	case ir.OpXor:
+		return a ^ b
+	case ir.OpShl:
+		return a << (uint64(b) & 63)
+	case ir.OpShr:
+		return int64(uint64(a) >> (uint64(b) & 63))
+	case ir.OpRotr:
+		s := uint64(b) & 63
+		return int64(uint64(a)>>s | uint64(a)<<(64-s))
+	case ir.OpCrc32:
+		x := uint64(a) ^ uint64(b)*0x9e3779b97f4a7c15
+		x ^= x >> 32
+		x *= 0xd6e8feb86659fd93
+		x ^= x >> 32
+		return int64(x)
+	case ir.OpCmpEq:
+		return b2i(a == b)
+	case ir.OpCmpNe:
+		return b2i(a != b)
+	case ir.OpCmpLt:
+		return b2i(a < b)
+	case ir.OpCmpLe:
+		return b2i(a <= b)
+	case ir.OpCmpGt:
+		return b2i(a > b)
+	case ir.OpCmpGe:
+		return b2i(a >= b)
+	}
+	return 0
+}

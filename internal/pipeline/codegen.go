@@ -1,0 +1,539 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/plan"
+)
+
+// row passes tuples between fused operators: one lazy generator per output
+// column. A consumer invoking a generator emits the column load at its own
+// position in the code — which is why, exactly as in the paper's Listing 1,
+// the loads of aggregation inputs are attributed to the group-by operator
+// and the key load to the join.
+type row struct {
+	cols []func() *ir.Instr
+}
+
+// genPipeline generates one pipeline's IR function.
+func (c *Compiler) genPipeline(p *pipe) error {
+	f := c.module.NewFunc(funcName(p.index), 0)
+	c.b = ir.NewBuilder(f)
+	c.b.OnCreate = func(in *ir.Instr) {
+		c.dict.LinkIR(in.ID, c.taskTracker.Active())
+	}
+	switch d := p.driver.(type) {
+	case *plan.Scan:
+		c.genScanLoop(d)
+	case *plan.GroupBy:
+		c.genGroupScanLoop(d)
+	case *plan.GroupJoin:
+		c.genGroupJoinScanLoop(d)
+	default:
+		return fmt.Errorf("pipeline: node %T cannot drive a pipeline", p.driver)
+	}
+	return nil
+}
+
+// genScanLoop drives a pipeline from a base-table scan: the tight tuple
+// loop of Listing 1 (loopTuples / nextTuple).
+func (c *Compiler) genScanLoop(s *plan.Scan) {
+	scanTask := c.task(s, roleScan)
+	opID := c.ops[s]
+
+	loopHead := c.b.NewBlock("loopTuples")
+	body := c.b.NewBlock("tupleBody")
+	next := c.b.NewBlock("nextTuple")
+	exit := c.b.NewBlock("scanDone")
+
+	var bases []*ir.Instr
+	var nrows, zero, tid *ir.Instr
+
+	c.withTask(opID, scanTask, func() {
+		state := c.b.Const(c.lay.StateBase)
+		for _, ci := range s.Cols {
+			slot, ok := c.lay.ColSlots[ColKey{Alias: s.Alias, Col: ci}]
+			if !ok {
+				panic(fmt.Sprintf("pipeline: no layout slot for %s column %d", s.Alias, ci))
+			}
+			addr := c.b.Add(state, c.b.Const(int64(slot)*8))
+			base := c.b.Load(64, addr)
+			base.Comment = fmt.Sprintf("column base %s.%s", s.Alias, s.Table.Cols[ci].Name)
+			bases = append(bases, base)
+		}
+		rslot := c.lay.RowsSlots[s.Alias]
+		nrows = c.b.Load(64, c.b.Add(state, c.b.Const(int64(rslot)*8)))
+		nrows.Comment = "row count " + s.Alias
+		zero = c.b.Const(0)
+		c.b.Br(loopHead)
+
+		c.b.SetBlock(loopHead)
+		tid = c.b.Phi()
+		tid.Comment = "localTid"
+		ir.AddIncoming(tid, zero)
+		cond := c.b.Bin(ir.OpCmpLt, tid, nrows)
+		c.b.CondBr(cond, body, exit)
+	})
+
+	c.b.SetBlock(body)
+	c.withTask(opID, scanTask, func() { c.bump(scanTask) })
+	r := row{}
+	if c.opts.EagerColumnLoads {
+		c.withTask(opID, scanTask, func() {
+			for j := range s.Cols {
+				addr := c.b.Add(bases[j], c.b.Mul(tid, c.b.Const(8)))
+				v := c.b.Load(64, addr)
+				r.cols = append(r.cols, func() *ir.Instr { return v })
+			}
+		})
+	} else {
+		for j := range s.Cols {
+			base := bases[j]
+			r.cols = append(r.cols, func() *ir.Instr {
+				addr := c.b.Add(base, c.b.Mul(tid, c.b.Const(8)))
+				return c.b.Load(64, addr)
+			})
+		}
+	}
+
+	c.skipBlock = next
+	if s.Filter != nil {
+		c.withTask(c.filts[s], c.task(s, roleFilter), func() {
+			filterTask := c.task(s, roleFilter)
+			pass := c.evalExpr(s.Filter, r)
+			cont := c.b.NewBlock("filterPass")
+			c.b.CondBr(pass, cont, next)
+			c.b.SetBlock(cont)
+			c.bump(filterTask)
+		})
+	}
+
+	c.consumeUp(s, r)
+
+	c.withTask(opID, scanTask, func() {
+		if c.b.Cur.Terminator() == nil {
+			c.b.Br(next)
+		}
+		c.b.SetBlock(next)
+		tid2 := c.b.Add(tid, c.b.Const(1))
+		ir.AddIncoming(tid, tid2)
+		c.b.Br(loopHead)
+
+		c.b.SetBlock(exit)
+		c.b.Ret(nil)
+	})
+}
+
+// consumeUp generates the parent operator's consume code for a row
+// produced by n (the produce/consume chain of §5.2).
+func (c *Compiler) consumeUp(n plan.Node, r row) {
+	parent := c.parent[n]
+	switch pn := parent.(type) {
+	case *plan.Join:
+		if n == pn.Probe {
+			c.genJoinProbe(pn, r)
+		} else {
+			c.genJoinBuild(pn, r)
+		}
+	case *plan.GroupBy:
+		c.genGroupByAgg(pn, r)
+	case *plan.GroupJoin:
+		if n == pn.Probe {
+			c.genGroupJoinProbe(pn, r)
+		} else {
+			c.genGroupJoinBuild(pn, r)
+		}
+	case *plan.Output:
+		c.genOutput(pn, r)
+	default:
+		panic(fmt.Sprintf("pipeline: cannot consume into %T", parent))
+	}
+}
+
+// sharedCall calls a shared pre-compiled routine with Register Tagging
+// (Listing 2): save the previous tag, store the active task's tag, call,
+// restore — handling nested shared code locations.
+func (c *Compiler) sharedCall(sym string, args ...*ir.Instr) *ir.Instr {
+	if !c.opts.RegisterTagging {
+		return c.b.Call(sym, true, args...)
+	}
+	prev := c.b.GetTag()
+	c.b.SetTag(c.b.Const(int64(c.taskTracker.Active())))
+	res := c.b.Call(sym, true, args...)
+	c.b.SetTag(prev)
+	return res
+}
+
+// bump emits the EXPLAIN ANALYZE tuple counter for a task: one
+// load/add/store on the task's counter slot per emitted row. Enabled by
+// Options.TupleCounters; the counter code is linked to the task like any
+// other generated instruction, so its (small) cost shows up honestly in
+// profiles.
+func (c *Compiler) bump(task core.ComponentID) {
+	if !c.opts.TupleCounters || c.lay.CounterBase == 0 {
+		return
+	}
+	addr := c.b.Const(c.lay.CounterBase + int64(task)*8)
+	cur := c.b.Load(64, addr)
+	c.b.Store(64, addr, c.b.Add(cur, c.b.Const(1)))
+}
+
+// genJoinBuild materializes the build side into the join's hash table
+// (terminal task of a build pipeline).
+func (c *Compiler) genJoinBuild(j *plan.Join, r row) {
+	ht := c.lay.HT[j]
+	c.withTask(c.ops[j], c.task(j, roleBuild), func() {
+		c.bump(c.task(j, roleBuild))
+		key := c.evalExpr(j.BuildKey, r)
+		h := c.hashOf(key)
+		desc := c.b.Const(ht.Desc)
+		entry := c.sharedCall(codegen.SymHTInsert, desc, h, c.b.Const(ht.EntrySize))
+		c.b.Store(64, c.b.Add(entry, c.b.Const(entryKeyOff)), key)
+		for k, pi := range j.Payload {
+			v := r.cols[pi]()
+			c.b.Store(64, c.b.Add(entry, c.b.Const(entryValOff+8*int64(k))), v)
+		}
+	})
+}
+
+// genJoinProbe probes the join hash table and, per match, passes the
+// widened row upward — the loopHashChain structure of Listing 1.
+func (c *Compiler) genJoinProbe(j *plan.Join, r row) {
+	ht := c.lay.HT[j]
+	opID, probeTask := c.ops[j], c.task(j, roleProbe)
+
+	var entry *ir.Instr
+	var chainHead, match, cont *ir.Block
+
+	c.withTask(opID, probeTask, func() {
+		key := c.evalExpr(j.ProbeKey, r)
+		h := c.hashOf(key)
+		// Directory base and mask are compile-time constants, exactly as
+		// the paper's generated code addresses the directory relative to
+		// the query state without extra loads (Listing 1).
+		dir := c.b.Const(ht.Dir)
+		mask := c.b.Const(ht.DirSlots - 1)
+		slot := c.b.And(h, mask)
+		slotAddr := c.b.Add(dir, c.b.Mul(slot, c.b.Const(8)))
+		head := c.b.Load(64, slotAddr)
+		head.Comment = "hash-table directory lookup"
+
+		chainHead = c.b.NewBlock("loopHashChain")
+		match = c.b.NewBlock("chainMatch")
+		cont = c.b.NewBlock("contProbe")
+
+		nonNull := c.b.Bin(ir.OpCmpNe, head, c.b.Const(0))
+		c.b.CondBr(nonNull, chainHead, c.skipBlock)
+
+		c.b.SetBlock(chainHead)
+		entry = c.b.Phi()
+		entry.Comment = "hashEntry"
+		ir.AddIncoming(entry, head)
+		ekey := c.b.Load(64, c.b.Add(entry, c.b.Const(entryKeyOff)))
+		eq := c.b.Bin(ir.OpCmpEq, ekey, key)
+		c.b.CondBr(eq, match, cont)
+	})
+
+	c.b.SetBlock(match)
+	c.withTask(opID, probeTask, func() { c.bump(probeTask) })
+	merged := row{cols: append([]func() *ir.Instr{}, r.cols...)}
+	for k := range j.Payload {
+		off := entryValOff + 8*int64(k)
+		merged.cols = append(merged.cols, func() *ir.Instr {
+			return c.b.Load(64, c.b.Add(entry, c.b.Const(off)))
+		})
+	}
+	// Within the match, "this row is done" must resume the chain walk at
+	// contProbe, not jump to the next tuple: a non-unique build side can
+	// still have matches pending on this chain.
+	outerSkip := c.skipBlock
+	c.skipBlock = cont
+	c.consumeUp(j, merged)
+	c.skipBlock = outerSkip
+
+	c.withTask(opID, probeTask, func() {
+		if c.b.Cur.Terminator() == nil {
+			c.b.Br(cont)
+		}
+		c.b.SetBlock(cont)
+		next := c.b.Load(64, c.b.Add(entry, c.b.Const(codegen.HTEntryNext)))
+		ir.AddIncoming(entry, next)
+		nz := c.b.Bin(ir.OpCmpNe, next, c.b.Const(0))
+		c.b.CondBr(nz, chainHead, c.skipBlock)
+	})
+}
+
+// genGroupByAgg updates (or creates) the group's aggregate state — the
+// "else" section of Listing 1, with the aggregation inputs evaluated first
+// and the insert path calling the shared ht_insert under Register Tagging.
+func (c *Compiler) genGroupByAgg(g *plan.GroupBy, r row) {
+	ht := c.lay.HT[g]
+	offs := aggOffsets(g.Aggs)
+	nKeys := len(g.Keys)
+	aggBase := entryKeyOff + 8*int64(nKeys)
+	c.withTask(c.ops[g], c.task(g, roleAgg), func() {
+		vals := c.evalAggArgs(g.Aggs, r)
+		keys := make([]*ir.Instr, nKeys)
+		for i, ke := range g.Keys {
+			keys[i] = c.evalExpr(ke, r)
+		}
+		h := c.hashOf(keys[0])
+		for _, k := range keys[1:] {
+			// Mix further keys into the hash (one crc32 step each).
+			h = c.b.Crc32(h, k)
+		}
+		desc := c.b.Const(ht.Desc)
+		dir := c.b.Const(ht.Dir)
+		mask := c.b.Const(ht.DirSlots - 1)
+		slotAddr := c.b.Add(dir, c.b.Mul(c.b.And(h, mask), c.b.Const(8)))
+		head := c.b.Load(64, slotAddr)
+		head.Comment = "group directory lookup"
+
+		findHead := c.b.NewBlock("findGroup")
+		findCont := c.b.NewBlock("contFind")
+		found := c.b.NewBlock("groupFound")
+		insert := c.b.NewBlock("groupInsert")
+		done := c.b.NewBlock("groupDone")
+
+		nonNull := c.b.Bin(ir.OpCmpNe, head, c.b.Const(0))
+		c.b.CondBr(nonNull, findHead, insert)
+
+		c.b.SetBlock(findHead)
+		entry := c.b.Phi()
+		entry.Comment = "groupEntry"
+		ir.AddIncoming(entry, head)
+		// Compare all key parts; any mismatch continues the chain walk.
+		for i, k := range keys {
+			ekey := c.b.Load(64, c.b.Add(entry, c.b.Const(entryKeyOff+8*int64(i))))
+			eq := c.b.Bin(ir.OpCmpEq, ekey, k)
+			if i == nKeys-1 {
+				c.b.CondBr(eq, found, findCont)
+			} else {
+				more := c.b.NewBlock(fmt.Sprintf("cmpKey%d", i+1))
+				c.b.CondBr(eq, more, findCont)
+				c.b.SetBlock(more)
+			}
+		}
+
+		c.b.SetBlock(findCont)
+		next := c.b.Load(64, c.b.Add(entry, c.b.Const(codegen.HTEntryNext)))
+		ir.AddIncoming(entry, next)
+		nz := c.b.Bin(ir.OpCmpNe, next, c.b.Const(0))
+		c.b.CondBr(nz, findHead, insert)
+
+		c.b.SetBlock(found)
+		c.genAggUpdate(entry, aggBase, g.Aggs, offs, vals)
+		c.b.Br(done)
+
+		c.b.SetBlock(insert)
+		c.bump(c.task(g, roleAgg))
+		entry2 := c.sharedCall(codegen.SymHTInsert, desc, h, c.b.Const(ht.EntrySize))
+		for i, k := range keys {
+			c.b.Store(64, c.b.Add(entry2, c.b.Const(entryKeyOff+8*int64(i))), k)
+		}
+		c.genAggInitFirst(entry2, aggBase, g.Aggs, offs, vals)
+		c.b.Br(done)
+
+		c.b.SetBlock(done)
+	})
+}
+
+// genGroupJoinBuild materializes the build side of a group join with
+// zero-initialized aggregate state and a match counter.
+func (c *Compiler) genGroupJoinBuild(gj *plan.GroupJoin, r row) {
+	ht := c.lay.HT[gj]
+	offs := aggOffsets(gj.Aggs)
+	c.withTask(c.ops[gj], c.task(gj, roleBuild), func() {
+		c.bump(c.task(gj, roleBuild))
+		key := c.evalExpr(gj.BuildKey, r)
+		h := c.hashOf(key)
+		desc := c.b.Const(ht.Desc)
+		entry := c.sharedCall(codegen.SymHTInsert, desc, h, c.b.Const(ht.EntrySize))
+		c.b.Store(64, c.b.Add(entry, c.b.Const(entryKeyOff)), key)
+		c.b.Store(64, c.b.Add(entry, c.b.Const(entryValOff)), c.b.Const(0)) // match count
+		c.genAggInitZero(entry, entryValOff+8, gj.Aggs, offs)
+	})
+}
+
+// genGroupJoinProbe walks the chain in the groupjoin-join section and
+// updates aggregates in the groupjoin-groupby section — the two-tracker
+// split of §5.4 that lets samples map back to the original unfused
+// operators.
+func (c *Compiler) genGroupJoinProbe(gj *plan.GroupJoin, r row) {
+	ht := c.lay.HT[gj]
+	offs := aggOffsets(gj.Aggs)
+	opID := c.ops[gj]
+	joinTask, aggTask := c.task(gj, roleGJJoin), c.task(gj, roleGJAgg)
+
+	var entry *ir.Instr
+	var found *ir.Block
+
+	c.withTask(opID, joinTask, func() {
+		key := c.evalExpr(gj.ProbeKey, r)
+		h := c.hashOf(key)
+		dir := c.b.Const(ht.Dir)
+		mask := c.b.Const(ht.DirSlots - 1)
+		slotAddr := c.b.Add(dir, c.b.Mul(c.b.And(h, mask), c.b.Const(8)))
+		head := c.b.Load(64, slotAddr)
+		head.Comment = "groupjoin directory lookup"
+
+		chainHead := c.b.NewBlock("gjChain")
+		cont := c.b.NewBlock("gjCont")
+		found = c.b.NewBlock("gjFound")
+
+		nonNull := c.b.Bin(ir.OpCmpNe, head, c.b.Const(0))
+		c.b.CondBr(nonNull, chainHead, c.skipBlock)
+
+		c.b.SetBlock(chainHead)
+		entry = c.b.Phi()
+		ir.AddIncoming(entry, head)
+		ekey := c.b.Load(64, c.b.Add(entry, c.b.Const(entryKeyOff)))
+		eq := c.b.Bin(ir.OpCmpEq, ekey, key)
+		c.b.CondBr(eq, found, cont)
+
+		c.b.SetBlock(cont)
+		next := c.b.Load(64, c.b.Add(entry, c.b.Const(codegen.HTEntryNext)))
+		ir.AddIncoming(entry, next)
+		nz := c.b.Bin(ir.OpCmpNe, next, c.b.Const(0))
+		c.b.CondBr(nz, chainHead, c.skipBlock)
+	})
+
+	c.b.SetBlock(found)
+	c.withTask(opID, joinTask, func() { c.bump(joinTask) })
+	c.withTask(opID, aggTask, func() {
+		vals := c.evalAggArgs(gj.Aggs, r)
+		mcAddr := c.b.Add(entry, c.b.Const(entryValOff))
+		mc := c.b.Load(64, mcAddr)
+		c.b.Store(64, mcAddr, c.b.Add(mc, c.b.Const(1)))
+		c.genAggUpdate(entry, entryValOff+8, gj.Aggs, offs, vals)
+	})
+	// The build key is unique: one match per probe tuple, done.
+	c.withTask(opID, joinTask, func() {
+		c.b.Br(c.skipBlock)
+	})
+}
+
+// genGroupScanLoop drives the output pipeline of a group-by: a linear scan
+// over the contiguous entry arena.
+func (c *Compiler) genGroupScanLoop(g *plan.GroupBy) {
+	nKeys := len(g.Keys)
+	c.genArenaScan(g, c.lay.HT[g], aggOffsets(g.Aggs), g.Aggs, nKeys, entryKeyOff+8*int64(nKeys), false)
+}
+
+// genGroupJoinScanLoop drives the output pipeline of a group join,
+// skipping unmatched build entries (inner-join semantics).
+func (c *Compiler) genGroupJoinScanLoop(gj *plan.GroupJoin) {
+	c.genArenaScan(gj, c.lay.HT[gj], aggOffsets(gj.Aggs), gj.Aggs, 1, entryValOff+8, true)
+}
+
+func (c *Compiler) genArenaScan(n plan.Node, ht *HTLayout, offs []int64, aggs []plan.AggSpec, nKeys int, aggBase int64, skipUnmatched bool) {
+	opID, task := c.ops[n], c.task(n, roleHTScan)
+
+	loopHead := c.b.NewBlock("loopGroups")
+	body := c.b.NewBlock("groupBody")
+	next := c.b.NewBlock("nextGroup")
+	exit := c.b.NewBlock("groupsDone")
+
+	var ptr *ir.Instr
+	c.withTask(opID, task, func() {
+		desc := c.b.Const(ht.Desc)
+		end := c.b.Load(64, c.b.Add(desc, c.b.Const(codegen.HTDescCursor)))
+		end.Comment = "arena cursor"
+		base := c.b.Const(ht.Arena)
+		c.b.Br(loopHead)
+
+		c.b.SetBlock(loopHead)
+		ptr = c.b.Phi()
+		ptr.Comment = "entryPtr"
+		ir.AddIncoming(ptr, base)
+		cond := c.b.Bin(ir.OpCmpLt, ptr, end)
+		c.b.CondBr(cond, body, exit)
+
+		c.b.SetBlock(body)
+		if skipUnmatched {
+			mc := c.b.Load(64, c.b.Add(ptr, c.b.Const(entryValOff)))
+			nz := c.b.Bin(ir.OpCmpNe, mc, c.b.Const(0))
+			matched := c.b.NewBlock("matchedGroup")
+			c.b.CondBr(nz, matched, next)
+			c.b.SetBlock(matched)
+		}
+		c.bump(task)
+	})
+
+	r := row{}
+	for ki := 0; ki < nKeys; ki++ {
+		off := entryKeyOff + 8*int64(ki)
+		r.cols = append(r.cols, func() *ir.Instr {
+			return c.b.Load(64, c.b.Add(ptr, c.b.Const(off)))
+		})
+	}
+	for i, a := range aggs {
+		off := aggBase + offs[i]
+		fn := a.Fn
+		r.cols = append(r.cols, func() *ir.Instr {
+			if fn == plan.AggAvg {
+				sum := c.b.Load(64, c.b.Add(ptr, c.b.Const(off)))
+				cnt := c.b.Load(64, c.b.Add(ptr, c.b.Const(off+8)))
+				return c.b.SDiv(sum, cnt)
+			}
+			return c.b.Load(64, c.b.Add(ptr, c.b.Const(off)))
+		})
+	}
+
+	c.skipBlock = next
+	c.consumeUp(n, r)
+
+	c.withTask(opID, task, func() {
+		if c.b.Cur.Terminator() == nil {
+			c.b.Br(next)
+		}
+		c.b.SetBlock(next)
+		ptr2 := c.b.Add(ptr, c.b.Const(ht.EntrySize))
+		ir.AddIncoming(ptr, ptr2)
+		c.b.Br(loopHead)
+
+		c.b.SetBlock(exit)
+		c.b.Ret(nil)
+	})
+}
+
+// genOutput writes one result row through the (untagged) bumpalloc
+// library routine.
+func (c *Compiler) genOutput(o *plan.Output, r row) {
+	c.withTask(c.ops[o], c.task(o, roleOutput), func() {
+		c.bump(c.task(o, roleOutput))
+		vals := make([]*ir.Instr, len(o.Exprs))
+		for i, e := range o.Exprs {
+			vals[i] = c.evalExpr(e, r)
+		}
+		rowBytes := int64(len(o.Exprs)) * 8
+		ptr := c.b.Call(codegen.SymBumpAlloc, true, c.b.Const(c.lay.ResultDesc), c.b.Const(rowBytes))
+		for i, v := range vals {
+			c.b.Store(64, c.b.Add(ptr, c.b.Const(int64(i)*8)), v)
+		}
+	})
+}
+
+// genMain emits the driver: clear every hash-table directory (kernel
+// work), run the pipelines in creation order, halt.
+func (c *Compiler) genMain() {
+	f := c.module.NewFunc("main", 0)
+	c.b = ir.NewBuilder(f)
+	c.b.OnCreate = func(in *ir.Instr) {
+		c.dict.LinkIR(in.ID, c.taskTracker.Active())
+	}
+	c.withTask(c.reg.KernelOperator, c.reg.KernelTask, func() {
+		for _, n := range c.htOrder {
+			ht := c.lay.HT[n]
+			c.b.Call(codegen.SymMemset64, false,
+				c.b.Const(ht.Dir), c.b.Const(0), c.b.Const(ht.DirSlots*8))
+		}
+		for _, p := range c.pipes {
+			c.b.Call(funcName(p.index), false)
+		}
+		c.b.Halt()
+	})
+}

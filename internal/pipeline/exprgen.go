@@ -1,0 +1,151 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/plan"
+)
+
+// Hash constants, matching the mixing pipeline shown in the paper's
+// Listing 1 (two crc32 steps, rotate, xor, multiply).
+const (
+	hashC1  = 5961697176435608501
+	hashC2  = 2231409791114444147
+	hashMul = 2685821657736338717
+)
+
+// hashOf emits the key-hashing sequence.
+func (c *Compiler) hashOf(key *ir.Instr) *ir.Instr {
+	h1 := c.b.Crc32(c.b.Const(hashC1), key)
+	h2 := c.b.Crc32(c.b.Const(hashC2), key)
+	r := c.b.Rotr(h2, c.b.Const(32))
+	x := c.b.Xor(h1, r)
+	return c.b.Mul(x, c.b.Const(hashMul))
+}
+
+var planToIR = map[plan.BinOp]ir.Op{
+	plan.OpAdd: ir.OpAdd,
+	plan.OpSub: ir.OpSub,
+	plan.OpMul: ir.OpMul,
+	plan.OpDiv: ir.OpSDiv,
+	plan.OpMod: ir.OpSMod,
+	plan.OpEq:  ir.OpCmpEq,
+	plan.OpNe:  ir.OpCmpNe,
+	plan.OpLt:  ir.OpCmpLt,
+	plan.OpLe:  ir.OpCmpLe,
+	plan.OpGt:  ir.OpCmpGt,
+	plan.OpGe:  ir.OpCmpGe,
+	plan.OpAnd: ir.OpAnd,
+	plan.OpOr:  ir.OpOr,
+}
+
+// evalExpr generates code for a resolved expression against the current
+// row. Values are emitted at the caller's position, under the caller's
+// active task — the attribution behaviour the paper's listings show.
+func (c *Compiler) evalExpr(e plan.PExpr, r row) *ir.Instr {
+	switch x := e.(type) {
+	case *plan.PConst:
+		return c.b.Const(x.Val)
+	case *plan.PCol:
+		if x.Pos < 0 || x.Pos >= len(r.cols) {
+			panic(fmt.Sprintf("pipeline: column position %d out of row width %d", x.Pos, len(r.cols)))
+		}
+		return r.cols[x.Pos]()
+	case *plan.PBin:
+		l := c.evalExpr(x.L, r)
+		rv := c.evalExpr(x.R, r)
+		op, ok := planToIR[x.Op]
+		if !ok {
+			panic(fmt.Sprintf("pipeline: no IR op for %s", x.Op))
+		}
+		return c.b.Bin(op, l, rv)
+	}
+	panic(fmt.Sprintf("pipeline: cannot evaluate %T", e))
+}
+
+// evalAggArgs evaluates every aggregate input (nil for count(*)).
+// The paper's Listing 1 evaluates aggregation inputs — including the
+// expensive division chain — before the group lookup; we keep that order.
+func (c *Compiler) evalAggArgs(aggs []plan.AggSpec, r row) []*ir.Instr {
+	vals := make([]*ir.Instr, len(aggs))
+	for i, a := range aggs {
+		if a.Arg != nil {
+			vals[i] = c.evalExpr(a.Arg, r)
+		}
+	}
+	return vals
+}
+
+// genAggUpdate updates aggregate state in place for an existing group.
+func (c *Compiler) genAggUpdate(entry *ir.Instr, base int64, aggs []plan.AggSpec, offs []int64, vals []*ir.Instr) {
+	for i, a := range aggs {
+		addr := c.b.Add(entry, c.b.Const(base+offs[i]))
+		switch a.Fn {
+		case plan.AggSum:
+			cur := c.b.Load(64, addr)
+			c.b.Store(64, addr, c.b.Add(cur, vals[i]))
+		case plan.AggCount:
+			cur := c.b.Load(64, addr)
+			c.b.Store(64, addr, c.b.Add(cur, c.b.Const(1)))
+		case plan.AggAvg:
+			sum := c.b.Load(64, addr)
+			c.b.Store(64, addr, c.b.Add(sum, vals[i]))
+			cntAddr := c.b.Add(entry, c.b.Const(base+offs[i]+8))
+			cnt := c.b.Load(64, cntAddr)
+			c.b.Store(64, cntAddr, c.b.Add(cnt, c.b.Const(1)))
+		case plan.AggMin:
+			c.genMinMax(addr, vals[i], ir.OpCmpLt)
+		case plan.AggMax:
+			c.genMinMax(addr, vals[i], ir.OpCmpGt)
+		}
+	}
+}
+
+// genMinMax stores val into addr when val <op> current.
+func (c *Compiler) genMinMax(addr, val *ir.Instr, cmp ir.Op) {
+	cur := c.b.Load(64, addr)
+	better := c.b.Bin(cmp, val, cur)
+	doStore := c.b.NewBlock("aggStore")
+	skip := c.b.NewBlock("aggSkip")
+	c.b.CondBr(better, doStore, skip)
+	c.b.SetBlock(doStore)
+	c.b.Store(64, addr, val)
+	c.b.Br(skip)
+	c.b.SetBlock(skip)
+}
+
+// genAggInitFirst initializes aggregate state from the group's first row.
+func (c *Compiler) genAggInitFirst(entry *ir.Instr, base int64, aggs []plan.AggSpec, offs []int64, vals []*ir.Instr) {
+	for i, a := range aggs {
+		addr := c.b.Add(entry, c.b.Const(base+offs[i]))
+		switch a.Fn {
+		case plan.AggCount:
+			c.b.Store(64, addr, c.b.Const(1))
+		case plan.AggAvg:
+			c.b.Store(64, addr, vals[i])
+			c.b.Store(64, c.b.Add(entry, c.b.Const(base+offs[i]+8)), c.b.Const(1))
+		default: // sum, min, max
+			c.b.Store(64, addr, vals[i])
+		}
+	}
+}
+
+// genAggInitZero initializes aggregate state for a group join's build
+// entries (no probe row seen yet).
+func (c *Compiler) genAggInitZero(entry *ir.Instr, base int64, aggs []plan.AggSpec, offs []int64) {
+	for i, a := range aggs {
+		addr := c.b.Add(entry, c.b.Const(base+offs[i]))
+		switch a.Fn {
+		case plan.AggMin:
+			c.b.Store(64, addr, c.b.Const(minInit))
+		case plan.AggMax:
+			c.b.Store(64, addr, c.b.Const(maxInit))
+		case plan.AggAvg:
+			c.b.Store(64, addr, c.b.Const(0))
+			c.b.Store(64, c.b.Add(entry, c.b.Const(base+offs[i]+8)), c.b.Const(0))
+		default:
+			c.b.Store(64, addr, c.b.Const(0))
+		}
+	}
+}

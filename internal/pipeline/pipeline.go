@@ -1,0 +1,344 @@
+// Package pipeline performs the first two lowering steps of the paper's
+// compilation stack (Fig. 8, §5.1–§5.2):
+//
+//  1. the dataflow graph (plan.Node tree) is split at its materialization
+//     points into pipelines of tasks, registering every task with its
+//     operator in the Tagging Dictionary's Log A;
+//  2. each pipeline is compiled into a tight loop of IR using the
+//     produce/consume model with full operator fusion, registering every
+//     created IR instruction with the active task in Log B via the
+//     Abstraction Trackers.
+//
+// Shared code locations (the pre-compiled ht_insert routine) are wrapped
+// in Register Tagging exactly as Listing 2 of the paper shows: save the
+// tag register, store the active task's tag, call, restore.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/plan"
+)
+
+// Options configures the lowering.
+type Options struct {
+	// RegisterTagging wraps shared-code calls with tag writes (§4.2.5).
+	RegisterTagging bool
+	// TagEverything additionally tags every generated code section, the
+	// validation mode of §6.3 ("applying the tagging not only for shared
+	// code locations but also for all instructions in generated code").
+	// Requires RegisterTagging.
+	TagEverything bool
+	// EagerColumnLoads makes scans load their columns at the top of the
+	// tuple loop, so column accesses are attributed to the tablescan
+	// operator. The default is lazy loading at first use (the consumer
+	// owns the load, as in the paper's Listing 1); the eager mode
+	// reproduces Fig. 12's per-scan linear memory access bands.
+	EagerColumnLoads bool
+	// TupleCounters instruments every task with an output-row counter —
+	// the EXPLAIN ANALYZE instrumentation the paper's §6.1 compares
+	// Tailored Profiling against ("the tuple count is a decent
+	// approximation, [but] our sampling approach captures the actual
+	// time spent in each operator"). Counters add load/add/store per
+	// emitted row, so the engine disables them unless asked.
+	TupleCounters bool
+}
+
+// ColKey identifies one scanned column: a scan alias plus the table
+// column index.
+type ColKey struct {
+	Alias string
+	Col   int
+}
+
+// HTLayout is the memory layout of one hash table (join build, group-by,
+// or group-join state), prepared by the engine before compilation.
+type HTLayout struct {
+	Desc      int64 // descriptor block (codegen.HTDesc* offsets)
+	Dir       int64 // directory base
+	DirSlots  int64 // power-of-two slot count
+	Arena     int64 // entry arena base
+	ArenaEnd  int64
+	EntrySize int64
+}
+
+// Layout is the heap layout the engine prepared: where the state area,
+// column bases, hash tables and the result buffer live.
+type Layout struct {
+	StateBase int64
+	ColSlots  map[ColKey]int
+	RowsSlots map[string]int
+	HT        map[plan.Node]*HTLayout
+
+	ResultDesc int64 // bumpalloc descriptor for result rows
+
+	// CounterBase is the tuple-counter region (one 8-byte slot per task
+	// component ID, indexed directly by the ID); 0 disables counters.
+	CounterBase int64
+}
+
+// PipelineInfo describes one generated pipeline.
+type PipelineInfo struct {
+	Index int
+	Name  string
+	Func  string
+	Tasks []core.ComponentID
+}
+
+// Compiled is the result of lowering a plan.
+type Compiled struct {
+	Module    *ir.Module
+	Registry  *core.Registry
+	Dict      *core.Dictionary
+	Pipelines []PipelineInfo
+
+	// OpIDs maps plan nodes to their operator components; filter
+	// operators of scans appear under FilterOpIDs.
+	OpIDs       map[plan.Node]core.ComponentID
+	FilterOpIDs map[plan.Node]core.ComponentID
+
+	OutputCols []plan.ColMeta
+}
+
+// task roles within a pipeline.
+type role string
+
+const (
+	roleScan   role = "scan"
+	roleFilter role = "filter"
+	roleBuild  role = "build"
+	roleProbe  role = "probe"
+	roleAgg    role = "aggregate"
+	roleHTScan role = "htscan"
+	roleOutput role = "output"
+	roleGJJoin role = "gj-join"
+	roleGJAgg  role = "gj-agg"
+)
+
+type taskKey struct {
+	node plan.Node
+	role role
+}
+
+type pipe struct {
+	index  int
+	name   string
+	driver plan.Node // *plan.Scan, *plan.GroupBy, or *plan.GroupJoin
+	tasks  []core.ComponentID
+}
+
+// Compiler lowers one plan.
+type Compiler struct {
+	opts Options
+	lay  *Layout
+
+	reg  *core.Registry
+	dict *core.Dictionary
+
+	opTracker   *core.Tracker
+	taskTracker *core.Tracker
+
+	module *ir.Module
+	b      *ir.Builder
+
+	parent  map[plan.Node]plan.Node
+	ops     map[plan.Node]core.ComponentID
+	filts   map[plan.Node]core.ComponentID
+	tasks   map[taskKey]core.ComponentID
+	pipes   []*pipe
+	htOrder []plan.Node // materializing nodes in build order (for memsets)
+
+	skipBlock *ir.Block // current "abandon tuple" target
+}
+
+// Compile lowers the plan rooted at out.
+func Compile(out *plan.Output, lay *Layout, opts Options) (*Compiled, error) {
+	if opts.TagEverything && !opts.RegisterTagging {
+		return nil, fmt.Errorf("pipeline: TagEverything requires RegisterTagging")
+	}
+	reg := core.NewRegistry()
+	c := &Compiler{
+		opts:        opts,
+		lay:         lay,
+		reg:         reg,
+		dict:        core.NewDictionary(reg),
+		opTracker:   core.NewTracker(core.LevelOperator),
+		taskTracker: core.NewTracker(core.LevelTask),
+		module:      ir.NewModule(),
+		parent:      map[plan.Node]plan.Node{},
+		ops:         map[plan.Node]core.ComponentID{},
+		filts:       map[plan.Node]core.ComponentID{},
+		tasks:       map[taskKey]core.ComponentID{},
+	}
+	c.linkParents(out, nil)
+	c.registerOperators(out)
+
+	// Lowering step 1: split into pipelines of tasks (Log A).
+	last := c.pass1(out)
+	_ = last
+
+	// Lowering step 2: generate IR per pipeline (Log B).
+	for _, p := range c.pipes {
+		if err := c.genPipeline(p); err != nil {
+			return nil, err
+		}
+	}
+	c.genMain()
+
+	if err := c.module.Verify(); err != nil {
+		return nil, fmt.Errorf("pipeline: generated invalid IR: %w", err)
+	}
+	if opts.TagEverything {
+		c.tagEverything()
+	}
+
+	cd := &Compiled{
+		Module:      c.module,
+		Registry:    c.reg,
+		Dict:        c.dict,
+		OpIDs:       c.ops,
+		FilterOpIDs: c.filts,
+		OutputCols:  out.Out(),
+	}
+	for _, p := range c.pipes {
+		cd.Pipelines = append(cd.Pipelines, PipelineInfo{
+			Index: p.index, Name: p.name, Func: funcName(p.index), Tasks: p.tasks,
+		})
+	}
+	return cd, nil
+}
+
+func funcName(i int) string { return fmt.Sprintf("pipeline%d", i) }
+
+func (c *Compiler) linkParents(n plan.Node, parent plan.Node) {
+	if parent != nil {
+		c.parent[n] = parent
+	}
+	for _, ch := range n.Children() {
+		c.linkParents(ch, n)
+	}
+}
+
+// registerOperators registers one component per dataflow-graph operator
+// (plus a separate σ component for a scan's pushed-down filter, so
+// operator-level reports match the paper's plans, Fig. 9b).
+func (c *Compiler) registerOperators(root plan.Node) {
+	plan.Walk(root, func(n plan.Node) {
+		name := operatorName(n)
+		c.ops[n] = c.reg.Add(core.LevelOperator, name, n.Kind(), -1, core.NoComponent)
+		if s, ok := n.(*plan.Scan); ok && s.Filter != nil {
+			c.filts[n] = c.reg.Add(core.LevelOperator, "σ("+s.Alias+")", "filter", -1, core.NoComponent)
+		}
+	})
+}
+
+func operatorName(n plan.Node) string {
+	switch x := n.(type) {
+	case *plan.Scan:
+		return "tablescan " + x.Alias
+	case *plan.Join:
+		if x.Label != "" {
+			return x.Label
+		}
+		return "hash join"
+	case *plan.GroupBy:
+		return "group by"
+	case *plan.GroupJoin:
+		return "groupjoin"
+	case *plan.Output:
+		return "output"
+	}
+	return n.Kind()
+}
+
+// newPipe starts a pipeline driven by n.
+func (c *Compiler) newPipe(n plan.Node, name string) *pipe {
+	p := &pipe{index: len(c.pipes), name: name, driver: n}
+	c.pipes = append(c.pipes, p)
+	return p
+}
+
+// registerTask adds a task component for (n, role) to pipeline p and links
+// it to its operator in Log A — the paper's "when registering a task,
+// Tailored Profiling checks the active operator with the Abstraction
+// Tracker and adds a link" (§5.2). op overrides the owning operator for
+// filter tasks.
+func (c *Compiler) registerTask(p *pipe, n plan.Node, r role, opID core.ComponentID) core.ComponentID {
+	c.opTracker.Push(opID)
+	name := fmt.Sprintf("%s(%s)", r, operatorName(n))
+	id := c.reg.Add(core.LevelTask, name, string(r), p.index, c.opTracker.Active())
+	c.dict.LinkTask(id, c.opTracker.Active())
+	c.opTracker.Pop()
+	c.tasks[taskKey{n, r}] = id
+	p.tasks = append(p.tasks, id)
+	return id
+}
+
+// pass1 is lowering step 1: it walks the dataflow graph, splitting it at
+// materialization points, and returns the pipeline producing n's stream.
+// Pipeline creation order is execution order (builds before probes).
+func (c *Compiler) pass1(n plan.Node) *pipe {
+	switch x := n.(type) {
+	case *plan.Scan:
+		p := c.newPipe(x, "scan "+x.Alias)
+		c.registerTask(p, x, roleScan, c.ops[x])
+		if x.Filter != nil {
+			c.registerTask(p, x, roleFilter, c.filts[x])
+		}
+		return p
+
+	case *plan.Join:
+		pb := c.pass1(x.Build)
+		c.registerTask(pb, x, roleBuild, c.ops[x])
+		c.htOrder = append(c.htOrder, x)
+		pp := c.pass1(x.Probe)
+		c.registerTask(pp, x, roleProbe, c.ops[x])
+		return pp
+
+	case *plan.GroupBy:
+		pi := c.pass1(x.Input)
+		c.registerTask(pi, x, roleAgg, c.ops[x])
+		c.htOrder = append(c.htOrder, x)
+		po := c.newPipe(x, "scan group-by")
+		c.registerTask(po, x, roleHTScan, c.ops[x])
+		return po
+
+	case *plan.GroupJoin:
+		pb := c.pass1(x.Build)
+		c.registerTask(pb, x, roleBuild, c.ops[x])
+		c.htOrder = append(c.htOrder, x)
+		pp := c.pass1(x.Probe)
+		c.registerTask(pp, x, roleGJJoin, c.ops[x])
+		c.registerTask(pp, x, roleGJAgg, c.ops[x])
+		po := c.newPipe(x, "scan groupjoin")
+		c.registerTask(po, x, roleHTScan, c.ops[x])
+		return po
+
+	case *plan.Output:
+		p := c.pass1(x.Input)
+		c.registerTask(p, x, roleOutput, c.ops[x])
+		return p
+	}
+	panic(fmt.Sprintf("pipeline: unknown node %T", n))
+}
+
+// withTask runs body with the operator and task trackers pointing at
+// (opID, taskID); all IR created inside is linked to the task via the
+// builder's OnCreate hook (Log B).
+func (c *Compiler) withTask(opID, taskID core.ComponentID, body func()) {
+	c.opTracker.Push(opID)
+	c.taskTracker.Push(taskID)
+	body()
+	c.taskTracker.Pop()
+	c.opTracker.Pop()
+}
+
+func (c *Compiler) task(n plan.Node, r role) core.ComponentID {
+	id, ok := c.tasks[taskKey{n, r}]
+	if !ok {
+		panic(fmt.Sprintf("pipeline: missing task %s for %s", r, n.Describe()))
+	}
+	return id
+}

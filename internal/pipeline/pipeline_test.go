@@ -1,0 +1,338 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/plan"
+)
+
+// fixture builds a two-table join+group-by plan with a hand-made layout.
+func fixture(t *testing.T) (*plan.Output, *Layout) {
+	t.Helper()
+	cat := catalog.New()
+	products := catalog.NewTable("products")
+	pid := products.AddCol("id", catalog.TInt)
+	pid.Unique = true
+	pcat := products.AddCol("category", catalog.TInt)
+	sales := catalog.NewTable("sales")
+	sid := sales.AddCol("id", catalog.TInt)
+	sval := sales.AddCol("value", catalog.TInt)
+	for i := 0; i < 8; i++ {
+		pid.Data = append(pid.Data, int64(i+1))
+		pcat.Data = append(pcat.Data, int64(i%2))
+		sid.Data = append(sid.Data, int64(i%8+1))
+		sval.Data = append(sval.Data, int64(i*10))
+	}
+	cat.Add(products)
+	cat.Add(sales)
+
+	q := &plan.Query{
+		Tables: []plan.TableRef{{Name: "sales", Alias: "s"}, {Name: "products", Alias: "p"}},
+		Where: []plan.Expr{
+			plan.Eq(plan.Col("s.id"), plan.Col("p.id")),
+			plan.Eq(plan.Col("p.category"), plan.Num(1)),
+		},
+		Select: []plan.SelectItem{
+			{Expr: plan.Col("s.id")},
+			{Expr: &plan.Agg{Fn: plan.AggSum, Arg: plan.Col("s.value")}, Alias: "v"},
+		},
+		GroupBy: []plan.Expr{plan.Col("s.id")},
+		Limit:   -1,
+		Hints:   plan.Hints{NoGroupJoin: true},
+	}
+	out, err := plan.Plan(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lay := &Layout{
+		StateBase:  1 << 16,
+		ColSlots:   map[ColKey]int{},
+		RowsSlots:  map[string]int{},
+		HT:         map[plan.Node]*HTLayout{},
+		ResultDesc: 1 << 17,
+	}
+	slot := 0
+	hts := int64(1 << 18)
+	plan.Walk(out, func(n plan.Node) {
+		switch x := n.(type) {
+		case *plan.Scan:
+			for _, ci := range x.Cols {
+				lay.ColSlots[ColKey{Alias: x.Alias, Col: ci}] = slot
+				slot++
+			}
+			lay.RowsSlots[x.Alias] = slot
+			slot++
+		default:
+			if Materializes(n) {
+				lay.HT[n] = &HTLayout{
+					Desc: hts, Dir: hts + 64, DirSlots: 16,
+					Arena: hts + 1024, ArenaEnd: hts + 8192,
+					EntrySize: EntrySize(n),
+				}
+				hts += 1 << 14
+			}
+		}
+	})
+	return out, lay
+}
+
+func TestPipelineSplitting(t *testing.T) {
+	out, lay := fixture(t)
+	cd, err := Compile(out, lay, Options{RegisterTagging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three pipelines: build (products scan), probe (sales scan), and
+	// the group-by output scan — the paper's Fig. 8 decomposition.
+	if len(cd.Pipelines) != 3 {
+		t.Fatalf("pipelines = %d", len(cd.Pipelines))
+	}
+	kinds := func(i int) []string {
+		var out []string
+		for _, tid := range cd.Pipelines[i].Tasks {
+			out = append(out, cd.Registry.Get(tid).Kind)
+		}
+		return out
+	}
+	if got := kinds(0); !contains(got, "scan") || !contains(got, "filter") || !contains(got, "build") {
+		t.Fatalf("build pipeline tasks = %v", got)
+	}
+	if got := kinds(1); !contains(got, "probe") || !contains(got, "aggregate") {
+		t.Fatalf("probe pipeline tasks = %v", got)
+	}
+	if got := kinds(2); !contains(got, "htscan") || !contains(got, "output") {
+		t.Fatalf("output pipeline tasks = %v", got)
+	}
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// TestLogACoversEveryTask: every task maps to its operator (Log A).
+func TestLogACoversEveryTask(t *testing.T) {
+	out, lay := fixture(t)
+	cd, err := Compile(out, lay, Options{RegisterTagging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range cd.Registry.ByLevel(core.LevelTask) {
+		op := cd.Dict.OperatorOf(task.ID)
+		if op == core.NoComponent {
+			t.Errorf("task %s has no Log A link", task.Name)
+			continue
+		}
+		if cd.Registry.Get(op).Level != core.LevelOperator {
+			t.Errorf("task %s links to non-operator %s", task.Name, cd.Registry.Name(op))
+		}
+	}
+}
+
+// TestLogBCoversEveryInstruction: every generated IR instruction is linked
+// to at least one task (Log B) — the property attribution depends on.
+func TestLogBCoversEveryInstruction(t *testing.T) {
+	out, lay := fixture(t)
+	cd, err := Compile(out, lay, Options{RegisterTagging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing := 0
+	cd.Module.ForEachInstr(func(f *ir.Func, _ *ir.Block, in *ir.Instr) {
+		if len(cd.Dict.TasksOf(in.ID)) == 0 {
+			missing++
+			t.Errorf("%s: %%%d (%s) unlinked", f.Name, in.ID, in.Op)
+		}
+	})
+	if missing > 0 {
+		t.Fatalf("%d instructions without Log B links", missing)
+	}
+}
+
+// TestRegisterTaggingEmission: shared ht_insert calls must be wrapped in
+// gettag/settag/settag (Listing 2), and only when tagging is enabled.
+func TestRegisterTaggingEmission(t *testing.T) {
+	out, lay := fixture(t)
+
+	count := func(opts Options) (settags, gettags, calls int) {
+		cd, err := Compile(out, lay, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cd.Module.ForEachInstr(func(_ *ir.Func, _ *ir.Block, in *ir.Instr) {
+			switch {
+			case in.Op == ir.OpSetTag:
+				settags++
+			case in.Op == ir.OpGetTag:
+				gettags++
+			case in.Op == ir.OpCall && in.Callee == codegen.SymHTInsert:
+				calls++
+			}
+		})
+		return
+	}
+
+	st, gt, calls := count(Options{RegisterTagging: true})
+	if calls == 0 {
+		t.Fatal("no ht_insert calls generated")
+	}
+	if st != 2*calls || gt != calls {
+		t.Fatalf("tagging shape: %d settag / %d gettag for %d calls (want 2n/n)", st, gt, calls)
+	}
+	st, gt, _ = count(Options{RegisterTagging: false})
+	if st != 0 || gt != 0 {
+		t.Fatal("tag writes emitted with tagging disabled")
+	}
+}
+
+// TestTagEverythingInsertsBoundaries checks the §6.3 validation mode.
+func TestTagEverythingInsertsBoundaries(t *testing.T) {
+	out, lay := fixture(t)
+	plain, err := Compile(out, lay, Options{RegisterTagging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagged, err := Compile(out, lay, Options{RegisterTagging: true, TagEverything: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	countSetTags := func(cd *Compiled) int {
+		n := 0
+		cd.Module.ForEachInstr(func(_ *ir.Func, _ *ir.Block, in *ir.Instr) {
+			if in.Op == ir.OpSetTag {
+				n++
+			}
+		})
+		return n
+	}
+	if countSetTags(tagged) <= countSetTags(plain) {
+		t.Fatal("TagEverything added no tag writes")
+	}
+	if err := tagged.Module.Verify(); err != nil {
+		t.Fatalf("tag-everything IR invalid: %v", err)
+	}
+}
+
+func TestTagEverythingRequiresRegisterTagging(t *testing.T) {
+	out, lay := fixture(t)
+	if _, err := Compile(out, lay, Options{TagEverything: true}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestEntrySizes(t *testing.T) {
+	j := &plan.Join{Payload: []int{0, 1}}
+	if EntrySize(j) != 16+8+16 {
+		t.Fatalf("join entry = %d", EntrySize(j))
+	}
+	g := &plan.GroupBy{Keys: []plan.PExpr{&plan.PCol{Pos: 0}}, Aggs: []plan.AggSpec{{Fn: plan.AggAvg}, {Fn: plan.AggSum}}}
+	if EntrySize(g) != 16+8+16+8 {
+		t.Fatalf("groupby entry = %d", EntrySize(g))
+	}
+	g2 := &plan.GroupBy{Keys: []plan.PExpr{&plan.PCol{Pos: 0}, &plan.PCol{Pos: 1}}, Aggs: []plan.AggSpec{{Fn: plan.AggSum}}}
+	if EntrySize(g2) != 16+16+8 {
+		t.Fatalf("two-key groupby entry = %d", EntrySize(g2))
+	}
+	gj := &plan.GroupJoin{Aggs: []plan.AggSpec{{Fn: plan.AggCount}}}
+	if EntrySize(gj) != 16+8+8+8 {
+		t.Fatalf("groupjoin entry = %d", EntrySize(gj))
+	}
+	if EntrySize(&plan.Scan{}) != 0 || Materializes(&plan.Scan{}) {
+		t.Fatal("scan should not materialize")
+	}
+}
+
+func TestDirSlotsPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 5000} {
+		s := DirSlots(n)
+		if s <= 0 || s&(s-1) != 0 {
+			t.Fatalf("DirSlots(%d) = %d not a power of two", n, s)
+		}
+		if n > 8 && s < int64(n) {
+			t.Fatalf("DirSlots(%d) = %d too small", n, s)
+		}
+	}
+}
+
+func TestAggOffsets(t *testing.T) {
+	offs := aggOffsets([]plan.AggSpec{{Fn: plan.AggSum}, {Fn: plan.AggAvg}, {Fn: plan.AggMax}})
+	want := []int64{0, 8, 24} // sum 8B, avg 16B, then max
+	for i := range want {
+		if offs[i] != want[i] {
+			t.Fatalf("offsets = %v, want %v", offs, want)
+		}
+	}
+}
+
+// TestListingStructure: the probe pipeline's IR reproduces the block
+// structure of the paper's Listing 1.
+func TestListingStructure(t *testing.T) {
+	out, lay := fixture(t)
+	cd, err := Compile(out, lay, Options{RegisterTagging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := cd.Module.FuncByName("pipeline1")
+	if probe == nil {
+		t.Fatal("no pipeline1")
+	}
+	text := probe.Print(nil)
+	for _, want := range []string{"loopTuples", "loopHashChain", "contProbe", "nextTuple", "crc32", "phi"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("probe pipeline missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestMainCallsPipelinesInOrder: builds run before probes.
+func TestMainCallsPipelinesInOrder(t *testing.T) {
+	out, lay := fixture(t)
+	cd, err := Compile(out, lay, Options{RegisterTagging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := cd.Module.FuncByName("main")
+	var calls []string
+	for _, b := range main.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall {
+				calls = append(calls, in.Callee)
+			}
+		}
+	}
+	// memset(s) first, then pipeline0..2 in order.
+	var pipeCalls []string
+	memsets := 0
+	for _, c := range calls {
+		if c == codegen.SymMemset64 {
+			memsets++
+			if len(pipeCalls) > 0 {
+				t.Fatal("memset after a pipeline call")
+			}
+			continue
+		}
+		pipeCalls = append(pipeCalls, c)
+	}
+	if memsets != 2 { // join dir + group-by dir
+		t.Fatalf("memsets = %d", memsets)
+	}
+	want := []string{"pipeline0", "pipeline1", "pipeline2"}
+	if len(pipeCalls) != 3 {
+		t.Fatalf("pipeline calls = %v", pipeCalls)
+	}
+	for i := range want {
+		if pipeCalls[i] != want[i] {
+			t.Fatalf("pipeline order = %v", pipeCalls)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package pipeline
+
+import (
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// tagEverything implements the validation mode of §6.3: the tag register
+// is kept in sync with the owning task for *all* generated code, not just
+// shared locations, so the profiler can cross-check sampled instruction
+// pointers against sampled tag values. It inserts a settag at every point
+// where the owning task changes within a block (and at block heads),
+// right after any leading phis.
+func (c *Compiler) tagEverything() {
+	for _, f := range c.module.Funcs {
+		for _, blk := range f.Blocks {
+			c.tagBlock(blk)
+		}
+	}
+}
+
+func (c *Compiler) tagBlock(blk *ir.Block) {
+	var out []*ir.Instr
+	cur := core.NoComponent
+	emitted := false
+	for i, in := range blk.Instrs {
+		if in.Op == ir.OpPhi {
+			out = append(out, in)
+			continue
+		}
+		task := c.singleTask(in.ID)
+		if task != core.NoComponent && (task != cur || !emitted) {
+			cst := &ir.Instr{
+				ID: c.module.NewID(), Op: ir.OpConst, Type: ir.I64,
+				Imm: int64(task), Block: blk,
+			}
+			st := &ir.Instr{
+				ID: c.module.NewID(), Op: ir.OpSetTag, Type: ir.Void,
+				Args: []*ir.Instr{cst}, Block: blk,
+			}
+			c.dict.LinkIR(cst.ID, task)
+			c.dict.LinkIR(st.ID, task)
+			out = append(out, cst, st)
+			cur = task
+			emitted = true
+		}
+		_ = i
+		out = append(out, in)
+	}
+	blk.Instrs = out
+}
+
+// singleTask returns the unambiguous owning task of an IR instruction, or
+// NoComponent for shared/multi-linked instructions.
+func (c *Compiler) singleTask(irID int) core.ComponentID {
+	ts := c.dict.TasksOf(irID)
+	if len(ts) == 1 {
+		return ts[0]
+	}
+	return core.NoComponent
+}

@@ -1,0 +1,271 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+)
+
+// ColMeta describes one output column of an operator.
+type ColMeta struct {
+	Qual, Name string
+	Type       catalog.Type
+	Dict       *catalog.Dict
+}
+
+// Label renders the column name for reports.
+func (c ColMeta) Label() string {
+	if c.Qual == "" {
+		return c.Name
+	}
+	return c.Qual + "." + c.Name
+}
+
+// Node is a dataflow-graph operator.
+type Node interface {
+	// Out is the operator's output row schema.
+	Out() []ColMeta
+	// Children returns input operators (build side first for joins).
+	Children() []Node
+	// EstRows is the optimizer's cardinality estimate.
+	EstRows() float64
+	// BoundRows is a safe upper bound used to size hash-table arenas.
+	BoundRows() int
+	// Kind is a short operator-kind label ("tablescan", "hash join", ...).
+	Kind() string
+	// Describe renders the operator for plan displays.
+	Describe() string
+}
+
+// Scan reads a base table with an optional pushed-down filter.
+type Scan struct {
+	Table  *catalog.Table
+	Alias  string
+	Filter PExpr // conjunction over *table column positions*; nil = none
+
+	// Cols are the table column indices this scan outputs (pruned).
+	Cols []int
+
+	Est float64
+}
+
+func (s *Scan) Out() []ColMeta {
+	out := make([]ColMeta, len(s.Cols))
+	for i, ci := range s.Cols {
+		c := s.Table.Cols[ci]
+		out[i] = ColMeta{Qual: s.Alias, Name: c.Name, Type: c.Type, Dict: c.Dict}
+	}
+	return out
+}
+func (s *Scan) Children() []Node { return nil }
+func (s *Scan) EstRows() float64 { return s.Est }
+func (s *Scan) BoundRows() int   { return s.Table.Rows() }
+func (s *Scan) Kind() string {
+	if s.Filter != nil {
+		return "tablescan+filter"
+	}
+	return "tablescan"
+}
+func (s *Scan) Describe() string {
+	d := fmt.Sprintf("tablescan %s", s.Alias)
+	if s.Filter != nil {
+		d += fmt.Sprintf(" σ(%s)", PString(s.Filter))
+	}
+	return d
+}
+
+// Join is an inner hash equi-join. The build side's key must hash-match
+// the probe side's key; Payload lists build-output positions carried into
+// the join's output. Output schema: probe columns ++ build payload columns.
+type Join struct {
+	Build, Probe       Node
+	BuildKey, ProbeKey PExpr
+	Payload            []int // positions in Build.Out()
+
+	// BuildUnique marks a unique build key (primary key), enabling
+	// group-join fusion and tighter arena bounds.
+	BuildUnique bool
+
+	// Label distinguishes joins in reports, e.g. "join ord.".
+	Label string
+
+	Est float64
+}
+
+func (j *Join) Out() []ColMeta {
+	out := append([]ColMeta{}, j.Probe.Out()...)
+	b := j.Build.Out()
+	for _, p := range j.Payload {
+		out = append(out, b[p])
+	}
+	return out
+}
+func (j *Join) Children() []Node { return []Node{j.Build, j.Probe} }
+func (j *Join) EstRows() float64 { return j.Est }
+func (j *Join) BoundRows() int {
+	b := j.Probe.BoundRows()
+	if !j.BuildUnique {
+		b *= 4 // fudge; the hash arena traps if ever exceeded
+	}
+	return b
+}
+func (j *Join) Kind() string { return "hash join" }
+func (j *Join) Describe() string {
+	name := j.Label
+	if name == "" {
+		name = "hash join"
+	}
+	return fmt.Sprintf("%s (%s = %s)", name, PString(j.BuildKey), PString(j.ProbeKey))
+}
+
+// AggSpec is one aggregate computed by GroupBy / GroupJoin.
+type AggSpec struct {
+	Fn   AggFn
+	Arg  PExpr // over the input row; nil for count(*)
+	Name string
+}
+
+// GroupBy is a hash aggregation with up to two grouping keys.
+type GroupBy struct {
+	Input    Node
+	Keys     []PExpr
+	KeyMetas []ColMeta
+	Aggs     []AggSpec
+
+	Est float64
+}
+
+func (g *GroupBy) Out() []ColMeta {
+	out := append([]ColMeta{}, g.KeyMetas...)
+	for _, a := range g.Aggs {
+		out = append(out, ColMeta{Name: a.Name, Type: catalog.TInt})
+	}
+	return out
+}
+func (g *GroupBy) Children() []Node { return []Node{g.Input} }
+func (g *GroupBy) EstRows() float64 { return g.Est }
+func (g *GroupBy) BoundRows() int   { return g.Input.BoundRows() }
+func (g *GroupBy) Kind() string     { return "group by" }
+func (g *GroupBy) Describe() string {
+	parts := make([]string, len(g.Keys))
+	for i, k := range g.Keys {
+		parts[i] = PString(k)
+	}
+	return fmt.Sprintf("group by %s", strings.Join(parts, ", "))
+}
+
+// GroupJoin is the fused group-by + join physical operator (§5.4, [31]):
+// it builds one hash table on the build side's unique key, probes with the
+// probe side while updating aggregate state in place, and emits one row
+// per matched key. Aggregate arguments are over the *probe* row.
+type GroupJoin struct {
+	Build, Probe       Node
+	BuildKey, ProbeKey PExpr
+	KeyMeta            ColMeta
+	Aggs               []AggSpec
+
+	Est float64
+}
+
+func (g *GroupJoin) Out() []ColMeta {
+	out := []ColMeta{g.KeyMeta}
+	for _, a := range g.Aggs {
+		out = append(out, ColMeta{Name: a.Name, Type: catalog.TInt})
+	}
+	return out
+}
+func (g *GroupJoin) Children() []Node { return []Node{g.Build, g.Probe} }
+func (g *GroupJoin) EstRows() float64 { return g.Est }
+func (g *GroupJoin) BoundRows() int   { return g.Build.BoundRows() }
+func (g *GroupJoin) Kind() string     { return "groupjoin" }
+func (g *GroupJoin) Describe() string {
+	return fmt.Sprintf("groupjoin (%s = %s)", PString(g.BuildKey), PString(g.ProbeKey))
+}
+
+// Output is the plan root: final projections plus host-side order/limit.
+type Output struct {
+	Input Node
+	Exprs []PExpr
+	Names []string
+
+	// OrderBy are output-column indices to sort by (host-side); Desc
+	// flags parallel them. Limit < 0 means no limit.
+	OrderBy []int
+	Desc    []bool
+	Limit   int
+}
+
+func (o *Output) Out() []ColMeta {
+	out := make([]ColMeta, len(o.Exprs))
+	in := o.Input.Out()
+	for i, e := range o.Exprs {
+		m := ColMeta{Name: o.Names[i], Type: catalog.TInt}
+		if c, ok := e.(*PCol); ok {
+			m.Type = in[c.Pos].Type
+			m.Dict = in[c.Pos].Dict
+		}
+		out[i] = m
+	}
+	return out
+}
+func (o *Output) Children() []Node { return []Node{o.Input} }
+func (o *Output) EstRows() float64 { return o.Input.EstRows() }
+func (o *Output) BoundRows() int   { return o.Input.BoundRows() }
+func (o *Output) Kind() string     { return "output" }
+func (o *Output) Describe() string { return "output " + strings.Join(o.Names, ", ") }
+
+// RowLess builds the ORDER BY comparator over result rows: column indices
+// with descending flags, comparing dictionary-encoded strings by their
+// decoded text (SQL collation) and everything else numerically.
+func RowLess(orderBy []int, desc []bool, metas []ColMeta) func(a, b []int64) bool {
+	return func(x, y []int64) bool {
+		for k, col := range orderBy {
+			a, b := x[col], y[col]
+			if a == b {
+				continue
+			}
+			lt := a < b
+			if col < len(metas) && metas[col].Type == catalog.TStr && metas[col].Dict != nil {
+				lt = metas[col].Dict.String(a) < metas[col].Dict.String(b)
+				if metas[col].Dict.String(a) == metas[col].Dict.String(b) {
+					continue
+				}
+			}
+			if desc[k] {
+				return !lt
+			}
+			return lt
+		}
+		return false
+	}
+}
+
+// Walk visits the plan tree depth-first (children before node).
+func Walk(n Node, fn func(Node)) {
+	for _, c := range n.Children() {
+		Walk(c, fn)
+	}
+	fn(n)
+}
+
+// Render draws the plan tree as indented text, with an optional per-node
+// annotation (the profiler annotates operator cost percentages, Fig. 9b).
+func Render(n Node, annotate func(Node) string) string {
+	var sb strings.Builder
+	var rec func(n Node, depth int)
+	rec = func(n Node, depth int) {
+		ann := ""
+		if annotate != nil {
+			if a := annotate(n); a != "" {
+				ann = " " + a
+			}
+		}
+		fmt.Fprintf(&sb, "%s%s%s\n", strings.Repeat("  ", depth), n.Describe(), ann)
+		for _, c := range n.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(n, 0)
+	return sb.String()
+}

@@ -1,0 +1,426 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/catalog"
+)
+
+// TableRef names a table in the FROM clause.
+type TableRef struct{ Name, Alias string }
+
+// SelectItem is one projection.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// OrderItem is one ORDER BY entry (bound against the select list).
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Hints let experiments force specific physical plans (the optimizer
+// use case of Fig. 10 compares two hand-picked join orders).
+type Hints struct {
+	// ProbeBase forces the alias driving the probe pipeline.
+	ProbeBase string
+	// ProbeOrder forces the sequence of build-side aliases (probed in
+	// this order along the pipeline).
+	ProbeOrder []string
+	// NoGroupJoin disables group-join fusion.
+	NoGroupJoin bool
+}
+
+// Query is the bound-but-unplanned query form produced by the SQL parser
+// (or constructed programmatically by benchmarks).
+type Query struct {
+	Tables  []TableRef
+	Where   []Expr // conjuncts
+	Select  []SelectItem
+	GroupBy []Expr
+	OrderBy []OrderItem
+	Limit   int // <0: none
+	Hints   Hints
+}
+
+// schema tracks qualified column names → positions during planning.
+type schema struct {
+	cols []ColMeta
+}
+
+func (s *schema) find(qual, name string) (int, error) {
+	found := -1
+	for i, c := range s.cols {
+		if c.Name != name {
+			continue
+		}
+		if qual != "" && c.Qual != qual {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("plan: ambiguous column %q", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("plan: unknown column %s.%s", qual, name)
+	}
+	return found, nil
+}
+
+// bind resolves an expression against a schema.
+func bind(e Expr, s *schema) (PExpr, error) {
+	switch x := e.(type) {
+	case *Const:
+		return &PConst{Val: x.Val}, nil
+	case *ColRef:
+		pos, err := s.find(x.Qual, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		return &PCol{Pos: pos}, nil
+	case *StrConst:
+		return nil, fmt.Errorf("plan: string literal %q outside comparison", x.S)
+	case *Bin:
+		// String and date literals take their encoding from the column
+		// they are compared with.
+		if x.Op.IsComparison() {
+			if lit, col, flip, ok := litCmp(x); ok {
+				pcol, err := bind(col, s)
+				if err != nil {
+					return nil, err
+				}
+				pc, ok2 := pcol.(*PCol)
+				if !ok2 {
+					return nil, fmt.Errorf("plan: literal compared with non-column")
+				}
+				v, err := encodeLiteral(lit, s.cols[pc.Pos])
+				if err != nil {
+					return nil, err
+				}
+				l, r := PExpr(pcol), PExpr(&PConst{Val: v})
+				if flip {
+					l, r = r, l
+				}
+				return &PBin{Op: x.Op, L: l, R: r}, nil
+			}
+		}
+		l, err := bind(x.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bind(x.R, s)
+		if err != nil {
+			return nil, err
+		}
+		return &PBin{Op: x.Op, L: l, R: r}, nil
+	case *Agg:
+		return nil, fmt.Errorf("plan: aggregate %s in scalar context", x)
+	}
+	return nil, fmt.Errorf("plan: cannot bind %T", e)
+}
+
+// litCmp detects comparisons between a column and a string literal.
+func litCmp(b *Bin) (lit *StrConst, col Expr, flip, ok bool) {
+	if s, o := b.L.(*StrConst); o {
+		return s, b.R, true, true
+	}
+	if s, o := b.R.(*StrConst); o {
+		return s, b.L, false, true
+	}
+	return nil, nil, false, false
+}
+
+func encodeLiteral(lit *StrConst, meta ColMeta) (int64, error) {
+	switch meta.Type {
+	case catalog.TDate:
+		return catalog.ParseDate(lit.S)
+	case catalog.TStr:
+		if meta.Dict == nil {
+			return -1, nil
+		}
+		if id, ok := meta.Dict.Lookup(lit.S); ok {
+			return id, nil
+		}
+		return -1, nil // no row can match
+	default:
+		return 0, fmt.Errorf("plan: string literal %q compared with %s column", lit.S, meta.Type)
+	}
+}
+
+// exprCols collects all column references in an expression.
+func exprCols(e Expr, into *[]*ColRef) {
+	switch x := e.(type) {
+	case *ColRef:
+		*into = append(*into, x)
+	case *Bin:
+		exprCols(x.L, into)
+		exprCols(x.R, into)
+	case *Agg:
+		if x.Arg != nil {
+			exprCols(x.Arg, into)
+		}
+	}
+}
+
+// planner carries binding state.
+type planner struct {
+	cat     *catalog.Catalog
+	q       *Query
+	tables  map[string]*catalog.Table // by alias
+	aliases []string
+}
+
+// Plan turns a query into an optimized operator tree.
+func Plan(cat *catalog.Catalog, q *Query) (*Output, error) {
+	p := &planner{cat: cat, q: q, tables: map[string]*catalog.Table{}}
+	for _, tr := range q.Tables {
+		t, err := cat.Table(tr.Name)
+		if err != nil {
+			return nil, err
+		}
+		alias := tr.Alias
+		if alias == "" {
+			alias = tr.Name
+		}
+		if _, dup := p.tables[alias]; dup {
+			return nil, fmt.Errorf("plan: duplicate alias %q", alias)
+		}
+		p.tables[alias] = t
+		p.aliases = append(p.aliases, alias)
+	}
+	return p.plan()
+}
+
+// conjunct classification.
+type joinEdge struct {
+	aliasA, colA string
+	aliasB, colB string
+}
+
+func (p *planner) qualify(c *ColRef) (string, error) {
+	if c.Qual != "" {
+		if _, ok := p.tables[c.Qual]; !ok {
+			return "", fmt.Errorf("plan: unknown alias %q", c.Qual)
+		}
+		return c.Qual, nil
+	}
+	owner := ""
+	for _, a := range p.aliases {
+		if p.tables[a].Col(c.Name) != nil {
+			if owner != "" {
+				return "", fmt.Errorf("plan: ambiguous column %q", c.Name)
+			}
+			owner = a
+		}
+	}
+	if owner == "" {
+		return "", fmt.Errorf("plan: unknown column %q", c.Name)
+	}
+	return owner, nil
+}
+
+func (p *planner) plan() (*Output, error) {
+	// 1. Classify WHERE conjuncts into per-table filters and join edges.
+	filters := map[string][]Expr{}
+	var edges []joinEdge
+	for _, conj := range flattenAnd(p.q.Where) {
+		var refs []*ColRef
+		exprCols(conj, &refs)
+		seen := map[string]bool{}
+		for _, r := range refs {
+			a, err := p.qualify(r)
+			if err != nil {
+				return nil, err
+			}
+			seen[a] = true
+		}
+		switch len(seen) {
+		case 0:
+			return nil, fmt.Errorf("plan: constant predicate unsupported: %s", conj)
+		case 1:
+			for a := range seen {
+				filters[a] = append(filters[a], conj)
+			}
+		case 2:
+			b, ok := conj.(*Bin)
+			if !ok || b.Op != OpEq {
+				return nil, fmt.Errorf("plan: only equi-join predicates supported: %s", conj)
+			}
+			lc, lok := b.L.(*ColRef)
+			rc, rok := b.R.(*ColRef)
+			if !lok || !rok {
+				return nil, fmt.Errorf("plan: join predicate must compare columns: %s", conj)
+			}
+			la, _ := p.qualify(lc)
+			ra, _ := p.qualify(rc)
+			edges = append(edges, joinEdge{la, lc.Name, ra, rc.Name})
+		default:
+			return nil, fmt.Errorf("plan: predicate spans >2 tables: %s", conj)
+		}
+	}
+
+	// 2. Column requirements per alias.
+	req := p.requiredColumns()
+
+	// 3. Build scans.
+	scans := map[string]*Scan{}
+	for _, a := range p.aliases {
+		s, err := p.buildScan(a, req[a], filters[a])
+		if err != nil {
+			return nil, err
+		}
+		scans[a] = s
+	}
+
+	// 4. Join ordering.
+	cur, curSchema, err := p.joinTree(scans, edges)
+	if err != nil {
+		return nil, err
+	}
+
+	// 5. Aggregation.
+	top, topSchema, err := p.aggregate(cur, curSchema)
+	if err != nil {
+		return nil, err
+	}
+
+	// 6. Output projections + ORDER BY/LIMIT.
+	return p.output(top, topSchema)
+}
+
+func flattenAnd(conjs []Expr) []Expr {
+	var out []Expr
+	var rec func(e Expr)
+	rec = func(e Expr) {
+		if b, ok := e.(*Bin); ok && b.Op == OpAnd {
+			rec(b.L)
+			rec(b.R)
+			return
+		}
+		out = append(out, e)
+	}
+	for _, c := range conjs {
+		rec(c)
+	}
+	return out
+}
+
+// requiredColumns finds, per alias, the set of column names referenced
+// anywhere in the query.
+func (p *planner) requiredColumns() map[string]map[string]bool {
+	req := map[string]map[string]bool{}
+	for _, a := range p.aliases {
+		req[a] = map[string]bool{}
+	}
+	collect := func(e Expr) {
+		var refs []*ColRef
+		exprCols(e, &refs)
+		for _, r := range refs {
+			if a, err := p.qualify(r); err == nil {
+				req[a][r.Name] = true
+			}
+		}
+	}
+	for _, c := range p.q.Where {
+		collect(c)
+	}
+	for _, s := range p.q.Select {
+		collect(s.Expr)
+	}
+	for _, g := range p.q.GroupBy {
+		collect(g)
+	}
+	for _, o := range p.q.OrderBy {
+		collect(o.Expr)
+	}
+	return req
+}
+
+func (p *planner) buildScan(alias string, cols map[string]bool, filterExprs []Expr) (*Scan, error) {
+	t := p.tables[alias]
+	var idxs []int
+	for name := range cols {
+		ci := t.ColIndex(name)
+		if ci < 0 {
+			return nil, fmt.Errorf("plan: table %s has no column %s", t.Name, name)
+		}
+		idxs = append(idxs, ci)
+	}
+	sort.Ints(idxs)
+	if len(idxs) == 0 {
+		idxs = []int{0} // degenerate count(*)-style scan
+	}
+	s := &Scan{Table: t, Alias: alias, Cols: idxs}
+	sch := &schema{cols: s.Out()}
+	sel := 1.0
+	var filter PExpr
+	for _, fe := range filterExprs {
+		pf, err := bind(fe, sch)
+		if err != nil {
+			return nil, err
+		}
+		if filter == nil {
+			filter = pf
+		} else {
+			filter = &PBin{Op: OpAnd, L: filter, R: pf}
+		}
+		sel *= p.selectivity(s, pf)
+	}
+	s.Filter = filter
+	s.Est = float64(t.Rows()) * sel
+	if s.Est < 1 {
+		s.Est = 1
+	}
+	return s, nil
+}
+
+// selectivity estimates a predicate's pass fraction from column stats.
+func (p *planner) selectivity(s *Scan, f PExpr) float64 {
+	b, ok := f.(*PBin)
+	if !ok {
+		return 0.33
+	}
+	col, okc := b.L.(*PCol)
+	c, okv := b.R.(*PConst)
+	if !okc || !okv {
+		return 0.33
+	}
+	name := s.Out()[col.Pos].Name
+	st := s.Table.ColStats(name)
+	switch b.Op {
+	case OpEq:
+		if st.Distinct > 0 {
+			return 1.0 / float64(st.Distinct)
+		}
+		return 0.1
+	case OpLt, OpLe:
+		return rangeFraction(st, c.Val, true)
+	case OpGt, OpGe:
+		return rangeFraction(st, c.Val, false)
+	case OpNe:
+		return 0.9
+	default:
+		return 0.33
+	}
+}
+
+func rangeFraction(st catalog.Stats, v int64, below bool) float64 {
+	if st.Max <= st.Min {
+		return 0.5
+	}
+	f := float64(v-st.Min) / float64(st.Max-st.Min)
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	if below {
+		return f
+	}
+	return 1 - f
+}

@@ -1,0 +1,369 @@
+// Package queries defines the evaluation workload: every query the paper
+// shows (the introduction example of Fig. 3a, the domain-expert query of
+// Fig. 9a, the optimizer-study plans of Fig. 10, the TPC-H Q16 analogue of
+// the overhead experiment) plus a TPC-H-inspired suite standing in for
+// "all 22 TPC-H queries" in the attribution experiment (Table 2) — scoped
+// to the engine's supported features (one- or two-key grouping, equi-joins).
+package queries
+
+import "repro/internal/plan"
+
+// Workload is a named query.
+type Workload struct {
+	Name        string
+	Description string
+	Query       *plan.Query
+}
+
+func q(name, desc string, query *plan.Query) Workload {
+	if query.Limit == 0 {
+		query.Limit = -1
+	}
+	return Workload{Name: name, Description: desc, Query: query}
+}
+
+// Intro is the paper's Fig. 3a query; noGroupJoin disables the fused
+// physical operator so the plain join+group-by pipeline of Listing 1 is
+// generated.
+func Intro(noGroupJoin bool) Workload {
+	name := "intro"
+	if noGroupJoin {
+		name = "intro-nogj"
+	}
+	return q(name, "Fig. 3a: avg margin per product sold as 'Chip'", &plan.Query{
+		Tables: []plan.TableRef{{Name: "sales", Alias: "s"}, {Name: "products", Alias: "p"}},
+		Where: []plan.Expr{
+			plan.Eq(plan.Col("s.id"), plan.Col("p.id")),
+			plan.Eq(plan.Col("p.category"), plan.Str("Chip")),
+		},
+		Select: []plan.SelectItem{
+			{Expr: plan.Col("s.id")},
+			{Expr: &plan.Agg{Fn: plan.AggAvg, Arg: &plan.Bin{
+				Op: plan.OpDiv,
+				L:  &plan.Bin{Op: plan.OpDiv, L: plan.Col("s.price"), R: plan.Col("s.vat_factor")},
+				R:  plan.Col("s.prod_costs"),
+			}}, Alias: "avg_margin"},
+		},
+		GroupBy: []plan.Expr{plan.Col("s.id")},
+		Hints:   plan.Hints{NoGroupJoin: noGroupJoin},
+	})
+}
+
+// Fig9 is the domain-expert use case (§6.1).
+func Fig9() Workload {
+	return q("fig9", "Fig. 9a: avg extended price per order before 1995-04-01", &plan.Query{
+		Tables: []plan.TableRef{{Name: "lineitem"}, {Name: "orders"}},
+		Where: []plan.Expr{
+			plan.Lt(plan.Col("o_orderdate"), plan.Str("1995-04-01")),
+			plan.Eq(plan.Col("o_orderkey"), plan.Col("l_orderkey")),
+		},
+		Select: []plan.SelectItem{
+			{Expr: plan.Col("l_orderkey")},
+			{Expr: &plan.Agg{Fn: plan.AggAvg, Arg: plan.Col("l_extendedprice")}, Alias: "avg_price"},
+		},
+		GroupBy: []plan.Expr{plan.Col("l_orderkey")},
+		Hints:   plan.Hints{NoGroupJoin: true},
+	})
+}
+
+// Fig10 builds the optimizer use case (§6.1): a three-way join of
+// lineitem with orders (date-filtered) and partsupp, aggregated globally.
+// alt selects the alternative (faster) probe order of Fig. 10b.
+func Fig10(alt bool) Workload {
+	order := []string{"partsupp", "orders"} // original plan (Fig. 10a)
+	name := "fig10-opt"
+	if alt {
+		order = []string{"orders", "partsupp"} // alternative plan (Fig. 10b)
+		name = "fig10-alt"
+	}
+	return q(name, "Fig. 10: three-way join, two probe orders", &plan.Query{
+		Tables: []plan.TableRef{{Name: "lineitem"}, {Name: "orders"}, {Name: "partsupp"}},
+		Where: []plan.Expr{
+			plan.Eq(plan.Col("o_orderkey"), plan.Col("l_orderkey")),
+			plan.Eq(plan.Col("ps_partkey"), plan.Col("l_partkey")),
+			plan.Lt(plan.Col("o_orderdate"), plan.Str("1995-06-17")),
+		},
+		Select: []plan.SelectItem{
+			{Expr: &plan.Agg{Fn: plan.AggSum, Arg: &plan.Bin{
+				Op: plan.OpMul, L: plan.Col("ps_supplycost"), R: plan.Col("l_quantity"),
+			}}, Alias: "total_cost"},
+		},
+		Hints: plan.Hints{ProbeBase: "lineitem", ProbeOrder: order},
+	})
+}
+
+// Q16 approximates TPC-H Q16 (the overhead experiment's workload, §6.2):
+// brands of sizeable parts counted across suppliers.
+func Q16() Workload {
+	return q("q16", "TPC-H Q16 analogue: supplier count per brand", &plan.Query{
+		Tables: []plan.TableRef{{Name: "partsupp"}, {Name: "part"}},
+		Where: []plan.Expr{
+			plan.Eq(plan.Col("p_partkey"), plan.Col("ps_partkey")),
+			&plan.Bin{Op: plan.OpGt, L: plan.Col("p_size"), R: plan.Num(15)},
+		},
+		Select: []plan.SelectItem{
+			{Expr: plan.Col("p_brand")},
+			{Expr: &plan.Agg{Fn: plan.AggCount}, Alias: "supplier_cnt"},
+		},
+		GroupBy: []plan.Expr{plan.Col("p_brand")},
+		OrderBy: []plan.OrderItem{{Expr: plan.Col("p_brand")}},
+	})
+}
+
+// Suite returns the full workload used for the attribution and
+// register-reservation experiments (the paper runs all TPC-H queries).
+func Suite() []Workload {
+	ws := []Workload{
+		Intro(true),
+		Intro(false),
+		Fig9(),
+		Fig10(false),
+		Fig10(true),
+		Q16(),
+
+		q("q1", "TPC-H Q1 analogue: pricing summary per returnflag/linestatus", &plan.Query{
+			Tables: []plan.TableRef{{Name: "lineitem"}},
+			Where: []plan.Expr{
+				&plan.Bin{Op: plan.OpLe, L: plan.Col("l_shipdate"), R: plan.Str("1998-09-02")},
+			},
+			Select: []plan.SelectItem{
+				{Expr: plan.Col("l_returnflag")},
+				{Expr: plan.Col("l_linestatus")},
+				{Expr: &plan.Agg{Fn: plan.AggSum, Arg: plan.Col("l_quantity")}, Alias: "sum_qty"},
+				{Expr: &plan.Agg{Fn: plan.AggSum, Arg: plan.Col("l_extendedprice")}, Alias: "sum_price"},
+				{Expr: &plan.Agg{Fn: plan.AggAvg, Arg: plan.Col("l_quantity")}, Alias: "avg_qty"},
+				{Expr: &plan.Agg{Fn: plan.AggAvg, Arg: plan.Col("l_extendedprice")}, Alias: "avg_price"},
+				{Expr: &plan.Agg{Fn: plan.AggCount}, Alias: "count_order"},
+			},
+			GroupBy: []plan.Expr{plan.Col("l_returnflag"), plan.Col("l_linestatus")},
+			OrderBy: []plan.OrderItem{{Expr: plan.Col("l_returnflag")}, {Expr: plan.Col("l_linestatus")}},
+		}),
+
+		q("q3", "TPC-H Q3 analogue: revenue per order for a market segment", &plan.Query{
+			Tables: []plan.TableRef{{Name: "customer"}, {Name: "orders"}, {Name: "lineitem"}},
+			Where: []plan.Expr{
+				plan.Eq(plan.Col("c_mktsegment"), plan.Str("BUILDING")),
+				plan.Eq(plan.Col("c_custkey"), plan.Col("o_custkey")),
+				plan.Eq(plan.Col("l_orderkey"), plan.Col("o_orderkey")),
+				plan.Lt(plan.Col("o_orderdate"), plan.Str("1995-03-15")),
+			},
+			Select: []plan.SelectItem{
+				{Expr: plan.Col("l_orderkey")},
+				{Expr: &plan.Agg{Fn: plan.AggSum, Arg: plan.Col("l_extendedprice")}, Alias: "revenue"},
+			},
+			GroupBy: []plan.Expr{plan.Col("l_orderkey")},
+		}),
+
+		q("q5", "TPC-H Q5 analogue: revenue per supplier nation", &plan.Query{
+			Tables: []plan.TableRef{
+				{Name: "customer"}, {Name: "orders"}, {Name: "lineitem"}, {Name: "supplier"},
+			},
+			Where: []plan.Expr{
+				plan.Eq(plan.Col("c_custkey"), plan.Col("o_custkey")),
+				plan.Eq(plan.Col("l_orderkey"), plan.Col("o_orderkey")),
+				plan.Eq(plan.Col("l_suppkey"), plan.Col("s_suppkey")),
+				&plan.Bin{Op: plan.OpGe, L: plan.Col("o_orderdate"), R: plan.Str("1994-01-01")},
+			},
+			Select: []plan.SelectItem{
+				{Expr: plan.Col("s_nationkey")},
+				{Expr: &plan.Agg{Fn: plan.AggSum, Arg: plan.Col("l_extendedprice")}, Alias: "revenue"},
+			},
+			GroupBy: []plan.Expr{plan.Col("s_nationkey")},
+			Hints:   plan.Hints{ProbeBase: "lineitem"},
+		}),
+
+		q("q6", "TPC-H Q6 analogue: forecast revenue change", &plan.Query{
+			Tables: []plan.TableRef{{Name: "lineitem"}},
+			Where: []plan.Expr{
+				&plan.Bin{Op: plan.OpGe, L: plan.Col("l_shipdate"), R: plan.Str("1994-01-01")},
+				plan.Lt(plan.Col("l_shipdate"), plan.Str("1995-01-01")),
+				&plan.Bin{Op: plan.OpGe, L: plan.Col("l_discount"), R: plan.Num(5)},
+				&plan.Bin{Op: plan.OpLe, L: plan.Col("l_discount"), R: plan.Num(7)},
+				plan.Lt(plan.Col("l_quantity"), plan.Num(24)),
+			},
+			Select: []plan.SelectItem{
+				{Expr: &plan.Agg{Fn: plan.AggSum, Arg: &plan.Bin{
+					Op: plan.OpMul, L: plan.Col("l_extendedprice"), R: plan.Col("l_discount"),
+				}}, Alias: "revenue"},
+			},
+		}),
+
+		q("q10", "TPC-H Q10 analogue: revenue per customer", &plan.Query{
+			Tables: []plan.TableRef{{Name: "customer"}, {Name: "orders"}, {Name: "lineitem"}},
+			Where: []plan.Expr{
+				plan.Eq(plan.Col("c_custkey"), plan.Col("o_custkey")),
+				plan.Eq(plan.Col("l_orderkey"), plan.Col("o_orderkey")),
+				&plan.Bin{Op: plan.OpGe, L: plan.Col("o_orderdate"), R: plan.Str("1993-10-01")},
+			},
+			Select: []plan.SelectItem{
+				{Expr: plan.Col("o_custkey")},
+				{Expr: &plan.Agg{Fn: plan.AggSum, Arg: plan.Col("l_extendedprice")}, Alias: "revenue"},
+			},
+			GroupBy: []plan.Expr{plan.Col("o_custkey")},
+		}),
+
+		q("q12", "TPC-H Q12 analogue: line counts per order in a ship window", &plan.Query{
+			Tables: []plan.TableRef{{Name: "orders"}, {Name: "lineitem"}},
+			Where: []plan.Expr{
+				plan.Eq(plan.Col("l_orderkey"), plan.Col("o_orderkey")),
+				&plan.Bin{Op: plan.OpGe, L: plan.Col("l_shipdate"), R: plan.Str("1994-01-01")},
+				plan.Lt(plan.Col("l_shipdate"), plan.Str("1995-01-01")),
+			},
+			Select: []plan.SelectItem{
+				{Expr: plan.Col("o_orderkey")},
+				{Expr: &plan.Agg{Fn: plan.AggCount}, Alias: "line_count"},
+			},
+			GroupBy: []plan.Expr{plan.Col("o_orderkey")},
+		}),
+
+		q("q14", "TPC-H Q14 analogue: revenue of large parts", &plan.Query{
+			Tables: []plan.TableRef{{Name: "lineitem"}, {Name: "part"}},
+			Where: []plan.Expr{
+				plan.Eq(plan.Col("l_partkey"), plan.Col("p_partkey")),
+				&plan.Bin{Op: plan.OpGe, L: plan.Col("l_shipdate"), R: plan.Str("1995-09-01")},
+				plan.Lt(plan.Col("l_shipdate"), plan.Str("1995-10-01")),
+			},
+			Select: []plan.SelectItem{
+				{Expr: &plan.Agg{Fn: plan.AggSum, Arg: plan.Col("l_extendedprice")}, Alias: "revenue"},
+				{Expr: &plan.Agg{Fn: plan.AggCount}, Alias: "lines"},
+			},
+		}),
+
+		q("q18", "TPC-H Q18 analogue: total quantity per order", &plan.Query{
+			Tables: []plan.TableRef{{Name: "lineitem"}},
+			Select: []plan.SelectItem{
+				{Expr: plan.Col("l_orderkey")},
+				{Expr: &plan.Agg{Fn: plan.AggSum, Arg: plan.Col("l_quantity")}, Alias: "total_qty"},
+				{Expr: &plan.Agg{Fn: plan.AggMax, Arg: plan.Col("l_quantity")}, Alias: "max_qty"},
+				{Expr: &plan.Agg{Fn: plan.AggMin, Arg: plan.Col("l_quantity")}, Alias: "min_qty"},
+			},
+			GroupBy: []plan.Expr{plan.Col("l_orderkey")},
+		}),
+
+		q("q19", "TPC-H Q19 analogue: discounted revenue of small shipments", &plan.Query{
+			Tables: []plan.TableRef{{Name: "lineitem"}, {Name: "part"}},
+			Where: []plan.Expr{
+				plan.Eq(plan.Col("l_partkey"), plan.Col("p_partkey")),
+				plan.Lt(plan.Col("p_size"), plan.Num(10)),
+				plan.Lt(plan.Col("l_quantity"), plan.Num(12)),
+			},
+			Select: []plan.SelectItem{
+				{Expr: &plan.Agg{Fn: plan.AggSum, Arg: plan.Col("l_extendedprice")}, Alias: "revenue"},
+			},
+		}),
+
+		q("q7", "TPC-H Q7 analogue: shipping volume per supplier nation", &plan.Query{
+			Tables: []plan.TableRef{{Name: "supplier"}, {Name: "lineitem"}, {Name: "orders"}},
+			Where: []plan.Expr{
+				plan.Eq(plan.Col("s_suppkey"), plan.Col("l_suppkey")),
+				plan.Eq(plan.Col("o_orderkey"), plan.Col("l_orderkey")),
+				&plan.Bin{Op: plan.OpGe, L: plan.Col("l_shipdate"), R: plan.Str("1995-01-01")},
+				&plan.Bin{Op: plan.OpLe, L: plan.Col("l_shipdate"), R: plan.Str("1996-12-31")},
+			},
+			Select: []plan.SelectItem{
+				{Expr: plan.Col("s_nationkey")},
+				{Expr: &plan.Agg{Fn: plan.AggSum, Arg: plan.Col("l_extendedprice")}, Alias: "volume"},
+			},
+			GroupBy: []plan.Expr{plan.Col("s_nationkey")},
+			Hints:   plan.Hints{ProbeBase: "lineitem"},
+		}),
+
+		q("q9", "TPC-H Q9 analogue: discounted profit per brand", &plan.Query{
+			Tables: []plan.TableRef{{Name: "part"}, {Name: "lineitem"}},
+			Where: []plan.Expr{
+				plan.Eq(plan.Col("p_partkey"), plan.Col("l_partkey")),
+			},
+			Select: []plan.SelectItem{
+				{Expr: plan.Col("p_brand")},
+				{Expr: &plan.Agg{Fn: plan.AggSum, Arg: &plan.Bin{
+					Op: plan.OpMul,
+					L:  plan.Col("l_extendedprice"),
+					R:  &plan.Bin{Op: plan.OpSub, L: plan.Num(100), R: plan.Col("l_discount")},
+				}}, Alias: "profit"},
+			},
+			GroupBy: []plan.Expr{plan.Col("p_brand")},
+		}),
+
+		q("q11", "TPC-H Q11 analogue: stock value per part", &plan.Query{
+			Tables: []plan.TableRef{{Name: "partsupp"}, {Name: "supplier"}},
+			Where: []plan.Expr{
+				plan.Eq(plan.Col("ps_suppkey"), plan.Col("s_suppkey")),
+				&plan.Bin{Op: plan.OpGe, L: plan.Col("s_acctbal"), R: plan.Num(0)},
+			},
+			Select: []plan.SelectItem{
+				{Expr: plan.Col("ps_partkey")},
+				{Expr: &plan.Agg{Fn: plan.AggSum, Arg: &plan.Bin{
+					Op: plan.OpMul, L: plan.Col("ps_supplycost"), R: plan.Col("ps_availqty"),
+				}}, Alias: "value"},
+			},
+			GroupBy: []plan.Expr{plan.Col("ps_partkey")},
+			Hints:   plan.Hints{ProbeBase: "partsupp"},
+		}),
+
+		q("q13", "TPC-H Q13 analogue: order count per customer", &plan.Query{
+			Tables: []plan.TableRef{{Name: "customer"}, {Name: "orders"}},
+			Where: []plan.Expr{
+				plan.Eq(plan.Col("c_custkey"), plan.Col("o_custkey")),
+			},
+			Select: []plan.SelectItem{
+				{Expr: plan.Col("o_custkey")},
+				{Expr: &plan.Agg{Fn: plan.AggCount}, Alias: "orders"},
+			},
+			GroupBy: []plan.Expr{plan.Col("o_custkey")},
+			Hints:   plan.Hints{ProbeBase: "orders"},
+		}),
+
+		q("q15", "TPC-H Q15 analogue: quarterly revenue per supplier", &plan.Query{
+			Tables: []plan.TableRef{{Name: "lineitem"}},
+			Where: []plan.Expr{
+				&plan.Bin{Op: plan.OpGe, L: plan.Col("l_shipdate"), R: plan.Str("1996-01-01")},
+				plan.Lt(plan.Col("l_shipdate"), plan.Str("1996-04-01")),
+			},
+			Select: []plan.SelectItem{
+				{Expr: plan.Col("l_suppkey")},
+				{Expr: &plan.Agg{Fn: plan.AggSum, Arg: plan.Col("l_extendedprice")}, Alias: "revenue"},
+			},
+			GroupBy: []plan.Expr{plan.Col("l_suppkey")},
+			OrderBy: []plan.OrderItem{{Expr: &plan.Agg{Fn: plan.AggSum, Arg: plan.Col("l_extendedprice")}, Desc: true}},
+			Limit:   10,
+		}),
+
+		q("q17", "TPC-H Q17 analogue: small-order revenue for one category", &plan.Query{
+			Tables: []plan.TableRef{{Name: "part"}, {Name: "lineitem"}},
+			Where: []plan.Expr{
+				plan.Eq(plan.Col("p_partkey"), plan.Col("l_partkey")),
+				plan.Eq(plan.Col("p_category"), plan.Str("Board")),
+				plan.Lt(plan.Col("l_quantity"), plan.Num(5)),
+			},
+			Select: []plan.SelectItem{
+				{Expr: &plan.Agg{Fn: plan.AggAvg, Arg: plan.Col("l_extendedprice")}, Alias: "avg_revenue"},
+				{Expr: &plan.Agg{Fn: plan.AggCount}, Alias: "lines"},
+			},
+		}),
+
+		q("topk", "top orders by total price (scan + host-side sort)", &plan.Query{
+			Tables: []plan.TableRef{{Name: "orders"}},
+			Where: []plan.Expr{
+				&plan.Bin{Op: plan.OpGt, L: plan.Col("o_totalprice"), R: plan.Num(400000)},
+			},
+			Select: []plan.SelectItem{
+				{Expr: plan.Col("o_orderkey")},
+				{Expr: plan.Col("o_orderdate")},
+				{Expr: plan.Col("o_totalprice")},
+			},
+			OrderBy: []plan.OrderItem{{Expr: plan.Col("o_totalprice"), Desc: true}},
+			Limit:   25,
+		}),
+	}
+	return ws
+}
+
+// ByName finds a workload in the suite.
+func ByName(name string) (Workload, bool) {
+	for _, w := range Suite() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}

@@ -1,0 +1,71 @@
+package queries
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/plan"
+)
+
+func TestSuiteUniqueNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range Suite() {
+		if w.Name == "" || w.Description == "" {
+			t.Errorf("workload with empty name/description: %+v", w)
+		}
+		if seen[w.Name] {
+			t.Errorf("duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
+	}
+}
+
+func TestSuiteAllPlannable(t *testing.T) {
+	cat := datagen.Generate(datagen.Config{ScaleFactor: 0.1, Seed: 1})
+	for _, w := range Suite() {
+		if _, err := plan.Plan(cat, w.Query); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("fig9"); !ok {
+		t.Fatal("fig9 missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("bogus name found")
+	}
+}
+
+func TestFig10PlansDiffer(t *testing.T) {
+	a, b := Fig10(false), Fig10(true)
+	if a.Query.Hints.ProbeOrder[0] == b.Query.Hints.ProbeOrder[0] {
+		t.Fatal("fig10 variants share a probe order")
+	}
+}
+
+func TestIntroVariants(t *testing.T) {
+	if !Intro(true).Query.Hints.NoGroupJoin {
+		t.Fatal("intro-nogj lacks hint")
+	}
+	if Intro(false).Query.Hints.NoGroupJoin {
+		t.Fatal("intro should allow fusion")
+	}
+}
+
+func TestLimitsDefaulted(t *testing.T) {
+	for _, w := range Suite() {
+		if w.Query.Limit == 0 {
+			t.Errorf("%s: zero limit would return no rows", w.Name)
+		}
+	}
+}
+
+// TestSuiteHasTwentyTwoQueries mirrors the paper's evaluation breadth
+// ("all 22 TPC-H queries").
+func TestSuiteHasTwentyTwoQueries(t *testing.T) {
+	if got := len(Suite()); got != 22 {
+		t.Fatalf("suite has %d workloads, want 22", got)
+	}
+}

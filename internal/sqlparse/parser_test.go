@@ -1,0 +1,153 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+// TestParsePaperQuery parses the paper's Fig. 3a query verbatim.
+func TestParsePaperQuery(t *testing.T) {
+	q, err := Parse(`
+		Select s.id,
+		       avg(s.price /
+		           s.vat_factor /
+		           s.prod_costs)
+		From sales s, products p
+		Where s.id = p.id and
+		      p.category = 'Chip'
+		Group By s.id;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Tables) != 2 || q.Tables[0].Name != "sales" || q.Tables[0].Alias != "s" {
+		t.Fatalf("tables: %+v", q.Tables)
+	}
+	if len(q.Select) != 2 {
+		t.Fatalf("select: %+v", q.Select)
+	}
+	agg, ok := q.Select[1].Expr.(*plan.Agg)
+	if !ok || agg.Fn != plan.AggAvg {
+		t.Fatalf("second item not avg: %v", q.Select[1].Expr)
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0].String() != "s.id" {
+		t.Fatalf("group by: %v", q.GroupBy)
+	}
+	if len(q.Where) != 1 {
+		t.Fatalf("where: %v", q.Where)
+	}
+	conj, ok := q.Where[0].(*plan.Bin)
+	if !ok || conj.Op != plan.OpAnd {
+		t.Fatalf("where root should be AND: %v", q.Where[0])
+	}
+}
+
+func TestParseFig9Query(t *testing.T) {
+	q, err := Parse(`
+		Select l_orderkey,
+		       avg(l_extendedprice)
+		From lineitem, orders
+		Where o_orderdate < '1995-04-01'
+		  and o_orderkey = l_orderkey
+		Group By l_orderkey;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Tables) != 2 {
+		t.Fatalf("tables: %+v", q.Tables)
+	}
+	lit, ok := q.Where[0].(*plan.Bin).L.(*plan.Bin)
+	if !ok || lit.Op != plan.OpLt {
+		t.Fatalf("date predicate shape: %v", q.Where[0])
+	}
+	if s, ok := lit.R.(*plan.StrConst); !ok || s.S != "1995-04-01" {
+		t.Fatalf("date literal: %v", lit.R)
+	}
+}
+
+func TestParseFeatures(t *testing.T) {
+	cases := []string{
+		"select 1 + 2 * 3 from orders",
+		"select count(*) from lineitem where l_quantity < 24",
+		"select o_orderkey k, o_totalprice from orders order by o_totalprice desc, o_orderkey limit 10",
+		"select sum(l_extendedprice * (100 - l_discount)) as rev from lineitem",
+		"select min(l_quantity), max(l_quantity) from lineitem group by l_orderkey",
+		"select o_orderkey from orders where o_totalprice >= 100 and (o_orderdate < '1995-01-01' or o_orderdate >= '1997-01-01')",
+		"select -l_discount from lineitem",
+		"select o_orderkey from orders o where o.o_custkey <> 5",
+		"select o_orderkey from orders -- trailing comment\n",
+		"select x from t where s = 'it''s quoted'",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("%q: %v", src, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"select",
+		"select from t",
+		"select a from",
+		"select a from t where",
+		"select a from t limit x",
+		"select a from t order by",
+		"select sum(*) from t",
+		"select a from t alias junk",
+		"select 'unterminated from t",
+		"select a from t where a = 1 ; extra",
+		"select a ? from t",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	q, err := Parse("select a + b * c - d from t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := q.Select[0].Expr.String()
+	want := "((a + (b * c)) - d)"
+	if got != want {
+		t.Fatalf("precedence: got %s, want %s", got, want)
+	}
+	q, err = Parse("select x from t where a = 1 and b = 2 or c = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(q.Where[0].String(), "(((a = 1) and (b = 2)) or") {
+		t.Fatalf("and/or precedence: %s", q.Where[0])
+	}
+}
+
+// TestParseTwoKeyGroupBy parses the TPC-H Q1 shape end to end.
+func TestParseTwoKeyGroupBy(t *testing.T) {
+	q, err := Parse(`
+		select l_returnflag, l_linestatus,
+		       sum(l_quantity) as sum_qty,
+		       avg(l_extendedprice) as avg_price,
+		       count(*) as count_order
+		from lineitem
+		where l_shipdate <= '1998-09-02'
+		group by l_returnflag, l_linestatus
+		order by l_returnflag, l_linestatus`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.GroupBy) != 2 {
+		t.Fatalf("group keys = %d", len(q.GroupBy))
+	}
+	if len(q.OrderBy) != 2 || q.OrderBy[0].Desc {
+		t.Fatalf("order by = %+v", q.OrderBy)
+	}
+	if len(q.Select) != 5 {
+		t.Fatalf("select = %d items", len(q.Select))
+	}
+}

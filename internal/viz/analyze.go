@@ -1,0 +1,76 @@
+package viz
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/plan"
+)
+
+// outputRole picks, per operator, the task whose counter represents the
+// operator's emitted rows (EXPLAIN ANALYZE semantics): the group scan for
+// aggregations, the probe for joins, the plain scan for tables.
+var outputRolePriority = []string{"output", "htscan", "probe", "gj-join", "filter", "scan", "build", "aggregate"}
+
+// OperatorRows resolves per-operator output-row counts from per-task
+// counters.
+func OperatorRows(pc *pipeline.Compiled, counts map[core.ComponentID]int64) map[core.ComponentID]int64 {
+	// Group tasks by operator.
+	byOp := map[core.ComponentID]map[string]int64{}
+	for _, task := range pc.Registry.ByLevel(core.LevelTask) {
+		n, ok := counts[task.ID]
+		if !ok {
+			continue
+		}
+		op := pc.Dict.OperatorOf(task.ID)
+		if byOp[op] == nil {
+			byOp[op] = map[string]int64{}
+		}
+		byOp[op][task.Kind] = n
+	}
+	out := map[core.ComponentID]int64{}
+	for op, kinds := range byOp {
+		for _, role := range outputRolePriority {
+			if n, ok := kinds[role]; ok {
+				out[op] = n
+				break
+			}
+		}
+	}
+	return out
+}
+
+// AnalyzedPlan renders the plan annotated with EXPLAIN ANALYZE tuple
+// counts and, when a profile is supplied, the sampled time share next to
+// them — the §6.1 comparison: "even though the tuple count is a decent
+// approximation, our sampling approach captures the actual time spent in
+// each operator."
+func AnalyzedPlan(pl *plan.Output, pc *pipeline.Compiled, counts map[core.ComponentID]int64, p *core.Profile) string {
+	rows := OperatorRows(pc, counts)
+	return plan.Render(pl, func(n plan.Node) string {
+		id, ok := pc.OpIDs[n]
+		if !ok {
+			return ""
+		}
+		out := fmt.Sprintf("[rows=%d]", rows[id])
+		if fid, ok := pc.FilterOpIDs[n]; ok {
+			out += fmt.Sprintf(" [σ rows=%d]", rows[fid])
+		}
+		if p != nil && p.TotalSamples > 0 {
+			out += fmt.Sprintf(" (time %.1f%%)", p.OpPct(id))
+		}
+		return out
+	})
+}
+
+// TaskRowTable renders the raw per-task counters.
+func TaskRowTable(pc *pipeline.Compiled, counts map[core.ComponentID]int64) string {
+	out := fmt.Sprintf("%-36s %12s\n", "task", "rows")
+	for _, task := range pc.Registry.ByLevel(core.LevelTask) {
+		if n, ok := counts[task.ID]; ok {
+			out += fmt.Sprintf("%-36s %12d\n", task.Name, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/pmu"
+	"repro/internal/queries"
+	"repro/internal/vm"
+)
+
+// TestAnalyzedPlanRendering: the combined rows+time view renders.
+func TestAnalyzedPlanRendering(t *testing.T) {
+	cat := datagen.Generate(datagen.Config{ScaleFactor: 0.2, Seed: 11})
+	opts := engine.DefaultOptions()
+	opts.TupleCounters = true
+	e := engine.New(cat, opts)
+	cq, err := e.CompileQuery(queries.Fig9().Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(cq, &pmu.Config{Event: vm.EvCycles, Period: 997, Format: pmu.FormatIPTimeRegs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := AnalyzedPlan(cq.Plan, cq.Pipe, res.TupleCounts, res.Profile)
+	if !strings.Contains(out, "rows=") || !strings.Contains(out, "time") {
+		t.Fatalf("analyzed plan incomplete:\n%s", out)
+	}
+	table := TaskRowTable(cq.Pipe, res.TupleCounts)
+	if !strings.Contains(table, "probe(join orders)") {
+		t.Fatalf("task table incomplete:\n%s", table)
+	}
+}

@@ -1,0 +1,53 @@
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// FoldedStacks renders the profile in Brendan Gregg's collapsed-stack
+// format — `operator;task count` per line — consumable by flamegraph.pl
+// and compatible viewers. The abstraction hierarchy (operator → task)
+// takes the place of call frames, which is exactly the paper's pitch:
+// stacks of *components*, not functions.
+func FoldedStacks(p *core.Profile) string {
+	type frame struct{ op, task string }
+	weights := map[frame]float64{}
+	for id, w := range p.TaskWeight {
+		task := p.Registry.Get(id)
+		op := p.Dict.OperatorOf(id)
+		weights[frame{p.Registry.Name(op), task.Name}] += w
+	}
+	frames := make([]frame, 0, len(weights))
+	for f := range weights {
+		frames = append(frames, f)
+	}
+	sort.Slice(frames, func(i, j int) bool {
+		if frames[i].op != frames[j].op {
+			return frames[i].op < frames[j].op
+		}
+		return frames[i].task < frames[j].task
+	})
+	var sb strings.Builder
+	for _, f := range frames {
+		n := int(weights[f] + 0.5)
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "%s;%s %d\n", sanitizeFrame(f.op), sanitizeFrame(f.task), n)
+	}
+	if p.Unattributed >= 0.5 {
+		fmt.Fprintf(&sb, "[unattributed] %d\n", int(p.Unattributed+0.5))
+	}
+	return sb.String()
+}
+
+// sanitizeFrame strips the separator characters the collapsed format
+// reserves.
+func sanitizeFrame(s string) string {
+	s = strings.ReplaceAll(s, ";", ",")
+	return strings.ReplaceAll(s, " ", "_")
+}

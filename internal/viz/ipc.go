@@ -1,0 +1,88 @@
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// IPCRow is one operator's instructions-per-cycle estimate, derived from
+// two profiles of the same query: one sampling cycles, one sampling
+// retired instructions (the paper's Fig. 1 sketches exactly this kind of
+// per-operator micro-architectural annotation, "IPC (15%)").
+type IPCRow struct {
+	Operator string
+	CyclePct float64
+	InstrPct float64
+	IPC      float64
+}
+
+// IPCTable combines a cycles profile and an instructions profile into
+// per-operator IPC. instrTotal and cycleTotal are the run's absolute
+// counters (instructions retired, cycles), used to scale the shares.
+func IPCTable(cycles, instrs *core.Profile, cycleTotal, instrTotal uint64) ([]IPCRow, string) {
+	type agg struct{ c, i float64 }
+	byName := map[string]*agg{}
+	for _, r := range cycles.OperatorCosts() {
+		a := byName[r.Name]
+		if a == nil {
+			a = &agg{}
+			byName[r.Name] = a
+		}
+		a.c = r.Pct / 100
+	}
+	for _, r := range instrs.OperatorCosts() {
+		a := byName[r.Name]
+		if a == nil {
+			a = &agg{}
+			byName[r.Name] = a
+		}
+		a.i = r.Pct / 100
+	}
+	var rows []IPCRow
+	for name, a := range byName {
+		row := IPCRow{Operator: name, CyclePct: 100 * a.c, InstrPct: 100 * a.i}
+		if a.c > 0 {
+			row.IPC = (a.i * float64(instrTotal)) / (a.c * float64(cycleTotal))
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].CyclePct > rows[j].CyclePct })
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s %10s %10s %8s\n", "operator", "cycles", "instrs", "IPC")
+	for _, r := range rows {
+		if r.CyclePct < 0.05 && r.InstrPct < 0.05 {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-28s %9.1f%% %9.1f%% %8.2f\n", r.Operator, r.CyclePct, r.InstrPct, r.IPC)
+	}
+	fmt.Fprintf(&sb, "%-28s %21s %8.2f\n", "whole query", "", float64(instrTotal)/float64(cycleTotal))
+	return rows, sb.String()
+}
+
+// SampleDump renders samples as TSV (the perf-script analogue the paper's
+// pipeline consumes): ip, tsc, event, operator attribution, address, tag.
+func SampleDump(samples []core.Sample, att *core.Attributor, max int) string {
+	var sb strings.Builder
+	sb.WriteString("ip\ttsc\tevent\toperator\taddr\ttag\n")
+	n := len(samples)
+	if max > 0 && n > max {
+		n = max
+	}
+	for i := 0; i < n; i++ {
+		s := &samples[i]
+		a := att.Attribute(s)
+		op := "<none>"
+		if len(a.Credits) > 0 {
+			op = att.Dict.Registry.Name(a.Credits[0].Operator)
+		}
+		fmt.Fprintf(&sb, "%d\t%d\t%s\t%s\t%d\t%d\n", s.IP, s.TSC, s.Event, op, s.Addr, s.Tag)
+	}
+	if n < len(samples) {
+		fmt.Fprintf(&sb, "... (%d samples total)\n", len(samples))
+	}
+	return sb.String()
+}

@@ -1,0 +1,109 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/pmu"
+	"repro/internal/queries"
+	"repro/internal/vm"
+)
+
+func TestIPCTable(t *testing.T) {
+	cat := datagen.Generate(datagen.Config{ScaleFactor: 0.3, Seed: 11})
+	eng := engine.New(cat, engine.DefaultOptions())
+	w, _ := queries.ByName("fig9")
+	cqc, err := eng.CompileQuery(w.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resc, err := eng.Run(cqc, &pmu.Config{Event: vm.EvCycles, Period: 499, Format: pmu.FormatIPTimeRegs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resi, err := eng.Run(cqc, &pmu.Config{
+		Event: vm.EvInstRetired, Period: 499, Format: pmu.FormatIPTimeRegs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, table := IPCTable(resc.Profile, resi.Profile, resc.Stats.Cycles, resc.Stats.Instructions)
+	if len(rows) < 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !strings.Contains(table, "whole query") || !strings.Contains(table, "IPC") {
+		t.Fatalf("table:\n%s", table)
+	}
+	// Whole-query IPC is ≤ 1 on the in-order model (min 1 cycle/instr).
+	whole := float64(resc.Stats.Instructions) / float64(resc.Stats.Cycles)
+	if whole > 1 {
+		t.Fatalf("whole-query IPC %f > 1", whole)
+	}
+	// The sequential scans should beat the pointer-chasing join.
+	var scanIPC, joinIPC float64
+	for _, r := range rows {
+		switch r.Operator {
+		case "tablescan lineitem":
+			scanIPC = r.IPC
+		case "join orders":
+			joinIPC = r.IPC
+		}
+	}
+	if scanIPC <= joinIPC {
+		t.Errorf("scan IPC (%f) should exceed join IPC (%f)", scanIPC, joinIPC)
+	}
+}
+
+func TestSampleDump(t *testing.T) {
+	cq, res := profiled(t, "intro-nogj", vm.EvCycles)
+	att := core.NewAttributor(cq.Pipe.Dict, cq.Code.NMap)
+	out := SampleDump(res.Samples, att, 50)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("dump too short:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "ip\ttsc") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(out, "samples total") {
+		t.Fatal("truncation note missing")
+	}
+	// Every data row has 6 tab-separated fields.
+	for _, l := range lines[1:51] {
+		if strings.Count(l, "\t") != 5 {
+			t.Fatalf("malformed row: %q", l)
+		}
+	}
+}
+
+func TestFoldedStacks(t *testing.T) {
+	_, res := profiled(t, "fig9", vm.EvCycles)
+	out := FoldedStacks(res.Profile)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("folded output too short:\n%s", out)
+	}
+	total := 0
+	for _, l := range lines {
+		parts := strings.Split(l, " ")
+		if len(parts) != 2 {
+			t.Fatalf("malformed folded line %q", l)
+		}
+		var n int
+		if _, err := fmt.Sscan(parts[1], &n); err != nil || n <= 0 {
+			t.Fatalf("bad count in %q", l)
+		}
+		total += n
+		if !strings.Contains(parts[0], ";") && parts[0] != "[unattributed]" {
+			t.Fatalf("frame without hierarchy: %q", l)
+		}
+	}
+	// Counts sum approximately to the sample total (rounding per frame).
+	if diff := total - res.Profile.TotalSamples; diff > 20 || diff < -20 {
+		t.Fatalf("folded counts %d vs samples %d", total, res.Profile.TotalSamples)
+	}
+}

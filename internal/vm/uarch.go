@@ -1,0 +1,131 @@
+package vm
+
+// Microarchitectural models: a three-level set-associative cache hierarchy
+// and a table of 2-bit saturating branch-prediction counters. These give the
+// simulated CPU the performance phenomena the paper's use cases depend on:
+// widespread hash-table accesses miss caches (Fig. 12's memory profiles,
+// cache-miss events) and data-dependent branch behaviour separates the two
+// query plans of Fig. 10/11.
+
+// Cache memory-level results for a single access.
+const (
+	HitL1  = 1
+	HitL2  = 2
+	HitL3  = 3
+	HitMem = 4
+)
+
+type cacheLevel struct {
+	sets      int
+	ways      int
+	lineShift uint
+	tags      []uint64 // sets*ways entries, 0 = empty
+	lru       []uint64 // per-line last-use stamp
+	clock     uint64
+}
+
+func newCacheLevel(sizeBytes, ways, lineBytes int) *cacheLevel {
+	sets := sizeBytes / (ways * lineBytes)
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	return &cacheLevel{
+		sets:      sets,
+		ways:      ways,
+		lineShift: shift,
+		tags:      make([]uint64, sets*ways),
+		lru:       make([]uint64, sets*ways),
+	}
+}
+
+// access looks up addr; on miss the line is filled (LRU eviction).
+// It returns true on hit.
+func (c *cacheLevel) access(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line) & (c.sets - 1)
+	base := set * c.ways
+	c.clock++
+	// Tag 0 marks an empty way, so bias stored tags by 1.
+	tag := line + 1
+	victim := base
+	oldest := ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.tags[i] == tag {
+			c.lru[i] = c.clock
+			return true
+		}
+		if c.lru[i] < oldest {
+			oldest = c.lru[i]
+			victim = i
+		}
+	}
+	c.tags[victim] = tag
+	c.lru[victim] = c.clock
+	return false
+}
+
+// Hierarchy models L1/L2/L3 data caches.
+type Hierarchy struct {
+	l1, l2, l3 *cacheLevel
+}
+
+// NewHierarchy builds the default cache hierarchy: 32 KiB/8-way L1,
+// 256 KiB/8-way L2, 8 MiB/16-way L3, all with 64-byte lines.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{
+		l1: newCacheLevel(32<<10, 8, 64),
+		l2: newCacheLevel(256<<10, 8, 64),
+		l3: newCacheLevel(8<<20, 16, 64),
+	}
+}
+
+// Access classifies a memory access and updates cache state, returning the
+// level that served it (HitL1..HitMem).
+func (h *Hierarchy) Access(addr uint64) int {
+	if h.l1.access(addr) {
+		return HitL1
+	}
+	if h.l2.access(addr) {
+		return HitL2
+	}
+	if h.l3.access(addr) {
+		return HitL3
+	}
+	return HitMem
+}
+
+// BranchPredictor is a table of 2-bit saturating counters indexed by the
+// branch instruction's address.
+type BranchPredictor struct {
+	counters []uint8
+	mask     int
+}
+
+// NewBranchPredictor builds a predictor with 4096 entries.
+func NewBranchPredictor() *BranchPredictor {
+	n := 4096
+	bp := &BranchPredictor{counters: make([]uint8, n), mask: n - 1}
+	for i := range bp.counters {
+		bp.counters[i] = 1 // weakly not-taken
+	}
+	return bp
+}
+
+// Predict consumes the branch outcome and reports whether the prediction
+// was correct, updating the counter.
+func (bp *BranchPredictor) Predict(ip int, taken bool) bool {
+	c := &bp.counters[ip&bp.mask]
+	predictedTaken := *c >= 2
+	if taken {
+		if *c < 3 {
+			*c++
+		}
+	} else {
+		if *c > 0 {
+			*c--
+		}
+	}
+	return predictedTaken == taken
+}

@@ -1,0 +1,101 @@
+package vm
+
+import "testing"
+
+func TestCacheL1Hit(t *testing.T) {
+	h := NewHierarchy()
+	if lvl := h.Access(0x1000); lvl != HitMem {
+		t.Fatalf("cold access served by level %d, want memory", lvl)
+	}
+	if lvl := h.Access(0x1000); lvl != HitL1 {
+		t.Fatalf("second access served by level %d, want L1", lvl)
+	}
+	// Same cache line.
+	if lvl := h.Access(0x1038); lvl != HitL1 {
+		t.Fatalf("same-line access served by level %d, want L1", lvl)
+	}
+	// Different line.
+	if lvl := h.Access(0x1040); lvl == HitL1 {
+		t.Fatal("different line reported as L1 hit on first touch")
+	}
+}
+
+func TestCacheL1EvictionFallsToL2(t *testing.T) {
+	h := NewHierarchy()
+	// L1: 32 KiB, 8-way, 64 B lines → 64 sets; addresses 64*64 bytes
+	// apart map to the same set. Touch 9 such lines to evict the first.
+	const stride = 64 * 64
+	for i := 0; i < 9; i++ {
+		h.Access(uint64(i * stride))
+	}
+	if lvl := h.Access(0); lvl != HitL2 {
+		t.Fatalf("evicted line served by level %d, want L2", lvl)
+	}
+}
+
+func TestCacheWorkingSetLevels(t *testing.T) {
+	h := NewHierarchy()
+	touch := func(bytes int) int {
+		// Two passes: first to fill, second to measure.
+		worst := 0
+		for pass := 0; pass < 2; pass++ {
+			worst = 0
+			for a := 0; a < bytes; a += 64 {
+				lvl := h.Access(uint64(a))
+				if lvl > worst {
+					worst = lvl
+				}
+			}
+		}
+		return worst
+	}
+	if lvl := touch(16 << 10); lvl != HitL1 {
+		t.Errorf("16 KiB working set served at level %d, want L1", lvl)
+	}
+	if lvl := touch(128 << 10); lvl > HitL2 {
+		t.Errorf("128 KiB working set served at level %d, want ≤ L2", lvl)
+	}
+	if lvl := touch(2 << 20); lvl > HitL3 {
+		t.Errorf("2 MiB working set served at level %d, want ≤ L3", lvl)
+	}
+}
+
+func TestBranchPredictorLearnsBias(t *testing.T) {
+	bp := NewBranchPredictor()
+	misses := 0
+	for i := 0; i < 100; i++ {
+		if !bp.Predict(42, true) {
+			misses++
+		}
+	}
+	if misses > 3 {
+		t.Fatalf("always-taken branch mispredicted %d/100 times", misses)
+	}
+}
+
+func TestBranchPredictorAlternatingHurts(t *testing.T) {
+	bp := NewBranchPredictor()
+	misses := 0
+	for i := 0; i < 100; i++ {
+		if !bp.Predict(7, i%2 == 0) {
+			misses++
+		}
+	}
+	if misses < 40 {
+		t.Fatalf("alternating branch mispredicted only %d/100 times", misses)
+	}
+}
+
+func TestBranchPredictorIndependentSlots(t *testing.T) {
+	bp := NewBranchPredictor()
+	for i := 0; i < 10; i++ {
+		bp.Predict(1, true)
+		bp.Predict(2, false)
+	}
+	if !bp.Predict(1, true) {
+		t.Fatal("slot 1 forgot its taken bias")
+	}
+	if !bp.Predict(2, false) {
+		t.Fatal("slot 2 forgot its not-taken bias")
+	}
+}

@@ -1,0 +1,539 @@
+// Package vm implements the simulated CPU that executes native programs
+// produced by internal/codegen.
+//
+// The CPU stands in for the paper's x86 hardware: it executes the isa
+// instruction set over a byte-addressable heap, charges cycles according to
+// a documented cost model (see cost.go), models caches and branch
+// prediction (uarch.go), maintains a timestamp counter with cycle
+// resolution (the paper's TSC, §5.5), and exposes a sampling hook that the
+// PMU (internal/pmu) uses to take PEBS-style samples.
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Event enumerates hardware events the PMU can arm, mirroring the perf
+// events used in the paper's evaluation (§6 experimental setup).
+type Event uint8
+
+const (
+	// EvCycles fires once per elapsed cycle; the sample lands on the
+	// instruction retiring when the counter overflows, so expensive
+	// instructions (cache-missing loads, divisions) attract
+	// proportionally more samples — the cost-weighted profile the
+	// paper's listings show ("approximates the execution cost").
+	EvCycles Event = iota
+	// EvInstRetired fires once per retired instruction
+	// (INST_RETIRED.PREC_DIST in the paper).
+	EvInstRetired
+	// EvMemLoads fires once per retired load
+	// (MEM_INST_RETIRED.ALL_LOADS in the paper).
+	EvMemLoads
+	// EvL3Miss fires for loads served by DRAM.
+	EvL3Miss
+	// EvBranchMiss fires on mispredicted conditional branches.
+	EvBranchMiss
+
+	NumEvents
+)
+
+func (e Event) String() string {
+	switch e {
+	case EvCycles:
+		return "CPU_CYCLES"
+	case EvInstRetired:
+		return "INST_RETIRED"
+	case EvMemLoads:
+		return "MEM_LOADS"
+	case EvL3Miss:
+		return "L3_MISS"
+	case EvBranchMiss:
+		return "BRANCH_MISS"
+	}
+	return fmt.Sprintf("event(%d)", uint8(e))
+}
+
+// SampleHook receives a callback whenever the armed event counter reaches
+// the configured period. The hook may inspect the CPU (IP, TSC, registers,
+// call stack, last accessed address) and returns the number of cycles the
+// act of sampling costs (PEBS record cost, buffer flushes, ...), which the
+// CPU adds to the TSC — this is how sampling overhead perturbs execution,
+// exactly like real PEBS.
+type SampleHook interface {
+	Sample(c *CPU, ev Event, addr int64) (extraCycles uint64)
+}
+
+// Stats aggregates execution counters for one run.
+type Stats struct {
+	Instructions uint64
+	Cycles       uint64 // execution work, excluding sampling overhead
+	SampleCycles uint64 // cycles charged by the sampling hook
+	Loads        uint64
+	Stores       uint64
+	Branches     uint64
+	BranchMisses uint64
+	L1Hits       uint64
+	L2Hits       uint64
+	L3Hits       uint64
+	MemAccesses  uint64 // DRAM-served accesses
+	Calls        uint64
+}
+
+// TotalCycles is the wall-clock cycle count of the run: execution work
+// plus the perturbation the sampling mechanism added (what the overhead
+// experiments of Fig. 13 measure).
+func (s *Stats) TotalCycles() uint64 { return s.Cycles + s.SampleCycles }
+
+// TrapError reports a runtime trap (bounds violation, division by zero,
+// arena overflow signalled by generated code).
+type TrapError struct {
+	IP     int
+	Reason string
+}
+
+func (e *TrapError) Error() string {
+	return fmt.Sprintf("vm: trap at ip=%d: %s", e.IP, e.Reason)
+}
+
+// CPU is the simulated processor. Create one with New, install a program
+// with Load, then call Run.
+type CPU struct {
+	Heap []byte
+	Regs [isa.NumRegs]int64
+
+	prog      *isa.Program
+	ip        int
+	tsc       uint64
+	callStack []int // return addresses (instruction indices)
+	halted    bool
+
+	caches *Hierarchy
+	bp     *BranchPredictor
+
+	Stats Stats
+
+	// Sampling state.
+	hook      SampleHook
+	armed     Event
+	period    int64
+	countdown int64
+	sampling  bool
+	// jitterMask randomizes each sampling interval by ±(mask+1)/2, the
+	// way perf randomizes PEBS periods to defeat aliasing with loop
+	// bodies (the paper's §4.1 aliasing concern).
+	jitterMask int64
+	jitterRNG  uint64
+
+	// FreqGHz converts cycles to wall time for reports (TSC frequency).
+	FreqGHz float64
+
+	lastAddr int64 // address of the in-flight memory access, for samples
+}
+
+// New creates a CPU with the given heap size in bytes.
+func New(heapSize int) *CPU {
+	return &CPU{
+		Heap:    make([]byte, heapSize),
+		caches:  NewHierarchy(),
+		bp:      NewBranchPredictor(),
+		FreqGHz: 3.5,
+	}
+}
+
+// Load installs a program and resets execution state (registers, IP, TSC,
+// statistics); heap contents are preserved so the host can stage data first.
+func (c *CPU) Load(p *isa.Program) {
+	c.prog = p
+	c.ip = 0
+	c.tsc = 0
+	c.halted = false
+	c.callStack = c.callStack[:0]
+	c.Stats = Stats{}
+	for i := range c.Regs {
+		c.Regs[i] = 0
+	}
+	c.Regs[isa.SP] = int64(len(c.Heap)) // stack grows down from the top
+}
+
+// Restart rewinds the instruction pointer for another pass over the same
+// program while *keeping* the TSC, statistics and sampling state — the way
+// an iterative dataflow re-executes its pipelines within one profiled
+// session (§4.2.6 of the paper: iterations are later separated by sample
+// timestamps). The caller is responsible for re-staging mutable memory.
+func (c *CPU) Restart() {
+	c.ip = 0
+	c.halted = false
+	c.callStack = c.callStack[:0]
+}
+
+// Arm configures event sampling: hook.Sample is called every period
+// occurrences of ev, with each interval randomized by ±jitter/2 (0
+// disables randomization). Pass a nil hook to disable sampling.
+func (c *CPU) Arm(hook SampleHook, ev Event, period, jitter int64) {
+	c.hook = hook
+	c.armed = ev
+	c.period = period
+	c.countdown = period
+	c.sampling = hook != nil && period > 0
+	c.jitterMask = 0
+	if jitter > 1 {
+		mask := int64(1)
+		for mask < jitter {
+			mask <<= 1
+		}
+		c.jitterMask = mask - 1
+	}
+	c.jitterRNG = 0x9e3779b97f4a7c15 ^ uint64(period)
+}
+
+// nextPeriod returns the (possibly jittered) next sampling interval.
+func (c *CPU) nextPeriod() int64 {
+	if c.jitterMask == 0 {
+		return c.period
+	}
+	x := c.jitterRNG
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	c.jitterRNG = x
+	p := c.period + (int64(x)&c.jitterMask - c.jitterMask/2)
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// IP returns the current instruction pointer (index into the program).
+func (c *CPU) IP() int { return c.ip }
+
+// TSC returns the timestamp counter in cycles.
+func (c *CPU) TSC() uint64 { return c.tsc }
+
+// TSCNanos converts a cycle count to nanoseconds at the CPU frequency.
+func (c *CPU) TSCNanos(cycles uint64) float64 { return float64(cycles) / c.FreqGHz }
+
+// CallStack returns the current return-address stack (innermost last).
+// The returned slice aliases internal state; callers must copy it if they
+// retain it (the PMU does).
+func (c *CPU) CallStack() []int { return c.callStack }
+
+// LastAddr returns the effective address of the most recent memory access.
+func (c *CPU) LastAddr() int64 { return c.lastAddr }
+
+func (c *CPU) event(ev Event, addr int64) {
+	if !c.sampling || ev != c.armed {
+		return
+	}
+	c.countdown--
+	if c.countdown > 0 {
+		return
+	}
+	c.countdown = c.nextPeriod()
+	extra := c.hook.Sample(c, ev, addr)
+	c.tsc += extra
+	c.Stats.SampleCycles += extra
+}
+
+func (c *CPU) mem(addr, width int64) ([]byte, error) {
+	if addr < 0 || addr+width > int64(len(c.Heap)) {
+		return nil, &TrapError{IP: c.ip, Reason: fmt.Sprintf("memory access out of bounds: addr=%d width=%d heap=%d", addr, width, len(c.Heap))}
+	}
+	return c.Heap[addr : addr+width], nil
+}
+
+// ReadI64 reads a 64-bit value from the heap (host-side helper).
+func (c *CPU) ReadI64(addr int64) int64 {
+	return int64(binary.LittleEndian.Uint64(c.Heap[addr:]))
+}
+
+// WriteI64 writes a 64-bit value to the heap (host-side helper).
+func (c *CPU) WriteI64(addr, v int64) {
+	binary.LittleEndian.PutUint64(c.Heap[addr:], uint64(v))
+}
+
+// Run executes the loaded program until HALT, a trap, or the instruction
+// budget is exhausted (0 means no budget). It returns the statistics of
+// the run.
+func (c *CPU) Run(maxInstructions uint64) (Stats, error) {
+	if c.prog == nil {
+		return c.Stats, fmt.Errorf("vm: no program loaded")
+	}
+	code := c.prog.Code
+	for !c.halted {
+		if maxInstructions > 0 && c.Stats.Instructions >= maxInstructions {
+			return c.Stats, fmt.Errorf("vm: instruction budget (%d) exhausted at ip=%d", maxInstructions, c.ip)
+		}
+		if c.ip < 0 || c.ip >= len(code) {
+			return c.Stats, &TrapError{IP: c.ip, Reason: "instruction pointer out of range"}
+		}
+		in := &code[c.ip]
+		if err := c.step(in); err != nil {
+			return c.Stats, err
+		}
+	}
+	return c.Stats, nil
+}
+
+// step executes one instruction; on return c.ip points at the next
+// instruction to execute.
+func (c *CPU) step(in *isa.Instr) error {
+	ipBefore := c.ip
+	next := c.ip + 1
+	cost := uint64(CostALU)
+
+	switch in.Op {
+	case isa.NOP:
+		// nothing
+
+	case isa.MOVRR:
+		c.Regs[in.Dst] = c.Regs[in.Src1]
+	case isa.MOVRI:
+		c.Regs[in.Dst] = in.Imm
+
+	case isa.LOAD8, isa.LOAD32, isa.LOAD64:
+		w := in.Width()
+		addr := in.Imm
+		if !in.Abs {
+			addr += c.Regs[in.Src1]
+		}
+		if in.Scaled {
+			addr += c.Regs[in.Src2] * w
+		}
+		m, err := c.mem(addr, w)
+		if err != nil {
+			return err
+		}
+		var v int64
+		switch w {
+		case 1:
+			v = int64(m[0])
+		case 4:
+			v = int64(int32(binary.LittleEndian.Uint32(m)))
+		default:
+			v = int64(binary.LittleEndian.Uint64(m))
+		}
+		c.Regs[in.Dst] = v
+		c.lastAddr = addr
+		lvl := c.caches.Access(uint64(addr))
+		cost = loadCost(lvl)
+		c.noteAccess(lvl)
+		c.Stats.Loads++
+		c.event(EvMemLoads, addr)
+		if lvl == HitMem {
+			c.event(EvL3Miss, addr)
+		}
+
+	case isa.STORE8, isa.STORE32, isa.STORE64:
+		w := in.Width()
+		addr := in.Imm
+		if !in.Abs {
+			addr += c.Regs[in.Src1]
+		}
+		if in.Scaled {
+			addr += c.Regs[in.Src2] * w
+		}
+		m, err := c.mem(addr, w)
+		if err != nil {
+			return err
+		}
+		v := c.Regs[in.Dst]
+		switch w {
+		case 1:
+			m[0] = byte(v)
+		case 4:
+			binary.LittleEndian.PutUint32(m, uint32(v))
+		default:
+			binary.LittleEndian.PutUint64(m, uint64(v))
+		}
+		c.lastAddr = addr
+		lvl := c.caches.Access(uint64(addr))
+		c.noteAccess(lvl)
+		cost = CostStore
+		c.Stats.Stores++
+
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD, isa.AND, isa.OR,
+		isa.XOR, isa.SHL, isa.SHR, isa.ROTR, isa.CRC32,
+		isa.CMPEQ, isa.CMPNE, isa.CMPLT, isa.CMPLE, isa.CMPGT, isa.CMPGE:
+		b := in.Imm
+		if !in.UseImm {
+			b = c.Regs[in.Src2]
+		}
+		v, err := alu(in.Op, c.Regs[in.Src1], b, c.ip)
+		if err != nil {
+			return err
+		}
+		c.Regs[in.Dst] = v
+		cost = aluCost(in.Op)
+
+	case isa.JMP:
+		next = int(in.Imm)
+		cost = CostBranch
+
+	case isa.JNZ, isa.JZ:
+		taken := c.Regs[in.Src1] != 0
+		if in.Op == isa.JZ {
+			taken = !taken
+		}
+		if taken {
+			next = int(in.Imm)
+		}
+		cost = c.branchCost(ipBefore, taken)
+
+	case isa.JEQ, isa.JNE, isa.JLT, isa.JGE:
+		b := in.Imm
+		if !in.UseImm {
+			b = c.Regs[in.Src2]
+		}
+		a := c.Regs[in.Src1]
+		var taken bool
+		switch in.Op {
+		case isa.JEQ:
+			taken = a == b
+		case isa.JNE:
+			taken = a != b
+		case isa.JLT:
+			taken = a < b
+		case isa.JGE:
+			taken = a >= b
+		}
+		if taken {
+			next = int(in.Imm2)
+		}
+		cost = c.branchCost(ipBefore, taken)
+
+	case isa.CALL:
+		c.callStack = append(c.callStack, next)
+		next = int(in.Imm)
+		cost = CostCall
+		c.Stats.Calls++
+
+	case isa.RET:
+		if len(c.callStack) == 0 {
+			return &TrapError{IP: c.ip, Reason: "ret with empty call stack"}
+		}
+		next = c.callStack[len(c.callStack)-1]
+		c.callStack = c.callStack[:len(c.callStack)-1]
+		cost = CostCall
+
+	case isa.HALT:
+		c.halted = true
+	case isa.TRAP:
+		return &TrapError{IP: c.ip, Reason: fmt.Sprintf("explicit trap (code %d)", in.Imm)}
+
+	default:
+		return &TrapError{IP: c.ip, Reason: fmt.Sprintf("illegal opcode %v", in.Op)}
+	}
+
+	c.tsc += cost
+	c.Stats.Cycles += cost
+	c.Stats.Instructions++
+	c.ip = next
+	// Retirement events fire after the architectural effects are
+	// visible, with the sample's IP pointing at the retiring instruction
+	// — matching PEBS "precise distribution" semantics.
+	savedIP := c.ip
+	c.ip = ipBefore
+	c.event(EvInstRetired, c.lastAddr)
+	if c.sampling && c.armed == EvCycles {
+		c.countdown -= int64(cost)
+		if c.countdown <= 0 {
+			c.countdown = c.nextPeriod()
+			extra := c.hook.Sample(c, EvCycles, c.lastAddr)
+			c.tsc += extra
+			c.Stats.SampleCycles += extra
+		}
+	}
+	c.ip = savedIP
+	return nil
+}
+
+func (c *CPU) noteAccess(lvl int) {
+	switch lvl {
+	case HitL1:
+		c.Stats.L1Hits++
+	case HitL2:
+		c.Stats.L2Hits++
+	case HitL3:
+		c.Stats.L3Hits++
+	default:
+		c.Stats.MemAccesses++
+	}
+}
+
+func (c *CPU) branchCost(ip int, taken bool) uint64 {
+	c.Stats.Branches++
+	if c.bp.Predict(ip, taken) {
+		return CostBranch
+	}
+	c.Stats.BranchMisses++
+	c.ip = ip // event attribution: the miss belongs to the branch
+	c.event(EvBranchMiss, c.lastAddr)
+	return CostBranch + CostBranchMiss
+}
+
+func alu(op isa.Op, a, b int64, ip int) (int64, error) {
+	switch op {
+	case isa.ADD:
+		return a + b, nil
+	case isa.SUB:
+		return a - b, nil
+	case isa.MUL:
+		return a * b, nil
+	case isa.DIV:
+		if b == 0 {
+			return 0, &TrapError{IP: ip, Reason: "division by zero"}
+		}
+		return a / b, nil
+	case isa.MOD:
+		if b == 0 {
+			return 0, &TrapError{IP: ip, Reason: "modulo by zero"}
+		}
+		return a % b, nil
+	case isa.AND:
+		return a & b, nil
+	case isa.OR:
+		return a | b, nil
+	case isa.XOR:
+		return a ^ b, nil
+	case isa.SHL:
+		return a << (uint64(b) & 63), nil
+	case isa.SHR:
+		return int64(uint64(a) >> (uint64(b) & 63)), nil
+	case isa.ROTR:
+		s := uint64(b) & 63
+		u := uint64(a)
+		return int64(u>>s | u<<(64-s)), nil
+	case isa.CRC32:
+		// One mixing step of the paper's hash pipeline (crc32 i64 const, v):
+		// a cheap, well-mixing combine, not the real CRC polynomial.
+		x := uint64(a) ^ uint64(b)*0x9e3779b97f4a7c15
+		x ^= x >> 32
+		x *= 0xd6e8feb86659fd93
+		x ^= x >> 32
+		return int64(x), nil
+	case isa.CMPEQ:
+		return b2i(a == b), nil
+	case isa.CMPNE:
+		return b2i(a != b), nil
+	case isa.CMPLT:
+		return b2i(a < b), nil
+	case isa.CMPLE:
+		return b2i(a <= b), nil
+	case isa.CMPGT:
+		return b2i(a > b), nil
+	case isa.CMPGE:
+		return b2i(a >= b), nil
+	}
+	return 0, &TrapError{IP: ip, Reason: fmt.Sprintf("alu: bad op %v", op)}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

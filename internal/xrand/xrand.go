@@ -1,0 +1,129 @@
+// Package xrand provides a small, deterministic pseudo-random number
+// generator used by the data generator and the workload drivers.
+//
+// Reproducibility matters more than statistical quality here: every
+// experiment in this repository must produce identical data for a given
+// seed so that profiles are comparable across runs. The generator is an
+// xorshift64* with a splitmix64 seeding step.
+package xrand
+
+import "math"
+
+// Rand is a deterministic pseudo-random number generator.
+// The zero value is not valid; use New.
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed. Any seed, including zero,
+// yields a valid generator.
+func New(seed uint64) *Rand {
+	// splitmix64 step guards against weak (e.g. zero) seeds.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9e3779b97f4a7c15
+	}
+	return &Rand{state: z}
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (r *Rand) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Intn returns a pseudo-random integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int64Range returns a pseudo-random integer in [lo, hi]. It panics if hi < lo.
+func (r *Rand) Int64Range(lo, hi int64) int64 {
+	if hi < lo {
+		panic("xrand: Int64Range with hi < lo")
+	}
+	span := uint64(hi-lo) + 1
+	return lo + int64(r.Uint64()%span)
+}
+
+// Float64 returns a pseudo-random float in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Zipf draws from a Zipf-like distribution over [0, n) with skew s >= 0.
+// s == 0 degenerates to uniform. The implementation uses the classic
+// rejection-free inverse-CDF approximation over the harmonic weights,
+// precomputed lazily per (n, s) by the caller via NewZipf for hot paths.
+func (r *Rand) Zipf(z *Zipf) int {
+	u := r.Float64() * z.total
+	// Binary search the cumulative weights.
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Zipf holds precomputed cumulative weights for Zipf sampling.
+type Zipf struct {
+	cum   []float64
+	total float64
+}
+
+// NewZipf precomputes a Zipf distribution over [0, n) with skew s.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with non-positive n")
+	}
+	z := &Zipf{cum: make([]float64, n)}
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if s > 0 {
+			w = 1.0 / math.Pow(float64(i+1), s)
+		}
+		acc += w
+		z.cum[i] = acc
+	}
+	z.total = acc
+	return z
+}

@@ -1,0 +1,157 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(123), New(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a stuck generator")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint16) bool {
+		bound := int(n%1000) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(bound)
+			if v < 0 || v >= bound {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64Range(t *testing.T) {
+	if err := quick.Check(func(seed uint64, a, b int32) bool {
+		lo, hi := int64(a), int64(b)
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		r := New(seed)
+		for i := 0; i < 20; i++ {
+			v := r.Int64Range(lo, hi)
+			if v < lo || v > hi {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(5)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("Bool(0.25) frequency %v", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(11)
+	z := NewZipf(100, 1.2)
+	counts := make([]int, 100)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := r.Zipf(z)
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("skew missing: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	if counts[0] < n/10 {
+		t.Fatalf("rank0 share too small for s=1.2: %d", counts[0])
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := New(13)
+	z := NewZipf(10, 0)
+	counts := make([]int, 10)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[r.Zipf(z)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.07 || frac > 0.13 {
+			t.Fatalf("bucket %d has share %v, want ~0.1", i, frac)
+		}
+	}
+}
