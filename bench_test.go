@@ -282,3 +282,49 @@ func BenchmarkExecuteUnprofiled(b *testing.B) {
 		}
 	}
 }
+
+// benchParallel runs one workload at Workers=1 and Workers=4 and reports
+// the simulated-cycle speedup of the parallel run as a metric. Host wall
+// time is meaningless here (all simulated cores share one OS thread in
+// CI), so the morsel scheduler's makespan over per-morsel cycle costs is
+// the honest scaling number.
+func benchParallel(b *testing.B, workload string) {
+	env := benchEnv(b)
+	wl, ok := queries.ByName(workload)
+	if !ok {
+		b.Fatalf("no workload %s", workload)
+	}
+	walls := map[int]uint64{}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		for _, workers := range []int{1, 4} {
+			opts := engine.DefaultOptions()
+			opts.Workers = workers
+			eng := engine.New(env.Cat, opts)
+			cq, err := eng.CompileQuery(wl.Query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := eng.Run(cq, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			walls[workers] = res.WallCycles
+		}
+		speedup = float64(walls[1]) / float64(walls[4])
+	}
+	b.ReportMetric(speedup, "speedup")
+}
+
+// BenchmarkParallelScanAgg measures morsel-driven scaling on a scan-heavy
+// aggregation (TPC-H Q6): one scan pipeline, near-perfect morsel balance.
+func BenchmarkParallelScanAgg(b *testing.B) {
+	benchParallel(b, "q6")
+}
+
+// BenchmarkParallelJoin measures morsel-driven scaling on the paper's
+// Fig. 9 join+group-by query: the build pipelines serialize at phase
+// barriers, so the speedup is sublinear but still well above 2x.
+func BenchmarkParallelJoin(b *testing.B) {
+	benchParallel(b, "fig9")
+}

@@ -13,6 +13,7 @@
 //	experiments -exp attribution  Table 2 sample attribution
 //	experiments -exp accuracy     §6.3 accuracy validation
 //	experiments -exp table1       Table 1 optimization support matrix
+//	experiments -exp parallel     morsel-driven scaling on simulated cores
 //	experiments -exp loc          Table 3 implementation effort
 package main
 
@@ -49,6 +50,7 @@ func main() {
 		{"attribution", func() (string, error) { s, _, err := env.Attribution(); return s, err }},
 		{"accuracy", func() (string, error) { s, _, err := env.Accuracy(); return s, err }},
 		{"table1", func() (string, error) { s, _, err := env.Table1(); return s, err }},
+		{"parallel", env.Parallel},
 		{"loc", func() (string, error) { return experiments.LoC(*root) }},
 	}
 

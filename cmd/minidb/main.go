@@ -29,11 +29,15 @@ func main() {
 	verify := flag.Bool("verify", false, "cross-check against the reference executor")
 	analyze := flag.Bool("analyze", false, "show EXPLAIN ANALYZE tuple counts per operator")
 	maxRows := flag.Int("rows", 50, "maximum rows to print")
+	workers := flag.Int("workers", 0, "morsel-driven parallel execution on N simulated cores (0 = single-CPU)")
+	morsel := flag.Int("morsel", 0, "morsel size in tuples (0 = default)")
 	flag.Parse()
 
 	cat := datagen.Generate(datagen.Config{ScaleFactor: *sf, Seed: *seed})
 	opts := engine.DefaultOptions()
 	opts.TupleCounters = *analyze
+	opts.Workers = *workers
+	opts.MorselRows = *morsel
 	eng := engine.New(cat, opts)
 
 	stmts := flag.Args()
@@ -84,8 +88,13 @@ func runOne(eng *engine.Engine, sql string, explain, verify, analyze bool, maxRo
 		fmt.Println()
 	}
 	fmt.Print(viz.ResultTable(res, maxRows))
-	fmt.Printf("(%d rows; %.3f ms simulated, %d instructions)\n",
-		len(res.Rows), float64(res.Stats.Cycles)/3.5e6, res.Stats.Instructions)
+	if res.Workers > 0 {
+		fmt.Printf("(%d rows; %.3f ms simulated wall on %d workers, %d instructions total)\n",
+			len(res.Rows), float64(res.WallCycles)/3.5e6, res.Workers, res.Stats.Instructions)
+	} else {
+		fmt.Printf("(%d rows; %.3f ms simulated, %d instructions)\n",
+			len(res.Rows), float64(res.Stats.Cycles)/3.5e6, res.Stats.Instructions)
+	}
 
 	if verify {
 		want, err := ref.Execute(cq.Plan)

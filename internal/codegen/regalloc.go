@@ -83,9 +83,15 @@ type interval struct {
 	v          vreg
 	start, end int
 	crossCall  bool
-	reg        isa.Reg
-	spilled    bool
-	slot       int
+	// crossGenCall marks an interval live across a call to a *generated*
+	// function. Runtime routines preserve the callee-saved registers
+	// (only r0..r4 are clobbered), but generated functions allocate from
+	// the full register file, so values crossing such a call can only
+	// live in a spill slot.
+	crossGenCall bool
+	reg          isa.Reg
+	spilled      bool
+	slot         int
 	// weight estimates dynamic access frequency (uses and defs scaled by
 	// loop depth); the allocator prefers spilling cold intervals.
 	weight float64
@@ -227,7 +233,7 @@ func allocate(fn *lfunc, registerTagging bool, slotBase int) (*allocation, int, 
 	}
 
 	weights := make([]float64, nv)
-	var callPositions []int
+	var callPositions, genCallPositions []int
 	for p, ref := range linear {
 		l := &fn.blocks[ref.block].ins[ref.idx]
 		defs, uses := l.operands()
@@ -241,6 +247,9 @@ func allocate(fn *lfunc, registerTagging bool, slotBase int) (*allocation, int, 
 		}
 		if l.pseudo == pCall {
 			callPositions = append(callPositions, p)
+			if !runtimeSym(l.callee) {
+				genCallPositions = append(genCallPositions, p)
+			}
 		}
 	}
 	for bi := range fn.blocks {
@@ -267,6 +276,12 @@ func allocate(fn *lfunc, registerTagging bool, slotBase int) (*allocation, int, 
 				break
 			}
 		}
+		for _, cp := range genCallPositions {
+			if iv.start < cp && cp < iv.end {
+				iv.crossGenCall = true
+				break
+			}
+		}
 		ivs = append(ivs, iv)
 	}
 	sort.Slice(ivs, func(i, j int) bool {
@@ -279,6 +294,9 @@ func allocate(fn *lfunc, registerTagging bool, slotBase int) (*allocation, int, 
 	// Linear scan.
 	regs := allocatableRegs(registerTagging)
 	usable := func(iv *interval, r isa.Reg) bool {
+		if iv.crossGenCall {
+			return false // no register survives a generated-function call
+		}
 		return !iv.crossCall || r > isa.LastClobbered
 	}
 	alloc := &allocation{regOf: map[vreg]isa.Reg{}, slotOf: map[vreg]int{}}

@@ -30,6 +30,18 @@ const (
 	SymBumpAlloc = "bumpalloc"
 )
 
+// runtimeSym reports whether a call target is a hand-written runtime
+// routine, which honors the convention above (r0..r4 clobbered, the rest
+// preserved). Generated functions make no such promise: values live
+// across a call to one must be spilled.
+func runtimeSym(name string) bool {
+	switch name {
+	case SymHTInsert, SymMemset64, SymBumpAlloc:
+		return true
+	}
+	return false
+}
+
 // Hash-table descriptor layout (heap block passed to ht_insert):
 const (
 	HTDescDir    = 0  // directory base address

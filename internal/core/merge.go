@@ -1,0 +1,34 @@
+package core
+
+import "sort"
+
+// MergeSamples merges per-worker sample buffers into one canonical stream,
+// the bottom-up merge of per-core PEBS buffers the paper's host system
+// performs after a morsel-driven parallel run.
+//
+// The canonical order is (worker, TSC, IP). Within one worker's buffer the
+// PMU already records in TSC order and every sample costs at least one
+// cycle, so (worker, TSC) is a strict total order; sorting therefore makes
+// the result independent of the order in which the buffers are supplied
+// and of however the scheduler happened to interleave the workers. That
+// invariance is what the profile-merge property test asserts.
+func MergeSamples(buffers ...[]Sample) []Sample {
+	n := 0
+	for _, b := range buffers {
+		n += len(b)
+	}
+	out := make([]Sample, 0, n)
+	for _, b := range buffers {
+		out = append(out, b...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Worker != out[j].Worker {
+			return out[i].Worker < out[j].Worker
+		}
+		if out[i].TSC != out[j].TSC {
+			return out[i].TSC < out[j].TSC
+		}
+		return out[i].IP < out[j].IP
+	})
+	return out
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// synthBuffers builds per-worker sample buffers the way the parallel
+// engine produces them: each worker's TSC strictly increases, IPs land on
+// the synthetic native map of testSetup (0..7).
+func synthBuffers(workers, perWorker int, seed int64) [][]Sample {
+	rng := rand.New(rand.NewSource(seed))
+	bufs := make([][]Sample, workers)
+	for w := 0; w < workers; w++ {
+		tsc := uint64(rng.Intn(50))
+		for i := 0; i < perWorker; i++ {
+			tsc += uint64(1 + rng.Intn(400))
+			bufs[w] = append(bufs[w], Sample{
+				IP:     rng.Intn(8),
+				TSC:    tsc,
+				Event:  vm.EvInstRetired,
+				Worker: w,
+				Addr:   int64(rng.Intn(1 << 12)),
+			})
+		}
+	}
+	return bufs
+}
+
+// sameSample compares the scalar identity of two samples (Sample holds
+// slice fields, so == does not apply).
+func sameSample(a, b Sample) bool {
+	return a.IP == b.IP && a.TSC == b.TSC && a.Event == b.Event &&
+		a.Worker == b.Worker && a.Addr == b.Addr
+}
+
+// TestMergeSamplesCanonicalOrder: the merged stream is sorted by
+// (worker, TSC, IP), and no sample is lost or invented.
+func TestMergeSamplesCanonicalOrder(t *testing.T) {
+	bufs := synthBuffers(4, 100, 1)
+	merged := MergeSamples(bufs...)
+	if len(merged) != 400 {
+		t.Fatalf("merged %d samples, want 400", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		a, b := merged[i-1], merged[i]
+		if a.Worker > b.Worker ||
+			(a.Worker == b.Worker && a.TSC > b.TSC) ||
+			(a.Worker == b.Worker && a.TSC == b.TSC && a.IP > b.IP) {
+			t.Fatalf("samples %d,%d out of canonical order: %+v then %+v", i-1, i, a, b)
+		}
+	}
+}
+
+// TestMergePermutationInvariant: merging per-worker buffers in any
+// permutation yields the same merged stream and — after attribution — the
+// same Profile: identical total counts (exact, they are integers) and
+// identical per-component weights (within float summation epsilon). The
+// scheduler may hand buffers to the merger in any order, so attribution
+// must not depend on it.
+func TestMergePermutationInvariant(t *testing.T) {
+	reg, d, nm, _, _, _, _ := testSetup()
+	_ = reg
+	att := NewAttributor(d, nm)
+
+	cases := []struct {
+		name    string
+		workers int
+		per     int
+		seed    int64
+	}{
+		{"two-workers", 2, 50, 7},
+		{"four-workers", 4, 200, 11},
+		{"eight-workers", 8, 75, 13},
+		{"lopsided", 3, 400, 17},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bufs := synthBuffers(tc.workers, tc.per, tc.seed)
+			base := MergeSamples(bufs...)
+			baseProf := BuildProfile(att, base)
+
+			rng := rand.New(rand.NewSource(tc.seed * 31))
+			for trial := 0; trial < 10; trial++ {
+				perm := rng.Perm(len(bufs))
+				shuffled := make([][]Sample, len(bufs))
+				for i, j := range perm {
+					shuffled[i] = bufs[j]
+				}
+				merged := MergeSamples(shuffled...)
+				if len(merged) != len(base) {
+					t.Fatalf("perm %v: %d samples, want %d", perm, len(merged), len(base))
+				}
+				for i := range merged {
+					if !sameSample(merged[i], base[i]) {
+						t.Fatalf("perm %v: sample %d = %+v, want %+v", perm, i, merged[i], base[i])
+					}
+				}
+				prof := BuildProfile(att, merged)
+				if prof.TotalSamples != baseProf.TotalSamples {
+					t.Fatalf("perm %v: %d total samples, want %d",
+						perm, prof.TotalSamples, baseProf.TotalSamples)
+				}
+				for id, w := range baseProf.OpWeight {
+					if got := prof.OpWeight[id]; math.Abs(got-w) > 1e-6 {
+						t.Fatalf("perm %v: op %d weight %f, want %f", perm, id, got, w)
+					}
+				}
+				for id, w := range baseProf.TaskWeight {
+					if got := prof.TaskWeight[id]; math.Abs(got-w) > 1e-6 {
+						t.Fatalf("perm %v: task %d weight %f, want %f", perm, id, got, w)
+					}
+				}
+				for wk, n := range baseProf.ByWorker {
+					if got := prof.ByWorker[wk]; got != n {
+						t.Fatalf("perm %v: worker %d count %f, want %f", perm, wk, got, n)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMergeSamplesEmptyAndSingle: degenerate inputs must not break the
+// merge — empty buffer lists, empty buffers mixed in, a single buffer.
+func TestMergeSamplesEmptyAndSingle(t *testing.T) {
+	if got := MergeSamples(); len(got) != 0 {
+		t.Fatalf("empty merge returned %d samples", len(got))
+	}
+	one := synthBuffers(1, 20, 3)
+	merged := MergeSamples(one[0], nil, []Sample{})
+	if len(merged) != 20 {
+		t.Fatalf("merged %d, want 20", len(merged))
+	}
+	for i := range merged {
+		if !sameSample(merged[i], one[0][i]) {
+			t.Fatalf("single-buffer merge reordered sample %d", i)
+		}
+	}
+}
+
+// TestSampleWorkerSerializeRoundTrip: the worker stamp survives the
+// on-disk sample format.
+func TestSampleWorkerSerializeRoundTrip(t *testing.T) {
+	bufs := synthBuffers(3, 10, 5)
+	samples := MergeSamples(bufs...)
+	var buf bytes.Buffer
+	if err := WriteSamples(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSamples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(samples) {
+		t.Fatalf("read %d samples, want %d", len(back), len(samples))
+	}
+	for i := range back {
+		if back[i].Worker != samples[i].Worker {
+			t.Fatalf("sample %d worker = %d, want %d", i, back[i].Worker, samples[i].Worker)
+		}
+	}
+}

@@ -53,6 +53,10 @@ type Profile struct {
 	KernelWeight float64
 	Unattributed float64
 
+	// ByWorker counts samples per recording core (Sample.Worker). A
+	// single-CPU run has everything under worker 0.
+	ByWorker map[int]float64
+
 	MemByOp map[ComponentID][]MemPoint
 
 	MinTSC, MaxTSC uint64
@@ -70,12 +74,14 @@ func BuildProfile(att *Attributor, samples []Sample) *Profile {
 		IRWeight:     make(map[int]float64),
 		NativeCount:  make([]float64, len(att.NMap.Region)),
 		RoutineCount: make(map[string]float64),
+		ByWorker:     make(map[int]float64),
 		MemByOp:      make(map[ComponentID][]MemPoint),
 		MinTSC:       ^uint64(0),
 	}
 	for i := range samples {
 		s := &samples[i]
 		p.TotalSamples++
+		p.ByWorker[s.Worker]++
 		if s.TSC < p.MinTSC {
 			p.MinTSC = s.TSC
 		}

@@ -22,6 +22,12 @@ type Sample struct {
 	// (valid when HasStack; the expensive call-stack sampling mode).
 	Stack    []int
 	HasStack bool
+
+	// Worker identifies the simulated core whose PMU recorded the sample
+	// (the paper keeps one PEBS buffer per hardware thread and merges
+	// them bottom-up). 0 is the coordinator/single-CPU run; morsel
+	// workers are numbered from 1.
+	Worker int
 }
 
 // RegionKind classifies native code regions for attribution.

@@ -134,7 +134,8 @@ type sampleJSON struct {
 	Regs  bool     `json:"regs,omitempty"`
 	// Stack must not be omitempty: an empty-but-present stack (sampled at
 	// top level in call-stack mode) is distinct from no stack captured.
-	Stack []int `json:"stack"`
+	Stack  []int `json:"stack"`
+	Worker int   `json:"worker,omitempty"`
 }
 
 // WriteSamples serializes a sample log as JSON lines (one record per line,
@@ -143,7 +144,7 @@ func WriteSamples(w io.Writer, samples []Sample) error {
 	enc := json.NewEncoder(w)
 	for i := range samples {
 		s := &samples[i]
-		rec := sampleJSON{IP: s.IP, TSC: s.TSC, Event: s.Event, Addr: s.Addr, Tag: s.Tag, Regs: s.HasRegs}
+		rec := sampleJSON{IP: s.IP, TSC: s.TSC, Event: s.Event, Addr: s.Addr, Tag: s.Tag, Regs: s.HasRegs, Worker: s.Worker}
 		if s.HasStack {
 			rec.Stack = s.Stack
 			if rec.Stack == nil {
@@ -168,7 +169,7 @@ func ReadSamples(r io.Reader) ([]Sample, error) {
 		} else if err != nil {
 			return nil, fmt.Errorf("core: reading samples: %w", err)
 		}
-		s := Sample{IP: rec.IP, TSC: rec.TSC, Event: rec.Event, Addr: rec.Addr, Tag: rec.Tag, HasRegs: rec.Regs}
+		s := Sample{IP: rec.IP, TSC: rec.TSC, Event: rec.Event, Addr: rec.Addr, Tag: rec.Tag, HasRegs: rec.Regs, Worker: rec.Worker}
 		if rec.Stack != nil {
 			s.Stack = rec.Stack
 			s.HasStack = true

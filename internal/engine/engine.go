@@ -42,6 +42,18 @@ type Options struct {
 	FuseCmpBranch bool
 	// MaxInstructions bounds a run (0 = default of 4e9).
 	MaxInstructions uint64
+	// Workers selects morsel-driven parallel execution: values >= 1 make
+	// Run dispatch every pipeline over fixed-size morsels on that many
+	// simulated worker CPUs (see RunParallel); 0 keeps the legacy
+	// single-CPU path. Workers=1 is the morsel scheduler on one core —
+	// the baseline that parallel runs are sample-exact against.
+	Workers int
+	// MorselRows is the morsel size in tuples (table scans) or entries
+	// (hash-table scans); 0 selects DefaultMorselRows. The partition
+	// depends only on the input size and this value — never on Workers —
+	// which is what makes parallel results and count-event sample
+	// streams identical for any worker count.
+	MorselRows int
 }
 
 // DefaultOptions is the standard configuration: Register Tagging on, all
@@ -212,6 +224,10 @@ func (e *Engine) buildLayout(pl *plan.Output, cq *Compiled) (*pipeline.Layout, e
 	lay.ResultDesc = cur
 	cur = align(cur+codegen.AllocDescSize, 64)
 
+	// Morsel-bound slots: one [start, end) pair per pipeline.
+	lay.MorselBase = cur
+	cur = align(cur+int64(pipeline.PipeCount(pl))*pipeline.MorselSlotBytes, 64)
+
 	if e.Opts.TupleCounters {
 		lay.CounterBase = cur
 		cur = align(cur+counterSlots*8, 64)
@@ -282,10 +298,23 @@ type Result struct {
 	Stats vm.Stats
 	CPU   *vm.CPU
 
+	// Workers is the worker count of a morsel-driven parallel run
+	// (0 for the single-CPU path).
+	Workers int
+	// WallCycles is the simulated wall clock: for a parallel run, the
+	// serial coordinator work plus, per pipeline, the slowest worker's
+	// cycles; for a single-CPU run, Stats.TotalCycles(). Speedup
+	// comparisons between worker counts use this number.
+	WallCycles uint64
+
 	// Profiling outputs (nil without sampling).
 	PMU     *pmu.PMU
 	Samples []core.Sample
 	Profile *core.Profile
+
+	// WorkerSamples holds each core's private sample buffer before the
+	// merge (parallel runs with sampling; index 0 is the coordinator).
+	WorkerSamples [][]core.Sample
 
 	// TupleCounts holds EXPLAIN ANALYZE row counters per task component
 	// (only with Options.TupleCounters).
@@ -293,8 +322,12 @@ type Result struct {
 }
 
 // Run executes a compiled query. cfg selects PMU sampling; pass nil to run
-// unprofiled (the overhead experiments' baseline).
+// unprofiled (the overhead experiments' baseline). With Options.Workers >= 1
+// the run is morsel-driven parallel (RunParallel).
 func (e *Engine) Run(cq *Compiled, cfg *pmu.Config) (*Result, error) {
+	if e.Opts.Workers >= 1 {
+		return e.RunParallel(cq, e.Opts.Workers, cfg)
+	}
 	return e.RunIterations(cq, 1, cfg)
 }
 
@@ -347,7 +380,7 @@ func (e *Engine) RunIterations(cq *Compiled, n int, cfg *pmu.Config) (*Result, e
 		}
 	}
 
-	res := &Result{Cols: cq.Plan.Out(), Stats: stats, CPU: cpu, PMU: p}
+	res := &Result{Cols: cq.Plan.Out(), Stats: stats, CPU: cpu, PMU: p, WallCycles: stats.TotalCycles()}
 	res.Rows = e.readRows(cq, cpu)
 	sortRows(res.Rows, cq.Plan)
 	if cq.Plan.Limit >= 0 && len(res.Rows) > cq.Plan.Limit {

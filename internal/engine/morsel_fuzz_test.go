@@ -1,0 +1,57 @@
+package engine
+
+import "testing"
+
+// FuzzPartitionMorsels: for any (total, size), the partition must cover
+// [0, total) exactly once — no span empty, no gap, no overlap, no tuple
+// lost or duplicated — and must cap every span at the morsel size. These
+// are the invariants the parallel scheduler's correctness rests on.
+func FuzzPartitionMorsels(f *testing.F) {
+	f.Add(int64(0), int64(0))
+	f.Add(int64(1), int64(1))
+	f.Add(int64(1000), int64(256))
+	f.Add(int64(1024), int64(1024))
+	f.Add(int64(1025), int64(1024))
+	f.Add(int64(7), int64(-3))
+	f.Add(int64(-5), int64(10))
+	f.Add(int64(1<<40), int64(1<<39))
+	f.Fuzz(func(t *testing.T, total, size int64) {
+		// Unbounded totals with tiny sizes would allocate absurd span
+		// slices; cap the domain while keeping edge-case coverage.
+		if total > 1<<20 {
+			total = total % (1 << 20)
+		}
+		spans := PartitionMorsels(total, size)
+		if total <= 0 {
+			if spans != nil {
+				t.Fatalf("total=%d: got %d spans, want none", total, len(spans))
+			}
+			return
+		}
+		want := size
+		if want <= 0 {
+			want = DefaultMorselRows
+		}
+		var covered int64
+		next := int64(0)
+		for i, sp := range spans {
+			if sp.Rows() <= 0 {
+				t.Fatalf("span %d is empty: %+v", i, sp)
+			}
+			if sp.Rows() > want {
+				t.Fatalf("span %d has %d rows, cap %d", i, sp.Rows(), want)
+			}
+			if sp.Lo != next {
+				t.Fatalf("span %d starts at %d, want %d (gap or overlap)", i, sp.Lo, next)
+			}
+			next = sp.Hi
+			covered += sp.Rows()
+		}
+		if next != total {
+			t.Fatalf("partition ends at %d, want %d", next, total)
+		}
+		if covered != total {
+			t.Fatalf("covered %d rows, want %d", covered, total)
+		}
+	})
+}

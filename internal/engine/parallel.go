@@ -1,0 +1,505 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/plan"
+	"repro/internal/pmu"
+	"repro/internal/vm"
+)
+
+// Morsel-driven parallel execution (Umbra's execution model, which the
+// paper's profiling explicitly supports: one PEBS buffer per hardware
+// thread, merged bottom-up into one profile).
+//
+// The engine splits every pipeline's input domain into fixed-size morsels
+// and runs them on N simulated worker CPUs. Each worker owns a *private*
+// CPU — registers, tag register, branch predictor, caches, TSC — and a
+// private heap that is refreshed from the canonical heap at every pipeline
+// barrier, so build-side structures are effectively shared read-only while
+// each morsel's writes land in a private partition. At the barrier the
+// coordinator merges the partitions back into the canonical heap *in
+// global morsel order*, which makes the canonical state — hash-table
+// arenas, chain links, result rows — independent of the worker count and
+// identical to what a single worker produces:
+//
+//   - result rows and join/group-join build entries append in morsel order,
+//     relinked into the directory via the hash stored in each entry header
+//     (ht_insert persists it exactly so chains can be rebuilt);
+//   - group-by partitions upsert: a group seen before combines its
+//     aggregate state (sum/count add, min/max fold — all integer, so
+//     order-exact), an unseen group appends and head-inserts;
+//   - group-join probes update build entries in place, so workers' deltas
+//     against the phase-start snapshot are folded commutatively.
+//
+// Sampling: every worker carries its own PMU buffer stamped with its
+// worker ID. The sampling countdown is re-armed per morsel with a seed
+// derived from the global morsel index, so for deterministic count events
+// (instructions retired, loads) the set of sampled instructions per morsel
+// is a function of the morsel alone — any worker count yields the same
+// merged per-operator counts, which the determinism suite asserts exactly.
+
+// parWorker is one simulated core of the morsel scheduler.
+type parWorker struct {
+	id  int
+	cpu *vm.CPU
+	pmu *pmu.PMU
+	err error
+}
+
+// RunParallel executes a compiled query with morsel-driven parallelism on
+// the given number of worker CPUs. workers < 1 is clamped to 1. cfg arms
+// one PMU per core (plus the coordinator's), merged into Result.Samples.
+func (e *Engine) RunParallel(cq *Compiled, workers int, cfg *pmu.Config) (*Result, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	morselSize := int64(e.Opts.MorselRows)
+	if morselSize <= 0 {
+		morselSize = DefaultMorselRows
+	}
+	budget := e.Opts.MaxInstructions
+	if budget == 0 {
+		budget = 4_000_000_000
+	}
+	prog := cq.Code.Program
+	preludeEntry, err := funcEntry(prog, pipeline.PreludeFunc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Coordinator: owns the canonical heap, runs the kernel prelude
+	// (directory memsets) serially, then only merges.
+	coord := vm.New(cq.heapSize)
+	for _, cs := range cq.cols {
+		for i, v := range cs.data {
+			coord.WriteI64(cs.addr+int64(i)*8, v)
+		}
+	}
+	coord.Load(prog)
+	var coordPMU *pmu.PMU
+	if cfg != nil {
+		c0 := *cfg
+		c0.Worker = 0
+		coordPMU = pmu.New(c0)
+		coordPMU.Attach(coord)
+	}
+	for _, w := range cq.writes {
+		coord.WriteI64(w.addr, w.val)
+	}
+	if cq.Layout.CounterBase != 0 {
+		for i := int64(0); i < counterSlots; i++ {
+			coord.WriteI64(cq.Layout.CounterBase+i*8, 0)
+		}
+	}
+	if _, err := coord.CallFunction(preludeEntry, budget); err != nil {
+		return nil, fmt.Errorf("engine: prelude failed: %w", err)
+	}
+
+	ws := make([]*parWorker, workers)
+	for i := range ws {
+		cpu := vm.New(cq.heapSize)
+		cpu.Load(prog)
+		w := &parWorker{id: i + 1, cpu: cpu}
+		if cfg != nil {
+			ci := *cfg
+			ci.Worker = w.id
+			w.pmu = pmu.New(ci)
+			w.pmu.Attach(cpu)
+		}
+		ws[i] = w
+	}
+
+	wall := coord.TSC() // the prelude is serial coordinator work
+
+	for pi := range cq.Pipe.Pipelines {
+		info := &cq.Pipe.Pipelines[pi]
+		entry, err := funcEntry(prog, info.Func)
+		if err != nil {
+			return nil, err
+		}
+		spans := PartitionMorsels(e.pipeDomain(cq, coord, info), morselSize)
+		if len(spans) == 0 {
+			continue
+		}
+		segs := make([][]byte, len(spans))
+		costs := make([]uint64, len(spans))
+
+		// Barrier entry: refresh every worker's private heap from the
+		// canonical one (build sides become visible; sinks start clean).
+		for _, w := range ws {
+			copy(w.cpu.Heap, coord.Heap)
+		}
+
+		// Morsels are striped round-robin over the workers: morsel m runs
+		// on core m mod N. A deterministic assignment keeps each worker's
+		// microarchitectural history — and therefore its sample stream —
+		// reproducible on any host; the pull-based work-queue discipline
+		// is modeled in simulated time by makespan() below.
+		var wg sync.WaitGroup
+		for wi, w := range ws {
+			wg.Add(1)
+			go func(wi int, w *parWorker) {
+				defer wg.Done()
+				for m := wi; m < len(spans); m += len(ws) {
+					if w.err != nil {
+						return
+					}
+					t0 := w.cpu.TSC()
+					seg, err := e.runMorsel(cq, w, info, entry, pi, spans[m], m, budget)
+					if err != nil {
+						w.err = err
+						return
+					}
+					segs[m] = seg
+					costs[m] = w.cpu.TSC() - t0
+				}
+			}(wi, w)
+		}
+		wg.Wait()
+		for _, w := range ws {
+			if w.err != nil {
+				return nil, fmt.Errorf("engine: parallel execution failed: %w", w.err)
+			}
+		}
+
+		// Wall clock: the phase takes as long as the pull-based schedule's
+		// makespan in simulated time.
+		wall += makespan(costs, workers)
+
+		if err := mergePhase(cq, coord, info, segs, ws); err != nil {
+			return nil, err
+		}
+	}
+
+	stats := coord.Stats
+	for _, w := range ws {
+		addStats(&stats, &w.cpu.Stats)
+	}
+	res := &Result{
+		Cols: cq.Plan.Out(), Stats: stats, CPU: coord, PMU: coordPMU,
+		Workers: workers, WallCycles: wall,
+	}
+	res.Rows = e.readRows(cq, coord)
+	sortRows(res.Rows, cq.Plan)
+	if cq.Plan.Limit >= 0 && len(res.Rows) > cq.Plan.Limit {
+		res.Rows = res.Rows[:cq.Plan.Limit]
+	}
+
+	if cfg != nil {
+		buffers := [][]core.Sample{coordPMU.Samples()}
+		for _, w := range ws {
+			buffers = append(buffers, w.pmu.Samples())
+		}
+		res.WorkerSamples = buffers
+		res.Samples = core.MergeSamples(buffers...)
+		att := core.NewAttributor(cq.Pipe.Dict, cq.Code.NMap)
+		res.Profile = core.BuildProfile(att, res.Samples)
+	}
+	if cq.Layout.CounterBase != 0 {
+		res.TupleCounts = map[core.ComponentID]int64{}
+		for _, task := range cq.Pipe.Registry.ByLevel(core.LevelTask) {
+			if int64(task.ID) >= counterSlots {
+				continue
+			}
+			if n := coord.ReadI64(cq.Layout.CounterBase + int64(task.ID)*8); n != 0 {
+				res.TupleCounts[task.ID] = n
+			}
+		}
+	}
+	return res, nil
+}
+
+// makespan models the morsel scheduler's pull discipline in simulated
+// time: morsels are taken in global order, each by the worker whose clock
+// is lowest (i.e. the first to go idle); the phase ends when the busiest
+// worker finishes. Deriving the wall clock from per-morsel costs instead
+// of host scheduling keeps it meaningful on any host core count.
+func makespan(costs []uint64, workers int) uint64 {
+	clocks := make([]uint64, workers)
+	for _, c := range costs {
+		lo := 0
+		for i := 1; i < workers; i++ {
+			if clocks[i] < clocks[lo] {
+				lo = i
+			}
+		}
+		clocks[lo] += c
+	}
+	var max uint64
+	for _, c := range clocks {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// pipeDomain returns the size of a pipeline's input domain: table rows for
+// scan drivers, materialized entry count for arena drivers (read from the
+// canonical heap, i.e. after the producing pipelines merged).
+func (e *Engine) pipeDomain(cq *Compiled, coord *vm.CPU, info *pipeline.PipelineInfo) int64 {
+	if info.Driver.Kind == pipeline.DriverScan {
+		return int64(info.Driver.Rows)
+	}
+	ht := info.Driver.HT
+	cursor := coord.ReadI64(ht.Desc + codegen.HTDescCursor)
+	return (cursor - ht.Arena) / ht.EntrySize
+}
+
+// runMorsel executes one morsel on a worker: stage the bounds, reset the
+// sink partition, re-arm sampling deterministically, call the pipeline
+// function, and snapshot the partition the morsel produced.
+func (e *Engine) runMorsel(cq *Compiled, w *parWorker, info *pipeline.PipelineInfo, entry, pipeIdx int, sp Span, morsel int, budget uint64) ([]byte, error) {
+	lay := cq.Layout
+	heap := w.cpu.Heap
+
+	lo, hi := sp.Lo, sp.Hi
+	if info.Driver.Kind == pipeline.DriverArena {
+		ht := info.Driver.HT
+		lo = ht.Arena + sp.Lo*ht.EntrySize
+		hi = ht.Arena + sp.Hi*ht.EntrySize
+	}
+	putHeapI64(heap, lay.MorselStart(pipeIdx), lo)
+	putHeapI64(heap, lay.MorselEnd(pipeIdx), hi)
+
+	sink := &info.Sink
+	switch sink.Kind {
+	case pipeline.SinkOutput:
+		putHeapI64(heap, lay.ResultDesc+codegen.AllocDescCursor, cq.resultBase)
+	case pipeline.SinkJoinBuild, pipeline.SinkGJBuild:
+		putHeapI64(heap, sink.HT.Desc+codegen.HTDescCursor, sink.HT.Arena)
+	case pipeline.SinkGroupAgg:
+		// Per-morsel private group table: clean directory + empty arena.
+		putHeapI64(heap, sink.HT.Desc+codegen.HTDescCursor, sink.HT.Arena)
+		clear(heap[sink.HT.Dir : sink.HT.Dir+sink.HT.DirSlots*8])
+	}
+
+	// The sampling epoch depends only on (pipeline, global morsel index):
+	// count-event sample positions are then worker-independent.
+	w.cpu.ReArm(uint64(pipeIdx)<<32 ^ uint64(morsel)*0x9e3779b97f4a7c15)
+
+	if _, err := w.cpu.CallFunction(entry, budget); err != nil {
+		return nil, fmt.Errorf("pipeline %d morsel %d (worker %d): %w", pipeIdx, morsel, w.id, err)
+	}
+
+	switch sink.Kind {
+	case pipeline.SinkOutput:
+		cur := heapI64(heap, lay.ResultDesc+codegen.AllocDescCursor)
+		return append([]byte(nil), heap[cq.resultBase:cur]...), nil
+	case pipeline.SinkJoinBuild, pipeline.SinkGJBuild, pipeline.SinkGroupAgg:
+		cur := heapI64(heap, sink.HT.Desc+codegen.HTDescCursor)
+		return append([]byte(nil), heap[sink.HT.Arena:cur]...), nil
+	}
+	return nil, nil // SinkGJProbe: in-place updates, merged from the heap
+}
+
+// mergePhase folds the per-morsel partitions back into the canonical heap
+// in global morsel order, then folds the tuple-counter deltas.
+func mergePhase(cq *Compiled, coord *vm.CPU, info *pipeline.PipelineInfo, segs [][]byte, ws []*parWorker) error {
+	sink := &info.Sink
+	switch sink.Kind {
+	case pipeline.SinkOutput:
+		cursorAddr := cq.Layout.ResultDesc + codegen.AllocDescCursor
+		cur := coord.ReadI64(cursorAddr)
+		for _, seg := range segs {
+			if cur+int64(len(seg)) > cq.resultEnd {
+				return fmt.Errorf("engine: result buffer overflow during merge")
+			}
+			copy(coord.Heap[cur:], seg)
+			cur += int64(len(seg))
+		}
+		coord.WriteI64(cursorAddr, cur)
+
+	case pipeline.SinkJoinBuild, pipeline.SinkGJBuild:
+		// Append each entry in morsel order and head-insert it via the
+		// hash ht_insert stored in the entry header — the exact insertion
+		// sequence the serial run performs, so arena bytes and chain
+		// links come out identical.
+		ht := sink.HT
+		mask := ht.DirSlots - 1
+		cursorAddr := ht.Desc + codegen.HTDescCursor
+		cur := coord.ReadI64(cursorAddr)
+		es := int(ht.EntrySize)
+		for _, seg := range segs {
+			for off := 0; off+es <= len(seg); off += es {
+				if cur+ht.EntrySize > ht.ArenaEnd {
+					return fmt.Errorf("engine: hash-table arena overflow during merge")
+				}
+				copy(coord.Heap[cur:], seg[off:off+es])
+				h := heapI64(seg, int64(off)+codegen.HTEntryHash)
+				slotAddr := ht.Dir + (h&mask)*8
+				coord.WriteI64(cur+codegen.HTEntryNext, coord.ReadI64(slotAddr))
+				coord.WriteI64(slotAddr, cur)
+				cur += ht.EntrySize
+			}
+		}
+		coord.WriteI64(cursorAddr, cur)
+
+	case pipeline.SinkGroupAgg:
+		// Upsert each partition entry: combine aggregate state into an
+		// existing group or append-and-link a new one. New groups appear
+		// in global first-occurrence order, matching the serial run.
+		ht := sink.HT
+		mask := ht.DirSlots - 1
+		cursorAddr := ht.Desc + codegen.HTDescCursor
+		cur := coord.ReadI64(cursorAddr)
+		es := int(ht.EntrySize)
+		for _, seg := range segs {
+			for off := 0; off+es <= len(seg); off += es {
+				h := heapI64(seg, int64(off)+codegen.HTEntryHash)
+				slotAddr := ht.Dir + (h&mask)*8
+				addr := coord.ReadI64(slotAddr)
+				for addr != 0 {
+					match := true
+					for k := 0; k < sink.NKeys; k++ {
+						ko := sink.KeyOff + int64(k)*8
+						if coord.ReadI64(addr+ko) != heapI64(seg, int64(off)+ko) {
+							match = false
+							break
+						}
+					}
+					if match {
+						break
+					}
+					addr = coord.ReadI64(addr + codegen.HTEntryNext)
+				}
+				if addr != 0 {
+					combineAggs(coord, addr, seg[off:off+es], sink)
+					continue
+				}
+				if cur+ht.EntrySize > ht.ArenaEnd {
+					return fmt.Errorf("engine: hash-table arena overflow during merge")
+				}
+				copy(coord.Heap[cur:], seg[off:off+es])
+				coord.WriteI64(cur+codegen.HTEntryNext, coord.ReadI64(slotAddr))
+				coord.WriteI64(slotAddr, cur)
+				cur += ht.EntrySize
+			}
+		}
+		coord.WriteI64(cursorAddr, cur)
+
+	case pipeline.SinkGJProbe:
+		// Workers updated build entries in place; fold each worker's
+		// delta against the phase-start snapshot (additive state) or the
+		// value itself (min/max, which already include the base).
+		ht := sink.HT
+		cursor := coord.ReadI64(ht.Desc + codegen.HTDescCursor)
+		n := cursor - ht.Arena
+		base := append([]byte(nil), coord.Heap[ht.Arena:cursor]...)
+		for _, w := range ws {
+			for off := int64(0); off < n; off += ht.EntrySize {
+				addr := ht.Arena + off
+				mo := sink.MatchOff
+				d := heapI64(w.cpu.Heap, addr+mo) - heapI64(base, off+mo)
+				if d != 0 {
+					coord.WriteI64(addr+mo, coord.ReadI64(addr+mo)+d)
+				}
+				for i, fn := range sink.Aggs {
+					ao := sink.AggOffs[i]
+					wv := heapI64(w.cpu.Heap, addr+ao)
+					switch fn {
+					case plan.AggSum, plan.AggCount:
+						coord.WriteI64(addr+ao, coord.ReadI64(addr+ao)+wv-heapI64(base, off+ao))
+					case plan.AggAvg:
+						coord.WriteI64(addr+ao, coord.ReadI64(addr+ao)+wv-heapI64(base, off+ao))
+						wc := heapI64(w.cpu.Heap, addr+ao+8)
+						coord.WriteI64(addr+ao+8, coord.ReadI64(addr+ao+8)+wc-heapI64(base, off+ao+8))
+					case plan.AggMin:
+						if wv < coord.ReadI64(addr+ao) {
+							coord.WriteI64(addr+ao, wv)
+						}
+					case plan.AggMax:
+						if wv > coord.ReadI64(addr+ao) {
+							coord.WriteI64(addr+ao, wv)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Tuple counters: fold each worker's per-phase delta. The coordinator
+	// was idle during the phase, so its counters are the phase baseline.
+	if cb := cq.Layout.CounterBase; cb != 0 {
+		for s := int64(0); s < counterSlots; s++ {
+			baseV := coord.ReadI64(cb + s*8)
+			total := baseV
+			for _, w := range ws {
+				total += heapI64(w.cpu.Heap, cb+s*8) - baseV
+			}
+			if total != baseV {
+				coord.WriteI64(cb+s*8, total)
+			}
+		}
+	}
+	return nil
+}
+
+// combineAggs folds one partition entry's aggregate state into the
+// canonical group entry at dst. All state is integer, so the fold is
+// exact regardless of morsel boundaries.
+func combineAggs(coord *vm.CPU, dst int64, entry []byte, sink *pipeline.SinkInfo) {
+	for i, fn := range sink.Aggs {
+		off := sink.AggOffs[i]
+		v := heapI64(entry, off)
+		switch fn {
+		case plan.AggSum, plan.AggCount:
+			coord.WriteI64(dst+off, coord.ReadI64(dst+off)+v)
+		case plan.AggAvg:
+			coord.WriteI64(dst+off, coord.ReadI64(dst+off)+v)
+			cnt := heapI64(entry, off+8)
+			coord.WriteI64(dst+off+8, coord.ReadI64(dst+off+8)+cnt)
+		case plan.AggMin:
+			if v < coord.ReadI64(dst+off) {
+				coord.WriteI64(dst+off, v)
+			}
+		case plan.AggMax:
+			if v > coord.ReadI64(dst+off) {
+				coord.WriteI64(dst+off, v)
+			}
+		}
+	}
+}
+
+// funcEntry resolves a generated function's entry point.
+func funcEntry(prog *isa.Program, name string) (int, error) {
+	for i := range prog.Funcs {
+		if prog.Funcs[i].Name == name {
+			return prog.Funcs[i].Entry, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: no symbol %q in program", name)
+}
+
+// heapI64 reads a little-endian int64 from a raw byte region.
+func heapI64(b []byte, off int64) int64 {
+	return int64(binary.LittleEndian.Uint64(b[off:]))
+}
+
+// putHeapI64 writes a little-endian int64 into a raw byte region.
+func putHeapI64(b []byte, off, v int64) {
+	binary.LittleEndian.PutUint64(b[off:], uint64(v))
+}
+
+// addStats accumulates per-worker execution statistics.
+func addStats(dst, src *vm.Stats) {
+	dst.Instructions += src.Instructions
+	dst.Cycles += src.Cycles
+	dst.SampleCycles += src.SampleCycles
+	dst.Loads += src.Loads
+	dst.Stores += src.Stores
+	dst.Branches += src.Branches
+	dst.BranchMisses += src.BranchMisses
+	dst.L1Hits += src.L1Hits
+	dst.L2Hits += src.L2Hits
+	dst.L3Hits += src.L3Hits
+	dst.MemAccesses += src.MemAccesses
+	dst.Calls += src.Calls
+}

@@ -1,0 +1,297 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pmu"
+	"repro/internal/queries"
+	"repro/internal/ref"
+	"repro/internal/vm"
+)
+
+// workerCounts is the battery's sweep; 1 is the morsel scheduler on a
+// single core (the baseline every other count must match exactly).
+var workerCounts = []int{1, 2, 4, 8}
+
+func parallelEngine(t *testing.T, workers int) *Engine {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Workers = workers
+	opts.MorselRows = 256 // several morsels per pipeline even at test scale
+	return New(testCatalog(t), opts)
+}
+
+// TestParallelMatchesReference runs every suite query on 1, 2, 4, and 8
+// workers and compares the rows against the interpreted reference
+// executor: the morsel scheduler must be invisible in the results.
+func TestParallelMatchesReference(t *testing.T) {
+	cat := testCatalog(t)
+	for _, w := range queries.Suite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			var want [][]int64
+			for _, workers := range workerCounts {
+				opts := DefaultOptions()
+				opts.Workers = workers
+				opts.MorselRows = 256
+				e := New(cat, opts)
+				cq, err := e.CompileQuery(w.Query)
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				if want == nil {
+					want, err = ref.Execute(cq.Plan)
+					if err != nil {
+						t.Fatalf("reference: %v", err)
+					}
+				}
+				res, err := e.Run(cq, nil)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if res.Workers != workers {
+					t.Fatalf("Result.Workers = %d, want %d", res.Workers, workers)
+				}
+				rowsEqual(t, res.Rows, want, len(cq.Plan.OrderBy) > 0)
+			}
+		})
+	}
+}
+
+// opWeights keys a profile's per-operator sample weights by component
+// name, so profiles from separate compiles are comparable.
+func opWeights(p *core.Profile) map[string]float64 {
+	out := map[string]float64{}
+	for id, w := range p.OpWeight {
+		out[p.Registry.Name(id)] += w
+	}
+	return out
+}
+
+// TestParallelSampleDeterminism: for deterministic count events, the
+// merged sample stream is independent of the worker count — the total
+// sample count and every per-operator weight are *exactly* equal across
+// 1, 2, 4, and 8 workers. This is the payoff of arming the PMU per morsel
+// with a seed derived from the global morsel index: sample positions are
+// a function of the morsel, not of which core runs it.
+func TestParallelSampleDeterminism(t *testing.T) {
+	cat := testCatalog(t)
+	events := []struct {
+		name string
+		ev   vm.Event
+	}{
+		{"inst-retired", vm.EvInstRetired},
+		{"mem-loads", vm.EvMemLoads},
+	}
+	for _, w := range queries.Suite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for _, evt := range events {
+				var baseTotal int
+				var baseOps map[string]float64
+				for _, workers := range workerCounts {
+					opts := DefaultOptions()
+					opts.Workers = workers
+					opts.MorselRows = 256
+					e := New(cat, opts)
+					cq, err := e.CompileQuery(w.Query)
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := e.Run(cq, &pmu.Config{Event: evt.ev, Period: 487})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Profile == nil {
+						t.Fatal("no profile")
+					}
+					if workers == workerCounts[0] {
+						baseTotal = res.Profile.TotalSamples
+						baseOps = opWeights(res.Profile)
+						if baseTotal == 0 {
+							t.Fatalf("%s: no samples at all", evt.name)
+						}
+						continue
+					}
+					if res.Profile.TotalSamples != baseTotal {
+						t.Errorf("%s workers=%d: %d samples, want %d",
+							evt.name, workers, res.Profile.TotalSamples, baseTotal)
+					}
+					ops := opWeights(res.Profile)
+					for name, want := range baseOps {
+						if got := ops[name]; math.Abs(got-want) > 1e-6 {
+							t.Errorf("%s workers=%d operator %q: weight %.3f, want %.3f",
+								evt.name, workers, name, got, want)
+						}
+					}
+					if len(ops) != len(baseOps) {
+						t.Errorf("%s workers=%d: %d operators, want %d",
+							evt.name, workers, len(ops), len(baseOps))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelProfileNearSerial compares the merged parallel profile
+// against the legacy single-CPU run. The morsel scheduler re-executes each
+// pipeline's prologue (column-base loads, bound checks) once per morsel,
+// so instruction streams differ slightly; per-operator shares must still
+// agree within a few percent.
+func TestParallelProfileNearSerial(t *testing.T) {
+	cat := testCatalog(t)
+	for _, name := range []string{"fig9", "q1", "q3", "q6"} {
+		w, ok := queries.ByName(name)
+		if !ok {
+			t.Fatalf("no query %s", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			serial := New(cat, DefaultOptions())
+			cq, err := serial.CompileQuery(w.Query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := &pmu.Config{Event: vm.EvInstRetired, Period: 487}
+			sres, err := serial.RunIterations(cq, 1, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par := parallelEngine(t, 4)
+			pcq, err := par.CompileQuery(w.Query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pres, err := par.Run(pcq, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sOps, pOps := opWeights(sres.Profile), opWeights(pres.Profile)
+			sTot, pTot := float64(sres.Profile.TotalSamples), float64(pres.Profile.TotalSamples)
+			if sTot == 0 || pTot == 0 {
+				t.Fatal("no samples")
+			}
+			for op, sw := range sOps {
+				sShare, pShare := sw/sTot, pOps[op]/pTot
+				if math.Abs(sShare-pShare) > 0.10+5/sTot {
+					t.Errorf("operator %q: serial share %.3f vs parallel %.3f", op, sShare, pShare)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelWorkerStamping: per-worker buffers arrive stamped with the
+// recording core's ID, survive the merge, and show up in the profile's
+// per-worker breakdown.
+func TestParallelWorkerStamping(t *testing.T) {
+	e := parallelEngine(t, 4)
+	w, _ := queries.ByName("fig9")
+	cq, err := e.CompileQuery(w.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(cq, &pmu.Config{Event: vm.EvInstRetired, Period: 487})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WorkerSamples) != 5 { // coordinator + 4 workers
+		t.Fatalf("WorkerSamples buffers = %d, want 5", len(res.WorkerSamples))
+	}
+	for id, buf := range res.WorkerSamples {
+		for _, s := range buf {
+			if s.Worker != id {
+				t.Fatalf("buffer %d contains sample stamped worker %d", id, s.Worker)
+			}
+		}
+	}
+	busy := 0
+	for id, n := range res.Profile.ByWorker {
+		if id < 0 || id > 4 {
+			t.Fatalf("sample from unknown worker %d", id)
+		}
+		if id > 0 && n > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("only %d workers recorded samples", busy)
+	}
+	total := 0
+	for _, buf := range res.WorkerSamples {
+		total += len(buf)
+	}
+	if total != len(res.Samples) {
+		t.Fatalf("merged %d samples from %d buffered", len(res.Samples), total)
+	}
+}
+
+// TestParallelSpeedup: on a scan-heavy query, four simulated cores must
+// finish in less than half the simulated wall-clock cycles of one.
+func TestParallelSpeedup(t *testing.T) {
+	var walls [2]uint64
+	for i, workers := range []int{1, 4} {
+		e := parallelEngine(t, workers)
+		w, _ := queries.ByName("q6")
+		cq, err := e.CompileQuery(w.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(cq, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.WallCycles == 0 {
+			t.Fatal("no wall clock")
+		}
+		walls[i] = res.WallCycles
+	}
+	speedup := float64(walls[0]) / float64(walls[1])
+	t.Logf("q6: 1 worker %d cycles, 4 workers %d cycles (%.2fx)", walls[0], walls[1], speedup)
+	if speedup < 2.0 {
+		t.Fatalf("speedup %.2fx < 2x", speedup)
+	}
+}
+
+// TestParallelStatsAccount: the summed worker statistics must cover at
+// least the serial run's work (morsel prologues add a little on top), and
+// the wall clock of a parallel run must never exceed the total cycles
+// spent (work conservation).
+func TestParallelStatsAccount(t *testing.T) {
+	cat := testCatalog(t)
+	w, _ := queries.ByName("q3")
+	serial := New(cat, DefaultOptions())
+	cq, err := serial.CompileQuery(w.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := serial.RunIterations(cq, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := parallelEngine(t, 4)
+	pcq, err := par.CompileQuery(w.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := par.Run(pcq, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.Stats.Instructions < sres.Stats.Instructions {
+		t.Fatalf("parallel executed %d instructions, serial %d",
+			pres.Stats.Instructions, sres.Stats.Instructions)
+	}
+	if pres.WallCycles > pres.Stats.TotalCycles() {
+		t.Fatalf("wall %d cycles exceeds total work %d", pres.WallCycles, pres.Stats.TotalCycles())
+	}
+	if pres.WallCycles == 0 {
+		t.Fatal("no wall clock")
+	}
+	// Sanity on the tuple counters path under the scheduler.
+	if len(pres.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}

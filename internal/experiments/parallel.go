@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/pmu"
+	"repro/internal/queries"
+	"repro/internal/viz"
+	"repro/internal/vm"
+)
+
+// Parallel measures morsel-driven scaling: each workload runs on 1, 2, 4,
+// and 8 simulated cores and reports the simulated wall clock, the speedup
+// over one core, and — as a determinism check — the merged instruction-
+// sample count, which must not depend on the worker count. The per-worker
+// density lanes of the largest run visualize the scheduler's load balance
+// (one PEBS buffer per hardware thread, merged bottom-up, as the paper's
+// §5 multi-threading support describes).
+func (e *Env) Parallel() (string, error) {
+	var sb strings.Builder
+	sb.WriteString("## Morsel-driven parallel scaling\n\n")
+	fmt.Fprintf(&sb, "%-10s %8s %12s %10s %10s\n", "query", "workers", "wall cycles", "speedup", "samples")
+
+	workloads := []string{"q1", "q6", "fig9", "q3"}
+	counts := []int{1, 2, 4, 8}
+	var lanes string
+	for _, name := range workloads {
+		w, ok := queries.ByName(name)
+		if !ok {
+			return "", fmt.Errorf("no workload %s", name)
+		}
+		var base uint64
+		var baseSamples int
+		for _, workers := range counts {
+			opts := engine.DefaultOptions()
+			opts.Workers = workers
+			eng := engine.New(e.Cat, opts)
+			cq, err := eng.CompileQuery(w.Query)
+			if err != nil {
+				return "", fmt.Errorf("%s: %w", name, err)
+			}
+			res, err := eng.Run(cq, &pmu.Config{Event: vm.EvInstRetired, Period: DefaultPeriod, Format: pmu.FormatIPTimeRegs})
+			if err != nil {
+				return "", fmt.Errorf("%s workers=%d: %w", name, workers, err)
+			}
+			if workers == 1 {
+				base = res.WallCycles
+				baseSamples = len(res.Samples)
+			}
+			mark := ""
+			if len(res.Samples) != baseSamples {
+				mark = " (!)"
+			}
+			fmt.Fprintf(&sb, "%-10s %8d %12d %9.2fx %9d%s\n",
+				name, workers, res.WallCycles,
+				float64(base)/float64(res.WallCycles), len(res.Samples), mark)
+			if name == "fig9" && workers == 8 {
+				lanes = viz.WorkerLanes(res.Samples, 60)
+			}
+		}
+	}
+	sb.WriteString("\n")
+	sb.WriteString(lanes)
+	return sb.String(), nil
+}

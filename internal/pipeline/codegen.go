@@ -27,11 +27,11 @@ func (c *Compiler) genPipeline(p *pipe) error {
 	}
 	switch d := p.driver.(type) {
 	case *plan.Scan:
-		c.genScanLoop(d)
+		c.genScanLoop(d, p.index)
 	case *plan.GroupBy:
-		c.genGroupScanLoop(d)
+		c.genGroupScanLoop(d, p.index)
 	case *plan.GroupJoin:
-		c.genGroupJoinScanLoop(d)
+		c.genGroupJoinScanLoop(d, p.index)
 	default:
 		return fmt.Errorf("pipeline: node %T cannot drive a pipeline", p.driver)
 	}
@@ -39,8 +39,11 @@ func (c *Compiler) genPipeline(p *pipe) error {
 }
 
 // genScanLoop drives a pipeline from a base-table scan: the tight tuple
-// loop of Listing 1 (loopTuples / nextTuple).
-func (c *Compiler) genScanLoop(s *plan.Scan) {
+// loop of Listing 1 (loopTuples / nextTuple). The loop bounds come from
+// the pipeline's morsel slots — [start, end) tuple indices — so the same
+// code serves the serial driver (which stages the full table) and the
+// morsel scheduler (which stages one morsel per invocation).
+func (c *Compiler) genScanLoop(s *plan.Scan, pipeIdx int) {
 	scanTask := c.task(s, roleScan)
 	opID := c.ops[s]
 
@@ -50,7 +53,7 @@ func (c *Compiler) genScanLoop(s *plan.Scan) {
 	exit := c.b.NewBlock("scanDone")
 
 	var bases []*ir.Instr
-	var nrows, zero, tid *ir.Instr
+	var nrows, start, tid *ir.Instr
 
 	c.withTask(opID, scanTask, func() {
 		state := c.b.Const(c.lay.StateBase)
@@ -64,16 +67,16 @@ func (c *Compiler) genScanLoop(s *plan.Scan) {
 			base.Comment = fmt.Sprintf("column base %s.%s", s.Alias, s.Table.Cols[ci].Name)
 			bases = append(bases, base)
 		}
-		rslot := c.lay.RowsSlots[s.Alias]
-		nrows = c.b.Load(64, c.b.Add(state, c.b.Const(int64(rslot)*8)))
-		nrows.Comment = "row count " + s.Alias
-		zero = c.b.Const(0)
+		start = c.b.Load(64, c.b.Const(c.lay.MorselStart(pipeIdx)))
+		start.Comment = "morsel start " + s.Alias
+		nrows = c.b.Load(64, c.b.Const(c.lay.MorselEnd(pipeIdx)))
+		nrows.Comment = "morsel end " + s.Alias
 		c.b.Br(loopHead)
 
 		c.b.SetBlock(loopHead)
 		tid = c.b.Phi()
 		tid.Comment = "localTid"
-		ir.AddIncoming(tid, zero)
+		ir.AddIncoming(tid, start)
 		cond := c.b.Bin(ir.OpCmpLt, tid, nrows)
 		c.b.CondBr(cond, body, exit)
 	})
@@ -418,18 +421,18 @@ func (c *Compiler) genGroupJoinProbe(gj *plan.GroupJoin, r row) {
 
 // genGroupScanLoop drives the output pipeline of a group-by: a linear scan
 // over the contiguous entry arena.
-func (c *Compiler) genGroupScanLoop(g *plan.GroupBy) {
+func (c *Compiler) genGroupScanLoop(g *plan.GroupBy, pipeIdx int) {
 	nKeys := len(g.Keys)
-	c.genArenaScan(g, c.lay.HT[g], aggOffsets(g.Aggs), g.Aggs, nKeys, entryKeyOff+8*int64(nKeys), false)
+	c.genArenaScan(g, pipeIdx, c.lay.HT[g], aggOffsets(g.Aggs), g.Aggs, nKeys, entryKeyOff+8*int64(nKeys), false)
 }
 
 // genGroupJoinScanLoop drives the output pipeline of a group join,
 // skipping unmatched build entries (inner-join semantics).
-func (c *Compiler) genGroupJoinScanLoop(gj *plan.GroupJoin) {
-	c.genArenaScan(gj, c.lay.HT[gj], aggOffsets(gj.Aggs), gj.Aggs, 1, entryValOff+8, true)
+func (c *Compiler) genGroupJoinScanLoop(gj *plan.GroupJoin, pipeIdx int) {
+	c.genArenaScan(gj, pipeIdx, c.lay.HT[gj], aggOffsets(gj.Aggs), gj.Aggs, 1, entryValOff+8, true)
 }
 
-func (c *Compiler) genArenaScan(n plan.Node, ht *HTLayout, offs []int64, aggs []plan.AggSpec, nKeys int, aggBase int64, skipUnmatched bool) {
+func (c *Compiler) genArenaScan(n plan.Node, pipeIdx int, ht *HTLayout, offs []int64, aggs []plan.AggSpec, nKeys int, aggBase int64, skipUnmatched bool) {
 	opID, task := c.ops[n], c.task(n, roleHTScan)
 
 	loopHead := c.b.NewBlock("loopGroups")
@@ -439,10 +442,12 @@ func (c *Compiler) genArenaScan(n plan.Node, ht *HTLayout, offs []int64, aggs []
 
 	var ptr *ir.Instr
 	c.withTask(opID, task, func() {
-		desc := c.b.Const(ht.Desc)
-		end := c.b.Load(64, c.b.Add(desc, c.b.Const(codegen.HTDescCursor)))
-		end.Comment = "arena cursor"
-		base := c.b.Const(ht.Arena)
+		// Entry-address bounds from the morsel slots: the serial driver
+		// stages [arena base, cursor), the morsel scheduler one slice.
+		base := c.b.Load(64, c.b.Const(c.lay.MorselStart(pipeIdx)))
+		base.Comment = "morsel start (arena)"
+		end := c.b.Load(64, c.b.Const(c.lay.MorselEnd(pipeIdx)))
+		end.Comment = "morsel end (arena cursor)"
 		c.b.Br(loopHead)
 
 		c.b.SetBlock(loopHead)
@@ -517,10 +522,16 @@ func (c *Compiler) genOutput(o *plan.Output, r row) {
 	})
 }
 
-// genMain emits the driver: clear every hash-table directory (kernel
-// work), run the pipelines in creation order, halt.
-func (c *Compiler) genMain() {
-	f := c.module.NewFunc("main", 0)
+// PreludeFunc names the generated function that prepares runtime state
+// (hash-table directory memsets). It is separate from main so a parallel
+// coordinator can run just the preparation on the canonical heap and then
+// dispatch the pipeline functions morsel by morsel.
+const PreludeFunc = "prelude"
+
+// genPrelude emits the runtime preparation: clear every hash-table
+// directory (kernel work).
+func (c *Compiler) genPrelude() {
+	f := c.module.NewFunc(PreludeFunc, 0)
 	c.b = ir.NewBuilder(f)
 	c.b.OnCreate = func(in *ir.Instr) {
 		c.dict.LinkIR(in.ID, c.taskTracker.Active())
@@ -531,9 +542,48 @@ func (c *Compiler) genMain() {
 			c.b.Call(codegen.SymMemset64, false,
 				c.b.Const(ht.Dir), c.b.Const(0), c.b.Const(ht.DirSlots*8))
 		}
+		c.b.Ret(nil)
+	})
+}
+
+// genMain emits the serial driver: run the prelude, then for each pipeline
+// (in creation order) stage its full input range into the morsel slots and
+// call it; halt. The bound staging is scheduler work, so it is tagged as a
+// kernel task like the memsets.
+func (c *Compiler) genMain() {
+	c.genPrelude()
+	f := c.module.NewFunc("main", 0)
+	c.b = ir.NewBuilder(f)
+	c.b.OnCreate = func(in *ir.Instr) {
+		c.dict.LinkIR(in.ID, c.taskTracker.Active())
+	}
+	c.withTask(c.reg.KernelOperator, c.reg.KernelTask, func() {
+		c.b.Call(PreludeFunc, false)
 		for _, p := range c.pipes {
+			c.stageFullMorsel(p)
 			c.b.Call(funcName(p.index), false)
 		}
 		c.b.Halt()
 	})
+}
+
+// stageFullMorsel writes the pipeline's whole input domain into its morsel
+// slots: [0, row count) for table scans, [arena base, cursor) for
+// hash-table scans (the cursor is read *here*, after the producing
+// pipeline ran).
+func (c *Compiler) stageFullMorsel(p *pipe) {
+	switch d := p.driver.(type) {
+	case *plan.Scan:
+		c.b.Store(64, c.b.Const(c.lay.MorselStart(p.index)), c.b.Const(0))
+		rslot := c.lay.RowsSlots[d.Alias]
+		n := c.b.Load(64, c.b.Const(c.lay.StateBase+int64(rslot)*8))
+		n.Comment = "row count " + d.Alias
+		c.b.Store(64, c.b.Const(c.lay.MorselEnd(p.index)), n)
+	default:
+		ht := c.lay.HT[p.driver]
+		c.b.Store(64, c.b.Const(c.lay.MorselStart(p.index)), c.b.Const(ht.Arena))
+		cur := c.b.Load(64, c.b.Const(ht.Desc+codegen.HTDescCursor))
+		cur.Comment = "arena cursor"
+		c.b.Store(64, c.b.Const(c.lay.MorselEnd(p.index)), cur)
+	}
 }

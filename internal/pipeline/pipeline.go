@@ -74,17 +74,102 @@ type Layout struct {
 
 	ResultDesc int64 // bumpalloc descriptor for result rows
 
+	// MorselBase is the morsel-bound region: per pipeline, a [start, end)
+	// pair of 64-bit slots that the pipeline's tuple loop reads as its
+	// iteration bounds (row indices for table scans, arena addresses for
+	// hash-table scans). The serial driver stages the full range itself;
+	// the morsel scheduler writes one morsel at a time from the host.
+	MorselBase int64
+
 	// CounterBase is the tuple-counter region (one 8-byte slot per task
 	// component ID, indexed directly by the ID); 0 disables counters.
 	CounterBase int64
 }
 
+// MorselSlotBytes is the size of one pipeline's morsel-bound pair.
+const MorselSlotBytes = 16
+
+// MorselStart returns the heap address of a pipeline's morsel lower bound.
+func (l *Layout) MorselStart(pipe int) int64 { return l.MorselBase + int64(pipe)*MorselSlotBytes }
+
+// MorselEnd returns the heap address of a pipeline's morsel upper bound.
+func (l *Layout) MorselEnd(pipe int) int64 { return l.MorselStart(pipe) + 8 }
+
+// PipeCount returns how many pipelines lowering will create for a plan —
+// one per base-table scan plus one output pipeline per group-by and
+// group-join — so the engine can size the morsel-bound region before
+// Compile runs. Must mirror pass1's pipe creation.
+func PipeCount(root plan.Node) int {
+	n := 0
+	plan.Walk(root, func(x plan.Node) {
+		switch x.(type) {
+		case *plan.Scan, *plan.GroupBy, *plan.GroupJoin:
+			n++
+		}
+	})
+	return n
+}
+
+// DriverKind classifies what feeds a pipeline's tuple loop.
+type DriverKind int
+
+const (
+	// DriverScan is a base-table scan: morsels are tuple-index ranges.
+	DriverScan DriverKind = iota
+	// DriverArena is a hash-table arena scan: morsels are entry ranges.
+	DriverArena
+)
+
+// DriverInfo describes a pipeline's input domain so the morsel scheduler
+// can partition it without re-deriving the plan.
+type DriverInfo struct {
+	Kind  DriverKind
+	Alias string    // DriverScan: the scan alias
+	Rows  int       // DriverScan: table cardinality
+	HT    *HTLayout // DriverArena: the scanned hash table
+}
+
+// SinkKind classifies where a pipeline's tuples end up. The parallel
+// scheduler uses it to know how to merge per-morsel partitions back into
+// the canonical heap at the pipeline barrier.
+type SinkKind int
+
+const (
+	// SinkOutput appends rows to the result buffer.
+	SinkOutput SinkKind = iota
+	// SinkJoinBuild appends entries to a join hash table.
+	SinkJoinBuild
+	// SinkGroupAgg upserts group entries with aggregate state.
+	SinkGroupAgg
+	// SinkGJBuild appends zero-initialized group-join entries.
+	SinkGJBuild
+	// SinkGJProbe updates group-join entries in place (no appends).
+	SinkGJProbe
+)
+
+// SinkInfo describes a pipeline's terminal materialization: which hash
+// table (if any) it writes and the entry layout the merge needs — key
+// slots for group lookup, the match counter and the aggregate state zone.
+// All offsets are relative to the entry base.
+type SinkInfo struct {
+	Kind SinkKind
+	HT   *HTLayout // nil for SinkOutput
+
+	NKeys    int
+	KeyOff   int64
+	MatchOff int64 // SinkGJProbe/SinkGJBuild: match-count slot
+	Aggs     []plan.AggFn
+	AggOffs  []int64 // per-aggregate offset within the entry
+}
+
 // PipelineInfo describes one generated pipeline.
 type PipelineInfo struct {
-	Index int
-	Name  string
-	Func  string
-	Tasks []core.ComponentID
+	Index  int
+	Name   string
+	Func   string
+	Tasks  []core.ComponentID
+	Driver DriverInfo
+	Sink   SinkInfo
 }
 
 // Compiled is the result of lowering a plan.
@@ -127,6 +212,11 @@ type pipe struct {
 	name   string
 	driver plan.Node // *plan.Scan, *plan.GroupBy, or *plan.GroupJoin
 	tasks  []core.ComponentID
+
+	// Terminal materialization, set by pass1 at the point the pipeline's
+	// stream is consumed (build/aggregate/output).
+	sinkNode plan.Node
+	sinkKind SinkKind
 }
 
 // Compiler lowers one plan.
@@ -205,9 +295,52 @@ func Compile(out *plan.Output, lay *Layout, opts Options) (*Compiled, error) {
 	for _, p := range c.pipes {
 		cd.Pipelines = append(cd.Pipelines, PipelineInfo{
 			Index: p.index, Name: p.name, Func: funcName(p.index), Tasks: p.tasks,
+			Driver: c.driverInfo(p), Sink: c.sinkInfo(p),
 		})
 	}
 	return cd, nil
+}
+
+// driverInfo describes a pipe's input domain for the morsel scheduler.
+func (c *Compiler) driverInfo(p *pipe) DriverInfo {
+	switch d := p.driver.(type) {
+	case *plan.Scan:
+		return DriverInfo{Kind: DriverScan, Alias: d.Alias, Rows: d.Table.Rows()}
+	default:
+		return DriverInfo{Kind: DriverArena, HT: c.lay.HT[p.driver]}
+	}
+}
+
+// sinkInfo describes a pipe's terminal materialization for the merge.
+func (c *Compiler) sinkInfo(p *pipe) SinkInfo {
+	si := SinkInfo{Kind: p.sinkKind}
+	switch n := p.sinkNode.(type) {
+	case *plan.Join:
+		si.HT = c.lay.HT[n]
+		si.NKeys, si.KeyOff = 1, entryKeyOff
+	case *plan.GroupBy:
+		si.HT = c.lay.HT[n]
+		si.NKeys, si.KeyOff = len(n.Keys), entryKeyOff
+		si.Aggs, si.AggOffs = aggLayout(n.Aggs, entryKeyOff+8*int64(len(n.Keys)))
+	case *plan.GroupJoin:
+		si.HT = c.lay.HT[n]
+		si.NKeys, si.KeyOff = 1, entryKeyOff
+		si.MatchOff = entryValOff
+		si.Aggs, si.AggOffs = aggLayout(n.Aggs, entryValOff+8)
+	}
+	return si
+}
+
+// aggLayout returns the aggregate functions and their absolute offsets
+// within a hash-table entry whose state zone starts at base.
+func aggLayout(aggs []plan.AggSpec, base int64) ([]plan.AggFn, []int64) {
+	fns := make([]plan.AggFn, len(aggs))
+	offs := aggOffsets(aggs)
+	for i, a := range aggs {
+		fns[i] = a.Fn
+		offs[i] += base
+	}
+	return fns, offs
 }
 
 func funcName(i int) string { return fmt.Sprintf("pipeline%d", i) }
@@ -292,6 +425,7 @@ func (c *Compiler) pass1(n plan.Node) *pipe {
 	case *plan.Join:
 		pb := c.pass1(x.Build)
 		c.registerTask(pb, x, roleBuild, c.ops[x])
+		pb.sinkNode, pb.sinkKind = x, SinkJoinBuild
 		c.htOrder = append(c.htOrder, x)
 		pp := c.pass1(x.Probe)
 		c.registerTask(pp, x, roleProbe, c.ops[x])
@@ -300,6 +434,7 @@ func (c *Compiler) pass1(n plan.Node) *pipe {
 	case *plan.GroupBy:
 		pi := c.pass1(x.Input)
 		c.registerTask(pi, x, roleAgg, c.ops[x])
+		pi.sinkNode, pi.sinkKind = x, SinkGroupAgg
 		c.htOrder = append(c.htOrder, x)
 		po := c.newPipe(x, "scan group-by")
 		c.registerTask(po, x, roleHTScan, c.ops[x])
@@ -308,10 +443,12 @@ func (c *Compiler) pass1(n plan.Node) *pipe {
 	case *plan.GroupJoin:
 		pb := c.pass1(x.Build)
 		c.registerTask(pb, x, roleBuild, c.ops[x])
+		pb.sinkNode, pb.sinkKind = x, SinkGJBuild
 		c.htOrder = append(c.htOrder, x)
 		pp := c.pass1(x.Probe)
 		c.registerTask(pp, x, roleGJJoin, c.ops[x])
 		c.registerTask(pp, x, roleGJAgg, c.ops[x])
+		pp.sinkNode, pp.sinkKind = x, SinkGJProbe
 		po := c.newPipe(x, "scan groupjoin")
 		c.registerTask(po, x, roleHTScan, c.ops[x])
 		return po
@@ -319,6 +456,7 @@ func (c *Compiler) pass1(n plan.Node) *pipe {
 	case *plan.Output:
 		p := c.pass1(x.Input)
 		c.registerTask(p, x, roleOutput, c.ops[x])
+		p.sinkNode, p.sinkKind = x, SinkOutput
 		return p
 	}
 	panic(fmt.Sprintf("pipeline: unknown node %T", n))

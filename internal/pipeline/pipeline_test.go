@@ -294,7 +294,8 @@ func TestListingStructure(t *testing.T) {
 	}
 }
 
-// TestMainCallsPipelinesInOrder: builds run before probes.
+// TestMainCallsPipelinesInOrder: the prelude (directory memsets) runs
+// first, then builds before probes.
 func TestMainCallsPipelinesInOrder(t *testing.T) {
 	out, lay := fixture(t)
 	cd, err := Compile(out, lay, Options{RegisterTagging: true})
@@ -310,29 +311,34 @@ func TestMainCallsPipelinesInOrder(t *testing.T) {
 			}
 		}
 	}
-	// memset(s) first, then pipeline0..2 in order.
-	var pipeCalls []string
-	memsets := 0
-	for _, c := range calls {
-		if c == codegen.SymMemset64 {
-			memsets++
-			if len(pipeCalls) > 0 {
-				t.Fatal("memset after a pipeline call")
-			}
-			continue
+	// Prelude first, then pipeline0..2 in order.
+	want := []string{PreludeFunc, "pipeline0", "pipeline1", "pipeline2"}
+	if len(calls) != len(want) {
+		t.Fatalf("main calls = %v", calls)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("call order = %v", calls)
 		}
-		pipeCalls = append(pipeCalls, c)
+	}
+	// The directory memsets moved into the prelude so a parallel
+	// coordinator can run just the preparation.
+	prelude := cd.Module.FuncByName(PreludeFunc)
+	if prelude == nil {
+		t.Fatal("no prelude function")
+	}
+	memsets := 0
+	for _, b := range prelude.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall {
+				if in.Callee != codegen.SymMemset64 {
+					t.Fatalf("unexpected prelude call %q", in.Callee)
+				}
+				memsets++
+			}
+		}
 	}
 	if memsets != 2 { // join dir + group-by dir
 		t.Fatalf("memsets = %d", memsets)
-	}
-	want := []string{"pipeline0", "pipeline1", "pipeline2"}
-	if len(pipeCalls) != 3 {
-		t.Fatalf("pipeline calls = %v", pipeCalls)
-	}
-	for i := range want {
-		if pipeCalls[i] != want[i] {
-			t.Fatalf("pipeline order = %v", pipeCalls)
-		}
 	}
 }

@@ -71,6 +71,11 @@ type Config struct {
 	// each interval by ±period/16, as perf does, to defeat aliasing
 	// between the sampling period and loop bodies (§4.1 of the paper).
 	NoJitter bool
+
+	// Worker stamps every sample with the recording core's ID, the way
+	// per-hardware-thread PEBS buffers are distinguishable after the
+	// bottom-up merge. 0 for single-CPU runs; morsel workers use ≥1.
+	Worker int
 }
 
 // DefaultBufferSamples is the PEBS buffer capacity used unless overridden.
@@ -117,7 +122,7 @@ func (p *PMU) StorageBytes() int { return len(p.samples) * RecordBytes(p.cfg.For
 
 // Sample implements vm.SampleHook.
 func (p *PMU) Sample(c *vm.CPU, ev vm.Event, addr int64) uint64 {
-	s := core.Sample{IP: c.IP(), Event: ev, Addr: addr}
+	s := core.Sample{IP: c.IP(), Event: ev, Addr: addr, Worker: p.cfg.Worker}
 	var cost uint64
 	if p.cfg.Format.CallStack {
 		// Interrupt-based sampling: the kernel handler walks and stores

@@ -1,0 +1,70 @@
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// WorkerLanes renders one density lane per recording core of a parallel
+// run: worker 0 is the coordinator (prelude + merge), workers 1..N the
+// morsel workers. Each lane bins its own samples over that worker's TSC
+// range — worker clocks are private in the simulated machine, so lanes
+// are per-core activity profiles, not a globally aligned timeline.
+// Darkness = share of the lane's busiest bin.
+func WorkerLanes(samples []core.Sample, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	byWorker := map[int][]core.Sample{}
+	for _, s := range samples {
+		byWorker[s.Worker] = append(byWorker[s.Worker], s)
+	}
+	ids := make([]int, 0, len(byWorker))
+	for id := range byWorker {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "per-worker sample density (%d samples, %d lanes)\n", len(samples), len(ids))
+	for _, id := range ids {
+		ss := byWorker[id]
+		lo, hi := ss[0].TSC, ss[0].TSC
+		for _, s := range ss {
+			if s.TSC < lo {
+				lo = s.TSC
+			}
+			if s.TSC > hi {
+				hi = s.TSC
+			}
+		}
+		bins := make([]int, width)
+		span := hi - lo
+		for _, s := range ss {
+			b := 0
+			if span > 0 {
+				b = int(uint64(width-1) * (s.TSC - lo) / span)
+			}
+			bins[b]++
+		}
+		peak := 0
+		for _, n := range bins {
+			if n > peak {
+				peak = n
+			}
+		}
+		label := fmt.Sprintf("worker %d", id)
+		if id == 0 {
+			label = "coord"
+		}
+		fmt.Fprintf(&sb, "%-9s |", label)
+		for _, n := range bins {
+			sb.WriteByte(shade(float64(n) / float64(peak)))
+		}
+		fmt.Fprintf(&sb, "| %d samples\n", len(ss))
+	}
+	return sb.String()
+}

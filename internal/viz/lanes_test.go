@@ -1,0 +1,65 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/pmu"
+	"repro/internal/queries"
+	"repro/internal/vm"
+)
+
+func TestWorkerLanes(t *testing.T) {
+	cat := datagen.Generate(datagen.Config{ScaleFactor: 0.3, Seed: 11})
+	opts := engine.DefaultOptions()
+	opts.Workers = 4
+	opts.MorselRows = 256
+	eng := engine.New(cat, opts)
+	w, _ := queries.ByName("fig9")
+	cq, err := eng.CompileQuery(w.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(cq, &pmu.Config{Event: vm.EvCycles, Period: 499, Format: pmu.FormatIPTimeRegs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := WorkerLanes(res.Samples, 50)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header plus one lane per core that recorded at least one sample;
+	// all four workers ran morsels, so expect every lane.
+	if len(lines) < 5 {
+		t.Fatalf("expected >=5 lines (header + 4 worker lanes):\n%s", out)
+	}
+	for _, want := range []string{"worker 1", "worker 2", "worker 3", "worker 4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing lane %q:\n%s", want, out)
+		}
+	}
+	for _, l := range lines[1:] {
+		if !strings.Contains(l, "|") || !strings.HasSuffix(l, "samples") {
+			t.Errorf("malformed lane line %q", l)
+		}
+	}
+}
+
+func TestWorkerLanesSerialRun(t *testing.T) {
+	// A single-CPU run has every sample under worker 0 — one lane.
+	cat := datagen.Generate(datagen.Config{ScaleFactor: 0.1, Seed: 11})
+	eng := engine.New(cat, engine.DefaultOptions())
+	w, _ := queries.ByName("q6")
+	cq, err := eng.CompileQuery(w.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.RunIterations(cq, 1, &pmu.Config{Event: vm.EvCycles, Period: 499, Format: pmu.FormatIPTimeRegs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := WorkerLanes(res.Samples, 40)
+	if !strings.Contains(out, "coord") || strings.Contains(out, "worker 1") {
+		t.Fatalf("serial run should have only the coord lane:\n%s", out)
+	}
+}

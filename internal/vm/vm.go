@@ -110,6 +110,7 @@ type CPU struct {
 	tsc       uint64
 	callStack []int // return addresses (instruction indices)
 	halted    bool
+	haltOnRet bool // CallFunction mode: RET at stack depth 0 halts
 
 	caches *Hierarchy
 	bp     *BranchPredictor
@@ -170,6 +171,32 @@ func (c *CPU) Restart() {
 	c.callStack = c.callStack[:0]
 }
 
+// CallFunction runs a single function to completion: execution starts at
+// entry and ends when the function returns with an empty call stack
+// (instead of trapping, the way a stray RET would during a normal Run).
+// Registers, TSC, statistics and sampling state are all *kept* across
+// calls — a worker CPU in morsel-driven execution invokes the same
+// pipeline function once per morsel, accumulating cycles like a real core
+// would. maxInstructions bounds this call (0 = unbounded).
+func (c *CPU) CallFunction(entry int, maxInstructions uint64) (Stats, error) {
+	if c.prog == nil {
+		return c.Stats, fmt.Errorf("vm: no program loaded")
+	}
+	if entry < 0 || entry >= len(c.prog.Code) {
+		return c.Stats, fmt.Errorf("vm: call entry %d out of range", entry)
+	}
+	c.ip = entry
+	c.halted = false
+	c.callStack = c.callStack[:0]
+	c.haltOnRet = true
+	defer func() { c.haltOnRet = false }()
+	budget := maxInstructions
+	if budget > 0 {
+		budget += c.Stats.Instructions
+	}
+	return c.Run(budget)
+}
+
 // Arm configures event sampling: hook.Sample is called every period
 // occurrences of ev, with each interval randomized by ±jitter/2 (0
 // disables randomization). Pass a nil hook to disable sampling.
@@ -188,6 +215,28 @@ func (c *CPU) Arm(hook SampleHook, ev Event, period, jitter int64) {
 		c.jitterMask = mask - 1
 	}
 	c.jitterRNG = 0x9e3779b97f4a7c15 ^ uint64(period)
+}
+
+// ReArm restarts the sampling countdown at a deterministic epoch derived
+// from seed, without touching the collected state or the armed period.
+// Morsel-driven execution re-arms before every morsel with a seed derived
+// from the *global* morsel index, so the positions of count-event samples
+// within a morsel depend only on the morsel — never on which worker ran it
+// or what that worker executed before. That is what makes merged parallel
+// profiles of deterministic events exact across worker counts.
+func (c *CPU) ReArm(seed uint64) {
+	if !c.sampling {
+		return
+	}
+	c.jitterRNG = 0x9e3779b97f4a7c15 ^ uint64(c.period) ^ (seed*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb)
+	if c.jitterRNG == 0 {
+		c.jitterRNG = 1
+	}
+	if c.jitterMask == 0 {
+		c.countdown = c.period
+	} else {
+		c.countdown = c.nextPeriod()
+	}
 }
 
 // nextPeriod returns the (possibly jittered) next sampling interval.
@@ -413,11 +462,18 @@ func (c *CPU) step(in *isa.Instr) error {
 
 	case isa.RET:
 		if len(c.callStack) == 0 {
-			return &TrapError{IP: c.ip, Reason: "ret with empty call stack"}
+			if !c.haltOnRet {
+				return &TrapError{IP: c.ip, Reason: "ret with empty call stack"}
+			}
+			// CallFunction mode: returning from the entry function ends
+			// the call like HALT ends a program.
+			c.halted = true
+			cost = CostCall
+		} else {
+			next = c.callStack[len(c.callStack)-1]
+			c.callStack = c.callStack[:len(c.callStack)-1]
+			cost = CostCall
 		}
-		next = c.callStack[len(c.callStack)-1]
-		c.callStack = c.callStack[:len(c.callStack)-1]
-		cost = CostCall
 
 	case isa.HALT:
 		c.halted = true
