@@ -316,6 +316,62 @@ func benchParallel(b *testing.B, workload string) {
 	b.ReportMetric(speedup, "speedup")
 }
 
+// BenchmarkCompileSQL measures the full SQL front door (parse → plan →
+// compile) with allocation reporting: the CSE value-numbering key is the
+// optimizer's hottest allocation site, so allocs/op here guards its
+// allocation-free encoding.
+func BenchmarkCompileSQL(b *testing.B) {
+	eng, _ := benchEngine(b)
+	const sql = "select l_orderkey, sum(l_quantity), sum(l_extendedprice) " +
+		"from lineitem where l_quantity < 24 group by l_orderkey"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.CompileSQL(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPGO runs one profile → recompile → re-run cycle and reports the
+// simulated cycles of the original and profile-guided binaries plus the
+// achieved reduction. RunAdaptive fails the benchmark if the recompiled
+// query's rows differ.
+func benchPGO(b *testing.B, workload string) {
+	env := benchEnv(b)
+	wl, ok := queries.ByName(workload)
+	if !ok {
+		b.Fatalf("no workload %s", workload)
+	}
+	eng := engine.New(env.Cat, engine.DefaultOptions())
+	cq, err := eng.CompileQuery(wl.Query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ar *engine.AdaptiveResult
+	for i := 0; i < b.N; i++ {
+		ar, err = eng.RunAdaptive(cq, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(ar.BaselineCycles), "baseline_cycles")
+	b.ReportMetric(float64(ar.TunedCycles), "tuned_cycles")
+	b.ReportMetric(100*ar.CycleReduction(), "reduction_pct")
+}
+
+// BenchmarkPGOScanAgg measures profile-guided recompilation on TPC-H Q6:
+// one tight scan loop, where scaled-address fusion and layout dominate.
+func BenchmarkPGOScanAgg(b *testing.B) {
+	benchPGO(b, "q6")
+}
+
+// BenchmarkPGOJoin measures profile-guided recompilation on the Fig. 9
+// join+group-by query: LICM and spill weighting matter alongside fusion.
+func BenchmarkPGOJoin(b *testing.B) {
+	benchPGO(b, "fig9")
+}
+
 // BenchmarkParallelScanAgg measures morsel-driven scaling on a scan-heavy
 // aggregation (TPC-H Q6): one scan pipeline, near-perfect morsel balance.
 func BenchmarkParallelScanAgg(b *testing.B) {

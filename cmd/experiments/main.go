@@ -14,6 +14,7 @@
 //	experiments -exp accuracy     §6.3 accuracy validation
 //	experiments -exp table1       Table 1 optimization support matrix
 //	experiments -exp parallel     morsel-driven scaling on simulated cores
+//	experiments -exp pgo          profile-guided recompilation cycle deltas
 //	experiments -exp loc          Table 3 implementation effort
 package main
 
@@ -51,6 +52,7 @@ func main() {
 		{"accuracy", func() (string, error) { s, _, err := env.Accuracy(); return s, err }},
 		{"table1", func() (string, error) { s, _, err := env.Table1(); return s, err }},
 		{"parallel", env.Parallel},
+		{"pgo", func() (string, error) { s, _, err := env.PGO(); return s, err }},
 		{"loc", func() (string, error) { return experiments.LoC(*root) }},
 	}
 

@@ -31,6 +31,7 @@ func main() {
 	maxRows := flag.Int("rows", 50, "maximum rows to print")
 	workers := flag.Int("workers", 0, "morsel-driven parallel execution on N simulated cores (0 = single-CPU)")
 	morsel := flag.Int("morsel", 0, "morsel size in tuples (0 = default)")
+	pgo := flag.Bool("pgo", false, "profile-guided recompilation: run sampled, recompile from the profile, report the cycle delta")
 	flag.Parse()
 
 	cat := datagen.Generate(datagen.Config{ScaleFactor: *sf, Seed: *seed})
@@ -61,14 +62,14 @@ func main() {
 	}
 
 	for _, sql := range stmts {
-		if err := runOne(eng, sql, *explain, *verify, *analyze, *maxRows); err != nil {
+		if err := runOne(eng, sql, *explain, *verify, *analyze, *pgo, *maxRows); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			os.Exit(1)
 		}
 	}
 }
 
-func runOne(eng *engine.Engine, sql string, explain, verify, analyze bool, maxRows int) error {
+func runOne(eng *engine.Engine, sql string, explain, verify, analyze, pgo bool, maxRows int) error {
 	cq, err := eng.CompileSQL(sql)
 	if err != nil {
 		return err
@@ -78,6 +79,9 @@ func runOne(eng *engine.Engine, sql string, explain, verify, analyze bool, maxRo
 			return fmt.Sprintf("(est. %.0f rows)", n.EstRows())
 		}))
 		fmt.Println()
+	}
+	if pgo {
+		return runAdaptive(eng, cq, maxRows)
 	}
 	res, err := eng.Run(cq, nil)
 	if err != nil {
@@ -106,6 +110,24 @@ func runOne(eng *engine.Engine, sql string, explain, verify, analyze bool, maxRo
 		}
 		fmt.Println("verified against reference executor ✓")
 	}
+	return nil
+}
+
+// runAdaptive runs one profile → recompile → re-run cycle and reports
+// the simulated-cycle delta; the recompiled query's rows (printed) are
+// verified identical to the original's by RunAdaptive itself.
+func runAdaptive(eng *engine.Engine, cq *engine.Compiled, maxRows int) error {
+	ar, err := eng.RunAdaptive(cq, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(viz.ResultTable(ar.Tuned, maxRows))
+	st := ar.Recompiled.OptStats
+	fmt.Printf("(%d rows; results identical before/after recompilation)\n", len(ar.Tuned.Rows))
+	fmt.Printf("pgo: %d samples; hoisted %d, strength-reduced %d\n",
+		len(ar.ProfileRun.Samples), st.Hoisted, st.Reduced)
+	fmt.Printf("pgo: %d cycles -> %d cycles (%.1f%% reduction, %.2fx)\n",
+		ar.BaselineCycles, ar.TunedCycles, ar.CycleReduction()*100, ar.Speedup())
 	return nil
 }
 

@@ -24,6 +24,28 @@ type Config struct {
 	// the region size in bytes.
 	SpillBase int64
 	SpillCap  int64
+	// Hot supplies profile guidance for a recompilation: scaled-address
+	// fusion of hot loads, profile-guided block layout with branch-sense
+	// inversion, and hotness-weighted spill priority. Nil (the default)
+	// compiles exactly as the seed backend does.
+	Hot Hotness
+}
+
+// Hotness is the profile guidance the backend consumes; *pgo.Hotness
+// satisfies it (declared locally so codegen does not depend on the pgo
+// package).
+type Hotness interface {
+	// InstrWeight returns one IR instruction's profile weight.
+	InstrWeight(id int) float64
+	// TotalWeight returns the total attributed weight.
+	TotalWeight() float64
+	// WeightOf sums the weight of the IR instructions fused into one
+	// native instruction.
+	WeightOf(irIDs []int) float64
+	// TakenFraction returns a branch's observed taken fraction,
+	// normalized to the source branch's then-direction; ok is false
+	// without outcome observations.
+	TakenFraction(irIDs []int) (float64, bool)
 }
 
 // DefaultConfig returns the standard backend configuration for the given
@@ -97,7 +119,10 @@ func Compile(m *ir.Module, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		alloc, next, err := allocate(lf, cfg.RegisterTagging, slotBase)
+		if cfg.Hot != nil {
+			layoutFunc(lf, cfg.Hot)
+		}
+		alloc, next, err := allocate(lf, cfg.RegisterTagging, slotBase, cfg.Hot)
 		if err != nil {
 			return nil, err
 		}
@@ -132,6 +157,7 @@ func (e *emitter) push(in isa.Instr, irIDs []int, region core.RegionKind, routin
 	e.nmap.IRs = append(e.nmap.IRs, irIDs)
 	e.nmap.Region = append(e.nmap.Region, region)
 	e.nmap.Routine = append(e.nmap.Routine, routine)
+	e.nmap.Inverted = append(e.nmap.Inverted, false)
 	return pos
 }
 
@@ -235,8 +261,14 @@ func (e *emitter) emitFunc(fn *lfunc, a *allocation) error {
 
 			case isa.LOAD8, isa.LOAD32, isa.LOAD64:
 				base := e.readInto(a, l.a, scratchA, ids)
+				in := isa.Instr{Op: l.op, Src1: base, Imm: l.imm}
+				if l.scaled {
+					in.Scaled = true
+					in.Src2 = e.readInto(a, l.b, scratchB, ids)
+				}
 				dst, slot := e.destReg(a, l.dst)
-				e.push(isa.Instr{Op: l.op, Dst: dst, Src1: base, Imm: l.imm}, ids, core.RegionGenerated, "")
+				in.Dst = dst
+				e.push(in, ids, core.RegionGenerated, "")
 				e.flushDest(slot, dst, ids)
 
 			case isa.STORE8, isa.STORE32, isa.STORE64:
@@ -254,6 +286,7 @@ func (e *emitter) emitFunc(fn *lfunc, a *allocation) error {
 			case isa.JNZ, isa.JZ:
 				cond := e.readInto(a, l.a, scratchA, ids)
 				pos := e.push(isa.Instr{Op: l.op, Src1: cond}, ids, core.RegionGenerated, "")
+				e.nmap.Inverted[pos] = l.inverted
 				fixes = append(fixes, fix{pos, l.tgt, false})
 
 			case isa.JEQ, isa.JNE, isa.JLT, isa.JGE:
@@ -266,6 +299,7 @@ func (e *emitter) emitFunc(fn *lfunc, a *allocation) error {
 					in.Src2 = e.readInto(a, l.b, scratchB, ids)
 				}
 				pos := e.push(in, ids, core.RegionGenerated, "")
+				e.nmap.Inverted[pos] = l.inverted
 				fixes = append(fixes, fix{pos, l.tgt, true})
 				e.res.FusedBranches++
 

@@ -34,6 +34,14 @@ type lins struct {
 
 	tgt, tgt2 int // successor lblock indices for branches
 
+	// scaled marks a memory operation using base+index scaled addressing:
+	// a is the base, b the index register (address = a + imm + b*width).
+	scaled bool
+	// inverted marks a conditional branch whose sense the profile-guided
+	// layout flipped; recorded in the native map so re-profiles normalize
+	// outcome statistics back to the source branch's then-direction.
+	inverted bool
+
 	callee string
 	args   []vreg
 	hasRes bool
@@ -83,6 +91,17 @@ type lowerer struct {
 	regOf   map[*ir.Instr]vreg
 	uses    map[*ir.Instr]int
 	fused   map[*ir.Instr]bool // compare instructions folded into branches
+	scaled  map[*ir.Instr]scaledAddr
+}
+
+// scaledAddr is a planned scaled-addressing fusion, keyed by a
+// profile-hot 8-byte load: the load bypasses its address Add — and the
+// Mul/Shl computing the index — using base+index*8 addressing directly,
+// removing up to 4 cycles per execution once the address instructions'
+// other consumers are fused too and they can be elided.
+type scaledAddr struct {
+	base, idx *ir.Instr
+	ids       []int // IR IDs of the folded address instructions
 }
 
 func lowerFunc(f *ir.Func, cfg *Config) (*lfunc, error) {
@@ -94,6 +113,7 @@ func lowerFunc(f *ir.Func, cfg *Config) (*lfunc, error) {
 		regOf:   make(map[*ir.Instr]vreg),
 		uses:    make(map[*ir.Instr]int),
 		fused:   make(map[*ir.Instr]bool),
+		scaled:  make(map[*ir.Instr]scaledAddr),
 	}
 	for i, b := range f.Blocks {
 		lo.blockIx[b] = i
@@ -101,6 +121,7 @@ func lowerFunc(f *ir.Func, cfg *Config) (*lfunc, error) {
 	}
 	lo.countUses()
 	lo.planFusion()
+	lo.planScaledFusion()
 	for i, b := range f.Blocks {
 		if err := lo.lowerBlock(i, b); err != nil {
 			return nil, err
@@ -177,6 +198,12 @@ func (lo *lowerer) lowerBlock(bi int, b *ir.Block) error {
 			lo.lowerBin(bi, in)
 
 		case ir.OpLoad8, ir.OpLoad32, ir.OpLoad64:
+			if sc, ok := lo.scaled[in]; ok {
+				ids := append(append([]int(nil), sc.ids...), in.ID)
+				lo.emit(bi, lins{op: isa.LOAD64, dst: lo.vregFor(in),
+					a: lo.opnd(sc.base), b: lo.opnd(sc.idx), scaled: true, irIDs: ids})
+				continue
+			}
 			base, off, extra := lo.addr(in.Args[0])
 			op := map[ir.Op]isa.Op{ir.OpLoad8: isa.LOAD8, ir.OpLoad32: isa.LOAD32, ir.OpLoad64: isa.LOAD64}[in.Op]
 			lo.emit(bi, lins{op: op, dst: lo.vregFor(in), a: base, imm: off, irIDs: appendID(extra, in.ID)})
@@ -296,6 +323,118 @@ func (lo *lowerer) planFusion() {
 			}
 		}
 	}
+}
+
+// planScaledFusion pre-marks profile-hot 8-byte loads that fit the
+// machine's scaled addressing mode:
+//
+//	Load64( Add(base, Mul(idx, 8)) )   →  LOAD64 dst, [base + idx*8]
+//	Load64( Add(base, Shl(idx, 3)) )   →  (same; strength-reduced form)
+//
+// Like planFusion this must run before lowering: the Add and Mul/Shl
+// appear earlier in the block than the load, so by the time the load is
+// lowered they would already have been emitted. Each matching load
+// independently bypasses the address computation (the scaled operand is
+// the raw index); the Add itself — CSE typically shares one Add across
+// several lazy column loads — is elided once *every* consumer bypasses
+// it, and likewise the Mul/Shl once every consumer Add is elided. Elided
+// instructions credit their IR IDs to the fused loads' debug info.
+// Runs only under a profile (cfg.Hot) and only for loads the profile
+// observed executing: this is the backend half of profile-guided
+// recompilation, and unprofiled compiles must be byte-identical to the
+// seed backend's output.
+func (lo *lowerer) planScaledFusion() {
+	if lo.cfg.Hot == nil {
+		return
+	}
+	addLoads := map[*ir.Instr][]*ir.Instr{} // address Add → fused loads over it
+	addIdxe := map[*ir.Instr]*ir.Instr{}    // address Add → its Mul/Shl
+	for _, b := range lo.f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpLoad64 {
+				continue
+			}
+			if lo.cfg.Hot.InstrWeight(in.ID) <= 0 {
+				continue
+			}
+			add := in.Args[0]
+			if add.Op != ir.OpAdd || lo.fused[add] {
+				continue
+			}
+			base, idxe := add.Args[0], add.Args[1]
+			if scaleIndex(idxe) == nil {
+				base, idxe = idxe, base
+			}
+			idx := scaleIndex(idxe)
+			if idx == nil || base.Op == ir.OpConst {
+				continue
+			}
+			lo.scaled[in] = scaledAddr{base: base, idx: idx}
+			addLoads[add] = append(addLoads[add], in)
+			addIdxe[add] = idxe
+		}
+	}
+	// Elide an Add when every one of its uses is a bypassing load.
+	for add, loads := range addLoads {
+		if len(loads) != lo.uses[add] {
+			continue
+		}
+		lo.fused[add] = true
+		for _, ld := range loads {
+			sc := lo.scaled[ld]
+			sc.ids = append(sc.ids, add.ID)
+			lo.scaled[ld] = sc
+		}
+	}
+	// Elide a Mul/Shl when every one of its uses is an elided Add. (Each
+	// elided Add contributed one use; compare against the Add count, not
+	// the load count, since one Add can feed several loads.)
+	idxeAdds := map[*ir.Instr]int{}
+	for add := range addLoads {
+		if lo.fused[add] {
+			idxeAdds[addIdxe[add]]++
+		}
+	}
+	for idxe, n := range idxeAdds {
+		if n != lo.uses[idxe] {
+			continue
+		}
+		lo.fused[idxe] = true
+		for add, loads := range addLoads {
+			if addIdxe[add] != idxe || !lo.fused[add] {
+				continue
+			}
+			for _, ld := range loads {
+				sc := lo.scaled[ld]
+				sc.ids = append(sc.ids, idxe.ID)
+				lo.scaled[ld] = sc
+			}
+		}
+	}
+}
+
+// scaleIndex recognizes an index expression scaled by the 8-byte access
+// width — Mul(i, 8) (either operand order) or Shl(i, 3) — and returns the
+// unscaled index value, or nil.
+func scaleIndex(e *ir.Instr) *ir.Instr {
+	if len(e.Args) != 2 {
+		return nil
+	}
+	x, y := e.Args[0], e.Args[1]
+	switch e.Op {
+	case ir.OpMul:
+		if y.Op == ir.OpConst && y.Imm == 8 && x.Op != ir.OpConst {
+			return x
+		}
+		if x.Op == ir.OpConst && x.Imm == 8 && y.Op != ir.OpConst {
+			return y
+		}
+	case ir.OpShl:
+		if y.Op == ir.OpConst && y.Imm == 3 && x.Op != ir.OpConst {
+			return x
+		}
+	}
+	return nil
 }
 
 // lowerCondBr emits a fused compare-and-branch when planFusion marked the

@@ -58,6 +58,9 @@ func (l *lins) operands() (defs, uses []vreg) {
 		}
 		return []vreg{l.dst}, []vreg{l.a}
 	case isa.LOAD8, isa.LOAD32, isa.LOAD64:
+		if l.scaled {
+			return []vreg{l.dst}, []vreg{l.a, l.b}
+		}
 		return []vreg{l.dst}, []vreg{l.a}
 	case isa.STORE8, isa.STORE32, isa.STORE64:
 		return nil, []vreg{l.a, l.dst}
@@ -115,8 +118,9 @@ func (a *allocation) location(v vreg) (isa.Reg, int, bool) {
 // allocate runs liveness + linear scan for fn. slotBase is the first free
 // global spill-slot index; the returned next value continues the counter
 // so functions never share slots (main's spilled values survive pipeline
-// calls).
-func allocate(fn *lfunc, registerTagging bool, slotBase int) (*allocation, int, error) {
+// calls). A non-nil hot scales interval weights by measured execution
+// frequency, so spill pressure lands on values the profile saw idle.
+func allocate(fn *lfunc, registerTagging bool, slotBase int, hot Hotness) (*allocation, int, error) {
 	// Linearize positions.
 	type posRef struct{ block, idx int }
 	var linear []posRef
@@ -233,17 +237,27 @@ func allocate(fn *lfunc, registerTagging bool, slotBase int) (*allocation, int, 
 	}
 
 	weights := make([]float64, nv)
+	var hotTotal float64
+	if hot != nil {
+		hotTotal = hot.TotalWeight()
+	}
 	var callPositions, genCallPositions []int
 	for p, ref := range linear {
 		l := &fn.blocks[ref.block].ins[ref.idx]
+		w := weightOf(ref.block)
+		if hotTotal > 0 {
+			// Measured frequency refines the static loop-depth estimate:
+			// an access the profile saw hot defends its register harder.
+			w *= 1 + 100*hot.WeightOf(l.irIDs)/hotTotal
+		}
 		defs, uses := l.operands()
 		for _, d := range defs {
 			extend(d, p)
-			weights[d] += weightOf(ref.block)
+			weights[d] += w
 		}
 		for _, u := range uses {
 			extend(u, p)
-			weights[u] += weightOf(ref.block)
+			weights[u] += w
 		}
 		if l.pseudo == pCall {
 			callPositions = append(callPositions, p)

@@ -28,6 +28,13 @@ type Sample struct {
 	// them bottom-up). 0 is the coordinator/single-CPU run; morsel
 	// workers are numbered from 1.
 	Worker int
+
+	// LBR is the captured last-branch-record snapshot (valid when
+	// HasLBR): the most recently retired conditional branches and their
+	// outcomes, oldest first. Profile-guided recompilation aggregates
+	// these into per-branch taken fractions.
+	LBR    []vm.BranchRecord
+	HasLBR bool
 }
 
 // RegionKind classifies native code regions for attribution.
@@ -75,14 +82,21 @@ type NativeMap struct {
 	Region []RegionKind
 	// Routine names the runtime routine for non-generated regions.
 	Routine []string
+	// Inverted marks conditional branches whose sense the backend
+	// flipped during profile-guided layout: the native taken-direction
+	// is the opposite of the source branch's then-direction. Profile
+	// post-processing consults it so taken fractions recorded from a
+	// PGO'd binary still describe the source branch.
+	Inverted []bool
 }
 
 // NewNativeMap returns a map sized for n native instructions.
 func NewNativeMap(n int) *NativeMap {
 	return &NativeMap{
-		IRs:     make([][]int, n),
-		Region:  make([]RegionKind, n),
-		Routine: make([]string, n),
+		IRs:      make([][]int, n),
+		Region:   make([]RegionKind, n),
+		Routine:  make([]string, n),
+		Inverted: make([]bool, n),
 	}
 }
 
@@ -92,5 +106,6 @@ func (m *NativeMap) Grow(n int) {
 		m.IRs = append(m.IRs, nil)
 		m.Region = append(m.Region, RegionGenerated)
 		m.Routine = append(m.Routine, "")
+		m.Inverted = append(m.Inverted, false)
 	}
 }

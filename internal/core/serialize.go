@@ -36,9 +36,10 @@ type linkJSON struct {
 
 // nativeJSON is one native instruction's debug info.
 type nativeJSON struct {
-	IRs     []int      `json:"irs,omitempty"`
-	Region  RegionKind `json:"region,omitempty"`
-	Routine string     `json:"routine,omitempty"`
+	IRs      []int      `json:"irs,omitempty"`
+	Region   RegionKind `json:"region,omitempty"`
+	Routine  string     `json:"routine,omitempty"`
+	Inverted bool       `json:"inv,omitempty"`
 }
 
 // Metadata is the serializable compile-time profiling state.
@@ -74,6 +75,7 @@ func ExportMetadata(d *Dictionary, nm *NativeMap) *Metadata {
 	for i := range nm.IRs {
 		m.Native = append(m.Native, nativeJSON{
 			IRs: nm.IRs[i], Region: nm.Region[i], Routine: nm.Routine[i],
+			Inverted: nm.Inverted[i],
 		})
 	}
 	return m
@@ -120,6 +122,7 @@ func ReadMetadata(r io.Reader) (*Dictionary, *NativeMap, error) {
 		nm.IRs[i] = n.IRs
 		nm.Region[i] = n.Region
 		nm.Routine[i] = n.Routine
+		nm.Inverted[i] = n.Inverted
 	}
 	return d, nm, nil
 }
@@ -136,6 +139,9 @@ type sampleJSON struct {
 	// top level in call-stack mode) is distinct from no stack captured.
 	Stack  []int `json:"stack"`
 	Worker int   `json:"worker,omitempty"`
+	// LBR follows the same present-vs-captured convention as Stack.
+	LBR []vm.BranchRecord `json:"lbr,omitempty"`
+	Has bool              `json:"has_lbr,omitempty"`
 }
 
 // WriteSamples serializes a sample log as JSON lines (one record per line,
@@ -150,6 +156,10 @@ func WriteSamples(w io.Writer, samples []Sample) error {
 			if rec.Stack == nil {
 				rec.Stack = []int{}
 			}
+		}
+		if s.HasLBR {
+			rec.LBR = s.LBR
+			rec.Has = true
 		}
 		if err := enc.Encode(&rec); err != nil {
 			return err
@@ -173,6 +183,10 @@ func ReadSamples(r io.Reader) ([]Sample, error) {
 		if rec.Stack != nil {
 			s.Stack = rec.Stack
 			s.HasStack = true
+		}
+		if rec.Has {
+			s.LBR = rec.LBR
+			s.HasLBR = true
 		}
 		out = append(out, s)
 	}

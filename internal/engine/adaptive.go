@@ -1,0 +1,138 @@
+package engine
+
+// Profile-guided recompilation: the Tagging Dictionary's lineage lets
+// samples flow bottom-up to tasks and operators; this file closes the
+// loop by feeding the same attributed profile back down into the
+// optimizer and backend. One adaptive cycle is: run sampled → build the
+// profile → recompile guided by it → re-run → compare cycles. The
+// recompiled binary must produce row-identical results, and because the
+// backend records layout inversions in the native map, profiling the
+// recompiled binary yields another valid, normalized profile — the cycle
+// can repeat.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pgo"
+	"repro/internal/pmu"
+	"repro/internal/vm"
+)
+
+// DefaultPGOSampling is the sampling configuration RunAdaptive uses when
+// none is given: the cycles event at the paper's default period, in the
+// PEBS+registers+LBR format the PGO consumers need.
+func DefaultPGOSampling() pmu.Config {
+	return pmu.Config{Event: vm.EvCycles, Period: 5000, Format: pmu.FormatPGO}
+}
+
+// Recompile compiles cq's plan again, guided by a profile collected from
+// running cq. The profile's IR weights and branch statistics are
+// translated through cq's own native map, then steer hot-loop IR passes
+// (LICM, strength reduction), scaled-address fusion, basic-block layout
+// and spill priority in the fresh compilation.
+func (e *Engine) Recompile(cq *Compiled, prof *core.Profile) (*Compiled, error) {
+	if prof == nil {
+		return nil, fmt.Errorf("engine: Recompile needs a profile (run with sampling first)")
+	}
+	hot := pgo.FromProfile(prof, cq.Code.NMap)
+	return e.compilePlan(cq.Plan, hot)
+}
+
+// AdaptiveResult reports one profile → recompile → re-run cycle.
+type AdaptiveResult struct {
+	// ProfileRun is the sampled execution of the original binary that
+	// produced the guiding profile.
+	ProfileRun *Result
+	// Baseline and Tuned are unprofiled executions of the original and
+	// recompiled binaries; their WallCycles are directly comparable.
+	Baseline *Result
+	Tuned    *Result
+	// Recompiled is the profile-guided compilation.
+	Recompiled *Compiled
+
+	BaselineCycles uint64
+	TunedCycles    uint64
+}
+
+// Speedup returns baseline/tuned simulated wall cycles (>1 is faster).
+func (r *AdaptiveResult) Speedup() float64 {
+	if r.TunedCycles == 0 {
+		return 0
+	}
+	return float64(r.BaselineCycles) / float64(r.TunedCycles)
+}
+
+// CycleReduction returns the fractional wall-cycle reduction, e.g. 0.12
+// for a 12% faster tuned binary.
+func (r *AdaptiveResult) CycleReduction() float64 {
+	if r.BaselineCycles == 0 {
+		return 0
+	}
+	return 1 - float64(r.TunedCycles)/float64(r.BaselineCycles)
+}
+
+// RunAdaptive executes one adaptive cycle for a compiled query: a sampled
+// run under cfg (nil selects DefaultPGOSampling), a recompilation guided
+// by the resulting profile, and unprofiled runs of both binaries. It
+// fails if the recompiled query's rows differ from the original's in any
+// way — profile-guided recompilation is only an optimization if it is
+// invisible.
+func (e *Engine) RunAdaptive(cq *Compiled, cfg *pmu.Config) (*AdaptiveResult, error) {
+	if cfg == nil {
+		c := DefaultPGOSampling()
+		cfg = &c
+	}
+	profRun, err := e.Run(cq, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("engine: adaptive profiling run: %w", err)
+	}
+	if profRun.Profile == nil {
+		return nil, fmt.Errorf("engine: adaptive profiling run produced no profile")
+	}
+	tunedCq, err := e.Recompile(cq, profRun.Profile)
+	if err != nil {
+		return nil, fmt.Errorf("engine: recompile: %w", err)
+	}
+	baseline, err := e.Run(cq, nil)
+	if err != nil {
+		return nil, fmt.Errorf("engine: baseline run: %w", err)
+	}
+	tuned, err := e.Run(tunedCq, nil)
+	if err != nil {
+		return nil, fmt.Errorf("engine: tuned run: %w", err)
+	}
+	if !RowsEqual(baseline.Rows, tuned.Rows) {
+		return nil, fmt.Errorf("engine: recompiled query changed results (%d vs %d rows)",
+			len(baseline.Rows), len(tuned.Rows))
+	}
+	return &AdaptiveResult{
+		ProfileRun:     profRun,
+		Baseline:       baseline,
+		Tuned:          tuned,
+		Recompiled:     tunedCq,
+		BaselineCycles: baseline.WallCycles,
+		TunedCycles:    tuned.WallCycles,
+	}, nil
+}
+
+// RowsEqual reports exact equality of two result sets, row order
+// included: every transformation the PGO pipeline applies preserves
+// tuple processing order, so even pre-ORDER-BY tie order must survive
+// recompilation.
+func RowsEqual(a, b [][]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

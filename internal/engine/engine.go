@@ -17,6 +17,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/iropt"
+	"repro/internal/pgo"
 	"repro/internal/pipeline"
 	"repro/internal/plan"
 	"repro/internal/pmu"
@@ -144,6 +145,15 @@ func (e *Engine) CompileQuery(q *plan.Query) (*Compiled, error) {
 
 // CompilePlan compiles an already-built plan.
 func (e *Engine) CompilePlan(pl *plan.Output) (*Compiled, error) {
+	return e.compilePlan(pl, nil)
+}
+
+// compilePlan compiles a plan, optionally profile-guided: a non-nil hot
+// enables the PGO optimizer passes and backend transformations. The
+// unguided compilation path is deterministic — recompiling the same plan
+// reproduces every IR instruction ID and task component ID — which is
+// what lets a profile keyed by IR ID steer a fresh compilation.
+func (e *Engine) compilePlan(pl *plan.Output, hot *pgo.Hotness) (*Compiled, error) {
 	cq := &Compiled{Plan: pl}
 	lay, err := e.buildLayout(pl, cq)
 	if err != nil {
@@ -162,7 +172,11 @@ func (e *Engine) CompilePlan(pl *plan.Output) (*Compiled, error) {
 	}
 	cq.Pipe = pc
 
-	cq.OptStats = iropt.Optimize(pc.Module, pc.Dict, e.Opts.Optimize)
+	opt := e.Opts.Optimize
+	if hot != nil {
+		opt.LICM, opt.StrengthReduce, opt.Hot = true, true, hot
+	}
+	cq.OptStats = iropt.Optimize(pc.Module, pc.Dict, opt)
 	if err := pc.Module.Verify(); err != nil {
 		return nil, fmt.Errorf("engine: IR invalid after optimization: %w", err)
 	}
@@ -170,6 +184,9 @@ func (e *Engine) CompilePlan(pl *plan.Output) (*Compiled, error) {
 	ccfg := codegen.DefaultConfig(stagingAddr, spillBase, spillCap)
 	ccfg.RegisterTagging = e.Opts.RegisterTagging
 	ccfg.FuseCmpBranch = e.Opts.FuseCmpBranch
+	if hot != nil {
+		ccfg.Hot = hot
+	}
 	code, err := codegen.Compile(pc.Module, ccfg)
 	if err != nil {
 		return nil, err

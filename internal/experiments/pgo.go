@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/queries"
+)
+
+// PGOStats carries the profile-guided recompilation measurements.
+type PGOStats struct {
+	Results []PGORun
+}
+
+// PGORun is one query × worker-count adaptive cycle.
+type PGORun struct {
+	Query          string
+	Workers        int
+	BaselineCycles uint64
+	TunedCycles    uint64
+	Reduction      float64 // fractional cycle reduction
+	Hoisted        int
+	Reduced        int
+	RowsIdentical  bool
+	ReprofileOK    bool
+}
+
+// BestReduction returns the largest observed cycle reduction.
+func (s *PGOStats) BestReduction() float64 {
+	best := 0.0
+	for _, r := range s.Results {
+		if r.Reduction > best {
+			best = r.Reduction
+		}
+	}
+	return best
+}
+
+// PGO demonstrates the adaptive profile → recompile → re-run cycle on a
+// scan-heavy aggregation and a join, serial and morsel-parallel: the
+// Tailored Profiling samples of one run steer the optimizer and backend
+// of the next. For each configuration it reports the simulated-cycle
+// delta, checks the recompiled binary's rows are identical (RunAdaptive
+// fails otherwise), and re-profiles the recompiled binary to show its
+// samples still attribute through the Tagging Dictionary.
+func (e *Env) PGO() (string, *PGOStats, error) {
+	st := &PGOStats{}
+	var sb strings.Builder
+	sb.WriteString("=== profile-guided recompilation ===\n\n")
+	sb.WriteString(fmt.Sprintf("%-8s %8s %14s %14s %8s %6s %6s %6s %10s\n",
+		"query", "workers", "base cycles", "tuned cycles", "delta", "hoist", "srere", "rows", "reprofile"))
+
+	for _, name := range []string{"q6", "fig9"} {
+		w, ok := queries.ByName(name)
+		if !ok {
+			return "", nil, fmt.Errorf("pgo: unknown workload %q", name)
+		}
+		for _, workers := range []int{0, 4} {
+			run, err := e.pgoOne(w, workers)
+			if err != nil {
+				return "", nil, err
+			}
+			st.Results = append(st.Results, run)
+			sb.WriteString(fmt.Sprintf("%-8s %8d %14d %14d %7.1f%% %6d %6d %6v %10v\n",
+				run.Query, run.Workers, run.BaselineCycles, run.TunedCycles,
+				run.Reduction*100, run.Hoisted, run.Reduced, run.RowsIdentical, run.ReprofileOK))
+		}
+	}
+	sb.WriteString(fmt.Sprintf("\nbest cycle reduction: %.1f%%\n", st.BestReduction()*100))
+	return sb.String(), st, nil
+}
+
+// pgoOne runs one adaptive cycle and re-profiles the tuned binary.
+func (e *Env) pgoOne(w queries.Workload, workers int) (PGORun, error) {
+	opts := engine.DefaultOptions()
+	opts.Workers = workers
+	eng := engine.New(e.Cat, opts)
+	cq, err := eng.CompileQuery(w.Query)
+	if err != nil {
+		return PGORun{}, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	ar, err := eng.RunAdaptive(cq, nil)
+	if err != nil {
+		return PGORun{}, fmt.Errorf("%s (workers=%d): %w", w.Name, workers, err)
+	}
+	run := PGORun{
+		Query:          w.Name,
+		Workers:        workers,
+		BaselineCycles: ar.BaselineCycles,
+		TunedCycles:    ar.TunedCycles,
+		Reduction:      ar.CycleReduction(),
+		Hoisted:        ar.Recompiled.OptStats.Hoisted,
+		Reduced:        ar.Recompiled.OptStats.Reduced,
+		RowsIdentical:  true, // RunAdaptive errors on mismatch
+	}
+
+	// Second-generation profile: sample the tuned binary and check every
+	// generated-code sample still resolves to tasks via the dictionary.
+	cfg := engine.DefaultPGOSampling()
+	res, err := eng.Run(ar.Recompiled, &cfg)
+	if err != nil {
+		return PGORun{}, fmt.Errorf("%s: re-profile: %w", w.Name, err)
+	}
+	run.ReprofileOK = res.Profile != nil && reprofileValid(ar.Recompiled, res)
+	return run, nil
+}
+
+// reprofileValid checks that the tuned binary's samples attribute: every
+// sample landing in generated code maps to IR instructions that the
+// Tagging Dictionary links to at least one task.
+func reprofileValid(cq *engine.Compiled, res *engine.Result) bool {
+	nmap := cq.Code.NMap
+	dict := cq.Pipe.Dict
+	seen := false
+	for _, s := range res.Samples {
+		if s.IP < 0 || s.IP >= len(nmap.Region) || nmap.Region[s.IP] != core.RegionGenerated {
+			continue
+		}
+		for _, irID := range nmap.IRs[s.IP] {
+			seen = true
+			if len(dict.TasksOf(irID)) == 0 {
+				return false
+			}
+		}
+	}
+	return seen
+}

@@ -15,53 +15,105 @@
 package iropt
 
 import (
-	"fmt"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/ir"
 )
+
+// Hotness is the profile guidance the PGO passes consume; *pgo.Hotness
+// satisfies it (declared here so iropt does not depend on the pgo
+// package).
+type Hotness interface {
+	// InstrWeight returns one IR instruction's profile weight.
+	InstrWeight(id int) float64
+	// TotalWeight returns the total attributed weight.
+	TotalWeight() float64
+}
 
 // Options selects passes; the zero value runs nothing.
 type Options struct {
 	ConstFold bool
 	DCE       bool
 	CSE       bool
+
+	// LICM and StrengthReduce are the profile-guided passes: they apply
+	// only inside loops the profile marks hot, and only run when Hot is
+	// set. An unprofiled compile is byte-identical with or without them.
+	LICM           bool
+	StrengthReduce bool
+	Hot            Hotness
 }
 
-// AllOptions enables every implemented pass.
+// AllOptions enables every implemented profile-independent pass.
 func AllOptions() Options { return Options{ConstFold: true, DCE: true, CSE: true} }
+
+// PGOOptions enables everything, guided by hot.
+func PGOOptions(hot Hotness) Options {
+	o := AllOptions()
+	o.LICM, o.StrengthReduce, o.Hot = true, true, hot
+	return o
+}
 
 // Stats reports what the optimizer did.
 type Stats struct {
 	Folded     int
 	Eliminated int
 	CSEMerged  int
+	Hoisted    int // LICM: instructions moved to loop preheaders
+	Reduced    int // strength reduction: instructions rewritten cheaper
 }
 
-// Optimize runs the enabled passes to a fixpoint.
+// Optimize runs the enabled passes. The base passes (fold/CSE/DCE) run to
+// a fixpoint first: they are deterministic, so the module then matches —
+// instruction for instruction, ID for ID — the state the profiled binary
+// was compiled from, and the profile's IR instruction IDs line up. Only
+// then do the profile-guided passes transform it, re-running the base
+// fixpoint after each round to clean up what they expose.
 func Optimize(m *ir.Module, lin core.Lineage, opts Options) Stats {
 	var st Stats
-	for {
+	base := func() {
+		for {
+			changed := 0
+			if opts.ConstFold {
+				n := ConstFold(m, lin)
+				st.Folded += n
+				changed += n
+			}
+			if opts.CSE {
+				n := CSE(m, lin)
+				st.CSEMerged += n
+				changed += n
+			}
+			if opts.DCE {
+				n := DCE(m, lin)
+				st.Eliminated += n
+				changed += n
+			}
+			if changed == 0 {
+				return
+			}
+		}
+	}
+	base()
+	for opts.Hot != nil && (opts.LICM || opts.StrengthReduce) {
 		changed := 0
-		if opts.ConstFold {
-			n := ConstFold(m, lin)
-			st.Folded += n
+		if opts.LICM {
+			n := LICM(m, lin, opts.Hot)
+			st.Hoisted += n
 			changed += n
 		}
-		if opts.CSE {
-			n := CSE(m, lin)
-			st.CSEMerged += n
-			changed += n
-		}
-		if opts.DCE {
-			n := DCE(m, lin)
-			st.Eliminated += n
+		if opts.StrengthReduce {
+			n := StrengthReduce(m, lin, opts.Hot)
+			st.Reduced += n
 			changed += n
 		}
 		if changed == 0 {
-			return st
+			break
 		}
+		base()
 	}
+	return st
 }
 
 // ConstFold evaluates pure instructions whose operands are all constants,
@@ -148,6 +200,7 @@ func removable(in *ir.Instr) bool {
 // CSE exactly like shared code).
 func CSE(m *ir.Module, lin core.Lineage) int {
 	merged := 0
+	var keyBuf []byte // reused across instructions; see exprKey
 	for _, f := range m.Funcs {
 		avail := make(map[*ir.Block]map[string]*ir.Instr, len(f.Blocks))
 		for _, b := range f.Blocks {
@@ -166,14 +219,16 @@ func CSE(m *ir.Module, lin core.Lineage) int {
 					kept = append(kept, in)
 					continue
 				}
-				k := exprKey(in)
-				if prev, ok := table[k]; ok {
+				keyBuf = exprKey(keyBuf[:0], in)
+				// map[string([]byte)] lookups don't allocate; only a
+				// first-seen insert materializes the key as a string.
+				if prev, ok := table[string(keyBuf)]; ok {
 					replaced = append(replaced, replacement{old: in, new: prev})
 					lin.Replaced(in.ID, prev.ID)
 					merged++
 					continue
 				}
-				table[k] = in
+				table[string(keyBuf)] = in
 				kept = append(kept, in)
 			}
 			b.Instrs = kept
@@ -188,23 +243,30 @@ func CSE(m *ir.Module, lin core.Lineage) int {
 
 type replacement struct{ old, new *ir.Instr }
 
-// exprKey canonicalizes an expression for value numbering. Constants are
-// keyed by value (distinct OpConst instructions holding the same literal
-// are equal), so repeated address computations like tid*8 merge even
-// though each occurrence materialized its own constant.
-func exprKey(in *ir.Instr) string {
+// exprKey canonicalizes an expression for value numbering, appending the
+// key to buf and returning the extended slice. Constants are keyed by
+// value (distinct OpConst instructions holding the same literal are
+// equal), so repeated address computations like tid*8 merge even though
+// each occurrence materialized its own constant. The byte-slice form
+// exists so CSE can reuse one buffer for every instruction instead of
+// building throwaway strings — compilation shows up in the profiler too.
+func exprKey(buf []byte, in *ir.Instr) []byte {
 	if in.Op == ir.OpConst {
-		return fmt.Sprintf("k%d", in.Imm)
+		buf = append(buf, 'k')
+		return strconv.AppendInt(buf, in.Imm, 10)
 	}
-	k := fmt.Sprintf("%d:", in.Op)
+	buf = strconv.AppendInt(buf, int64(in.Op), 10)
+	buf = append(buf, ':')
 	for _, a := range in.Args {
 		if a.Op == ir.OpConst {
-			k += fmt.Sprintf("k%d,", a.Imm)
+			buf = append(buf, 'k')
+			buf = strconv.AppendInt(buf, a.Imm, 10)
 		} else {
-			k += fmt.Sprintf("%d,", a.ID)
+			buf = strconv.AppendInt(buf, int64(a.ID), 10)
 		}
+		buf = append(buf, ',')
 	}
-	return k
+	return buf
 }
 
 func rewriteUses(f *ir.Func, old, new *ir.Instr) {

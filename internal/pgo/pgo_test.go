@@ -1,0 +1,64 @@
+package pgo
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestFromProfile checks the bottom-up translation: per-IR weights copy
+// over, per-native-IP branch statistics aggregate onto every IR ID the
+// native map lists for the IP (fused compare-and-branch pairs), and the
+// accessor methods expose the result the iropt/codegen consumers expect.
+func TestFromProfile(t *testing.T) {
+	nmap := core.NewNativeMap(4)
+	nmap.IRs[0] = []int{10}
+	nmap.IRs[1] = []int{11, 12} // fused cmp+branch: both IDs credited
+	nmap.IRs[2] = []int{12}
+	nmap.IRs[3] = nil // edge-block jump, no IR lineage
+
+	p := &core.Profile{
+		IRWeight:   map[int]float64{10: 3, 11: 1},
+		TaskWeight: map[core.ComponentID]float64{7: 3, 8: 1},
+		BranchTaken: map[int]*core.BranchStat{
+			1:  {Taken: 6, Total: 8},
+			2:  {Taken: 1, Total: 2},
+			99: {Taken: 5, Total: 5}, // out of range: ignored
+		},
+	}
+	h := FromProfile(p, nmap)
+
+	if h.TotalWeight() != 4 {
+		t.Fatalf("TotalWeight = %v, want 4", h.TotalWeight())
+	}
+	if h.InstrWeight(10) != 3 || h.InstrWeight(11) != 1 || h.InstrWeight(12) != 0 {
+		t.Fatalf("InstrWeight = %v/%v/%v", h.InstrWeight(10), h.InstrWeight(11), h.InstrWeight(12))
+	}
+	if w := h.WeightOf([]int{10, 11}); w != 4 {
+		t.Fatalf("WeightOf(10,11) = %v, want 4", w)
+	}
+
+	// IP 1 credits IRs 11 and 12; IP 2 credits 12 again.
+	if f, ok := h.TakenFraction([]int{11}); !ok || f != 0.75 {
+		t.Fatalf("TakenFraction(11) = %v,%v, want 0.75,true", f, ok)
+	}
+	if f, ok := h.TakenFraction([]int{12}); !ok || f != 0.7 {
+		t.Fatalf("TakenFraction(12) = %v,%v, want (6+1)/(8+2)=0.7", f, ok)
+	}
+	// Looking up a fused pair sums both sites.
+	if f, ok := h.TakenFraction([]int{11, 12}); !ok || f != (6+7)/18.0 {
+		t.Fatalf("TakenFraction(11,12) = %v,%v", f, ok)
+	}
+	if _, ok := h.TakenFraction([]int{10}); ok {
+		t.Fatal("TakenFraction(10) should report no observations")
+	}
+
+	// Task 7 holds 75% of the weight; task 8 only 25%.
+	hot := h.HotTasks(0.5)
+	if len(hot) != 1 || hot[0] != 7 {
+		t.Fatalf("HotTasks(0.5) = %v, want [7]", hot)
+	}
+	if hot := h.HotTasks(0.1); len(hot) != 2 || hot[0] != 7 || hot[1] != 8 {
+		t.Fatalf("HotTasks(0.1) = %v, want [7 8]", hot)
+	}
+}

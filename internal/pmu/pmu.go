@@ -26,6 +26,10 @@ type Format struct {
 	Timestamp bool
 	Registers bool
 	CallStack bool
+	// LBR captures the CPU's last-branch-record ring with each sample
+	// (conditional branches and their outcomes), the input for
+	// profile-guided branch-sense and layout decisions.
+	LBR bool
 }
 
 // Standard formats used throughout the experiments.
@@ -33,6 +37,9 @@ var (
 	FormatIPTime     = Format{Timestamp: true}
 	FormatIPTimeRegs = Format{Timestamp: true, Registers: true}
 	FormatCallStack  = Format{Timestamp: true, CallStack: true}
+	// FormatPGO is the profile-guided-recompilation format: PEBS with
+	// registers (for Register Tagging) plus the LBR ring.
+	FormatPGO = Format{Timestamp: true, Registers: true, LBR: true}
 )
 
 // RecordBytes returns the storage footprint of one sample record, matching
@@ -48,6 +55,9 @@ func RecordBytes(f Format) int {
 	}
 	if f.CallStack {
 		n += 249 // call-stack frames (paper: 265 B total)
+	}
+	if f.LBR {
+		n += 9 * vm.LBRDepth // (ip, outcome) per LBR slot
 	}
 	return n
 }
@@ -138,6 +148,11 @@ func (p *PMU) Sample(c *vm.CPU, ev vm.Event, addr int64) uint64 {
 			s.Tag = c.Regs[p.cfg.TagReg] // captured with the register file
 			s.HasRegs = true
 			cost += CostRegisterCapture
+		}
+		if p.cfg.Format.LBR {
+			s.LBR = c.LBRSnapshot()
+			s.HasLBR = true
+			cost += CostLBRCapture
 		}
 		p.buffered++
 		if p.buffered >= p.cfg.BufferSamples {
