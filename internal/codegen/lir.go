@@ -524,7 +524,7 @@ func (lo *lowerer) lowerPhis() error {
 			target := predIx
 			if len(lo.out.blocks[predIx].succs) > 1 {
 				// Critical edge: splice in an edge block.
-				eb := &lblock{name: fmt.Sprintf("%s.to.%s", pred.Name, b.Name), succs: []int{bIdx}}
+				eb := &lblock{name: pred.Name + ".to." + b.Name, succs: []int{bIdx}}
 				lo.out.blocks = append(lo.out.blocks, eb)
 				ebIx := len(lo.out.blocks) - 1
 				retargetBranch(lo.out.blocks[predIx], bIdx, ebIx)
@@ -612,7 +612,7 @@ func insertBeforeTerminator(b *lblock, seq []lins) {
 		t := &b.ins[i]
 		for _, m := range seq {
 			if m.dst != 0 && (t.a == m.dst || (!t.useImm && t.b == m.dst)) {
-				panic(fmt.Sprintf("codegen: phi copy clobbers terminator operand in %s", b.name))
+				panic("codegen: phi copy clobbers terminator operand in " + b.name)
 			}
 		}
 	}

@@ -101,6 +101,16 @@ func (r *Registry) Get(id ComponentID) *Component {
 	return &r.comps[id-1]
 }
 
+// Lookup returns the component for id without panicking, for callers —
+// like the verification suite — that must report an invalid ID rather
+// than crash on it.
+func (r *Registry) Lookup(id ComponentID) (*Component, bool) {
+	if id <= 0 || int(id) > len(r.comps) {
+		return nil, false
+	}
+	return &r.comps[id-1], true
+}
+
 // Name returns the component name, or "<none>" for NoComponent.
 func (r *Registry) Name(id ComponentID) string {
 	if id == NoComponent {

@@ -3,17 +3,17 @@ package core
 import (
 	"bytes"
 	"math"
-	"math/rand"
 	"testing"
 
 	"repro/internal/vm"
+	"repro/internal/xrand"
 )
 
 // synthBuffers builds per-worker sample buffers the way the parallel
 // engine produces them: each worker's TSC strictly increases, IPs land on
 // the synthetic native map of testSetup (0..7).
 func synthBuffers(workers, perWorker int, seed int64) [][]Sample {
-	rng := rand.New(rand.NewSource(seed))
+	rng := xrand.New(uint64(seed))
 	bufs := make([][]Sample, workers)
 	for w := 0; w < workers; w++ {
 		tsc := uint64(rng.Intn(50))
@@ -84,7 +84,7 @@ func TestMergePermutationInvariant(t *testing.T) {
 			base := MergeSamples(bufs...)
 			baseProf := BuildProfile(att, base)
 
-			rng := rand.New(rand.NewSource(tc.seed * 31))
+			rng := xrand.New(uint64(tc.seed * 31))
 			for trial := 0; trial < 10; trial++ {
 				perm := rng.Perm(len(bufs))
 				shuffled := make([][]Sample, len(bufs))

@@ -22,6 +22,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/pmu"
 	"repro/internal/sqlparse"
+	"repro/internal/verify"
 	"repro/internal/vm"
 )
 
@@ -55,6 +56,12 @@ type Options struct {
 	// which is what makes parallel results and count-event sample
 	// streams identical for any worker count.
 	MorselRows int
+	// VerifyArtifacts runs the cross-level verification suite
+	// (internal/verify) over every compilation artifact: after pipeline
+	// construction, after each optimizer pass, and after native emit.
+	// Compilation fails on the first invariant violation. Off by default
+	// (it re-walks the module per pass); tests and tprofvet enable it.
+	VerifyArtifacts bool
 }
 
 // DefaultOptions is the standard configuration: Register Tagging on, all
@@ -172,11 +179,40 @@ func (e *Engine) compilePlan(pl *plan.Output, hot *pgo.Hotness) (*Compiled, erro
 	}
 	cq.Pipe = pc
 
+	// VerifyArtifacts: run the invariant suite on every lowering artifact,
+	// so a violation names the exact phase that introduced it.
+	var suite *verify.Suite
+	check := func(phase string, code *codegen.Result) error {
+		if suite == nil {
+			return nil
+		}
+		ds := suite.Run(&verify.Artifact{
+			Phase:           phase,
+			Module:          pc.Module,
+			Dict:            pc.Dict,
+			Code:            code,
+			RegisterTagging: e.Opts.RegisterTagging,
+			PGO:             hot != nil,
+		})
+		return verify.AsError(ds)
+	}
 	opt := e.Opts.Optimize
+	if e.Opts.VerifyArtifacts {
+		suite = verify.ArtifactSuite()
+		if err := check("pipeline", nil); err != nil {
+			return nil, err
+		}
+		opt.AfterPass = func(pass string) error { return check("iropt/"+pass, nil) }
+	}
+
 	if hot != nil {
 		opt.LICM, opt.StrengthReduce, opt.Hot = true, true, hot
 	}
-	cq.OptStats = iropt.Optimize(pc.Module, pc.Dict, opt)
+	st, err := iropt.Optimize(pc.Module, pc.Dict, opt)
+	if err != nil {
+		return nil, err
+	}
+	cq.OptStats = st
 	if err := pc.Module.Verify(); err != nil {
 		return nil, fmt.Errorf("engine: IR invalid after optimization: %w", err)
 	}
@@ -192,6 +228,9 @@ func (e *Engine) compilePlan(pl *plan.Output, hot *pgo.Hotness) (*Compiled, erro
 		return nil, err
 	}
 	cq.Code = code
+	if err := check("emit", code); err != nil {
+		return nil, err
+	}
 	return cq, nil
 }
 
@@ -357,6 +396,11 @@ func (e *Engine) Run(cq *Compiled, cfg *pmu.Config) (*Result, error) {
 func (e *Engine) RunIterations(cq *Compiled, n int, cfg *pmu.Config) (*Result, error) {
 	if n < 1 {
 		n = 1
+	}
+	if cfg != nil {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	cpu := vm.New(cq.heapSize)
 	for _, cs := range cq.cols {

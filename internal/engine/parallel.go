@@ -60,6 +60,11 @@ func (e *Engine) RunParallel(cq *Compiled, workers int, cfg *pmu.Config) (*Resul
 	if workers < 1 {
 		workers = 1
 	}
+	if cfg != nil {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	morselSize := int64(e.Opts.MorselRows)
 	if morselSize <= 0 {
 		morselSize = DefaultMorselRows

@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"math/rand"
 	"testing"
 
 	"repro/internal/codegen"
@@ -13,6 +12,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/queries"
 	"repro/internal/ref"
+	"repro/internal/xrand"
 )
 
 // pgoWorkloads are the adaptive-cycle battery: a scan-heavy aggregation
@@ -114,7 +114,7 @@ func TestRecompileDeterministicAcrossWorkers(t *testing.T) {
 // at least one task through the Tagging Dictionary.
 func TestPGOLineagePreservation(t *testing.T) {
 	cat := testCatalog(t)
-	rng := rand.New(rand.NewSource(20260806))
+	rng := xrand.New(20260806)
 	for _, w := range queries.Suite() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {

@@ -2,71 +2,400 @@ package ir
 
 import "fmt"
 
-// Verify checks structural invariants of the module: every block ends in a
-// terminator, phi argument counts match predecessor counts, operands
-// produce values, targets belong to the same function, and instruction IDs
-// are unique. The engine verifies after construction and after every
-// optimization pass in tests.
+// Problem is one structural defect found by (*Module).Check. The Code is a
+// stable identifier the verification framework (internal/verify) keys its
+// diagnostics and golden tests on; Msg is the human-readable rendering.
+type Problem struct {
+	Code  string // stable check identifier, e.g. "no-terminator"
+	Func  string
+	Block string
+	Instr int // offending instruction ID, 0 for block-level problems
+	Msg   string
+}
+
+func (p Problem) String() string {
+	loc := p.Func
+	if p.Block != "" {
+		loc += "." + p.Block
+	}
+	if p.Instr != 0 {
+		loc += fmt.Sprintf(" %%%d", p.Instr)
+	}
+	return fmt.Sprintf("ir[%s] %s: %s", p.Code, loc, p.Msg)
+}
+
+// Verify checks the module's structural invariants and returns the first
+// problem as an error, or nil. It is a thin wrapper over Check, kept so
+// the many existing call sites (engine, pipeline, tests) stay one-line;
+// the full battery — and the per-problem structured form the verification
+// framework consumes — lives in Check.
 func (m *Module) Verify() error {
-	seen := make(map[int]*Instr, m.InstrCount())
-	for _, f := range m.Funcs {
-		if len(f.Blocks) == 0 {
-			return fmt.Errorf("ir: function %s has no blocks", f.Name)
-		}
-		blockSet := make(map[*Block]bool, len(f.Blocks))
-		for _, b := range f.Blocks {
-			blockSet[b] = true
-		}
-		for _, b := range f.Blocks {
-			if err := verifyBlock(f, b, blockSet, seen); err != nil {
-				return err
-			}
-		}
+	if ps := m.Check(); len(ps) > 0 {
+		return fmt.Errorf("ir: %s", ps[0].String())
 	}
 	return nil
 }
 
-func verifyBlock(f *Func, b *Block, blockSet map[*Block]bool, seen map[int]*Instr) error {
-	if len(b.Instrs) == 0 {
-		return fmt.Errorf("ir: %s.%s is empty", f.Name, b.Name)
+// Check runs the full IR well-formedness battery over the module:
+//
+//   - shape: every function has blocks, every block is non-empty and ends
+//     in exactly one terminator, instruction IDs are unique, instructions
+//     know their owner block, branch targets stay inside the function;
+//   - CFG: each block's Preds list agrees (as a multiset) with the branch
+//     edges actually pointing at it;
+//   - phis: grouped at the block head, one incoming value per predecessor;
+//   - SSA: no nil or void operands, every use is dominated by its
+//     definition (same-block uses must follow the definition, phi
+//     incoming values must dominate the corresponding predecessor);
+//   - types: per-opcode operand counts and result types (comparisons
+//     produce i1, loads i64, stores/branches void, ...).
+//
+// Problems are reported in deterministic order (function, block,
+// instruction position). Unreachable blocks are exempt from dominance
+// checking — dominator sets are only meaningful on reachable code.
+func (m *Module) Check() []Problem {
+	var ps []Problem
+	seen := make(map[int]*Instr, m.InstrCount())
+	for _, f := range m.Funcs {
+		ps = append(ps, checkFunc(f, seen)...)
 	}
-	t := b.Terminator()
-	if t == nil {
-		return fmt.Errorf("ir: %s.%s lacks a terminator", f.Name, b.Name)
+	return ps
+}
+
+func checkFunc(f *Func, seen map[int]*Instr) []Problem {
+	var ps []Problem
+	add := func(code string, b *Block, in *Instr, format string, args ...interface{}) {
+		p := Problem{Code: code, Func: f.Name, Msg: fmt.Sprintf(format, args...)}
+		if b != nil {
+			p.Block = b.Name
+		}
+		if in != nil {
+			p.Instr = in.ID
+		}
+		ps = append(ps, p)
 	}
-	for i, in := range b.Instrs {
-		if prev, dup := seen[in.ID]; dup {
-			return fmt.Errorf("ir: duplicate instruction ID %%%d (%s and %s)", in.ID, prev.Op, in.Op)
+
+	if len(f.Blocks) == 0 {
+		add("no-blocks", nil, nil, "function has no blocks")
+		return ps
+	}
+	blockSet := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		blockSet[b] = true
+	}
+
+	// Edge multiset: how many terminator edges point at each block from
+	// each predecessor.
+	type edge struct{ from, to *Block }
+	edges := map[edge]int{}
+
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			add("empty-block", b, nil, "block is empty")
+			continue
 		}
-		seen[in.ID] = in
-		if in.Block != b {
-			return fmt.Errorf("ir: %%%d has wrong owner block", in.ID)
+		if b.Terminator() == nil {
+			add("no-terminator", b, nil, "block lacks a terminator")
 		}
-		if in.Op.IsTerminator() && i != len(b.Instrs)-1 {
-			return fmt.Errorf("ir: %s.%s has terminator %s mid-block", f.Name, b.Name, in.Op)
-		}
-		if in.Op == OpPhi {
-			if i > 0 && b.Instrs[i-1].Op != OpPhi {
-				return fmt.Errorf("ir: %s.%s phi %%%d not at block head", f.Name, b.Name, in.ID)
+		pos := make(map[*Instr]int, len(b.Instrs))
+		for i, in := range b.Instrs {
+			pos[in] = i
+			if prev, dup := seen[in.ID]; dup {
+				add("dup-id", b, in, "duplicate instruction ID (%s and %s)", prev.Op, in.Op)
 			}
-			if len(in.Args) != len(b.Preds) {
-				return fmt.Errorf("ir: %s.%s phi %%%d has %d incoming values for %d preds",
-					f.Name, b.Name, in.ID, len(in.Args), len(b.Preds))
+			seen[in.ID] = in
+			if in.Block != b {
+				add("wrong-owner", b, in, "instruction records wrong owner block")
+			}
+			if in.Op.IsTerminator() && i != len(b.Instrs)-1 {
+				add("mid-terminator", b, in, "terminator %s mid-block", in.Op)
+			}
+			if in.Op == OpPhi {
+				if i > 0 && b.Instrs[i-1].Op != OpPhi {
+					add("phi-not-at-head", b, in, "phi not at block head")
+				}
+				if len(in.Args) != len(b.Preds) {
+					add("phi-arity", b, in, "%d incoming values for %d preds", len(in.Args), len(b.Preds))
+				}
+			}
+			for _, a := range in.Args {
+				if a == nil {
+					add("nil-operand", b, in, "nil operand")
+					continue
+				}
+				if a.Type == Void {
+					add("void-operand", b, in, "uses void value %%%d", a.ID)
+				}
+			}
+			for _, tgt := range in.Targets {
+				if !blockSet[tgt] {
+					add("foreign-target", b, in, "targets block %s outside function", tgt.Name)
+				}
+			}
+			if msg := checkTypes(f, in); msg != "" {
+				add("type", b, in, "%s", msg)
 			}
 		}
-		for _, a := range in.Args {
-			if a == nil {
-				return fmt.Errorf("ir: %%%d has nil operand", in.ID)
-			}
-			if a.Type == Void {
-				return fmt.Errorf("ir: %%%d uses void value %%%d", in.ID, a.ID)
-			}
-		}
-		for _, tgt := range in.Targets {
-			if !blockSet[tgt] {
-				return fmt.Errorf("ir: %%%d targets block %s outside function %s", in.ID, tgt.Name, f.Name)
+		if t := b.Terminator(); t != nil {
+			for _, tgt := range t.Targets {
+				if blockSet[tgt] {
+					edges[edge{b, tgt}]++
+				}
 			}
 		}
 	}
-	return nil
+
+	// Preds agreement: the recorded predecessor list must be exactly the
+	// incoming edge multiset (phi incoming values are parallel to Preds,
+	// so a missing or surplus entry silently misroutes dataflow).
+	for _, b := range f.Blocks {
+		recorded := map[*Block]int{}
+		for _, p := range b.Preds {
+			recorded[p]++
+		}
+		for _, p := range f.Blocks {
+			want := edges[edge{p, b}]
+			if recorded[p] != want {
+				add("pred-mismatch", b, nil,
+					"records %d preds from %s, CFG has %d edges", recorded[p], p.Name, want)
+			}
+		}
+	}
+
+	ps = append(ps, checkDominance(f)...)
+	return ps
+}
+
+// checkTypes enforces the per-opcode operand/result shape. The type system
+// is deliberately loose where the optimizer legitimately changes types
+// (constant folding rewrites an i1 comparison into an i64 OpConst, so
+// branch conditions and phi inputs only require non-void values).
+func checkTypes(f *Func, in *Instr) string {
+	argc := func(n int) string {
+		if len(in.Args) != n {
+			return fmt.Sprintf("%s expects %d operands, has %d", in.Op, n, len(in.Args))
+		}
+		return ""
+	}
+	switch in.Op {
+	case OpConst:
+		if len(in.Args) != 0 {
+			return "const takes no operands"
+		}
+		if in.Type == Void {
+			return "const produces no value"
+		}
+	case OpParam:
+		if len(in.Args) != 0 {
+			return "param takes no operands"
+		}
+		if in.Imm < 0 || int(in.Imm) >= f.NumParams {
+			return fmt.Sprintf("param #%d out of range (function has %d)", in.Imm, f.NumParams)
+		}
+	case OpAdd, OpSub, OpMul, OpSDiv, OpSMod, OpAnd, OpOr, OpXor,
+		OpShl, OpShr, OpRotr:
+		if msg := argc(2); msg != "" {
+			return msg
+		}
+		if in.Type != I64 {
+			return fmt.Sprintf("%s must produce i64, produces %s", in.Op, in.Type)
+		}
+	case OpCrc32:
+		// One operand plus Imm, or two operands (see the Op docs).
+		if len(in.Args) != 1 && len(in.Args) != 2 {
+			return fmt.Sprintf("crc32 expects 1 or 2 operands, has %d", len(in.Args))
+		}
+		if in.Type != I64 {
+			return fmt.Sprintf("crc32 must produce i64, produces %s", in.Type)
+		}
+	case OpCmpEq, OpCmpNe, OpCmpLt, OpCmpLe, OpCmpGt, OpCmpGe:
+		if msg := argc(2); msg != "" {
+			return msg
+		}
+		if in.Type != I1 {
+			return fmt.Sprintf("%s must produce i1, produces %s", in.Op, in.Type)
+		}
+	case OpLoad8, OpLoad32, OpLoad64:
+		if msg := argc(1); msg != "" {
+			return msg
+		}
+		if in.Type != I64 {
+			return fmt.Sprintf("%s must produce i64, produces %s", in.Op, in.Type)
+		}
+	case OpStore8, OpStore32, OpStore64:
+		if msg := argc(2); msg != "" {
+			return msg
+		}
+		if in.Type != Void {
+			return "store must not produce a value"
+		}
+	case OpBr:
+		if len(in.Args) != 0 || len(in.Targets) != 1 {
+			return "br expects 0 operands and 1 target"
+		}
+	case OpCondBr:
+		if len(in.Args) != 1 || len(in.Targets) != 2 {
+			return "condbr expects 1 operand and 2 targets"
+		}
+	case OpRet:
+		if len(in.Args) > 1 {
+			return "ret expects at most 1 operand"
+		}
+	case OpCall:
+		if in.Callee == "" {
+			return "call without callee symbol"
+		}
+	case OpSetTag:
+		if msg := argc(1); msg != "" {
+			return msg
+		}
+		if in.Type != Void {
+			return "settag must not produce a value"
+		}
+	case OpGetTag:
+		if len(in.Args) != 0 {
+			return "gettag takes no operands"
+		}
+		if in.Type != I64 {
+			return "gettag must produce i64"
+		}
+	case OpHalt, OpTrap:
+		if len(in.Args) != 0 {
+			return fmt.Sprintf("%s takes no operands", in.Op)
+		}
+	}
+	return ""
+}
+
+// checkDominance verifies the SSA rule: every use is dominated by its
+// definition. Non-phi uses in the same block must come after the
+// definition; phi incoming values must be defined in a block dominating
+// the corresponding predecessor (the value flows along that edge).
+func checkDominance(f *Func) []Problem {
+	var ps []Problem
+	reach := f.Reachable()
+	dom := f.Dominators()
+	pos := map[*Instr]int{}
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			pos[in] = i
+		}
+	}
+	dominates := func(def *Block, use *Block) bool { return dom[use][def] }
+
+	for _, b := range f.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for i, in := range b.Instrs {
+			for ai, a := range in.Args {
+				if a == nil || a.Block == nil {
+					continue // reported by the shape checks
+				}
+				if in.Op == OpPhi {
+					if ai >= len(b.Preds) {
+						continue // reported as phi-arity
+					}
+					pred := b.Preds[ai]
+					if !reach[pred] {
+						continue
+					}
+					if a.Block != pred && !dominates(a.Block, pred) {
+						ps = append(ps, Problem{
+							Code: "dominance", Func: f.Name, Block: b.Name, Instr: in.ID,
+							Msg: fmt.Sprintf("phi incoming %%%d (block %s) does not dominate pred %s",
+								a.ID, a.Block.Name, pred.Name),
+						})
+					}
+					continue
+				}
+				if a.Block == b {
+					if pos[a] >= i {
+						ps = append(ps, Problem{
+							Code: "use-before-def", Func: f.Name, Block: b.Name, Instr: in.ID,
+							Msg: fmt.Sprintf("uses %%%d before its definition", a.ID),
+						})
+					}
+				} else if !dominates(a.Block, b) {
+					ps = append(ps, Problem{
+						Code: "dominance", Func: f.Name, Block: b.Name, Instr: in.ID,
+						Msg: fmt.Sprintf("definition %%%d in %s does not dominate use",
+							a.ID, a.Block.Name),
+					})
+				}
+			}
+		}
+	}
+	return ps
+}
+
+// Reachable returns the blocks reachable from the entry.
+func (f *Func) Reachable() map[*Block]bool {
+	reach := map[*Block]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.Succs() {
+			walk(s)
+		}
+	}
+	if len(f.Blocks) > 0 {
+		walk(f.Entry())
+	}
+	return reach
+}
+
+// Dominators computes, for every block, the set of blocks that dominate it
+// (iterative dataflow; the CFGs here are tiny). Shared by the optimizer's
+// loop-invariant code motion and the IR verifier.
+func (f *Func) Dominators() map[*Block]map[*Block]bool {
+	entry := f.Entry()
+	dom := make(map[*Block]map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if b == entry {
+			dom[b] = map[*Block]bool{b: true}
+			continue
+		}
+		s := make(map[*Block]bool, len(f.Blocks))
+		for _, x := range f.Blocks {
+			s[x] = true
+		}
+		dom[b] = s
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			if b == entry {
+				continue
+			}
+			var inter map[*Block]bool
+			for _, p := range b.Preds {
+				if inter == nil {
+					inter = make(map[*Block]bool, len(dom[p]))
+					for k := range dom[p] {
+						inter[k] = true
+					}
+					continue
+				}
+				for k := range inter {
+					if !dom[p][k] {
+						delete(inter, k)
+					}
+				}
+			}
+			if inter == nil {
+				inter = map[*Block]bool{}
+			}
+			inter[b] = true
+			// Sets only shrink, so a length change means a real change.
+			if len(inter) != len(dom[b]) {
+				dom[b] = inter
+				changed = true
+			}
+		}
+	}
+	return dom
 }

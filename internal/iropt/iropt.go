@@ -43,6 +43,13 @@ type Options struct {
 	LICM           bool
 	StrengthReduce bool
 	Hot            Hotness
+
+	// AfterPass, when set, runs after every individual pass application
+	// (including each fixpoint round) with the pass name. Returning an
+	// error aborts optimization. The engine's VerifyArtifacts mode hangs
+	// the verification suite here so a lineage bug is pinned to the exact
+	// pass that introduced it, not discovered after the whole pipeline.
+	AfterPass func(pass string) error
 }
 
 // AllOptions enables every implemented profile-independent pass.
@@ -70,50 +77,80 @@ type Stats struct {
 // was compiled from, and the profile's IR instruction IDs line up. Only
 // then do the profile-guided passes transform it, re-running the base
 // fixpoint after each round to clean up what they expose.
-func Optimize(m *ir.Module, lin core.Lineage, opts Options) Stats {
+//
+// The returned error is non-nil only when an AfterPass hook rejected a
+// pass's output; the module is left in the state that hook saw.
+func Optimize(m *ir.Module, lin core.Lineage, opts Options) (Stats, error) {
 	var st Stats
-	base := func() {
+	var hookErr error
+	after := func(pass string) bool {
+		if opts.AfterPass == nil {
+			return true
+		}
+		hookErr = opts.AfterPass(pass)
+		return hookErr == nil
+	}
+	base := func() bool {
 		for {
 			changed := 0
 			if opts.ConstFold {
 				n := ConstFold(m, lin)
 				st.Folded += n
 				changed += n
+				if !after("fold") {
+					return false
+				}
 			}
 			if opts.CSE {
 				n := CSE(m, lin)
 				st.CSEMerged += n
 				changed += n
+				if !after("cse") {
+					return false
+				}
 			}
 			if opts.DCE {
 				n := DCE(m, lin)
 				st.Eliminated += n
 				changed += n
+				if !after("dce") {
+					return false
+				}
 			}
 			if changed == 0 {
-				return
+				return true
 			}
 		}
 	}
-	base()
+	if !base() {
+		return st, hookErr
+	}
 	for opts.Hot != nil && (opts.LICM || opts.StrengthReduce) {
 		changed := 0
 		if opts.LICM {
 			n := LICM(m, lin, opts.Hot)
 			st.Hoisted += n
 			changed += n
+			if !after("licm") {
+				return st, hookErr
+			}
 		}
 		if opts.StrengthReduce {
 			n := StrengthReduce(m, lin, opts.Hot)
 			st.Reduced += n
 			changed += n
+			if !after("sr") {
+				return st, hookErr
+			}
 		}
 		if changed == 0 {
 			break
 		}
-		base()
+		if !base() {
+			return st, hookErr
+		}
 	}
-	return st
+	return st, nil
 }
 
 // ConstFold evaluates pure instructions whose operands are all constants,

@@ -198,7 +198,10 @@ func TestOptimizeReachesFixpoint(t *testing.T) {
 	sum := h.b.Add(c, h.b.Const(10))
 	h.b.Store(64, h.b.Const(64), sum)
 	h.b.Halt()
-	st := Optimize(h.m, h.dict, AllOptions())
+	st, err := Optimize(h.m, h.dict, AllOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.Folded == 0 || st.Eliminated == 0 {
 		t.Fatalf("stats: %+v", st)
 	}

@@ -79,58 +79,6 @@ func hotLoops(f *ir.Func, hot Hotness) []natLoop {
 	return out
 }
 
-// dominators computes, for every block, the set of blocks that dominate
-// it (iterative dataflow; the CFGs here are tiny). Used to prove a
-// hoisted instruction's operands are available at the preheader.
-func dominators(f *ir.Func) map[*ir.Block]map[*ir.Block]bool {
-	entry := f.Entry()
-	dom := make(map[*ir.Block]map[*ir.Block]bool, len(f.Blocks))
-	for _, b := range f.Blocks {
-		if b == entry {
-			dom[b] = map[*ir.Block]bool{b: true}
-			continue
-		}
-		s := make(map[*ir.Block]bool, len(f.Blocks))
-		for _, x := range f.Blocks {
-			s[x] = true
-		}
-		dom[b] = s
-	}
-	for changed := true; changed; {
-		changed = false
-		for _, b := range f.Blocks {
-			if b == entry {
-				continue
-			}
-			var inter map[*ir.Block]bool
-			for _, p := range b.Preds {
-				if inter == nil {
-					inter = make(map[*ir.Block]bool, len(dom[p]))
-					for k := range dom[p] {
-						inter[k] = true
-					}
-					continue
-				}
-				for k := range inter {
-					if !dom[p][k] {
-						delete(inter, k)
-					}
-				}
-			}
-			if inter == nil {
-				inter = map[*ir.Block]bool{}
-			}
-			inter[b] = true
-			// Sets only shrink, so a length change means a real change.
-			if len(inter) != len(dom[b]) {
-				dom[b] = inter
-				changed = true
-			}
-		}
-	}
-	return dom
-}
-
 // LICM hoists loop-invariant pure instructions out of profile-hot loops
 // into the loop preheader. Only side-effect-free instructions move
 // (IsPure excludes loads, division and calls), so executing one
@@ -145,7 +93,7 @@ func LICM(m *ir.Module, lin core.Lineage, hot Hotness) int {
 		if len(loops) == 0 {
 			continue
 		}
-		dom := dominators(f)
+		dom := f.Dominators()
 		for _, lp := range loops {
 			// The preheader is the unique predecessor of the header from
 			// outside the loop; bail if the CFG doesn't offer one.

@@ -2,6 +2,8 @@ package pipeline
 
 import (
 	"fmt"
+	"reflect"
+	"strconv"
 
 	"repro/internal/codegen"
 	"repro/internal/core"
@@ -60,11 +62,11 @@ func (c *Compiler) genScanLoop(s *plan.Scan, pipeIdx int) {
 		for _, ci := range s.Cols {
 			slot, ok := c.lay.ColSlots[ColKey{Alias: s.Alias, Col: ci}]
 			if !ok {
-				panic(fmt.Sprintf("pipeline: no layout slot for %s column %d", s.Alias, ci))
+				panic("pipeline: no layout slot for " + s.Alias + " column " + strconv.Itoa(ci))
 			}
 			addr := c.b.Add(state, c.b.Const(int64(slot)*8))
 			base := c.b.Load(64, addr)
-			base.Comment = fmt.Sprintf("column base %s.%s", s.Alias, s.Table.Cols[ci].Name)
+			base.Comment = "column base " + s.Alias + "." + s.Table.Cols[ci].Name
 			bases = append(bases, base)
 		}
 		start = c.b.Load(64, c.b.Const(c.lay.MorselStart(pipeIdx)))
@@ -152,7 +154,7 @@ func (c *Compiler) consumeUp(n plan.Node, r row) {
 	case *plan.Output:
 		c.genOutput(pn, r)
 	default:
-		panic(fmt.Sprintf("pipeline: cannot consume into %T", parent))
+		panic("pipeline: cannot consume into " + reflect.TypeOf(parent).String())
 	}
 }
 
@@ -315,7 +317,7 @@ func (c *Compiler) genGroupByAgg(g *plan.GroupBy, r row) {
 			if i == nKeys-1 {
 				c.b.CondBr(eq, found, findCont)
 			} else {
-				more := c.b.NewBlock(fmt.Sprintf("cmpKey%d", i+1))
+				more := c.b.NewBlock("cmpKey" + strconv.Itoa(i+1))
 				c.b.CondBr(eq, more, findCont)
 				c.b.SetBlock(more)
 			}

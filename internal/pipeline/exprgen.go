@@ -1,7 +1,8 @@
 package pipeline
 
 import (
-	"fmt"
+	"reflect"
+	"strconv"
 
 	"repro/internal/ir"
 	"repro/internal/plan"
@@ -49,7 +50,8 @@ func (c *Compiler) evalExpr(e plan.PExpr, r row) *ir.Instr {
 		return c.b.Const(x.Val)
 	case *plan.PCol:
 		if x.Pos < 0 || x.Pos >= len(r.cols) {
-			panic(fmt.Sprintf("pipeline: column position %d out of row width %d", x.Pos, len(r.cols)))
+			panic("pipeline: column position " + strconv.Itoa(x.Pos) +
+				" out of row width " + strconv.Itoa(len(r.cols)))
 		}
 		return r.cols[x.Pos]()
 	case *plan.PBin:
@@ -57,11 +59,11 @@ func (c *Compiler) evalExpr(e plan.PExpr, r row) *ir.Instr {
 		rv := c.evalExpr(x.R, r)
 		op, ok := planToIR[x.Op]
 		if !ok {
-			panic(fmt.Sprintf("pipeline: no IR op for %s", x.Op))
+			panic("pipeline: no IR op for " + x.Op.String())
 		}
 		return c.b.Bin(op, l, rv)
 	}
-	panic(fmt.Sprintf("pipeline: cannot evaluate %T", e))
+	panic("pipeline: cannot evaluate " + reflect.TypeOf(e).String())
 }
 
 // evalAggArgs evaluates every aggregate input (nil for count(*)).

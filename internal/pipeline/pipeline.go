@@ -16,6 +16,8 @@ package pipeline
 
 import (
 	"fmt"
+	"reflect"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/ir"
@@ -343,7 +345,7 @@ func aggLayout(aggs []plan.AggSpec, base int64) ([]plan.AggFn, []int64) {
 	return fns, offs
 }
 
-func funcName(i int) string { return fmt.Sprintf("pipeline%d", i) }
+func funcName(i int) string { return "pipeline" + strconv.Itoa(i) }
 
 func (c *Compiler) linkParents(n plan.Node, parent plan.Node) {
 	if parent != nil {
@@ -400,7 +402,7 @@ func (c *Compiler) newPipe(n plan.Node, name string) *pipe {
 // filter tasks.
 func (c *Compiler) registerTask(p *pipe, n plan.Node, r role, opID core.ComponentID) core.ComponentID {
 	c.opTracker.Push(opID)
-	name := fmt.Sprintf("%s(%s)", r, operatorName(n))
+	name := string(r) + "(" + operatorName(n) + ")"
 	id := c.reg.Add(core.LevelTask, name, string(r), p.index, c.opTracker.Active())
 	c.dict.LinkTask(id, c.opTracker.Active())
 	c.opTracker.Pop()
@@ -459,7 +461,7 @@ func (c *Compiler) pass1(n plan.Node) *pipe {
 		p.sinkNode, p.sinkKind = x, SinkOutput
 		return p
 	}
-	panic(fmt.Sprintf("pipeline: unknown node %T", n))
+	panic("pipeline: unknown node " + reflect.TypeOf(n).String())
 }
 
 // withTask runs body with the operator and task trackers pointing at
@@ -476,7 +478,7 @@ func (c *Compiler) withTask(opID, taskID core.ComponentID, body func()) {
 func (c *Compiler) task(n plan.Node, r role) core.ComponentID {
 	id, ok := c.tasks[taskKey{n, r}]
 	if !ok {
-		panic(fmt.Sprintf("pipeline: missing task %s for %s", r, n.Describe()))
+		panic("pipeline: missing task " + string(r) + " for " + n.Describe())
 	}
 	return id
 }

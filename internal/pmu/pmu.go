@@ -16,6 +16,8 @@
 package pmu
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/vm"
@@ -90,6 +92,23 @@ type Config struct {
 
 // DefaultBufferSamples is the PEBS buffer capacity used unless overridden.
 const DefaultBufferSamples = 1024
+
+// Validate statically checks a sampling configuration before it arms a
+// PMU. Misconfigurations otherwise surface as silent weirdness at run
+// time (a zero period never samples; an out-of-range tag register reads
+// garbage from the captured file), so the engine rejects them up front.
+func (c Config) Validate() error {
+	if c.Period <= 0 {
+		return fmt.Errorf("pmu: sampling period must be positive, got %d", c.Period)
+	}
+	if c.TagReg >= isa.NumRegs {
+		return fmt.Errorf("pmu: tag register %s outside the sampled register file", c.TagReg)
+	}
+	if c.BufferSamples < 0 {
+		return fmt.Errorf("pmu: negative PEBS buffer capacity %d", c.BufferSamples)
+	}
+	return nil
+}
 
 // PMU implements vm.SampleHook, collecting samples and charging costs.
 type PMU struct {

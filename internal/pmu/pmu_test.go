@@ -38,6 +38,24 @@ func TestRecordBytesMatchPaper(t *testing.T) {
 	}
 }
 
+func TestConfigValidate(t *testing.T) {
+	good := Config{Event: vm.EvInstRetired, Period: 100}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Event: vm.EvInstRetired},                                   // zero period
+		{Event: vm.EvInstRetired, Period: -5},                       // negative period
+		{Event: vm.EvInstRetired, Period: 100, TagReg: isa.NumRegs}, // outside register file
+		{Event: vm.EvInstRetired, Period: 100, BufferSamples: -1},   // negative buffer
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
 func TestSampleCollection(t *testing.T) {
 	p, _ := runWith(t, Config{Event: vm.EvInstRetired, Period: 100, Format: FormatIPTime, NoJitter: true}, 1000)
 	if got := len(p.Samples()); got != 10 {

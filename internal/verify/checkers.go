@@ -1,0 +1,496 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// ---------------------------------------------------------------------------
+// IR well-formedness
+// ---------------------------------------------------------------------------
+
+// IRWellFormed adapts the structural IR battery (ir.(*Module).Check: SSA
+// dominance, use-before-def, type consistency, phi/pred agreement, CFG
+// shape) into suite diagnostics. The implementation lives in package ir so
+// that (*Module).Verify — which engine and pipeline call on every compile —
+// is the same code with an error-shaped return.
+type IRWellFormed struct{}
+
+// Name implements Checker.
+func (IRWellFormed) Name() string { return "ir" }
+
+// Check implements Checker.
+func (IRWellFormed) Check(a *Artifact) []Diag {
+	if a.Module == nil {
+		return nil
+	}
+	var out []Diag
+	for _, p := range a.Module.Check() {
+		locus := p.Func
+		if p.Block != "" {
+			locus += "." + p.Block
+		}
+		if p.Instr != 0 {
+			locus += fmt.Sprintf(" %%%d", p.Instr)
+		}
+		out = append(out, Diag{
+			Check:    "ir/" + p.Code,
+			Severity: Error,
+			Level:    core.LevelIR,
+			Locus:    locus,
+			Msg:      p.Msg,
+		})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Tagging Dictionary soundness
+// ---------------------------------------------------------------------------
+
+// DictSoundness checks that the Tagging Dictionary still supports
+// bottom-up attribution after whatever passes have run:
+//
+//   - every surviving IR instruction resolves to ≥1 task (orphan-instr),
+//   - every Log B entry points at an instruction that still exists
+//     (dangling-tag: a pass deleted code without reporting Removed),
+//   - every task a Log B entry names has a Log A operator, and both ends
+//     are registered at the right abstraction level,
+//   - shared markings refer to live Log B entries,
+//   - the lineage journal is sane: no self-derivation, no derivation from
+//     an already-removed instruction, no Derived/Replaced cycles.
+type DictSoundness struct{}
+
+// Name implements Checker.
+func (DictSoundness) Name() string { return "dict" }
+
+// Check implements Checker.
+func (DictSoundness) Check(a *Artifact) []Diag {
+	if a.Dict == nil || a.Module == nil {
+		return nil
+	}
+	d := a.Dict
+	reg := d.Registry
+	var out []Diag
+	bad := func(rule, locus, format string, args ...interface{}) {
+		out = append(out, Diag{
+			Check: "dict/" + rule, Severity: Error, Level: core.LevelTask,
+			Locus: locus, Msg: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Live instruction set, for both directions of the orphan check.
+	live := make(map[int]ir.Op, a.Module.InstrCount())
+	a.Module.ForEachInstr(func(_ *ir.Func, _ *ir.Block, in *ir.Instr) {
+		live[in.ID] = in.Op
+	})
+
+	for id, op := range live {
+		if len(d.TasksOf(id)) == 0 {
+			bad("orphan-instr", fmt.Sprintf("%%%d", id),
+				"surviving %s instruction resolves to no task", op)
+		}
+	}
+	for _, id := range d.IRIDs() {
+		if _, ok := live[id]; !ok {
+			bad("dangling-tag", fmt.Sprintf("%%%d", id),
+				"Log B entry for deleted instruction (pass forgot Removed)")
+		}
+		for _, task := range d.TasksOf(id) {
+			c, ok := reg.Lookup(task)
+			if !ok {
+				bad("unknown-task", fmt.Sprintf("task %d", task),
+					"Log B names a task missing from the registry")
+				continue
+			}
+			if c.Level != core.LevelTask {
+				bad("level-mismatch", fmt.Sprintf("task %d", task),
+					"Log B names %q, a %s-level component", c.Name, c.Level)
+			}
+			op := d.OperatorOf(task)
+			if op == core.NoComponent {
+				bad("no-operator", fmt.Sprintf("task %d", task),
+					"task %q has no Log A operator: attribution dead-ends", c.Name)
+				continue
+			}
+			oc, ok := reg.Lookup(op)
+			if !ok {
+				bad("unknown-operator", fmt.Sprintf("operator %d", op),
+					"Log A names an operator missing from the registry")
+			} else if oc.Level != core.LevelOperator {
+				bad("level-mismatch", fmt.Sprintf("operator %d", op),
+					"Log A maps task %q to %q, a %s-level component", c.Name, oc.Name, oc.Level)
+			}
+		}
+	}
+	for _, id := range d.SharedIRIDs() {
+		if len(d.TasksOf(id)) == 0 {
+			bad("shared-no-tasks", fmt.Sprintf("%%%d", id),
+				"shared marking on an instruction with no Log B entry")
+		}
+	}
+
+	out = append(out, checkJournal(d.Journal())...)
+	return out
+}
+
+// checkJournal replays the lineage event log. The flattened maps cannot
+// distinguish "pass ordering X leaves lineage sound" from "two bugs
+// cancelled out", so the journal is verified as a history: derivation must
+// flow from live instructions, never from removed ones, never from itself,
+// and the derivation graph over all events must be acyclic (a cycle means
+// two instructions each claim to inherit the other's owners — bottom-up
+// resolution has no ground truth to start from).
+func checkJournal(events []core.LineageEvent) []Diag {
+	var out []Diag
+	bad := func(rule, locus, format string, args ...interface{}) {
+		out = append(out, Diag{
+			Check: "dict/" + rule, Severity: Error, Level: core.LevelIR,
+			Locus: locus, Msg: fmt.Sprintf(format, args...),
+		})
+	}
+
+	removed := map[int]bool{}
+	edges := map[int][]int{} // derived ID → source IDs
+	for _, ev := range events {
+		switch ev.Kind {
+		case core.LineageDerived, core.LineageReplaced:
+			for _, src := range ev.Srcs {
+				if src == ev.ID {
+					bad("self-derive", fmt.Sprintf("%%%d", ev.ID),
+						"instruction reported as %s from itself", ev.Kind)
+					continue
+				}
+				if removed[src] {
+					bad("derive-from-removed", fmt.Sprintf("%%%d", ev.ID),
+						"%s from %%%d, which was already removed", ev.Kind, src)
+				}
+				edges[ev.ID] = append(edges[ev.ID], src)
+			}
+			if ev.Kind == core.LineageReplaced {
+				// Replaced removes the old instruction as part of the event.
+				for _, src := range ev.Srcs {
+					removed[src] = true
+				}
+			}
+			// A Derived/Replaced target is live again even if a previous
+			// event removed it (IDs are never reused, so this would itself
+			// be a bug — flag it).
+			if removed[ev.ID] {
+				bad("resurrect", fmt.Sprintf("%%%d", ev.ID),
+					"%s targets an instruction that was previously removed", ev.Kind)
+			}
+		case core.LineageRemoved:
+			if removed[ev.ID] {
+				bad("double-remove", fmt.Sprintf("%%%d", ev.ID),
+					"instruction removed twice")
+			}
+			removed[ev.ID] = true
+		}
+	}
+
+	// Cycle detection over the derivation graph (iterative DFS, colors).
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[int]int{}
+	var stack []int
+	for start := range edges {
+		if color[start] != white {
+			continue
+		}
+		stack = append(stack[:0], start)
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			if color[n] == white {
+				color[n] = gray
+				for _, s := range edges[n] {
+					switch color[s] {
+					case white:
+						stack = append(stack, s)
+					case gray:
+						bad("derive-cycle", fmt.Sprintf("%%%d", n),
+							"derivation cycle through %%%d: lineage has no ground truth", s)
+					}
+				}
+			} else {
+				if color[n] == gray {
+					color[n] = black
+				}
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Native-code invariants
+// ---------------------------------------------------------------------------
+
+// NativeInvariants checks the emitted program against its debug info:
+//
+//   - the NativeMap parallel arrays cover the program exactly,
+//   - every generated-region instruction carries IR provenance (except
+//     JMP: phi edge blocks legitimately compile to a bare jump), and that
+//     provenance resolves to ≥1 task,
+//   - tag-register discipline (with RegisterTagging): isa.TagReg is
+//     written only by OpSetTag lowering, read only by OpGetTag lowering,
+//     and never touched inside hand-written runtime routines,
+//   - every call into shared-region code is bracketed by the tag
+//     protocol: a tag write before the CALL and a restore after it,
+//   - NativeMap.Inverted bits appear only on conditional branches in
+//     generated code, and only in profile-guided compiles,
+//   - control flow stays sane: branch targets land inside the owning
+//     function, CALL targets are function entries, every function's last
+//     instruction cannot fall through into the next function.
+type NativeInvariants struct{}
+
+// Name implements Checker.
+func (NativeInvariants) Name() string { return "native" }
+
+// Check implements Checker.
+func (NativeInvariants) Check(a *Artifact) []Diag {
+	if a.Code == nil || a.Code.Program == nil || a.Code.NMap == nil {
+		return nil
+	}
+	prog, nmap := a.Code.Program, a.Code.NMap
+	var out []Diag
+	bad := func(rule string, pos int, format string, args ...interface{}) {
+		out = append(out, Diag{
+			Check: "native/" + rule, Severity: Error, Level: core.LevelNative,
+			Locus: fmt.Sprintf("native@%d", pos), Msg: fmt.Sprintf(format, args...),
+		})
+	}
+
+	n := len(prog.Code)
+	if len(nmap.IRs) != n || len(nmap.Region) != n || len(nmap.Routine) != n || len(nmap.Inverted) != n {
+		bad("nmap-misaligned", 0,
+			"NativeMap arrays (%d/%d/%d/%d) do not cover the %d-instruction program",
+			len(nmap.IRs), len(nmap.Region), len(nmap.Routine), len(nmap.Inverted), n)
+		return out // positional checks below would index out of range
+	}
+
+	// IR ID → opcode, for provenance-sensitive register rules.
+	irOp := map[int]ir.Op{}
+	if a.Module != nil {
+		a.Module.ForEachInstr(func(_ *ir.Func, _ *ir.Block, in *ir.Instr) {
+			irOp[in.ID] = in.Op
+		})
+	}
+	hasOp := func(ids []int, op ir.Op) bool {
+		for _, id := range ids {
+			if irOp[id] == op {
+				return true
+			}
+		}
+		return false
+	}
+
+	for pos := range prog.Code {
+		in := &prog.Code[pos]
+		gen := nmap.Region[pos] == core.RegionGenerated
+
+		// Provenance: generated code must be attributable.
+		if gen {
+			if len(nmap.IRs[pos]) == 0 && in.Op != isa.JMP {
+				bad("no-provenance", pos,
+					"generated %s carries no IR IDs: samples here are unattributable", in.Op)
+			}
+			if a.Dict != nil {
+				for _, irID := range nmap.IRs[pos] {
+					if len(a.Dict.TasksOf(irID)) == 0 {
+						bad("unresolvable", pos,
+							"IR %%%d resolves to no task through Log B", irID)
+					}
+				}
+			}
+		} else if nmap.Routine[pos] == "" {
+			bad("unnamed-routine", pos, "non-generated instruction has no routine name")
+		}
+
+		// Tag-register discipline.
+		if a.RegisterTagging {
+			if r, writes := defReg(in); writes && r == isa.TagReg {
+				if !gen {
+					bad("tagreg-clobber", pos,
+						"runtime routine %q writes the reserved tag register", nmap.Routine[pos])
+				} else if a.Module != nil && !hasOp(nmap.IRs[pos], ir.OpSetTag) {
+					bad("tagreg-clobber", pos,
+						"%s writes the tag register without OpSetTag provenance", in.Op)
+				}
+			}
+			for _, r := range useRegs(in) {
+				if r != isa.TagReg {
+					continue
+				}
+				if !gen {
+					bad("tagreg-read", pos,
+						"runtime routine %q reads the tag register", nmap.Routine[pos])
+				} else if a.Module != nil && !hasOp(nmap.IRs[pos], ir.OpGetTag) {
+					bad("tagreg-read", pos,
+						"%s reads the tag register without OpGetTag provenance", in.Op)
+				}
+			}
+		}
+
+		// Inverted exactness: only the PGO layout pass sets these bits,
+		// and only on conditional branches it actually flipped.
+		if nmap.Inverted[pos] {
+			if !a.PGO {
+				bad("stale-inverted", pos,
+					"Inverted bit set in a non-PGO compile: no layout pass ran")
+			}
+			if !in.IsBranch() || in.Op == isa.JMP {
+				bad("stale-inverted", pos,
+					"Inverted bit on %s, which is not a conditional branch", in.Op)
+			}
+			if !gen {
+				bad("stale-inverted", pos, "Inverted bit outside generated code")
+			}
+		}
+
+		// Control flow sanity.
+		if in.IsBranch() {
+			tgt := in.Imm
+			if in.Imm2 != 0 || (in.Op != isa.JMP && in.Op != isa.JNZ && in.Op != isa.JZ) {
+				tgt = in.Imm2
+			}
+			sym := prog.FuncAt(pos)
+			if sym == nil {
+				bad("no-symbol", pos, "branch outside any function symbol")
+			} else if tgt < int64(sym.Entry) || tgt >= int64(sym.End) {
+				bad("branch-escape", pos,
+					"%s targets %d, outside %s [%d,%d)", in.Op, tgt, sym.Name, sym.Entry, sym.End)
+			}
+		}
+		if in.Op == isa.CALL {
+			entry := false
+			for i := range prog.Funcs {
+				if int64(prog.Funcs[i].Entry) == in.Imm {
+					entry = true
+					break
+				}
+			}
+			if !entry {
+				bad("call-mid-function", pos, "call targets %d, not a function entry", in.Imm)
+			}
+			// Shared-region calls must follow the tag protocol (§4.2.5):
+			// set the tag register to the active task before transferring
+			// into shared code, restore it after.
+			if a.RegisterTagging && gen && in.Imm >= 0 && in.Imm < int64(n) &&
+				nmap.Region[in.Imm] == core.RegionShared {
+				if !tagWriteNear(prog, nmap, pos, -1) {
+					bad("shared-call-untagged", pos,
+						"call into shared routine %q without a preceding tag write",
+						nmap.Routine[in.Imm])
+				}
+				if !tagWriteNear(prog, nmap, pos, +1) {
+					bad("shared-call-unrestored", pos,
+						"tag register not restored after call into shared routine %q",
+						nmap.Routine[in.Imm])
+				}
+			}
+		}
+	}
+
+	// Function extents: every symbol must end in an instruction that
+	// cannot fall through into the following function.
+	for i := range prog.Funcs {
+		sym := &prog.Funcs[i]
+		if sym.End <= sym.Entry || sym.End > n {
+			bad("bad-extent", sym.Entry, "function %q has extent [%d,%d)", sym.Name, sym.Entry, sym.End)
+			continue
+		}
+		last := &prog.Code[sym.End-1]
+		switch last.Op {
+		case isa.RET, isa.HALT, isa.TRAP, isa.JMP:
+		default:
+			bad("fallthrough", sym.End-1,
+				"function %q ends in %s and falls through", sym.Name, last.Op)
+		}
+	}
+	return out
+}
+
+// tagProtocolWindow bounds the scan for the tag write bracketing a shared
+// call. emitCall stages up to 4 arguments through memory (two instructions
+// each) between the tag write and the CALL; 24 leaves generous slack.
+const tagProtocolWindow = 24
+
+// tagWriteNear reports whether a write to the tag register appears within
+// the protocol window before (dir=-1) or after (dir=+1) pos, without
+// crossing a control-flow transfer (the protocol is straight-line code
+// emitted by sharedCall).
+func tagWriteNear(prog *isa.Program, nmap *core.NativeMap, pos, dir int) bool {
+	for i, steps := pos+dir, 0; i >= 0 && i < len(prog.Code) && steps < tagProtocolWindow; i, steps = i+dir, steps+1 {
+		in := &prog.Code[i]
+		if r, writes := defReg(in); writes && r == isa.TagReg {
+			return true
+		}
+		if in.IsBranch() || in.Op == isa.CALL || in.Op == isa.RET ||
+			in.Op == isa.HALT || in.Op == isa.TRAP {
+			return false
+		}
+	}
+	return false
+}
+
+// defReg returns the register an instruction writes, if any. Stores use
+// Dst as the value source (see isa.Instr docs), so they define nothing;
+// CALL clobbers r0..r4 architecturally but that is the callee's write.
+func defReg(in *isa.Instr) (isa.Reg, bool) {
+	switch in.Op {
+	case isa.MOVRR, isa.MOVRI,
+		isa.LOAD8, isa.LOAD32, isa.LOAD64,
+		isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD,
+		isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.ROTR, isa.CRC32,
+		isa.CMPEQ, isa.CMPNE, isa.CMPLT, isa.CMPLE, isa.CMPGT, isa.CMPGE:
+		return in.Dst, true
+	}
+	return 0, false
+}
+
+// useRegs returns the registers an instruction reads.
+func useRegs(in *isa.Instr) []isa.Reg {
+	var uses []isa.Reg
+	switch in.Op {
+	case isa.MOVRR:
+		uses = append(uses, in.Src1)
+	case isa.LOAD8, isa.LOAD32, isa.LOAD64:
+		if !in.Abs {
+			uses = append(uses, in.Src1)
+		}
+		if in.Scaled {
+			uses = append(uses, in.Src2)
+		}
+	case isa.STORE8, isa.STORE32, isa.STORE64:
+		uses = append(uses, in.Dst) // stored value
+		if !in.Abs {
+			uses = append(uses, in.Src1)
+		}
+		if in.Scaled {
+			uses = append(uses, in.Src2)
+		}
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD,
+		isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.ROTR, isa.CRC32,
+		isa.CMPEQ, isa.CMPNE, isa.CMPLT, isa.CMPLE, isa.CMPGT, isa.CMPGE:
+		uses = append(uses, in.Src1)
+		if !in.UseImm {
+			uses = append(uses, in.Src2)
+		}
+	case isa.JNZ, isa.JZ:
+		uses = append(uses, in.Src1)
+	case isa.JEQ, isa.JNE, isa.JLT, isa.JGE:
+		uses = append(uses, in.Src1)
+		if !in.UseImm {
+			uses = append(uses, in.Src2)
+		}
+	}
+	return uses
+}

@@ -1,0 +1,338 @@
+package verify
+
+// The source linter: repository rules checked with go/ast + go/types only
+// (no external analysis frameworks). The rules all guard properties the
+// profiler depends on:
+//
+//   - determinism: simulated runs must replay bit-identically, so
+//     math/rand (global, seed-racy) is banned outside internal/xrand,
+//     and time.Now is banned in the simulated-machine packages (the VM
+//     and PMU have their own TSC — wall-clock reads would leak
+//     nondeterminism into sample timestamps);
+//   - compile speed: fmt.Sprintf allocates per call; the hot compile
+//     path (pipeline → iropt → codegen, the path BenchmarkCompileSQL
+//     guards) must build names by concatenation instead;
+//   - concurrency: a mutex copied by value guards nothing — signatures
+//     and receivers must take lock-bearing types by pointer.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// modulePath is the module this repository builds ("module repro" in
+// go.mod); the source importer maps its import paths onto directories.
+const modulePath = "repro"
+
+// hotCompilePaths are the packages on the query-compilation hot path,
+// measured by BenchmarkCompileSQL: fmt.Sprintf is banned here because
+// name formatting showed up in compile profiles (each call allocates).
+var hotCompilePaths = map[string]bool{
+	modulePath + "/internal/pipeline": true,
+	modulePath + "/internal/iropt":    true,
+	modulePath + "/internal/codegen":  true,
+}
+
+// deterministicPaths are the simulated-machine packages where wall-clock
+// reads would make runs non-replayable.
+var deterministicPaths = map[string]bool{
+	modulePath + "/internal/vm":  true,
+	modulePath + "/internal/pmu": true,
+}
+
+// randExemptPath is the one package allowed to own randomness.
+const randExemptPath = modulePath + "/internal/xrand"
+
+// Lint type-checks every package under root and applies the repository
+// rules. The returned diagnostics use file:line loci. A non-nil error
+// means the linter itself could not run (unreadable tree); broken Go code
+// surfaces as lint/typecheck diagnostics, not an error.
+func Lint(root string) ([]Diag, error) {
+	dirs, err := goDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	l := &linter{
+		fset:  token.NewFileSet(),
+		root:  root,
+		cache: map[string]*types.Package{},
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+
+	var out []Diag
+	for _, dir := range dirs {
+		out = append(out, l.lintDir(dir)...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Locus < out[j].Locus })
+	return out, nil
+}
+
+// goDirs returns every directory under root that contains .go files,
+// skipping VCS internals and testdata trees.
+func goDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.Walk(root, func(path string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if fi.IsDir() {
+			name := fi.Name()
+			if name == ".git" || name == "testdata" || (name != "." && strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+type linter struct {
+	fset  *token.FileSet
+	root  string
+	cache map[string]*types.Package
+	std   types.Importer
+}
+
+// Import implements types.Importer: module-internal paths are resolved to
+// repository directories and type-checked from source; everything else
+// (the standard library) is delegated to the compiler's source importer.
+func (l *linter) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if path == modulePath || strings.HasPrefix(path, modulePath+"/") {
+		dir := filepath.Join(l.root, strings.TrimPrefix(strings.TrimPrefix(path, modulePath), "/"))
+		files, err := l.parseDir(dir, func(name string) bool {
+			return !strings.HasSuffix(name, "_test.go")
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg := types.Config{Importer: l}
+		pkg, err := cfg.Check(path, l.fset, files, nil)
+		if err != nil {
+			return nil, err
+		}
+		l.cache[path] = pkg
+		return pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *linter) parseDir(dir string, keep func(string) bool) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || !keep(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// importPath maps a repository directory back to its import path.
+func (l *linter) importPath(dir string) string {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil || rel == "." {
+		return modulePath
+	}
+	return modulePath + "/" + filepath.ToSlash(rel)
+}
+
+// lintDir applies every rule to one package directory. The directory is
+// checked as up to two type-checking units: the package including its
+// in-package tests, and the external _test package if present.
+func (l *linter) lintDir(dir string) []Diag {
+	path := l.importPath(dir)
+
+	all, err := l.parseDir(dir, func(string) bool { return true })
+	if err != nil {
+		return []Diag{lintDiag("typecheck", dir, Error, "%v", err)}
+	}
+	if len(all) == 0 {
+		return nil
+	}
+
+	// Split into the package unit (lib + in-package tests) and the
+	// external test unit (package foo_test).
+	base := all[0].Name.Name
+	for _, f := range all {
+		if !strings.HasSuffix(f.Name.Name, "_test") {
+			base = f.Name.Name
+			break
+		}
+	}
+	var unitMain, unitXTest []*ast.File
+	for _, f := range all {
+		if f.Name.Name == base {
+			unitMain = append(unitMain, f)
+		} else {
+			unitXTest = append(unitXTest, f)
+		}
+	}
+
+	var out []Diag
+	for _, unit := range [][]*ast.File{unitMain, unitXTest} {
+		if len(unit) == 0 {
+			continue
+		}
+		info := &types.Info{
+			Uses:       map[*ast.Ident]types.Object{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Types:      map[ast.Expr]types.TypeAndValue{},
+		}
+		cfg := types.Config{Importer: l}
+		if _, err := cfg.Check(path, l.fset, unit, info); err != nil {
+			out = append(out, lintDiag("typecheck", dir, Error, "%v", err))
+			continue
+		}
+		for _, f := range unit {
+			out = append(out, l.lintFile(path, f, info)...)
+		}
+	}
+	return out
+}
+
+func lintDiag(rule, locus string, sev Severity, format string, args ...interface{}) Diag {
+	return Diag{
+		Check: "lint/" + rule, Severity: sev, Level: core.LevelOperator,
+		Locus: locus, Msg: fmt.Sprintf(format, args...),
+	}
+}
+
+func (l *linter) lintFile(pkgPath string, f *ast.File, info *types.Info) []Diag {
+	var out []Diag
+	pos := func(p token.Pos) string {
+		position := l.fset.Position(p)
+		rel, err := filepath.Rel(l.root, position.Filename)
+		if err != nil {
+			rel = position.Filename
+		}
+		return rel + ":" + strconv.Itoa(position.Line)
+	}
+	fileName := l.fset.Position(f.Pos()).Filename
+	isTest := strings.HasSuffix(fileName, "_test.go")
+
+	// Rule: no math/rand outside internal/xrand. Tests included — a test
+	// seeded from the global source is exactly the flake this prevents.
+	if pkgPath != randExemptPath && !strings.HasPrefix(pkgPath, randExemptPath+"/") {
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			if p == "math/rand" || p == "math/rand/v2" {
+				out = append(out, lintDiag("norand", pos(imp.Pos()), Error,
+					"import of %s outside %s: use internal/xrand for deterministic randomness", p, randExemptPath))
+			}
+		}
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			// Rule: no fmt.Sprintf on the compile hot path (non-test code).
+			if hotCompilePaths[pkgPath] && !isTest && isPkgFunc(x.Fun, info, "fmt", "Sprintf") {
+				out = append(out, lintDiag("nosprintf", pos(x.Pos()), Error,
+					"fmt.Sprintf on the compile hot path (BenchmarkCompileSQL): build the string without formatting"))
+			}
+			// Rule: no time.Now in the deterministic VM/PMU packages.
+			if deterministicPaths[pkgPath] && !isTest && isPkgFunc(x.Fun, info, "time", "Now") {
+				out = append(out, lintDiag("notimenow", pos(x.Pos()), Error,
+					"time.Now in a deterministic simulation package: use the simulated TSC"))
+			}
+		case *ast.FuncDecl:
+			// Rule: no mutex by value in signatures or receivers.
+			check := func(fl *ast.FieldList, what string) {
+				if fl == nil {
+					return
+				}
+				for _, field := range fl.List {
+					t := info.TypeOf(field.Type)
+					if t != nil && containsLock(t, nil) {
+						out = append(out, lintDiag("nomutexcopy", pos(field.Pos()), Error,
+							"%s of %s copies a sync lock by value; pass a pointer", what, x.Name.Name))
+					}
+				}
+			}
+			if x.Recv != nil {
+				check(x.Recv, "receiver")
+			}
+			check(x.Type.Params, "parameter")
+			check(x.Type.Results, "result")
+		}
+		return true
+	})
+	return out
+}
+
+// isPkgFunc reports whether fun is a selector pkg.name where pkg resolves
+// to the named standard-library package (not a shadowing local).
+func isPkgFunc(fun ast.Expr, info *types.Info, pkg, name string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkg
+}
+
+// containsLock reports whether a value of type t embeds a sync.Mutex or
+// sync.RWMutex (at any struct/array nesting) — i.e. whether copying the
+// value copies lock state. Pointers, slices, maps and channels stop the
+// descent: copying those shares the lock instead.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch x := t.(type) {
+	case *types.Named:
+		obj := x.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex" || obj.Name() == "WaitGroup" || obj.Name() == "Once") {
+			return true
+		}
+		return containsLock(x.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < x.NumFields(); i++ {
+			if containsLock(x.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(x.Elem(), seen)
+	}
+	return false
+}
