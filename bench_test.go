@@ -333,6 +333,34 @@ func BenchmarkCompileSQL(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceCacheHit measures the warm service front door: lex →
+// normalize → fingerprint → cache hit → argument encoding, returning the
+// shared compiled artifact without touching the planner or backend. The
+// contrast with BenchmarkCompileSQL (the identical statement, compiled
+// from scratch each time) is the compiled-query cache's headline number,
+// recorded in BENCH_qcache.json and gated by TestServiceCacheHitSpeedup.
+func BenchmarkServiceCacheHit(b *testing.B) {
+	env := benchEnv(b)
+	svc := engine.NewService(env.Cat, engine.DefaultOptions(), 0)
+	se := svc.NewSession()
+	const sql = "select l_orderkey, sum(l_quantity), sum(l_extendedprice) " +
+		"from lineitem where l_quantity < 24 group by l_orderkey"
+	if _, err := se.Prepare(sql); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := se.Prepare(sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !p.CacheHit {
+			b.Fatal("expected a cache hit")
+		}
+	}
+}
+
 // benchPGO runs one profile → recompile → re-run cycle and reports the
 // simulated cycles of the original and profile-guided binaries plus the
 // achieved reduction. RunAdaptive fails the benchmark if the recompiled

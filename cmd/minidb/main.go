@@ -1,10 +1,18 @@
 // Command minidb runs SQL against the generated TPC-H-like dataset on the
 // compiling engine — compile-to-native execution on the simulated CPU,
-// without profiling. Use -explain to see the optimized plan, -verify to
-// cross-check results against the interpreted reference executor.
+// fronted by the fingerprinted compiled-query cache. The catalog and the
+// query service are constructed exactly once; every statement goes through
+// a Session, so structurally identical statements (same shape, different
+// literals) share one compiled artifact.
 //
 //	minidb "select count(*) from lineitem where l_quantity < 24"
 //	minidb -explain "select l_orderkey, sum(l_quantity) from lineitem group by l_orderkey limit 5"
+//	printf 'q1; q2; q3;' | minidb -serve -sessions 4
+//
+// Use -explain to see the optimized plan, -verify to cross-check results
+// against the interpreted reference executor, -serve to drive a batch of
+// statements from stdin across -sessions concurrent sessions and report
+// cache traffic plus the compile-vs-execute time split.
 package main
 
 import (
@@ -14,6 +22,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/datagen"
 	"repro/internal/engine"
@@ -21,6 +31,11 @@ import (
 	"repro/internal/ref"
 	"repro/internal/viz"
 )
+
+type config struct {
+	explain, verify, analyze, pgo bool
+	maxRows                       int
+}
 
 func main() {
 	sf := flag.Float64("sf", 0.5, "data scale factor")
@@ -32,92 +47,129 @@ func main() {
 	workers := flag.Int("workers", 0, "morsel-driven parallel execution on N simulated cores (0 = single-CPU)")
 	morsel := flag.Int("morsel", 0, "morsel size in tuples (0 = default)")
 	pgo := flag.Bool("pgo", false, "profile-guided recompilation: run sampled, recompile from the profile, report the cycle delta")
+	serve := flag.Bool("serve", false, "batch mode: execute stdin statements across -sessions concurrent sessions")
+	sessions := flag.Int("sessions", 4, "concurrent sessions in -serve mode")
+	cacheN := flag.Int("cache", 0, "compiled-query cache capacity in entries (0 = default)")
 	flag.Parse()
 
+	// One catalog, one service: sessions are cheap handles that share the
+	// compiled-query cache and the PGO generation table.
 	cat := datagen.Generate(datagen.Config{ScaleFactor: *sf, Seed: *seed})
 	opts := engine.DefaultOptions()
 	opts.TupleCounters = *analyze
 	opts.Workers = *workers
 	opts.MorselRows = *morsel
-	eng := engine.New(cat, opts)
+	svc := engine.NewService(cat, opts, *cacheN)
 
 	stmts := flag.Args()
-	if len(stmts) == 0 {
-		// Read statements from stdin (one per line or ;-separated).
-		sc := bufio.NewScanner(os.Stdin)
-		var buf strings.Builder
-		for sc.Scan() {
-			buf.WriteString(sc.Text())
-			buf.WriteByte('\n')
-		}
-		for _, s := range strings.Split(buf.String(), ";") {
-			if strings.TrimSpace(s) != "" {
-				stmts = append(stmts, s)
-			}
-		}
+	if len(stmts) == 0 || *serve {
+		stmts = append(stmts, readStmts(os.Stdin)...)
 	}
 	if len(stmts) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: minidb [flags] \"select ...\"")
+		fmt.Fprintln(os.Stderr, "usage: minidb [flags] \"select ...\"  |  minidb -serve < statements.sql")
 		os.Exit(2)
 	}
 
+	cfg := config{explain: *explain, verify: *verify, analyze: *analyze, pgo: *pgo, maxRows: *maxRows}
+	if *serve {
+		os.Exit(serveBatch(svc, stmts, *sessions, cfg))
+	}
+
+	se := svc.NewSession()
 	for _, sql := range stmts {
-		if err := runOne(eng, sql, *explain, *verify, *analyze, *pgo, *maxRows); err != nil {
+		if err := runOne(se, sql, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			os.Exit(1)
 		}
 	}
 }
 
-func runOne(eng *engine.Engine, sql string, explain, verify, analyze, pgo bool, maxRows int) error {
-	cq, err := eng.CompileSQL(sql)
+// readStmts splits stdin into ;-separated statements.
+func readStmts(f *os.File) []string {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	for sc.Scan() {
+		buf.WriteString(sc.Text())
+		buf.WriteByte('\n')
+	}
+	var out []string
+	for _, s := range strings.Split(buf.String(), ";") {
+		if strings.TrimSpace(s) != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func runOne(se *engine.Session, sql string, cfg config) error {
+	p, err := se.Prepare(sql)
 	if err != nil {
 		return err
 	}
-	if explain {
-		fmt.Print(plan.Render(cq.Plan, func(n plan.Node) string {
+	if cfg.explain {
+		fmt.Print(plan.Render(p.Compiled.Plan, func(n plan.Node) string {
 			return fmt.Sprintf("(est. %.0f rows)", n.EstRows())
 		}))
 		fmt.Println()
 	}
-	if pgo {
-		return runAdaptive(eng, cq, maxRows)
+	if cfg.pgo {
+		return runAdaptive(se, sql, cfg.maxRows)
 	}
-	res, err := eng.Run(cq, nil)
+	res, err := se.Run(p, nil)
 	if err != nil {
 		return err
 	}
-	if analyze {
-		fmt.Print(viz.AnalyzedPlan(cq.Plan, cq.Pipe, res.TupleCounts, nil))
+	if cfg.analyze {
+		fmt.Print(viz.AnalyzedPlan(p.Compiled.Plan, p.Compiled.Pipe, res.TupleCounts, nil))
 		fmt.Println()
 	}
-	fmt.Print(viz.ResultTable(res, maxRows))
+	fmt.Print(viz.ResultTable(res, cfg.maxRows))
+	cached := "compiled"
+	if p.CacheHit {
+		cached = "cache hit"
+	}
 	if res.Workers > 0 {
-		fmt.Printf("(%d rows; %.3f ms simulated wall on %d workers, %d instructions total)\n",
-			len(res.Rows), float64(res.WallCycles)/3.5e6, res.Workers, res.Stats.Instructions)
+		fmt.Printf("(%d rows; %s; %.3f ms simulated wall on %d workers, %d instructions total)\n",
+			len(res.Rows), cached, float64(res.WallCycles)/3.5e6, res.Workers, res.Stats.Instructions)
 	} else {
-		fmt.Printf("(%d rows; %.3f ms simulated, %d instructions)\n",
-			len(res.Rows), float64(res.Stats.Cycles)/3.5e6, res.Stats.Instructions)
+		fmt.Printf("(%d rows; %s; %.3f ms simulated, %d instructions)\n",
+			len(res.Rows), cached, float64(res.Stats.Cycles)/3.5e6, res.Stats.Instructions)
 	}
 
-	if verify {
-		want, err := ref.Execute(cq.Plan)
-		if err != nil {
-			return fmt.Errorf("reference executor: %w", err)
-		}
-		if !equalRows(res.Rows, want, len(cq.Plan.OrderBy) > 0) {
-			return fmt.Errorf("VERIFICATION FAILED: compiled result differs from reference")
+	if cfg.verify {
+		if err := refCheck(p, res.Rows); err != nil {
+			return err
 		}
 		fmt.Println("verified against reference executor ✓")
 	}
 	return nil
 }
 
+// refCheck cross-checks a result against the interpreted reference
+// executor, threading the prepared statement's bound parameters through.
+func refCheck(p *engine.Prepared, rows [][]int64) error {
+	var params []int64
+	if p.State != nil {
+		params = p.State.Params
+	}
+	want, err := ref.ExecuteWith(p.Compiled.Plan, params)
+	if err != nil {
+		return fmt.Errorf("reference executor: %w", err)
+	}
+	if !equalRows(rows, want, len(p.Compiled.Plan.OrderBy) > 0) {
+		return fmt.Errorf("VERIFICATION FAILED: compiled result differs from reference")
+	}
+	return nil
+}
+
 // runAdaptive runs one profile → recompile → re-run cycle and reports
 // the simulated-cycle delta; the recompiled query's rows (printed) are
-// verified identical to the original's by RunAdaptive itself.
-func runAdaptive(eng *engine.Engine, cq *engine.Compiled, maxRows int) error {
-	ar, err := eng.RunAdaptive(cq, nil)
+// verified identical to the original's by the adaptive cycle itself. A
+// winning profile is promoted into the service's cache, so subsequent
+// prepares of the same fingerprint serve the tuned binary.
+func runAdaptive(se *engine.Session, sql string, maxRows int) error {
+	ar, err := se.Adapt(sql, nil)
 	if err != nil {
 		return err
 	}
@@ -129,6 +181,108 @@ func runAdaptive(eng *engine.Engine, cq *engine.Compiled, maxRows int) error {
 	fmt.Printf("pgo: %d cycles -> %d cycles (%.1f%% reduction, %.2fx)\n",
 		ar.BaselineCycles, ar.TunedCycles, ar.CycleReduction()*100, ar.Speedup())
 	return nil
+}
+
+// serveBatch distributes the statement batch round-robin across n
+// concurrent sessions, waits for all of them, then reports one summary
+// line per statement (in input order), per-session stats, and the
+// service-wide cache counters with the compile-vs-execute time split.
+func serveBatch(svc *engine.Service, stmts []string, n int, cfg config) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(stmts) {
+		n = len(stmts)
+	}
+	type outcome struct {
+		line string
+		err  error
+	}
+	results := make([]outcome, len(stmts))
+	sess := make([]*engine.Session, n)
+	for i := range sess {
+		sess[i] = svc.NewSession()
+	}
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			se := sess[si]
+			for j := si; j < len(stmts); j += n {
+				p, res, err := se.Execute(stmts[j], nil)
+				if err != nil {
+					results[j] = outcome{err: err}
+					continue
+				}
+				if cfg.verify {
+					if err := refCheck(p, res.Rows); err != nil {
+						results[j] = outcome{err: err}
+						continue
+					}
+				}
+				tag := "miss"
+				switch {
+				case p.Fallback:
+					tag = "fallback"
+				case p.CacheHit:
+					tag = "hit "
+				}
+				results[j] = outcome{line: fmt.Sprintf(
+					"s%-2d %s  %4d rows  prep %8.3fms  fp %016x  %s",
+					se.ID, tag, len(res.Rows),
+					float64(p.PrepareTime.Microseconds())/1000, p.Fingerprint,
+					oneLine(stmts[j]))}
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+
+	failed := 0
+	for j, r := range results {
+		if r.err != nil {
+			failed++
+			fmt.Printf("s?  FAIL %s: %v\n", oneLine(stmts[j]), r.err)
+			continue
+		}
+		fmt.Println(r.line)
+	}
+
+	var agg engine.SessionStats
+	for _, se := range sess {
+		st := se.Stats()
+		agg.Queries += st.Queries
+		agg.CacheHits += st.CacheHits
+		agg.Fallbacks += st.Fallbacks
+		agg.Prepare += st.Prepare
+		agg.Execute += st.Execute
+	}
+	cs := svc.CacheStats()
+	fmt.Printf("\n%d statements on %d sessions in %v (host wall)\n", len(stmts), n, wall.Round(time.Millisecond))
+	fmt.Printf("cache: %d hits, %d misses, %d evictions, %d invalidations; %d resident; %d fallbacks\n",
+		cs.Hits, cs.Misses, cs.Evictions, cs.Invalidations, svc.CacheLen(), svc.Fallbacks())
+	tot := agg.Prepare + agg.Execute
+	if tot > 0 {
+		fmt.Printf("time split: prepare %v (%.1f%%) vs execute %v (%.1f%%)\n",
+			agg.Prepare.Round(time.Microsecond), 100*float64(agg.Prepare)/float64(tot),
+			agg.Execute.Round(time.Microsecond), 100*float64(agg.Execute)/float64(tot))
+	}
+	if failed > 0 {
+		fmt.Printf("%d statement(s) FAILED\n", failed)
+		return 1
+	}
+	return 0
+}
+
+// oneLine compresses a statement to a single trimmed line for summaries.
+func oneLine(sql string) string {
+	s := strings.Join(strings.Fields(sql), " ")
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return s
 }
 
 func equalRows(a, b [][]int64, ordered bool) bool {

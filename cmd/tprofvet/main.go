@@ -1,7 +1,7 @@
 // Command tprofvet is the static verification driver for the Tailored
 // Profiling toolchain. It has two modes:
 //
-//	tprofvet check [-sf 0.05] [-workers 1,4] [-pgo] [-q name]
+//	tprofvet check [-sf 0.05] [-workers 1,4] [-pgo] [-cache] [-q name]
 //	tprofvet lint [root]
 //
 // check compiles the full query corpus with Engine.VerifyArtifacts on,
@@ -9,9 +9,13 @@
 // after pipeline construction, after every optimizer pass, and after
 // native emit. With -pgo it additionally runs one adaptive cycle per
 // query, verifying the profile-guided recompilation's artifacts the same
-// way. lint type-checks the repository and applies the source rules
-// (no math/rand outside internal/xrand, no fmt.Sprintf on the compile
-// hot path, no mutex-by-value, no time.Now in the VM/PMU).
+// way. With -cache it drives the SQL workload suite through the query
+// service instead: every artifact is verified once at cache-insert time,
+// and the cold compile, the cache hit, and every worker count must all
+// produce rows identical to the interpreted reference executor. lint
+// type-checks the repository and applies the source rules (no math/rand
+// outside internal/xrand, no fmt.Sprintf on the compile hot path, no
+// mutex-by-value, no time.Now in the VM/PMU).
 //
 // Exit status: 0 clean, 1 diagnostics or failures, 2 usage error.
 package main
@@ -20,12 +24,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/catalog"
 	"repro/internal/datagen"
 	"repro/internal/engine"
 	"repro/internal/queries"
+	"repro/internal/ref"
 	"repro/internal/verify"
 )
 
@@ -54,6 +61,7 @@ func runCheck(args []string) int {
 	seed := fs.Uint64("seed", 42, "data generator seed")
 	workersCSV := fs.String("workers", "1,4", "comma-separated worker counts to verify")
 	pgo := fs.Bool("pgo", false, "additionally verify one profile-guided recompilation per query")
+	cache := fs.Bool("cache", false, "verify the service path: SQL suite through the compiled-query cache")
 	only := fs.String("q", "", "restrict to one named workload")
 	fs.Parse(args)
 
@@ -67,6 +75,11 @@ func runCheck(args []string) int {
 		workers = append(workers, w)
 	}
 
+	cat := datagen.Generate(datagen.Config{ScaleFactor: *sf, Seed: *seed})
+	if *cache {
+		return runCacheCheck(cat, workers, *only)
+	}
+
 	suite := queries.Suite()
 	if *only != "" {
 		w, ok := queries.ByName(*only)
@@ -77,7 +90,6 @@ func runCheck(args []string) int {
 		suite = []queries.Workload{w}
 	}
 
-	cat := datagen.Generate(datagen.Config{ScaleFactor: *sf, Seed: *seed})
 	failures := 0
 	checked := 0
 	for _, w := range suite {
@@ -120,6 +132,116 @@ func runCheck(args []string) int {
 	}
 	fmt.Printf("tprofvet check: %d artifact sets verified, 0 diagnostics\n", checked)
 	return 0
+}
+
+// runCacheCheck verifies the service path end to end: every SQL workload
+// is compiled once through the cache with VerifyArtifacts on (so the full
+// cross-level suite runs at insert time), then re-prepared — which must be
+// a cache hit — and re-executed at every requested worker count. All runs
+// must match the interpreted reference executor row for row.
+func runCacheCheck(cat *catalog.Catalog, workers []int, only string) int {
+	suite := queries.SQLSuite()
+	if only != "" {
+		w, ok := queries.SQLByName(only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tprofvet: no SQL workload %q\n", only)
+			return 2
+		}
+		suite = []queries.SQLWorkload{w}
+	}
+	opts := engine.DefaultOptions()
+	opts.VerifyArtifacts = true
+	svc := engine.NewService(cat, opts, 0)
+	se := svc.NewSession()
+
+	failures, checked := 0, 0
+	fail := func(name, format string, a ...any) {
+		failures++
+		fmt.Printf("FAIL  %-14s %s\n", name, fmt.Sprintf(format, a...))
+	}
+	for _, w := range suite {
+		checked++
+		se.SetWorkers(0)
+		cold, res, err := se.Execute(w.SQL, nil)
+		if err != nil {
+			fail(w.Name, "cold: %v", err)
+			continue
+		}
+		if cold.Fallback {
+			fail(w.Name, "fell back to an uncached direct compile")
+			continue
+		}
+		var params []int64
+		if cold.State != nil {
+			params = cold.State.Params
+		}
+		want, err := ref.ExecuteWith(cold.Compiled.Plan, params)
+		if err != nil {
+			fail(w.Name, "reference executor: %v", err)
+			continue
+		}
+		ordered := len(cold.Compiled.Plan.OrderBy) > 0
+		if !rowsMatch(res.Rows, want, ordered) {
+			fail(w.Name, "cold rows differ from reference")
+			continue
+		}
+		ok := true
+		for _, nw := range workers {
+			se.SetWorkers(nw)
+			hot, hres, err := se.Execute(w.SQL, nil)
+			if err != nil {
+				fail(w.Name, "workers=%d: %v", nw, err)
+				ok = false
+				break
+			}
+			if !hot.CacheHit {
+				fail(w.Name, "workers=%d: expected a cache hit", nw)
+				ok = false
+				break
+			}
+			if !rowsMatch(hres.Rows, want, ordered) {
+				fail(w.Name, "workers=%d: cached rows differ from reference", nw)
+				ok = false
+				break
+			}
+		}
+		if ok {
+			fmt.Printf("ok    %-14s %d params, %d rows, hit at workers=%v\n",
+				w.Name, len(params), len(want), workers)
+		}
+	}
+	cs := svc.CacheStats()
+	if failures > 0 {
+		fmt.Printf("tprofvet check -cache: %d of %d workloads FAILED\n", failures, checked)
+		return 1
+	}
+	fmt.Printf("tprofvet check -cache: %d workloads verified (%d hits, %d misses, %d resident)\n",
+		checked, cs.Hits, cs.Misses, svc.CacheLen())
+	return 0
+}
+
+// rowsMatch compares result sets, respecting row order only when the
+// query has an ORDER BY.
+func rowsMatch(a, b [][]int64, ordered bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := make([]string, len(a))
+	bs := make([]string, len(b))
+	for i := range a {
+		as[i] = fmt.Sprint(a[i])
+		bs[i] = fmt.Sprint(b[i])
+	}
+	if !ordered {
+		sort.Strings(as)
+		sort.Strings(bs)
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func runLint(args []string) int {

@@ -190,14 +190,30 @@ func (t *Table) Validate() error {
 
 // Catalog is a set of tables.
 type Catalog struct {
-	tables map[string]*Table
+	tables  map[string]*Table
+	version uint64
 }
 
 // New returns an empty catalog.
 func New() *Catalog { return &Catalog{tables: make(map[string]*Table)} }
 
 // Add registers a table; it replaces an existing table of the same name.
-func (c *Catalog) Add(t *Table) { c.tables[t.Name] = t }
+// Every registration bumps the catalog version, so compiled-query caches
+// keyed by it shed artifacts built against the old schema.
+func (c *Catalog) Add(t *Table) {
+	c.tables[t.Name] = t
+	c.version++
+}
+
+// Version identifies the catalog's current schema state. It changes on
+// every Add and on explicit Bump calls; cached compilation artifacts are
+// only valid for the version they were compiled under.
+func (c *Catalog) Version() uint64 { return c.version }
+
+// Bump invalidates the current version without a schema change — for
+// callers that mutate table data in place (compiled artifacts bake column
+// base addresses and row counts into their memory layout).
+func (c *Catalog) Bump() { c.version++ }
 
 // Table looks up a table by name.
 func (c *Catalog) Table(name string) (*Table, error) {

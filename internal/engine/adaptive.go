@@ -32,11 +32,17 @@ func DefaultPGOSampling() pmu.Config {
 // (LICM, strength reduction), scaled-address fusion, basic-block layout
 // and spill priority in the fresh compilation.
 func (e *Engine) Recompile(cq *Compiled, prof *core.Profile) (*Compiled, error) {
+	return e.compiler().Recompile(cq, prof)
+}
+
+// Recompile compiles cq's plan again, guided by a profile collected from
+// running cq (see Engine.Recompile).
+func (c *Compiler) Recompile(cq *Compiled, prof *core.Profile) (*Compiled, error) {
 	if prof == nil {
 		return nil, fmt.Errorf("engine: Recompile needs a profile (run with sampling first)")
 	}
 	hot := pgo.FromProfile(prof, cq.Code.NMap)
-	return e.compilePlan(cq.Plan, hot)
+	return c.compilePlan(cq.Plan, hot)
 }
 
 // AdaptiveResult reports one profile → recompile → re-run cycle.
@@ -79,26 +85,34 @@ func (r *AdaptiveResult) CycleReduction() float64 {
 // way — profile-guided recompilation is only an optimization if it is
 // invisible.
 func (e *Engine) RunAdaptive(cq *Compiled, cfg *pmu.Config) (*AdaptiveResult, error) {
+	return runAdaptive(e.compiler(), e.executor(), cq, nil, cfg)
+}
+
+// runAdaptive is the adaptive cycle over the split engine halves, with
+// per-session run state (nil for parameterless plans). The tuned artifact
+// is compiled for the same parameterized plan, so it remains valid for
+// any future binding of the same fingerprint.
+func runAdaptive(c *Compiler, x *Executor, cq *Compiled, rs *RunState, cfg *pmu.Config) (*AdaptiveResult, error) {
 	if cfg == nil {
-		c := DefaultPGOSampling()
-		cfg = &c
+		d := DefaultPGOSampling()
+		cfg = &d
 	}
-	profRun, err := e.Run(cq, cfg)
+	profRun, err := x.Run(cq, rs, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("engine: adaptive profiling run: %w", err)
 	}
 	if profRun.Profile == nil {
 		return nil, fmt.Errorf("engine: adaptive profiling run produced no profile")
 	}
-	tunedCq, err := e.Recompile(cq, profRun.Profile)
+	tunedCq, err := c.Recompile(cq, profRun.Profile)
 	if err != nil {
 		return nil, fmt.Errorf("engine: recompile: %w", err)
 	}
-	baseline, err := e.Run(cq, nil)
+	baseline, err := x.Run(cq, rs, nil)
 	if err != nil {
 		return nil, fmt.Errorf("engine: baseline run: %w", err)
 	}
-	tuned, err := e.Run(tunedCq, nil)
+	tuned, err := x.Run(tunedCq, rs, nil)
 	if err != nil {
 		return nil, fmt.Errorf("engine: tuned run: %w", err)
 	}

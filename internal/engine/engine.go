@@ -74,7 +74,46 @@ func DefaultOptions() Options {
 	}
 }
 
-// Engine plans, compiles and runs queries against a catalog.
+// Compiler is the compile half of the engine: a pure function from
+// queries to Compiled artifacts. It holds no mutable state — the same
+// (plan, Options, catalog contents) always produces the same artifact,
+// bit for bit — which is what makes artifacts cacheable (internal/qcache)
+// and shareable across sessions.
+type Compiler struct {
+	Cat  *catalog.Catalog
+	Opts Options
+}
+
+// NewCompiler creates a compiler.
+func NewCompiler(cat *catalog.Catalog, opts Options) *Compiler {
+	return &Compiler{Cat: cat, Opts: opts}
+}
+
+// Executor is the run half of the engine. It owns no per-query state:
+// every run builds a fresh VM (and PMU buffers) around the immutable
+// artifact, and all per-session inputs travel in a RunState — so N
+// sessions may execute one shared Compiled concurrently.
+type Executor struct {
+	Opts Options
+}
+
+// NewExecutor creates an executor.
+func NewExecutor(opts Options) *Executor { return &Executor{Opts: opts} }
+
+// RunState is the per-session mutable state of one execution: everything
+// a run needs beyond the shared artifact. Today that is the encoded
+// bound-parameter values; VM heap, counters and sample buffers are
+// created per run and never shared.
+type RunState struct {
+	// Params are the encoded bound-parameter values, staged into the
+	// artifact's parameter region before each run. Must hold exactly
+	// len(cq.Plan.Params) values.
+	Params []int64
+}
+
+// Engine is the classic single-tenant façade over Compiler + Executor:
+// one catalog, one options set, no cache, no parameters. Callers may
+// mutate Opts between calls; every call reads the fields afresh.
 type Engine struct {
 	Cat  *catalog.Catalog
 	Opts Options
@@ -84,6 +123,9 @@ type Engine struct {
 func New(cat *catalog.Catalog, opts Options) *Engine {
 	return &Engine{Cat: cat, Opts: opts}
 }
+
+func (e *Engine) compiler() *Compiler { return &Compiler{Cat: e.Cat, Opts: e.Opts} }
+func (e *Engine) executor() *Executor { return &Executor{Opts: e.Opts} }
 
 // slotWrite stages one 64-bit value into the heap before execution.
 type slotWrite struct {
@@ -133,26 +175,46 @@ const DataFloor int64 = layoutStart
 func align(x int64, a int64) int64 { return (x + a - 1) &^ (a - 1) }
 
 // CompileSQL parses, plans and compiles a SQL statement.
-func (e *Engine) CompileSQL(sql string) (*Compiled, error) {
-	q, err := sqlparse.Parse(sql)
-	if err != nil {
-		return nil, err
-	}
-	return e.CompileQuery(q)
-}
+func (e *Engine) CompileSQL(sql string) (*Compiled, error) { return e.compiler().CompileSQL(sql) }
 
 // CompileQuery plans and compiles a query.
 func (e *Engine) CompileQuery(q *plan.Query) (*Compiled, error) {
-	pl, err := plan.Plan(e.Cat, q)
-	if err != nil {
-		return nil, err
-	}
-	return e.CompilePlan(pl)
+	return e.compiler().CompileQuery(q)
 }
 
 // CompilePlan compiles an already-built plan.
 func (e *Engine) CompilePlan(pl *plan.Output) (*Compiled, error) {
-	return e.compilePlan(pl, nil)
+	return e.compiler().CompilePlan(pl)
+}
+
+// CompileSQL parses, plans and compiles a SQL statement.
+func (c *Compiler) CompileSQL(sql string) (*Compiled, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return c.CompileQuery(q)
+}
+
+// CompileQuery plans and compiles a query.
+func (c *Compiler) CompileQuery(q *plan.Query) (*Compiled, error) {
+	pl, err := plan.Plan(c.Cat, q)
+	if err != nil {
+		return nil, err
+	}
+	return c.CompilePlan(pl)
+}
+
+// CompilePlan compiles an already-built plan.
+func (c *Compiler) CompilePlan(pl *plan.Output) (*Compiled, error) {
+	return c.compilePlan(pl, nil)
+}
+
+// CompilePlanGuided compiles a plan under profile guidance: a non-nil
+// hot enables the PGO optimizer passes and backend transformations. With
+// nil hot it is identical to CompilePlan.
+func (c *Compiler) CompilePlanGuided(pl *plan.Output, hot *pgo.Hotness) (*Compiled, error) {
+	return c.compilePlan(pl, hot)
 }
 
 // compilePlan compiles a plan, optionally profile-guided: a non-nil hot
@@ -160,19 +222,19 @@ func (e *Engine) CompilePlan(pl *plan.Output) (*Compiled, error) {
 // unguided compilation path is deterministic — recompiling the same plan
 // reproduces every IR instruction ID and task component ID — which is
 // what lets a profile keyed by IR ID steer a fresh compilation.
-func (e *Engine) compilePlan(pl *plan.Output, hot *pgo.Hotness) (*Compiled, error) {
+func (c *Compiler) compilePlan(pl *plan.Output, hot *pgo.Hotness) (*Compiled, error) {
 	cq := &Compiled{Plan: pl}
-	lay, err := e.buildLayout(pl, cq)
+	lay, err := c.buildLayout(pl, cq)
 	if err != nil {
 		return nil, err
 	}
 	cq.Layout = lay
 
 	pc, err := pipeline.Compile(pl, lay, pipeline.Options{
-		RegisterTagging:  e.Opts.RegisterTagging,
-		TagEverything:    e.Opts.TagEverything,
-		EagerColumnLoads: e.Opts.EagerColumnLoads,
-		TupleCounters:    e.Opts.TupleCounters,
+		RegisterTagging:  c.Opts.RegisterTagging,
+		TagEverything:    c.Opts.TagEverything,
+		EagerColumnLoads: c.Opts.EagerColumnLoads,
+		TupleCounters:    c.Opts.TupleCounters,
 	})
 	if err != nil {
 		return nil, err
@@ -191,13 +253,13 @@ func (e *Engine) compilePlan(pl *plan.Output, hot *pgo.Hotness) (*Compiled, erro
 			Module:          pc.Module,
 			Dict:            pc.Dict,
 			Code:            code,
-			RegisterTagging: e.Opts.RegisterTagging,
+			RegisterTagging: c.Opts.RegisterTagging,
 			PGO:             hot != nil,
 		})
 		return verify.AsError(ds)
 	}
-	opt := e.Opts.Optimize
-	if e.Opts.VerifyArtifacts {
+	opt := c.Opts.Optimize
+	if c.Opts.VerifyArtifacts {
 		suite = verify.ArtifactSuite()
 		if err := check("pipeline", nil); err != nil {
 			return nil, err
@@ -218,8 +280,8 @@ func (e *Engine) compilePlan(pl *plan.Output, hot *pgo.Hotness) (*Compiled, erro
 	}
 
 	ccfg := codegen.DefaultConfig(stagingAddr, spillBase, spillCap)
-	ccfg.RegisterTagging = e.Opts.RegisterTagging
-	ccfg.FuseCmpBranch = e.Opts.FuseCmpBranch
+	ccfg.RegisterTagging = c.Opts.RegisterTagging
+	ccfg.FuseCmpBranch = c.Opts.FuseCmpBranch
 	if hot != nil {
 		ccfg.Hot = hot
 	}
@@ -236,7 +298,7 @@ func (e *Engine) compilePlan(pl *plan.Output, hot *pgo.Hotness) (*Compiled, erro
 
 // buildLayout assigns heap addresses for state slots, table columns, hash
 // tables and the result buffer, and records the staging writes.
-func (e *Engine) buildLayout(pl *plan.Output, cq *Compiled) (*pipeline.Layout, error) {
+func (c *Compiler) buildLayout(pl *plan.Output, cq *Compiled) (*pipeline.Layout, error) {
 	lay := &pipeline.Layout{
 		ColSlots:  map[pipeline.ColKey]int{},
 		RowsSlots: map[string]int{},
@@ -284,7 +346,13 @@ func (e *Engine) buildLayout(pl *plan.Output, cq *Compiled) (*pipeline.Layout, e
 	lay.MorselBase = cur
 	cur = align(cur+int64(pipeline.PipeCount(pl))*pipeline.MorselSlotBytes, 64)
 
-	if e.Opts.TupleCounters {
+	// Bound-parameter slots: one per $N, staged by the executor per run.
+	if np := len(pl.Params); np > 0 {
+		lay.ParamBase = cur
+		cur = align(cur+int64(np)*8, 64)
+	}
+
+	if c.Opts.TupleCounters {
 		lay.CounterBase = cur
 		cur = align(cur+counterSlots*8, 64)
 	}
@@ -381,10 +449,42 @@ type Result struct {
 // unprofiled (the overhead experiments' baseline). With Options.Workers >= 1
 // the run is morsel-driven parallel (RunParallel).
 func (e *Engine) Run(cq *Compiled, cfg *pmu.Config) (*Result, error) {
-	if e.Opts.Workers >= 1 {
-		return e.RunParallel(cq, e.Opts.Workers, cfg)
+	return e.executor().Run(cq, nil, cfg)
+}
+
+// RunIterations executes a compiled query n times within one profiled
+// session (see Executor.RunIterations).
+func (e *Engine) RunIterations(cq *Compiled, n int, cfg *pmu.Config) (*Result, error) {
+	return e.executor().RunIterations(cq, nil, n, cfg)
+}
+
+// RunParallel executes a compiled query with morsel-driven parallelism
+// (see Executor.RunParallel).
+func (e *Engine) RunParallel(cq *Compiled, workers int, cfg *pmu.Config) (*Result, error) {
+	return e.executor().RunParallel(cq, nil, workers, cfg)
+}
+
+// Run executes a compiled query with the given per-session state (nil for
+// parameterless plans). With Options.Workers >= 1 the run is morsel-driven
+// parallel.
+func (x *Executor) Run(cq *Compiled, rs *RunState, cfg *pmu.Config) (*Result, error) {
+	if x.Opts.Workers >= 1 {
+		return x.RunParallel(cq, rs, x.Opts.Workers, cfg)
 	}
-	return e.RunIterations(cq, 1, cfg)
+	return x.RunIterations(cq, rs, 1, cfg)
+}
+
+// paramValues validates a run's bound arguments against the artifact's
+// parameter manifest and returns the values to stage.
+func paramValues(cq *Compiled, rs *RunState) ([]int64, error) {
+	var got []int64
+	if rs != nil {
+		got = rs.Params
+	}
+	if want := len(cq.Plan.Params); len(got) != want {
+		return nil, fmt.Errorf("engine: plan expects %d bound parameters, run state supplies %d", want, len(got))
+	}
+	return got, nil
 }
 
 // RunIterations executes a compiled query n times within one profiled
@@ -393,7 +493,7 @@ func (e *Engine) Run(cq *Compiled, cfg *pmu.Config) (*Result, error) {
 // buffer, counters — is re-staged between passes), so the profile's
 // DetectIterations can split them by timestamp, the paper's §4.2.6
 // mechanism. The returned rows are the last iteration's.
-func (e *Engine) RunIterations(cq *Compiled, n int, cfg *pmu.Config) (*Result, error) {
+func (x *Executor) RunIterations(cq *Compiled, rs *RunState, n int, cfg *pmu.Config) (*Result, error) {
 	if n < 1 {
 		n = 1
 	}
@@ -401,6 +501,10 @@ func (e *Engine) RunIterations(cq *Compiled, n int, cfg *pmu.Config) (*Result, e
 		if err := cfg.Validate(); err != nil {
 			return nil, err
 		}
+	}
+	params, err := paramValues(cq, rs)
+	if err != nil {
+		return nil, err
 	}
 	cpu := vm.New(cq.heapSize)
 	for _, cs := range cq.cols {
@@ -416,15 +520,19 @@ func (e *Engine) RunIterations(cq *Compiled, n int, cfg *pmu.Config) (*Result, e
 		p.Attach(cpu)
 	}
 
-	budget := e.Opts.MaxInstructions
+	budget := x.Opts.MaxInstructions
 	if budget == 0 {
 		budget = 4_000_000_000
 	}
 	var stats vm.Stats
 	for it := 0; it < n; it++ {
-		// (Re-)stage mutable state: descriptors, cursors, counters.
+		// (Re-)stage mutable state: descriptors, cursors, counters,
+		// bound parameters.
 		for _, w := range cq.writes {
 			cpu.WriteI64(w.addr, w.val)
+		}
+		for i, v := range params {
+			cpu.WriteI64(cq.Layout.ParamBase+int64(i)*8, v)
 		}
 		if cq.Layout.CounterBase != 0 {
 			for i := int64(0); i < counterSlots; i++ {
@@ -434,7 +542,6 @@ func (e *Engine) RunIterations(cq *Compiled, n int, cfg *pmu.Config) (*Result, e
 		if it > 0 {
 			cpu.Restart()
 		}
-		var err error
 		stats, err = cpu.Run(budget)
 		if err != nil {
 			return nil, fmt.Errorf("engine: execution failed (iteration %d): %w", it, err)
@@ -442,7 +549,7 @@ func (e *Engine) RunIterations(cq *Compiled, n int, cfg *pmu.Config) (*Result, e
 	}
 
 	res := &Result{Cols: cq.Plan.Out(), Stats: stats, CPU: cpu, PMU: p, WallCycles: stats.TotalCycles()}
-	res.Rows = e.readRows(cq, cpu)
+	res.Rows = readRows(cq, cpu)
 	sortRows(res.Rows, cq.Plan)
 	if cq.Plan.Limit >= 0 && len(res.Rows) > cq.Plan.Limit {
 		res.Rows = res.Rows[:cq.Plan.Limit]
@@ -467,7 +574,7 @@ func (e *Engine) RunIterations(cq *Compiled, n int, cfg *pmu.Config) (*Result, e
 	return res, nil
 }
 
-func (e *Engine) readRows(cq *Compiled, cpu *vm.CPU) [][]int64 {
+func readRows(cq *Compiled, cpu *vm.CPU) [][]int64 {
 	cursor := cpu.ReadI64(cq.Layout.ResultDesc + codegen.AllocDescCursor)
 	n := (cursor - cq.resultBase) / cq.rowBytes
 	w := int(cq.rowBytes / 8)

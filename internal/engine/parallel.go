@@ -56,7 +56,7 @@ type parWorker struct {
 // RunParallel executes a compiled query with morsel-driven parallelism on
 // the given number of worker CPUs. workers < 1 is clamped to 1. cfg arms
 // one PMU per core (plus the coordinator's), merged into Result.Samples.
-func (e *Engine) RunParallel(cq *Compiled, workers int, cfg *pmu.Config) (*Result, error) {
+func (x *Executor) RunParallel(cq *Compiled, rs *RunState, workers int, cfg *pmu.Config) (*Result, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -65,11 +65,15 @@ func (e *Engine) RunParallel(cq *Compiled, workers int, cfg *pmu.Config) (*Resul
 			return nil, err
 		}
 	}
-	morselSize := int64(e.Opts.MorselRows)
+	params, err := paramValues(cq, rs)
+	if err != nil {
+		return nil, err
+	}
+	morselSize := int64(x.Opts.MorselRows)
 	if morselSize <= 0 {
 		morselSize = DefaultMorselRows
 	}
-	budget := e.Opts.MaxInstructions
+	budget := x.Opts.MaxInstructions
 	if budget == 0 {
 		budget = 4_000_000_000
 	}
@@ -97,6 +101,11 @@ func (e *Engine) RunParallel(cq *Compiled, workers int, cfg *pmu.Config) (*Resul
 	}
 	for _, w := range cq.writes {
 		coord.WriteI64(w.addr, w.val)
+	}
+	// Parameters live in the canonical heap; workers inherit them with
+	// every per-barrier heap refresh.
+	for i, v := range params {
+		coord.WriteI64(cq.Layout.ParamBase+int64(i)*8, v)
 	}
 	if cq.Layout.CounterBase != 0 {
 		for i := int64(0); i < counterSlots; i++ {
@@ -129,7 +138,7 @@ func (e *Engine) RunParallel(cq *Compiled, workers int, cfg *pmu.Config) (*Resul
 		if err != nil {
 			return nil, err
 		}
-		spans := PartitionMorsels(e.pipeDomain(cq, coord, info), morselSize)
+		spans := PartitionMorsels(pipeDomain(cq, coord, info), morselSize)
 		if len(spans) == 0 {
 			continue
 		}
@@ -157,7 +166,7 @@ func (e *Engine) RunParallel(cq *Compiled, workers int, cfg *pmu.Config) (*Resul
 						return
 					}
 					t0 := w.cpu.TSC()
-					seg, err := e.runMorsel(cq, w, info, entry, pi, spans[m], m, budget)
+					seg, err := runMorsel(cq, w, info, entry, pi, spans[m], m, budget)
 					if err != nil {
 						w.err = err
 						return
@@ -191,7 +200,7 @@ func (e *Engine) RunParallel(cq *Compiled, workers int, cfg *pmu.Config) (*Resul
 		Cols: cq.Plan.Out(), Stats: stats, CPU: coord, PMU: coordPMU,
 		Workers: workers, WallCycles: wall,
 	}
-	res.Rows = e.readRows(cq, coord)
+	res.Rows = readRows(cq, coord)
 	sortRows(res.Rows, cq.Plan)
 	if cq.Plan.Limit >= 0 && len(res.Rows) > cq.Plan.Limit {
 		res.Rows = res.Rows[:cq.Plan.Limit]
@@ -249,7 +258,7 @@ func makespan(costs []uint64, workers int) uint64 {
 // pipeDomain returns the size of a pipeline's input domain: table rows for
 // scan drivers, materialized entry count for arena drivers (read from the
 // canonical heap, i.e. after the producing pipelines merged).
-func (e *Engine) pipeDomain(cq *Compiled, coord *vm.CPU, info *pipeline.PipelineInfo) int64 {
+func pipeDomain(cq *Compiled, coord *vm.CPU, info *pipeline.PipelineInfo) int64 {
 	if info.Driver.Kind == pipeline.DriverScan {
 		return int64(info.Driver.Rows)
 	}
@@ -261,7 +270,7 @@ func (e *Engine) pipeDomain(cq *Compiled, coord *vm.CPU, info *pipeline.Pipeline
 // runMorsel executes one morsel on a worker: stage the bounds, reset the
 // sink partition, re-arm sampling deterministically, call the pipeline
 // function, and snapshot the partition the morsel produced.
-func (e *Engine) runMorsel(cq *Compiled, w *parWorker, info *pipeline.PipelineInfo, entry, pipeIdx int, sp Span, morsel int, budget uint64) ([]byte, error) {
+func runMorsel(cq *Compiled, w *parWorker, info *pipeline.PipelineInfo, entry, pipeIdx int, sp Span, morsel int, budget uint64) ([]byte, error) {
 	lay := cq.Layout
 	heap := w.cpu.Heap
 

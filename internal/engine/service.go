@@ -1,0 +1,309 @@
+package engine
+
+// The query service: the multi-session, cache-fronted face of the engine.
+//
+// A Service owns one catalog, one compiler configuration and one
+// compiled-query cache; Sessions are cheap per-client handles that share
+// all of it. Prepare normalizes a statement (sqlparse.Normalize), looks
+// the fingerprint up in the cache — compiling under single-flight on a
+// miss — and encodes the statement's lifted literals against the plan's
+// parameter manifest. The artifact that comes back is immutable and
+// shared; everything a run mutates lives in the per-call RunState and the
+// per-run VM, so any number of sessions can execute one artifact
+// concurrently.
+//
+// Verification (Options.VerifyArtifacts) runs inside the compile path,
+// i.e. exactly once per cache insert: an artifact that was verified when
+// it entered the cache cannot become invalid later, because it is never
+// mutated — re-verifying per hit would only re-check the same bytes.
+//
+// Adaptive execution (Session.Adapt) ties the PGO loop into the cache:
+// when a profile-guided recompile beats the baseline, the profile is
+// promoted to a new generation (pgo.Generations), the tuned artifact is
+// cached under the new generation's key, and older generations of the
+// fingerprint are invalidated — so the next Prepare from any session
+// returns the faster binary.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/pgo"
+	"repro/internal/plan"
+	"repro/internal/pmu"
+	"repro/internal/qcache"
+	"repro/internal/sqlparse"
+)
+
+// DefaultCacheEntries is the compiled-query cache capacity when
+// NewService is given no explicit size.
+const DefaultCacheEntries = 128
+
+// Service is a shared, concurrency-safe query service: catalog +
+// compiler options + compiled-query cache + PGO generation table.
+type Service struct {
+	cat       *catalog.Catalog
+	opts      Options
+	optDigest uint64
+	cache     *qcache.Cache[*Compiled]
+	gens      *pgo.Generations
+	nextID    atomic.Int64
+	fallbacks atomic.Uint64
+}
+
+// NewService creates a service. cacheEntries <= 0 selects
+// DefaultCacheEntries.
+func NewService(cat *catalog.Catalog, opts Options, cacheEntries int) *Service {
+	if cacheEntries <= 0 {
+		cacheEntries = DefaultCacheEntries
+	}
+	return &Service{
+		cat:       cat,
+		opts:      opts,
+		optDigest: opts.Digest(),
+		cache:     qcache.New[*Compiled](cacheEntries),
+		gens:      pgo.NewGenerations(),
+	}
+}
+
+func (s *Service) compiler() *Compiler { return &Compiler{Cat: s.cat, Opts: s.opts} }
+
+// Options returns the service's compiler configuration.
+func (s *Service) Options() Options { return s.opts }
+
+// CacheStats snapshots the compiled-query cache's traffic counters.
+func (s *Service) CacheStats() qcache.Stats { return s.cache.Stats() }
+
+// CacheLen returns the number of cached artifacts.
+func (s *Service) CacheLen() int { return s.cache.Len() }
+
+// Fallbacks counts statements served by a direct, uncached compile
+// because their parameterized form did not plan (see prepare).
+func (s *Service) Fallbacks() uint64 { return s.fallbacks.Load() }
+
+// SessionStats accumulates one session's traffic and its compile-vs-
+// execute time split.
+type SessionStats struct {
+	Queries   int
+	CacheHits int
+	Fallbacks int
+	// Prepare is wall time spent in Prepare (cache lookups, compiles,
+	// argument encoding); Execute is wall time spent running artifacts.
+	Prepare time.Duration
+	Execute time.Duration
+}
+
+// Session is one client's handle on the service. A session is not
+// goroutine-safe (each concurrent client takes its own), but any number
+// of sessions may share the Service and its cached artifacts.
+type Session struct {
+	ID    int64
+	svc   *Service
+	exec  Executor
+	stats SessionStats
+}
+
+// NewSession opens a session. Run knobs (worker count, morsel size) are
+// per-session and do not affect the cache key — the same artifact serves
+// every execution configuration.
+func (s *Service) NewSession() *Session {
+	return &Session{ID: s.nextID.Add(1), svc: s, exec: Executor{Opts: s.opts}}
+}
+
+// SetWorkers selects this session's morsel-parallel worker count
+// (0 = legacy single-CPU path).
+func (se *Session) SetWorkers(n int) { se.exec.Opts.Workers = n }
+
+// SetMorselRows selects this session's morsel size (0 = default).
+func (se *Session) SetMorselRows(n int) { se.exec.Opts.MorselRows = n }
+
+// Stats returns the session's accumulated counters.
+func (se *Session) Stats() SessionStats { return se.stats }
+
+// Prepared is a statement readied for execution: a shared compiled
+// artifact plus this statement's private run state.
+type Prepared struct {
+	Compiled *Compiled
+	// State carries the statement's encoded literal bindings; nil for
+	// parameterless artifacts.
+	State *RunState
+	// CacheHit reports that Prepare found the artifact already resolved
+	// in the cache (joining an in-flight compile does not count).
+	CacheHit bool
+	// Fallback reports a direct, uncached compile of the original text.
+	Fallback bool
+	// Canon and Fingerprint identify the normalized statement.
+	Canon       string
+	Fingerprint uint64
+	// PrepareTime is the wall time Prepare took for this statement.
+	PrepareTime time.Duration
+
+	key qcache.Key
+}
+
+// Prepare normalizes, caches/compiles and binds one statement.
+func (se *Session) Prepare(sql string) (*Prepared, error) {
+	p, err := se.svc.prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	se.stats.Queries++
+	if p.CacheHit {
+		se.stats.CacheHits++
+	}
+	if p.Fallback {
+		se.stats.Fallbacks++
+	}
+	se.stats.Prepare += p.PrepareTime
+	return p, nil
+}
+
+// Run executes a prepared statement under this session's run options.
+func (se *Session) Run(p *Prepared, cfg *pmu.Config) (*Result, error) {
+	t0 := time.Now()
+	res, err := se.exec.Run(p.Compiled, p.State, cfg)
+	se.stats.Execute += time.Since(t0)
+	return res, err
+}
+
+// Execute prepares and runs a statement in one call.
+func (se *Session) Execute(sql string, cfg *pmu.Config) (*Prepared, *Result, error) {
+	p, err := se.Prepare(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := se.Run(p, cfg)
+	return p, res, err
+}
+
+// prepare is the service-side statement path: normalize → cache lookup
+// (single-flight compile on miss) → argument encoding.
+func (s *Service) prepare(sql string) (*Prepared, error) {
+	t0 := time.Now()
+	fp, err := sqlparse.Normalize(sql)
+	if err != nil {
+		return nil, err
+	}
+	key := qcache.Key{
+		Fingerprint: fp.Hash,
+		Canon:       fp.Canon,
+		Options:     s.optDigest,
+		Catalog:     s.cat.Version(),
+		Generation:  s.gens.Current(fp.Hash),
+	}
+	comp := s.compiler()
+	cq, hit, err := s.cache.GetOrCompute(key, func() (*Compiled, error) {
+		q, err := sqlparse.Parse(fp.Canon)
+		if err != nil {
+			return nil, err
+		}
+		pl, err := plan.Plan(s.cat, q)
+		if err != nil {
+			return nil, err
+		}
+		var hot *pgo.Hotness
+		if key.Generation > 0 {
+			hot = s.gens.Hotness(fp.Hash)
+		}
+		return comp.CompilePlanGuided(pl, hot)
+	})
+	if err != nil {
+		// The parameterized form didn't compile — typically a literal in
+		// a position the planner must see at plan time. Recompile the
+		// original text directly (uncached) so semantics and error
+		// messages match the classic path exactly; if that also fails,
+		// the direct error is the one the user should see (it names the
+		// original literals, not $N placeholders).
+		direct, derr := comp.CompileSQL(sql)
+		if derr != nil {
+			return nil, derr
+		}
+		s.fallbacks.Add(1)
+		return &Prepared{Compiled: direct, Fallback: true, PrepareTime: time.Since(t0)}, nil
+	}
+	p := &Prepared{Compiled: cq, CacheHit: hit, Canon: fp.Canon, Fingerprint: fp.Hash, key: key}
+	if len(cq.Plan.Params) > 0 || len(fp.Args) > 0 {
+		vals, err := EncodeParams(cq.Plan.Params, fp.Args)
+		if err != nil {
+			return nil, err
+		}
+		p.State = &RunState{Params: vals}
+	}
+	p.PrepareTime = time.Since(t0)
+	return p, nil
+}
+
+// EncodeParams encodes literal argument values against a plan's
+// parameter manifest, applying exactly the encoding a directly-compiled
+// literal would have received: numbers stay raw (dates and dictionary
+// codes compare as their int64 encodings), string arguments resolve
+// through the compared column's date format or dictionary, and a
+// dictionary miss encodes as -1 — an ID no row carries.
+func EncodeParams(infos []plan.ParamInfo, args []sqlparse.Literal) ([]int64, error) {
+	if len(args) != len(infos) {
+		return nil, fmt.Errorf("engine: query expects %d bound parameters, %d supplied", len(infos), len(args))
+	}
+	vals := make([]int64, len(args))
+	for i, a := range args {
+		switch a.Kind {
+		case sqlparse.LitNum:
+			vals[i] = a.Num
+		case sqlparse.LitStr:
+			switch infos[i].Type {
+			case catalog.TDate:
+				v, err := catalog.ParseDate(a.Str)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
+			case catalog.TStr:
+				if infos[i].Dict == nil {
+					vals[i] = -1
+					break
+				}
+				if id, ok := infos[i].Dict.Lookup(a.Str); ok {
+					vals[i] = id
+				} else {
+					vals[i] = -1 // no row can match
+				}
+			default:
+				return nil, fmt.Errorf("engine: string literal %q compared with %s column", a.Str, infos[i].Type)
+			}
+		default:
+			return nil, fmt.Errorf("engine: unknown literal kind %d", a.Kind)
+		}
+	}
+	return vals, nil
+}
+
+// Adapt runs one adaptive profile → recompile → re-run cycle for a
+// statement through this session. When the tuned binary wins, its
+// guiding profile is promoted to a new PGO generation: the tuned
+// artifact is cached under the new generation's key and every older
+// generation of the fingerprint is invalidated, so the next Prepare —
+// from any session — serves the faster binary.
+func (se *Session) Adapt(sql string, cfg *pmu.Config) (*AdaptiveResult, error) {
+	p, err := se.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	ar, err := runAdaptive(se.svc.compiler(), &se.exec, p.Compiled, p.State, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !p.Fallback && ar.Speedup() > 1 {
+		hot := pgo.FromProfile(ar.ProfileRun.Profile, p.Compiled.Code.NMap)
+		gen := se.svc.gens.Promote(p.Fingerprint, hot)
+		nk := p.key
+		nk.Generation = gen
+		se.svc.cache.Put(nk, ar.Recompiled)
+		se.svc.cache.Invalidate(func(k qcache.Key) bool {
+			return k.Fingerprint == nk.Fingerprint && k.Canon == nk.Canon &&
+				k.Options == nk.Options && k.Catalog == nk.Catalog &&
+				k.Generation < gen
+		})
+	}
+	return ar, nil
+}

@@ -1,0 +1,389 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/pmu"
+	"repro/internal/ref"
+	"repro/internal/sqlparse"
+	"repro/internal/vm"
+)
+
+func testService(t *testing.T) *Service {
+	t.Helper()
+	return NewService(testCatalog(t), DefaultOptions(), 0)
+}
+
+// refRows cross-checks a prepared statement's plan on the interpreted
+// reference executor with the statement's own bound parameters.
+func refRows(t *testing.T, p *Prepared) [][]int64 {
+	t.Helper()
+	var params []int64
+	if p.State != nil {
+		params = p.State.Params
+	}
+	want, err := ref.ExecuteWith(p.Compiled.Plan, params)
+	if err != nil {
+		t.Fatalf("reference executor: %v", err)
+	}
+	return want
+}
+
+// TestServiceSameEntryDifferentLiterals is the headline acceptance
+// criterion: two structurally identical statements that differ only in
+// their literals share one cache entry — the second Prepare is a hit on
+// the *same artifact* — while each statement executes with its own
+// bound values and gets its own (different) result.
+func TestServiceSameEntryDifferentLiterals(t *testing.T) {
+	svc := testService(t)
+	se := svc.NewSession()
+
+	a, err := se.Prepare("select count(*) from lineitem where l_quantity < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CacheHit || a.Fallback {
+		t.Fatalf("first prepare: hit=%v fallback=%v, want cold compile", a.CacheHit, a.Fallback)
+	}
+	b, err := se.Prepare("SELECT COUNT(*) FROM lineitem WHERE l_quantity < 42;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.CacheHit {
+		t.Fatal("second prepare with a different literal: want a cache hit")
+	}
+	if a.Compiled != b.Compiled {
+		t.Fatal("both statements must share one compiled artifact")
+	}
+	if a.Fingerprint != b.Fingerprint || a.Canon != b.Canon {
+		t.Fatalf("fingerprints differ: %q vs %q", a.Canon, b.Canon)
+	}
+	if a.State.Params[0] != 10 || b.State.Params[0] != 42 {
+		t.Fatalf("params = %v / %v, want 10 / 42", a.State.Params, b.State.Params)
+	}
+
+	ra, err := se.Run(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := se.Run(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsEqual(t, ra.Rows, refRows(t, a), false)
+	rowsEqual(t, rb.Rows, refRows(t, b), false)
+	if ra.Rows[0][0] >= rb.Rows[0][0] {
+		t.Fatalf("count(<10)=%d should be smaller than count(<42)=%d — parameters not applied?",
+			ra.Rows[0][0], rb.Rows[0][0])
+	}
+
+	st := svc.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("cache stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+// TestServiceCacheHitByteIdentical: a cache-hit execution must return
+// byte-identical rows to the cold compile, and — because count-event PMU
+// sampling is worker-count-invariant — the hit run's sample stream on 4
+// workers must exactly match the cold run's on 1 worker.
+func TestServiceCacheHitByteIdentical(t *testing.T) {
+	svc := testService(t)
+	cfg := &pmu.Config{Event: vm.EvInstRetired, Period: 487}
+
+	cold := svc.NewSession()
+	cold.SetWorkers(1)
+	cold.SetMorselRows(256)
+	p1, r1, err := cold.Execute("select l_orderkey, sum(l_quantity), sum(l_extendedprice) from lineitem where l_quantity < 24 group by l_orderkey", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.CacheHit {
+		t.Fatal("cold execute reported a cache hit")
+	}
+
+	hot := svc.NewSession()
+	hot.SetWorkers(4)
+	hot.SetMorselRows(256)
+	p2, r2, err := hot.Execute("select l_orderkey, sum(l_quantity), sum(l_extendedprice) from lineitem where l_quantity < 24 group by l_orderkey", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.CacheHit {
+		t.Fatal("second execute must hit the cache")
+	}
+	if p1.Compiled != p2.Compiled {
+		t.Fatal("hit must serve the identical artifact")
+	}
+
+	// Byte-identical rows (the query has no ORDER BY; compare as sets —
+	// then strictly: the engine's group order is deterministic, so the
+	// ordered comparison must hold too).
+	rowsEqual(t, r2.Rows, r1.Rows, true)
+
+	// Worker-count-invariant count-event profile: same total, same
+	// per-operator weights, cold-1-worker vs hit-4-workers.
+	if r1.Profile == nil || r2.Profile == nil {
+		t.Fatal("missing profiles")
+	}
+	if r1.Profile.TotalSamples != r2.Profile.TotalSamples {
+		t.Fatalf("sample totals differ: cold %d vs hit %d",
+			r1.Profile.TotalSamples, r2.Profile.TotalSamples)
+	}
+	w1, w2 := opWeights(r1.Profile), opWeights(r2.Profile)
+	if len(w1) != len(w2) {
+		t.Fatalf("operator sets differ: %v vs %v", w1, w2)
+	}
+	for name, want := range w1 {
+		if got := w2[name]; got != want {
+			t.Errorf("operator %q: cold weight %.3f, hit weight %.3f", name, want, got)
+		}
+	}
+}
+
+// TestServiceEncodedLiterals drives the per-type argument encodings end
+// to end: date strings through the compared column's date parser,
+// dictionary strings through its dictionary (including a miss, which must
+// match zero rows), against the reference executor every time.
+func TestServiceEncodedLiterals(t *testing.T) {
+	svc := testService(t)
+	se := svc.NewSession()
+	stmts := []string{
+		"select l_orderkey, count(*) from lineitem where l_shipdate < '1995-06-17' group by l_orderkey",
+		"select count(*), sum(l_extendedprice) from lineitem where l_returnflag = 'R'",
+		"select count(*), sum(l_extendedprice) from lineitem where l_returnflag = 'ZZZ-not-in-dict'",
+	}
+	for _, sql := range stmts {
+		p, res, err := se.Execute(sql, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		if p.Fallback {
+			t.Fatalf("%s: unexpected fallback", sql)
+		}
+		rowsEqual(t, res.Rows, refRows(t, p), false)
+	}
+	// The date must have been encoded, not passed as 0.
+	p, err := se.Prepare(stmts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := catalog.ParseDate("1995-06-17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.State.Params[0] != d {
+		t.Fatalf("date param = %d, want %d", p.State.Params[0], d)
+	}
+	// The dictionary miss must encode as -1 (no row can match).
+	p, err = se.Prepare(stmts[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.State.Params[0] != -1 {
+		t.Fatalf("dict-miss param = %d, want -1", p.State.Params[0])
+	}
+}
+
+// TestEncodeParams pins the argument-encoding rules at the unit level:
+// numbers raw, dates parsed, dictionary strings resolved (miss → -1),
+// strings against numeric columns rejected, and count mismatches caught.
+func TestEncodeParams(t *testing.T) {
+	dict := catalog.NewDict()
+	rID := dict.ID("R")
+	num := func(n int64) sqlparse.Literal { return sqlparse.Literal{Kind: sqlparse.LitNum, Num: n} }
+	str := func(s string) sqlparse.Literal { return sqlparse.Literal{Kind: sqlparse.LitStr, Str: s} }
+
+	d, err := catalog.ParseDate("1994-01-31")
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos := []plan.ParamInfo{
+		{},                               // numeric context
+		{Type: catalog.TDate},            // date column
+		{Type: catalog.TStr, Dict: dict}, // dictionary column, present
+		{Type: catalog.TStr, Dict: dict}, // dictionary column, miss
+		{Type: catalog.TStr},             // string column without dictionary
+	}
+	vals, err := EncodeParams(infos, []sqlparse.Literal{
+		num(77), str("1994-01-31"), str("R"), str("nope"), str("whatever"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{77, d, rID, -1, -1}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Errorf("param %d = %d, want %d", i, vals[i], want[i])
+		}
+	}
+
+	if _, err := EncodeParams(infos[:1], nil); err == nil {
+		t.Error("count mismatch not rejected")
+	}
+	if _, err := EncodeParams([]plan.ParamInfo{{Type: catalog.TInt}},
+		[]sqlparse.Literal{str("R")}); err == nil {
+		t.Error("string literal against an int column not rejected")
+	}
+	if _, err := EncodeParams([]plan.ParamInfo{{Type: catalog.TDate}},
+		[]sqlparse.Literal{str("not-a-date")}); err == nil {
+		t.Error("malformed date not rejected")
+	}
+}
+
+// TestServicePGOGenerationInvalidation: when Adapt's tuned binary wins,
+// the profile is promoted to a new generation, the tuned artifact lands
+// in the cache under the new key, older generations are invalidated, and
+// the very next Prepare — from a *different* session — serves the tuned
+// artifact as a cache hit.
+func TestServicePGOGenerationInvalidation(t *testing.T) {
+	svc := testService(t)
+	se := svc.NewSession()
+	const sql = "select l_orderkey, sum(l_quantity), sum(l_extendedprice) from lineitem where l_quantity < 24 group by l_orderkey"
+
+	ar, err := se.Adapt(sql, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := svc.NewSession().Prepare(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.CacheHit {
+		t.Fatal("prepare after Adapt must hit the cache")
+	}
+	fp, err := sqlparse.Normalize(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.Speedup() > 1 {
+		// The win was promoted: new generation, tuned artifact served.
+		if gen := svc.gens.Current(fp.Hash); gen == 0 {
+			t.Fatal("winning profile was not promoted to a new generation")
+		}
+		if p2.Compiled != ar.Recompiled {
+			t.Fatal("prepare after promotion must serve the tuned artifact")
+		}
+		if st := svc.CacheStats(); st.Invalidations == 0 {
+			t.Fatalf("stale generation not invalidated: %+v", st)
+		}
+	} else {
+		// No win, no promotion: the original artifact stays current.
+		if gen := svc.gens.Current(fp.Hash); gen != 0 {
+			t.Fatalf("generation bumped (%d) without a speedup", gen)
+		}
+	}
+	// Either way the served artifact's rows must match the reference.
+	res, err := se.Run(p2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsEqual(t, res.Rows, refRows(t, p2), false)
+}
+
+// TestServiceConcurrentSessions is the -race gate for the shared-artifact
+// contract: many sessions, two statement shapes (one shared fingerprint
+// with two different literals, plus a second query), mixed worker counts,
+// all banging on the same Service. Every run must match the reference
+// executor, and the two literal variants must have used one artifact.
+func TestServiceConcurrentSessions(t *testing.T) {
+	svc := testService(t)
+	type variant struct {
+		sql  string
+		want [][]int64
+	}
+	variants := []variant{
+		{sql: "select count(*) from lineitem where l_quantity < 10"},
+		{sql: "select count(*) from lineitem where l_quantity < 42"},
+		{sql: "select l_orderkey, sum(l_quantity) as qty from lineitem group by l_orderkey order by qty desc limit 10"},
+	}
+	// Precompute reference rows once (the reference executor is also the
+	// arbiter of the parameter encodings).
+	warm := svc.NewSession()
+	for i := range variants {
+		p, err := warm.Prepare(variants[i].sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		variants[i].want = refRows(t, p)
+	}
+
+	const G = 12
+	const iters = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, G*iters)
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			se := svc.NewSession()
+			if g%2 == 1 {
+				se.SetWorkers(4)
+				se.SetMorselRows(256)
+			}
+			for i := 0; i < iters; i++ {
+				v := variants[(g+i)%len(variants)]
+				p, res, err := se.Execute(v.sql, nil)
+				if err != nil {
+					errs <- fmt.Errorf("g%d: %s: %w", g, v.sql, err)
+					return
+				}
+				ordered := len(p.Compiled.Plan.OrderBy) > 0
+				if !sameRows(res.Rows, v.want, ordered) {
+					errs <- fmt.Errorf("g%d: %s: rows diverge from reference", g, v.sql)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The two count(*) literal variants share one fingerprint: across the
+	// warmup + G*iters executions the cache must have compiled at most
+	// len(variants) artifacts (plus any adaptive noise — none here).
+	if n := svc.CacheLen(); n != len(variants)-1 {
+		t.Fatalf("cache holds %d artifacts, want %d (literal variants must share)",
+			n, len(variants)-1)
+	}
+	st := svc.CacheStats()
+	if st.Misses < uint64(len(variants)-1) || st.Hits == 0 {
+		t.Fatalf("implausible traffic: %+v", st)
+	}
+}
+
+// sameRows is rowsEqual without the Fatal: a bool for goroutine use.
+func sameRows(a, b [][]int64, ordered bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	key := func(r []int64) string { return fmt.Sprint(r) }
+	if ordered {
+		for i := range a {
+			if key(a[i]) != key(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	am := map[string]int{}
+	for _, r := range a {
+		am[key(r)]++
+	}
+	for _, r := range b {
+		am[key(r)]--
+	}
+	for _, n := range am {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,62 @@
+package pgo
+
+import "sync"
+
+// Generations tracks, per query fingerprint, the current profile-guided
+// compilation generation and the hotness profile backing it. The
+// compiled-query cache keys artifacts by (fingerprint, ..., generation):
+// when adaptive recompilation finds a profile that beats the current
+// binary, Promote bumps the generation, which both routes future lookups
+// to the tuned artifact and lets the service drop the stale ones. Keeping
+// the Hotness itself means an artifact evicted from the cache can be
+// recompiled under guidance without re-profiling.
+type Generations struct {
+	mu sync.Mutex
+	m  map[uint64]*genState
+}
+
+type genState struct {
+	gen uint64
+	hot *Hotness
+}
+
+// NewGenerations returns an empty generation table.
+func NewGenerations() *Generations {
+	return &Generations{m: map[uint64]*genState{}}
+}
+
+// Current returns a fingerprint's generation; 0 means unguided.
+func (g *Generations) Current(fp uint64) uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if s, ok := g.m[fp]; ok {
+		return s.gen
+	}
+	return 0
+}
+
+// Hotness returns the profile backing a fingerprint's current generation,
+// or nil at generation 0.
+func (g *Generations) Hotness(fp uint64) *Hotness {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if s, ok := g.m[fp]; ok {
+		return s.hot
+	}
+	return nil
+}
+
+// Promote installs hot as a fingerprint's guiding profile and returns the
+// new (bumped) generation.
+func (g *Generations) Promote(fp uint64, hot *Hotness) uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, ok := g.m[fp]
+	if !ok {
+		s = &genState{}
+		g.m[fp] = s
+	}
+	s.gen++
+	s.hot = hot
+	return s.gen
+}

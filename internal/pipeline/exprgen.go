@@ -48,6 +48,11 @@ func (c *Compiler) evalExpr(e plan.PExpr, r row) *ir.Instr {
 	switch x := e.(type) {
 	case *plan.PConst:
 		return c.b.Const(x.Val)
+	case *plan.PParam:
+		if c.lay.ParamBase == 0 {
+			panic("pipeline: parameter $" + strconv.Itoa(x.Idx) + " but layout has no parameter region")
+		}
+		return c.b.Load(64, c.b.Const(c.lay.ParamBase+int64(x.Idx)*8))
 	case *plan.PCol:
 		if x.Pos < 0 || x.Pos >= len(r.cols) {
 			panic("pipeline: column position " + strconv.Itoa(x.Pos) +

@@ -86,6 +86,12 @@ type Layout struct {
 	// CounterBase is the tuple-counter region (one 8-byte slot per task
 	// component ID, indexed directly by the ID); 0 disables counters.
 	CounterBase int64
+
+	// ParamBase is the bound-parameter region (one 8-byte slot per
+	// parameter, indexed by $N); 0 when the plan has no parameters. The
+	// executor stages encoded argument values here before each run, so a
+	// cached artifact serves any literal binding.
+	ParamBase int64
 }
 
 // MorselSlotBytes is the size of one pipeline's morsel-bound pair.

@@ -7,6 +7,8 @@ package plan
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/catalog"
 )
 
 // BinOp enumerates binary operators in expressions.
@@ -78,6 +80,22 @@ type StrConst struct{ S string }
 
 func (c *StrConst) String() string { return "'" + c.S + "'" }
 
+// Param is a bound-parameter placeholder $N, produced by the parser for
+// explicit placeholders and by query normalization for lifted literals.
+// During binding the planner records the encoding context (type and
+// dictionary of the column the parameter is compared with) in place, so
+// session-time argument encoding matches what a direct literal would have
+// compiled to. Because of that mutation, a Query containing Params must
+// not be planned concurrently — the cache's single-flight path parses a
+// fresh Query per compile, which satisfies this.
+type Param struct {
+	Idx  int
+	Typ  catalog.Type  // encoding context, recorded at bind time
+	Dict *catalog.Dict // for TStr comparisons
+}
+
+func (p *Param) String() string { return fmt.Sprintf("$%d", p.Idx) }
+
 // Bin is a binary expression.
 type Bin struct {
 	Op   BinOp
@@ -135,6 +153,12 @@ func (p *PCol) pstring() string { return fmt.Sprintf("$%d", p.Pos) }
 type PConst struct{ Val int64 }
 
 func (p *PConst) pstring() string { return fmt.Sprintf("%d", p.Val) }
+
+// PParam reads bound parameter Idx from the artifact's parameter region
+// (staged per run; see Layout.ParamBase).
+type PParam struct{ Idx int }
+
+func (p *PParam) pstring() string { return fmt.Sprintf("?%d", p.Idx) }
 
 // PBin is a resolved binary expression.
 type PBin struct {

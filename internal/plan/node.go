@@ -183,6 +183,14 @@ func (g *GroupJoin) Describe() string {
 	return fmt.Sprintf("groupjoin (%s = %s)", PString(g.BuildKey), PString(g.ProbeKey))
 }
 
+// ParamInfo is the encoding context of one bound parameter: how a
+// session-supplied argument value must be encoded before being staged
+// into the artifact's parameter region. The zero value means "raw int64".
+type ParamInfo struct {
+	Type catalog.Type
+	Dict *catalog.Dict
+}
+
 // Output is the plan root: final projections plus host-side order/limit.
 type Output struct {
 	Input Node
@@ -194,6 +202,11 @@ type Output struct {
 	OrderBy []int
 	Desc    []bool
 	Limit   int
+
+	// Params describes the plan's bound parameters ($0..$N-1); empty for
+	// fully-literal plans. Execution must supply exactly len(Params)
+	// values.
+	Params []ParamInfo
 }
 
 func (o *Output) Out() []ColMeta {

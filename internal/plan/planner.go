@@ -44,6 +44,11 @@ type Query struct {
 	OrderBy []OrderItem
 	Limit   int // <0: none
 	Hints   Hints
+
+	// NumParams is the number of bound parameters ($0..$N-1) the query
+	// expects at execution time; the parser sets it from the highest
+	// placeholder index seen.
+	NumParams int
 }
 
 // schema tracks qualified column names → positions during planning.
@@ -76,6 +81,8 @@ func bind(e Expr, s *schema) (PExpr, error) {
 	switch x := e.(type) {
 	case *Const:
 		return &PConst{Val: x.Val}, nil
+	case *Param:
+		return &PParam{Idx: x.Idx}, nil
 	case *ColRef:
 		pos, err := s.find(x.Qual, x.Name)
 		if err != nil {
@@ -116,11 +123,31 @@ func bind(e Expr, s *schema) (PExpr, error) {
 		if err != nil {
 			return nil, err
 		}
+		if x.Op.IsComparison() {
+			// Parameters compared with a column take that column's
+			// encoding (dictionary, date format) — same rule as string
+			// literals, but resolved at execution time.
+			noteParamMeta(x.L, r, s)
+			noteParamMeta(x.R, l, s)
+		}
 		return &PBin{Op: x.Op, L: l, R: r}, nil
 	case *Agg:
 		return nil, fmt.Errorf("plan: aggregate %s in scalar context", x)
 	}
 	return nil, fmt.Errorf("plan: cannot bind %T", e)
+}
+
+// noteParamMeta records a parameter's encoding context when its
+// comparison partner bound to a plain column reference.
+func noteParamMeta(e Expr, other PExpr, s *schema) {
+	pa, ok := e.(*Param)
+	if !ok {
+		return
+	}
+	if pc, ok := other.(*PCol); ok {
+		pa.Typ = s.cols[pc.Pos].Type
+		pa.Dict = s.cols[pc.Pos].Dict
+	}
 }
 
 // litCmp detects comparisons between a column and a string literal.
@@ -289,7 +316,68 @@ func (p *planner) plan() (*Output, error) {
 	}
 
 	// 6. Output projections + ORDER BY/LIMIT.
-	return p.output(top, topSchema)
+	out, err := p.output(top, topSchema)
+	if err != nil {
+		return nil, err
+	}
+
+	// 7. Parameter manifest: binding recorded each parameter's encoding
+	// context in the Query's Param nodes; collect it onto the plan root so
+	// the executor can encode session arguments without the source query.
+	out.Params, err = p.paramInfos()
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// paramInfos walks the query's expression trees and assembles the
+// per-parameter encoding manifest.
+func (p *planner) paramInfos() ([]ParamInfo, error) {
+	var params []*Param
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *Param:
+			params = append(params, x)
+		case *Bin:
+			walk(x.L)
+			walk(x.R)
+		case *Agg:
+			if x.Arg != nil {
+				walk(x.Arg)
+			}
+		}
+	}
+	for _, c := range p.q.Where {
+		walk(c)
+	}
+	for _, s := range p.q.Select {
+		walk(s.Expr)
+	}
+	for _, g := range p.q.GroupBy {
+		walk(g)
+	}
+	for _, o := range p.q.OrderBy {
+		walk(o.Expr)
+	}
+	n := p.q.NumParams
+	for _, pa := range params {
+		if pa.Idx < 0 {
+			return nil, fmt.Errorf("plan: negative parameter index $%d", pa.Idx)
+		}
+		if pa.Idx >= n {
+			n = pa.Idx + 1 // programmatic queries may leave NumParams unset
+		}
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	infos := make([]ParamInfo, n)
+	for _, pa := range params {
+		infos[pa.Idx] = ParamInfo{Type: pa.Typ, Dict: pa.Dict}
+	}
+	return infos, nil
 }
 
 func flattenAnd(conjs []Expr) []Expr {

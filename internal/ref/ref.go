@@ -14,9 +14,28 @@ import (
 )
 
 // Execute runs a plan and returns the result rows (ORDER BY and LIMIT
-// applied).
-func Execute(pl *plan.Output) ([][]int64, error) {
-	in, err := eval(pl.Input)
+// applied). Plans with bound parameters need ExecuteWith.
+func Execute(pl *plan.Output) ([][]int64, error) { return ExecuteWith(pl, nil) }
+
+// ExecuteWith runs a plan with bound-parameter values (indexed by $N).
+// params must hold exactly len(pl.Params) values — the same encoded
+// arguments the compiled artifact would be staged with, so compiled and
+// interpreted runs stay comparable row for row.
+func ExecuteWith(pl *plan.Output, params []int64) ([][]int64, error) {
+	if len(params) != len(pl.Params) {
+		return nil, fmt.Errorf("ref: plan expects %d bound parameters, got %d", len(pl.Params), len(params))
+	}
+	ex := &executor{params: params}
+	return ex.run(pl)
+}
+
+// executor threads the bound-parameter values through evaluation.
+type executor struct {
+	params []int64
+}
+
+func (ex *executor) run(pl *plan.Output) ([][]int64, error) {
+	in, err := ex.eval(pl.Input)
 	if err != nil {
 		return nil, err
 	}
@@ -24,7 +43,7 @@ func Execute(pl *plan.Output) ([][]int64, error) {
 	for _, r := range in {
 		out := make([]int64, len(pl.Exprs))
 		for i, e := range pl.Exprs {
-			v, err := evalExpr(e, r)
+			v, err := ex.evalExpr(e, r)
 			if err != nil {
 				return nil, err
 			}
@@ -40,23 +59,23 @@ func Execute(pl *plan.Output) ([][]int64, error) {
 	return rows, nil
 }
 
-func eval(n plan.Node) ([][]int64, error) {
+func (ex *executor) eval(n plan.Node) ([][]int64, error) {
 	switch x := n.(type) {
 	case *plan.Scan:
-		return evalScan(x)
+		return ex.evalScan(x)
 	case *plan.Join:
-		return evalJoin(x)
+		return ex.evalJoin(x)
 	case *plan.GroupBy:
-		return evalGroupBy(x)
+		return ex.evalGroupBy(x)
 	case *plan.GroupJoin:
-		return evalGroupJoin(x)
+		return ex.evalGroupJoin(x)
 	case *plan.Output:
-		return Execute(x)
+		return ex.run(x)
 	}
 	return nil, fmt.Errorf("ref: unknown node %T", n)
 }
 
-func evalScan(s *plan.Scan) ([][]int64, error) {
+func (ex *executor) evalScan(s *plan.Scan) ([][]int64, error) {
 	var out [][]int64
 	n := s.Table.Rows()
 	cols := make([]*catalog.Column, len(s.Cols))
@@ -69,7 +88,7 @@ func evalScan(s *plan.Scan) ([][]int64, error) {
 			row[i] = c.Data[r]
 		}
 		if s.Filter != nil {
-			v, err := evalExpr(s.Filter, row)
+			v, err := ex.evalExpr(s.Filter, row)
 			if err != nil {
 				return nil, err
 			}
@@ -82,18 +101,18 @@ func evalScan(s *plan.Scan) ([][]int64, error) {
 	return out, nil
 }
 
-func evalJoin(j *plan.Join) ([][]int64, error) {
-	build, err := eval(j.Build)
+func (ex *executor) evalJoin(j *plan.Join) ([][]int64, error) {
+	build, err := ex.eval(j.Build)
 	if err != nil {
 		return nil, err
 	}
-	probe, err := eval(j.Probe)
+	probe, err := ex.eval(j.Probe)
 	if err != nil {
 		return nil, err
 	}
 	ht := make(map[int64][][]int64, len(build))
 	for _, r := range build {
-		k, err := evalExpr(j.BuildKey, r)
+		k, err := ex.evalExpr(j.BuildKey, r)
 		if err != nil {
 			return nil, err
 		}
@@ -101,7 +120,7 @@ func evalJoin(j *plan.Join) ([][]int64, error) {
 	}
 	var out [][]int64
 	for _, pr := range probe {
-		k, err := evalExpr(j.ProbeKey, pr)
+		k, err := ex.evalExpr(j.ProbeKey, pr)
 		if err != nil {
 			return nil, err
 		}
@@ -133,12 +152,12 @@ func newAggState(keys []int64, n int) *aggState {
 	return &aggState{keys: keys, sums: make([]int64, n), cnts: make([]int64, n), set: make([]bool, n)}
 }
 
-func (st *aggState) update(aggs []plan.AggSpec, row []int64) error {
+func (ex *executor) update(st *aggState, aggs []plan.AggSpec, row []int64) error {
 	for i, a := range aggs {
 		var v int64
 		if a.Arg != nil {
 			var err error
-			v, err = evalExpr(a.Arg, row)
+			v, err = ex.evalExpr(a.Arg, row)
 			if err != nil {
 				return err
 			}
@@ -179,14 +198,14 @@ func (st *aggState) row(aggs []plan.AggSpec) []int64 {
 	return out
 }
 
-func aggregate(in [][]int64, keys []plan.PExpr, aggs []plan.AggSpec) ([][]int64, error) {
+func (ex *executor) aggregate(in [][]int64, keys []plan.PExpr, aggs []plan.AggSpec) ([][]int64, error) {
 	groups := map[[2]int64]*aggState{}
 	var order [][2]int64
 	for _, r := range in {
 		var mk [2]int64
 		kv := make([]int64, len(keys))
 		for i, ke := range keys {
-			v, err := evalExpr(ke, r)
+			v, err := ex.evalExpr(ke, r)
 			if err != nil {
 				return nil, err
 			}
@@ -199,7 +218,7 @@ func aggregate(in [][]int64, keys []plan.PExpr, aggs []plan.AggSpec) ([][]int64,
 			groups[mk] = st
 			order = append(order, mk)
 		}
-		if err := st.update(aggs, r); err != nil {
+		if err := ex.update(st, aggs, r); err != nil {
 			return nil, err
 		}
 	}
@@ -210,44 +229,49 @@ func aggregate(in [][]int64, keys []plan.PExpr, aggs []plan.AggSpec) ([][]int64,
 	return out, nil
 }
 
-func evalGroupBy(g *plan.GroupBy) ([][]int64, error) {
-	in, err := eval(g.Input)
+func (ex *executor) evalGroupBy(g *plan.GroupBy) ([][]int64, error) {
+	in, err := ex.eval(g.Input)
 	if err != nil {
 		return nil, err
 	}
-	return aggregate(in, g.Keys, g.Aggs)
+	return ex.aggregate(in, g.Keys, g.Aggs)
 }
 
 // evalGroupJoin evaluates the fused operator by its definition: aggregate
 // the join result by the (unique) build key.
-func evalGroupJoin(g *plan.GroupJoin) ([][]int64, error) {
+func (ex *executor) evalGroupJoin(g *plan.GroupJoin) ([][]int64, error) {
 	j := &plan.Join{
 		Build: g.Build, Probe: g.Probe,
 		BuildKey: g.BuildKey, ProbeKey: g.ProbeKey,
 		BuildUnique: true,
 	}
-	in, err := evalJoin(j)
+	in, err := ex.evalJoin(j)
 	if err != nil {
 		return nil, err
 	}
-	return aggregate(in, []plan.PExpr{g.ProbeKey}, g.Aggs)
+	return ex.aggregate(in, []plan.PExpr{g.ProbeKey}, g.Aggs)
 }
 
-func evalExpr(e plan.PExpr, row []int64) (int64, error) {
+func (ex *executor) evalExpr(e plan.PExpr, row []int64) (int64, error) {
 	switch x := e.(type) {
 	case *plan.PConst:
 		return x.Val, nil
+	case *plan.PParam:
+		if x.Idx < 0 || x.Idx >= len(ex.params) {
+			return 0, fmt.Errorf("ref: parameter $%d out of %d bound values", x.Idx, len(ex.params))
+		}
+		return ex.params[x.Idx], nil
 	case *plan.PCol:
 		if x.Pos < 0 || x.Pos >= len(row) {
 			return 0, fmt.Errorf("ref: column %d out of row width %d", x.Pos, len(row))
 		}
 		return row[x.Pos], nil
 	case *plan.PBin:
-		l, err := evalExpr(x.L, row)
+		l, err := ex.evalExpr(x.L, row)
 		if err != nil {
 			return 0, err
 		}
-		r, err := evalExpr(x.R, row)
+		r, err := ex.evalExpr(x.R, row)
 		if err != nil {
 			return 0, err
 		}

@@ -1,0 +1,145 @@
+package sqlparse
+
+// Query fingerprinting: the front door of the compiled-query cache.
+//
+// Normalize lexes a statement and rewrites it into a canonical form in
+// which textually different but structurally identical queries collide:
+// keywords are upper-cased (the lexer already does this), identifiers are
+// folded to lower case, whitespace and comments disappear (the canonical
+// text is rebuilt from tokens), and literals are lifted out into bound
+// parameters written as $N placeholders. The literal values travel
+// alongside as Args, to be encoded and staged into the compiled
+// artifact's parameter region at execution time.
+//
+// The lifting grammar, chosen to keep the canonical text plannable by the
+// existing planner (which matches GROUP BY and ORDER BY items against the
+// select list *textually*):
+//
+//   - numeric literals are lifted and deduplicated by value: every
+//     occurrence of the same number maps to the same $N, so an expression
+//     repeated across SELECT and GROUP BY keeps its textual identity;
+//   - string literals are lifted one parameter per occurrence: each
+//     occurrence takes its encoding (dictionary, date format) from the
+//     column it is compared with, and two occurrences of the same text
+//     may face different dictionaries;
+//   - nothing after the top-level ORDER or LIMIT keyword is lifted:
+//     ORDER BY ordinals ("ORDER BY 2") are positional, not values, and
+//     the parser requires LIMIT's argument to be a literal. (The engine's
+//     SQL subset has no subqueries, so ORDER/LIMIT can only introduce the
+//     statement tail.)
+//
+// A statement that already contains $N placeholders is passed through
+// verbatim (no lifting): it is somebody else's prepared form, and lifted
+// indices would collide with the explicit ones.
+
+import (
+	"hash/fnv"
+	"strconv"
+	"strings"
+)
+
+// LitKind distinguishes lifted literal kinds.
+type LitKind uint8
+
+const (
+	// LitNum is an integer literal.
+	LitNum LitKind = iota
+	// LitStr is a string literal (dates included; the encoding context
+	// is decided by the column the parameter is compared with).
+	LitStr
+)
+
+// Literal is one literal value lifted out of a statement.
+type Literal struct {
+	Kind LitKind
+	Num  int64
+	Str  string
+}
+
+// Fingerprint is the normalized identity of a statement.
+type Fingerprint struct {
+	// Canon is the canonical parameterized text ($N placeholders); it
+	// reparses through Parse into a plan with NumParams parameters.
+	Canon string
+	// Hash is the 64-bit FNV-1a hash of Canon.
+	Hash uint64
+	// Args holds the lifted literal values, indexed by parameter.
+	Args []Literal
+}
+
+// Normalize computes a statement's fingerprint. The only errors are
+// lexical (the same ones Parse would report).
+func Normalize(src string) (*Fingerprint, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pre-scan: explicit $N placeholders disable lifting entirely.
+	lift := true
+	for _, t := range toks {
+		if t.kind == tkParam {
+			lift = false
+			break
+		}
+	}
+
+	fp := &Fingerprint{}
+	numIdx := map[int64]int{} // value → parameter index (numeric dedup)
+	var parts []string
+	tail := false // inside the ORDER BY / LIMIT tail
+	for _, t := range toks {
+		switch t.kind {
+		case tkEOF:
+			// done below
+		case tkKeyword:
+			if t.text == "ORDER" || t.text == "LIMIT" {
+				tail = true
+			}
+			parts = append(parts, t.text)
+		case tkIdent:
+			parts = append(parts, strings.ToLower(t.text))
+		case tkParam:
+			parts = append(parts, "$"+t.text)
+		case tkNumber:
+			if !lift || tail {
+				parts = append(parts, t.text)
+				break
+			}
+			v, err := strconv.ParseInt(t.text, 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			idx, ok := numIdx[v]
+			if !ok {
+				idx = len(fp.Args)
+				numIdx[v] = idx
+				fp.Args = append(fp.Args, Literal{Kind: LitNum, Num: v})
+			}
+			parts = append(parts, "$"+strconv.Itoa(idx))
+		case tkString:
+			if !lift || tail {
+				parts = append(parts, quoteSQL(t.text))
+				break
+			}
+			idx := len(fp.Args)
+			fp.Args = append(fp.Args, Literal{Kind: LitStr, Str: t.text})
+			parts = append(parts, "$"+strconv.Itoa(idx))
+		case tkSymbol:
+			if t.text == ";" {
+				break // statement separators are not identity
+			}
+			parts = append(parts, t.text)
+		}
+	}
+	fp.Canon = strings.Join(parts, " ")
+	h := fnv.New64a()
+	h.Write([]byte(fp.Canon))
+	fp.Hash = h.Sum64()
+	return fp, nil
+}
+
+// quoteSQL re-quotes a string literal kept in the canonical text.
+func quoteSQL(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}

@@ -1,0 +1,165 @@
+package sqlparse
+
+import "testing"
+
+func norm(t *testing.T, src string) *Fingerprint {
+	t.Helper()
+	fp, err := Normalize(src)
+	if err != nil {
+		t.Fatalf("Normalize(%q): %v", src, err)
+	}
+	return fp
+}
+
+// TestNormalizeCollidesLiterals is the cache's core property: two
+// statements that differ only in literal values (and in whitespace,
+// identifier case, or a trailing semicolon) must share one fingerprint.
+func TestNormalizeCollidesLiterals(t *testing.T) {
+	a := norm(t, "select count(*) from lineitem where l_quantity < 24")
+	variants := []string{
+		"select count(*) from lineitem where l_quantity < 7",
+		"SELECT   COUNT(*)  FROM  LINEITEM\nWHERE  L_QUANTITY < 99 ;",
+		"select count ( * ) from lineitem where l_quantity < 0",
+	}
+	for _, v := range variants {
+		b := norm(t, v)
+		if b.Canon != a.Canon || b.Hash != a.Hash {
+			t.Errorf("fingerprints differ:\n  %q -> %q (%x)\n  %q -> %q (%x)",
+				"...24", a.Canon, a.Hash, v, b.Canon, b.Hash)
+		}
+	}
+	if len(a.Args) != 1 || a.Args[0].Kind != LitNum || a.Args[0].Num != 24 {
+		t.Errorf("args = %+v, want one numeric 24", a.Args)
+	}
+	c := norm(t, "select count(*) from lineitem where l_quantity < 7")
+	if c.Args[0].Num != 7 {
+		t.Errorf("variant args = %+v, want 7", c.Args)
+	}
+}
+
+// TestNormalizeStructureStillMatters: different shapes must not collide.
+func TestNormalizeStructureStillMatters(t *testing.T) {
+	a := norm(t, "select count(*) from lineitem where l_quantity < 24")
+	b := norm(t, "select count(*) from lineitem where l_quantity > 24")
+	if a.Hash == b.Hash {
+		t.Fatalf("different operators collided: %q vs %q", a.Canon, b.Canon)
+	}
+}
+
+// TestNumericDedup: every occurrence of the same number maps to the same
+// parameter, so GROUP BY's textual match against the select list survives
+// normalization; distinct numbers get distinct parameters.
+func TestNumericDedup(t *testing.T) {
+	fp := norm(t, "select l_orderkey, sum(l_extendedprice * (100 - l_discount)) from lineitem where l_quantity < 100 and l_tax < 30 group by l_orderkey")
+	if len(fp.Args) != 2 {
+		t.Fatalf("args = %+v, want [100 30]", fp.Args)
+	}
+	if fp.Args[0].Num != 100 || fp.Args[1].Num != 30 {
+		t.Fatalf("args = %+v, want [100 30]", fp.Args)
+	}
+	// 100 occurs twice; both occurrences must render as $0.
+	if got := countSub(fp.Canon, "$0"); got != 2 {
+		t.Fatalf("canon %q: $0 appears %d times, want 2", fp.Canon, got)
+	}
+}
+
+// TestStringsNotDeduped: each string occurrence takes its own parameter —
+// two occurrences of the same text may face different dictionaries.
+func TestStringsNotDeduped(t *testing.T) {
+	fp := norm(t, "select count(*) from lineitem where l_returnflag = 'R' and l_linestatus = 'R'")
+	if len(fp.Args) != 2 {
+		t.Fatalf("args = %+v, want two string params", fp.Args)
+	}
+	for i, a := range fp.Args {
+		if a.Kind != LitStr || a.Str != "R" {
+			t.Fatalf("arg %d = %+v, want LitStr 'R'", i, a)
+		}
+	}
+}
+
+// TestTailNotLifted: ORDER BY ordinals and LIMIT arguments are structure,
+// not values — they stay in the canonical text, so different top-k sizes
+// are different cache entries.
+func TestTailNotLifted(t *testing.T) {
+	a := norm(t, "select l_orderkey, sum(l_quantity) as qty from lineitem where l_quantity < 5 group by l_orderkey order by 2 desc limit 10")
+	if len(a.Args) != 1 || a.Args[0].Num != 5 {
+		t.Fatalf("args = %+v, want just the filter literal 5", a.Args)
+	}
+	b := norm(t, "select l_orderkey, sum(l_quantity) as qty from lineitem where l_quantity < 5 group by l_orderkey order by 2 desc limit 20")
+	if a.Hash == b.Hash {
+		t.Fatalf("LIMIT 10 and LIMIT 20 collided: %q", a.Canon)
+	}
+}
+
+// TestExplicitParamsDisableLifting: a statement that already carries $N is
+// someone else's prepared form and passes through verbatim.
+func TestExplicitParamsDisableLifting(t *testing.T) {
+	fp := norm(t, "select count(*) from lineitem where l_quantity < $0 and l_tax < 5 and l_returnflag = 'R'")
+	if len(fp.Args) != 0 {
+		t.Fatalf("args = %+v, want none (lifting disabled)", fp.Args)
+	}
+	for _, want := range []string{"$0", "5", "'R'"} {
+		if countSub(fp.Canon, want) == 0 {
+			t.Errorf("canon %q: missing %q", fp.Canon, want)
+		}
+	}
+}
+
+// TestStringRequoting: string literals kept in the canonical text are
+// re-quoted with ” escaping so the canon re-lexes identically.
+func TestStringRequoting(t *testing.T) {
+	fp := norm(t, "select count(*) from products where name = 'it''s' and id < $1")
+	if countSub(fp.Canon, "'it''s'") != 1 {
+		t.Fatalf("canon %q: want escaped literal 'it''s'", fp.Canon)
+	}
+	// The canon must re-lex to the same fingerprint (idempotence).
+	fp2 := norm(t, fp.Canon)
+	if fp2.Canon != fp.Canon || fp2.Hash != fp.Hash {
+		t.Fatalf("normalization not idempotent: %q -> %q", fp.Canon, fp2.Canon)
+	}
+}
+
+// TestNormalizeIdempotent: normalizing a canon is the identity for the
+// whole lifted suite shape.
+func TestNormalizeIdempotent(t *testing.T) {
+	srcs := []string{
+		"select l_orderkey, l_quantity from lineitem where l_quantity < 4 order by l_orderkey, l_quantity limit 50",
+		"select count(*), sum(l_extendedprice) from lineitem where l_returnflag = 'R'",
+		"select o_orderkey, sum(l_extendedprice) from lineitem, orders where o_orderkey = l_orderkey and o_orderdate < '1995-04-01' group by o_orderkey",
+	}
+	for _, src := range srcs {
+		fp := norm(t, src)
+		fp2 := norm(t, fp.Canon)
+		if fp2.Canon != fp.Canon {
+			t.Errorf("not idempotent:\n  src   %q\n  canon %q\n  again %q", src, fp.Canon, fp2.Canon)
+		}
+	}
+}
+
+// TestCanonReparses: the canonical text must parse, and the parse must
+// report exactly len(Args) parameters.
+func TestCanonReparses(t *testing.T) {
+	fp := norm(t, "select l_orderkey, sum(l_extendedprice * (100 - l_discount)) from lineitem where l_quantity < 30 group by l_orderkey")
+	q, err := Parse(fp.Canon)
+	if err != nil {
+		t.Fatalf("canon %q does not parse: %v", fp.Canon, err)
+	}
+	if q.NumParams != len(fp.Args) {
+		t.Fatalf("canon parses with %d params, fingerprint lifted %d", q.NumParams, len(fp.Args))
+	}
+}
+
+func countSub(s, sub string) int {
+	n := 0
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			// count token-ish occurrences only: require a non-digit after
+			// (so "$1" does not match inside "$10").
+			if i+len(sub) < len(s) && s[i+len(sub)] >= '0' && s[i+len(sub)] <= '9' {
+				continue
+			}
+			n++
+		}
+	}
+	return n
+}

@@ -28,6 +28,7 @@ const (
 	tkString
 	tkSymbol  // punctuation and operators
 	tkKeyword // recognized keyword (normalized upper-case)
+	tkParam   // bound-parameter placeholder $N (text is the index digits)
 )
 
 type token struct {
@@ -65,6 +66,10 @@ func lex(src string) ([]token, error) {
 			l.lexNumber(start)
 		case c == '\'':
 			if err := l.lexString(start); err != nil {
+				return nil, err
+			}
+		case c == '$':
+			if err := l.lexParam(start); err != nil {
 				return nil, err
 			}
 		default:
@@ -134,6 +139,21 @@ func (l *lexer) lexString(start int) error {
 		l.pos++
 	}
 	return fmt.Errorf("sql: unterminated string literal at %d", start)
+}
+
+// lexParam lexes a $N bound-parameter placeholder, as produced by query
+// normalization (see fingerprint.go).
+func (l *lexer) lexParam(start int) error {
+	l.pos++ // '$'
+	ds := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	if l.pos == ds {
+		return fmt.Errorf("sql: '$' without parameter index at %d", start)
+	}
+	l.toks = append(l.toks, token{kind: tkParam, text: l.src[ds:l.pos], pos: start})
+	return nil
 }
 
 var twoCharSymbols = map[string]bool{"<>": true, "<=": true, ">=": true, "!=": true}

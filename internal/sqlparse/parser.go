@@ -14,7 +14,7 @@ func Parse(src string) (*plan.Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	p := &parser{toks: toks, maxParam: -1}
 	q, err := p.parseSelect()
 	if err != nil {
 		return nil, err
@@ -23,12 +23,14 @@ func Parse(src string) (*plan.Query, error) {
 	if !p.at(tkEOF, "") {
 		return nil, p.errf("trailing input %q", p.cur().text)
 	}
+	q.NumParams = p.maxParam + 1
 	return q, nil
 }
 
 type parser struct {
-	toks []token
-	i    int
+	toks     []token
+	i        int
+	maxParam int // highest $N placeholder index seen (-1: none)
 }
 
 func (p *parser) cur() token  { return p.toks[p.i] }
@@ -320,6 +322,16 @@ func (p *parser) parsePrimary() (plan.Expr, error) {
 	case tkString:
 		p.next()
 		return plan.Str(t.text), nil
+	case tkParam:
+		p.next()
+		idx, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, p.errf("bad parameter $%s", t.text)
+		}
+		if idx > p.maxParam {
+			p.maxParam = idx
+		}
+		return &plan.Param{Idx: idx}, nil
 	case tkSymbol:
 		if t.text == "(" {
 			p.next()

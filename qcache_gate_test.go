@@ -1,0 +1,54 @@
+package tprof
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/experiments"
+)
+
+// TestServiceCacheHitSpeedup is the CI gate on the compiled-query cache:
+// preparing a statement against a warm cache (normalize → fingerprint →
+// hit → argument encoding) must be at least 10x faster than compiling the
+// same statement from scratch. The measured ratio is recorded in
+// BENCH_qcache.json; this test keeps it from silently regressing.
+func TestServiceCacheHitSpeedup(t *testing.T) {
+	env := experiments.NewEnv(0.05, 42)
+	const sql = "select l_orderkey, sum(l_quantity), sum(l_extendedprice) " +
+		"from lineitem where l_quantity < 24 group by l_orderkey"
+
+	svc := engine.NewService(env.Cat, engine.DefaultOptions(), 0)
+	se := svc.NewSession()
+	if _, err := se.Prepare(sql); err != nil {
+		t.Fatal(err)
+	}
+	hit := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := se.Prepare(sql)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !p.CacheHit {
+				b.Fatal("expected a cache hit")
+			}
+		}
+	})
+
+	comp := engine.NewCompiler(env.Cat, engine.DefaultOptions())
+	compile := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := comp.CompileSQL(sql); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	if hit.N == 0 || compile.N == 0 {
+		t.Fatal("benchmarks did not run")
+	}
+	speedup := float64(compile.NsPerOp()) / float64(hit.NsPerOp())
+	t.Logf("cache hit %v/op vs compile %v/op: %.1fx", hit.NsPerOp(), compile.NsPerOp(), speedup)
+	if speedup < 10 {
+		t.Fatalf("cache-hit prepare is only %.1fx faster than a full compile (want >= 10x)", speedup)
+	}
+}
