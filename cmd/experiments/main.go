@@ -52,6 +52,7 @@ func main() {
 		{"accuracy", func() (string, error) { s, _, err := env.Accuracy(); return s, err }},
 		{"table1", func() (string, error) { s, _, err := env.Table1(); return s, err }},
 		{"parallel", env.Parallel},
+		{"merge", func() (string, error) { s, _, err := env.Merge(); return s, err }},
 		{"pgo", func() (string, error) { s, _, err := env.PGO(); return s, err }},
 		{"loc", func() (string, error) { return experiments.LoC(*root) }},
 	}

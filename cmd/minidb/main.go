@@ -46,6 +46,9 @@ func main() {
 	maxRows := flag.Int("rows", 50, "maximum rows to print")
 	workers := flag.Int("workers", 0, "morsel-driven parallel execution on N simulated cores (0 = single-CPU)")
 	morsel := flag.Int("morsel", 0, "morsel size in tuples (0 = default)")
+	partitions := flag.Int("partitions", engine.DefaultOptions().Partitions,
+		"radix partitions for the parallel sink merge (power of two; 0 = legacy host-side merge)")
+	bloom := flag.Bool("bloom", true, "build per-join bloom filters probed before the hash directory (-bloom=off via -bloom=false)")
 	pgo := flag.Bool("pgo", false, "profile-guided recompilation: run sampled, recompile from the profile, report the cycle delta")
 	serve := flag.Bool("serve", false, "batch mode: execute stdin statements across -sessions concurrent sessions")
 	sessions := flag.Int("sessions", 4, "concurrent sessions in -serve mode")
@@ -59,6 +62,8 @@ func main() {
 	opts.TupleCounters = *analyze
 	opts.Workers = *workers
 	opts.MorselRows = *morsel
+	opts.Partitions = *partitions
+	opts.BloomFilters = *bloom
 	svc := engine.NewService(cat, opts, *cacheN)
 
 	stmts := flag.Args()

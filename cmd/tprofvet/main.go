@@ -1,7 +1,7 @@
 // Command tprofvet is the static verification driver for the Tailored
 // Profiling toolchain. It has two modes:
 //
-//	tprofvet check [-sf 0.05] [-workers 1,4] [-pgo] [-cache] [-q name]
+//	tprofvet check [-sf 0.05] [-workers 1,4] [-pgo] [-cache] [-merge] [-q name]
 //	tprofvet lint [root]
 //
 // check compiles the full query corpus with Engine.VerifyArtifacts on,
@@ -12,7 +12,11 @@
 // way. With -cache it drives the SQL workload suite through the query
 // service instead: every artifact is verified once at cache-insert time,
 // and the cold compile, the cache hit, and every worker count must all
-// produce rows identical to the interpreted reference executor. lint
+// produce rows identical to the interpreted reference executor. With
+// -merge it verifies the partitioned parallel merge: the static
+// MergeInvariants battery (kernel lineage tags, bloom bounds, partition
+// slot-range disjointness) plus exact-row determinism against the serial
+// oracle and PMU attribution of the generated merge kernels. lint
 // type-checks the repository and applies the source rules (no math/rand
 // outside internal/xrand, no fmt.Sprintf on the compile hot path, no
 // mutex-by-value, no time.Now in the VM/PMU).
@@ -29,11 +33,15 @@ import (
 	"strings"
 
 	"repro/internal/catalog"
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/engine"
+	"repro/internal/pipeline"
+	"repro/internal/pmu"
 	"repro/internal/queries"
 	"repro/internal/ref"
 	"repro/internal/verify"
+	"repro/internal/vm"
 )
 
 func main() {
@@ -62,6 +70,7 @@ func runCheck(args []string) int {
 	workersCSV := fs.String("workers", "1,4", "comma-separated worker counts to verify")
 	pgo := fs.Bool("pgo", false, "additionally verify one profile-guided recompilation per query")
 	cache := fs.Bool("cache", false, "verify the service path: SQL suite through the compiled-query cache")
+	merge := fs.Bool("merge", false, "verify the partitioned merge: static invariants, cross-worker determinism, merge-task attribution")
 	only := fs.String("q", "", "restrict to one named workload")
 	fs.Parse(args)
 
@@ -78,6 +87,9 @@ func runCheck(args []string) int {
 	cat := datagen.Generate(datagen.Config{ScaleFactor: *sf, Seed: *seed})
 	if *cache {
 		return runCacheCheck(cat, workers, *only)
+	}
+	if *merge {
+		return runMergeCheck(cat, workers, *only)
 	}
 
 	suite := queries.Suite()
@@ -217,6 +229,121 @@ func runCacheCheck(cat *catalog.Catalog, workers []int, only string) int {
 	}
 	fmt.Printf("tprofvet check -cache: %d workloads verified (%d hits, %d misses, %d resident)\n",
 		checked, cs.Hits, cs.Misses, svc.CacheLen())
+	return 0
+}
+
+// runMergeCheck verifies the partitioned parallel merge end to end
+// (DESIGN.md §11). Every workload compiles with VerifyArtifacts on — which
+// includes the static MergeInvariants checker: merge-kernel lineage tags,
+// bloom-filter bounds, and partition-disjointness of the directory slot
+// ranges — then runs serially (workers=0, the determinism oracle) and at
+// every requested worker count. Rows must match the oracle exactly and in
+// order: the partitioned merge reconstructs the serial heap byte for byte,
+// so even unordered results may not move. Partitioned workloads
+// additionally run profiled: PMU samples must attribute to the generated
+// merge kernels' tasks and resolve to an operator through the Tagging
+// Dictionary.
+func runMergeCheck(cat *catalog.Catalog, workers []int, only string) int {
+	suite := queries.Suite()
+	if only != "" {
+		w, ok := queries.ByName(only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tprofvet: no workload %q\n", only)
+			return 2
+		}
+		suite = []queries.Workload{w}
+	}
+
+	failures, checked := 0, 0
+	fail := func(name, format string, a ...any) {
+		failures++
+		fmt.Printf("FAIL  %-12s %s\n", name, fmt.Sprintf(format, a...))
+	}
+	for _, w := range suite {
+		checked++
+		opts := engine.DefaultOptions()
+		opts.VerifyArtifacts = true
+		opts.MorselRows = 256 // several morsels per pipeline at check scale
+		e := engine.New(cat, opts)
+		cq, err := e.CompileQuery(w.Query)
+		if err != nil {
+			fail(w.Name, "compile: %v", err)
+			continue
+		}
+		oracle, err := e.Run(cq, nil)
+		if err != nil {
+			fail(w.Name, "serial oracle: %v", err)
+			continue
+		}
+		partitioned := false
+		for i := range cq.Pipe.Pipelines {
+			if cq.Pipe.Pipelines[i].Merge != nil {
+				partitioned = true
+			}
+		}
+
+		ok := true
+		var mergeTasks int
+		for _, nw := range workers {
+			if nw < 1 {
+				continue
+			}
+			po := opts
+			po.Workers = nw
+			pe := engine.New(cat, po)
+			pcq, err := pe.CompileQuery(w.Query)
+			if err != nil {
+				fail(w.Name, "workers=%d compile: %v", nw, err)
+				ok = false
+				break
+			}
+			res, err := pe.Run(pcq, &pmu.Config{Event: vm.EvInstRetired, Period: 97})
+			if err != nil {
+				fail(w.Name, "workers=%d: %v", nw, err)
+				ok = false
+				break
+			}
+			if !rowsMatch(res.Rows, oracle.Rows, true) {
+				fail(w.Name, "workers=%d: rows differ from the serial oracle", nw)
+				ok = false
+				break
+			}
+			if !partitioned {
+				continue
+			}
+			mergeTasks = 0
+			for id, wt := range res.Profile.TaskWeight {
+				comp, found := res.Profile.Registry.Lookup(id)
+				if !found || !pipeline.MergeRole(comp.Kind) || wt <= 0 {
+					continue
+				}
+				if res.Profile.Dict.OperatorOf(id) == core.NoComponent {
+					fail(w.Name, "workers=%d: merge task %q unresolvable to an operator", nw, comp.Name)
+					ok = false
+				}
+				mergeTasks++
+			}
+			if mergeTasks == 0 {
+				fail(w.Name, "workers=%d: no PMU samples attributed to merge-kernel tasks", nw)
+				ok = false
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			kind := "host-merged"
+			if partitioned {
+				kind = fmt.Sprintf("partitioned, %d merge tasks sampled", mergeTasks)
+			}
+			fmt.Printf("ok    %-12s %d rows, workers=%v (%s)\n", w.Name, len(oracle.Rows), workers, kind)
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("tprofvet check -merge: %d of %d workloads FAILED\n", failures, checked)
+		return 1
+	}
+	fmt.Printf("tprofvet check -merge: %d workloads verified, 0 diagnostics\n", checked)
 	return 0
 }
 

@@ -56,6 +56,19 @@ type Options struct {
 	// which is what makes parallel results and count-event sample
 	// streams identical for any worker count.
 	MorselRows int
+	// Partitions radix-partitions every materializing sink's merge into
+	// this many directory-disjoint partition-merge tasks, executed by
+	// generated merge kernels fanned out across the workers (DESIGN.md
+	// §11). Rounded down to a power of two and clamped to each table's
+	// directory size. 0 keeps the legacy host-side coordinator merge.
+	// Like MorselRows, the partition count never depends on Workers, so
+	// results and count-event sample streams stay worker-count invariant.
+	Partitions int
+	// BloomFilters gives every join build a small bloom filter (two probe
+	// bits per key from the existing crc32 pair); the generated probe
+	// code tests it before touching the directory, cutting cache misses
+	// on low-selectivity joins.
+	BloomFilters bool
 	// VerifyArtifacts runs the cross-level verification suite
 	// (internal/verify) over every compilation artifact: after pipeline
 	// construction, after each optimizer pass, and after native emit.
@@ -71,6 +84,8 @@ func DefaultOptions() Options {
 		RegisterTagging: true,
 		Optimize:        iropt.AllOptions(),
 		FuseCmpBranch:   true,
+		Partitions:      8,
+		BloomFilters:    true,
 	}
 }
 
@@ -174,6 +189,28 @@ const DataFloor int64 = layoutStart
 
 func align(x int64, a int64) int64 { return (x + a - 1) &^ (a - 1) }
 
+// pow2Floor rounds x down to a power of two (0 for x <= 0).
+func pow2Floor(x int64) int64 {
+	if x <= 0 {
+		return 0
+	}
+	p := int64(1)
+	for p*2 <= x {
+		p *= 2
+	}
+	return p
+}
+
+// log2 of a power of two.
+func log2(x int64) int64 {
+	var n int64
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
 // CompileSQL parses, plans and compiles a SQL statement.
 func (e *Engine) CompileSQL(sql string) (*Compiled, error) { return e.compiler().CompileSQL(sql) }
 
@@ -255,6 +292,8 @@ func (c *Compiler) compilePlan(pl *plan.Output, hot *pgo.Hotness) (*Compiled, er
 			Code:            code,
 			RegisterTagging: c.Opts.RegisterTagging,
 			PGO:             hot != nil,
+			Pipelines:       pc.Pipelines,
+			Layout:          lay,
 		})
 		return verify.AsError(ds)
 	}
@@ -374,7 +413,8 @@ func (c *Compiler) buildLayout(pl *plan.Output, cq *Compiled) (*pipeline.Layout,
 		})
 	}
 
-	// Hash tables: directory + arena per materializing node.
+	// Hash tables: directory + arena per materializing node, plus the
+	// partitioned-merge staging regions and (joins) the bloom filter.
 	for i, n := range mats {
 		entries := pipeline.BuildBound(n)
 		dirSlots := pipeline.DirSlots(entries)
@@ -387,10 +427,45 @@ func (c *Compiler) buildLayout(pl *plan.Output, cq *Compiled) (*pipeline.Layout,
 		arenaEnd := arena + int64(entries+16)*entrySize
 		cur = align(arenaEnd, 64)
 
-		lay.HT[n] = &pipeline.HTLayout{
+		ht := &pipeline.HTLayout{
 			Desc: desc, Dir: dir, DirSlots: dirSlots,
 			Arena: arena, ArenaEnd: arenaEnd, EntrySize: entrySize,
 		}
+		if p := pow2Floor(int64(c.Opts.Partitions)); p > 0 {
+			if p > dirSlots {
+				p = dirSlots
+			}
+			ht.Partitions = p
+			ht.SlotShift = log2(dirSlots / p)
+			arenaCap := arenaEnd - arena
+			vecBytes := (arenaCap / entrySize) * 8
+			ht.ScatterOut = cur
+			cur = align(cur+arenaCap, 64)
+			ht.MergeCnt = cur
+			cur = align(cur+p*8, 64)
+			ht.MergeCur = cur
+			cur = align(cur+p*8, 64)
+			ht.MergeSrc = cur
+			cur = align(cur+arenaCap, 64)
+			ht.MergeVec = cur
+			cur = align(cur+vecBytes, 64)
+			if _, ok := n.(*plan.GroupBy); ok {
+				ht.MergeOut = cur
+				cur = align(cur+arenaCap, 64)
+				ht.MergeSeq = cur
+				cur = align(cur+vecBytes, 64)
+			}
+			ht.MergeParam = cur
+			cur = align(cur+pipeline.MergeParamSlots*8, 64)
+		}
+		if _, ok := n.(*plan.Join); ok && c.Opts.BloomFilters {
+			// DirSlots is a power of two, so BloomBits = 8·DirSlots is too;
+			// the filter occupies DirSlots bytes.
+			ht.BloomBits = dirSlots * 8
+			ht.BloomBase = cur
+			cur = align(cur+dirSlots, 64)
+		}
+		lay.HT[n] = ht
 		cq.writes = append(cq.writes,
 			slotWrite{desc + codegen.HTDescDir, dir},
 			slotWrite{desc + codegen.HTDescMask, dirSlots - 1},
@@ -430,6 +505,14 @@ type Result struct {
 	// cycles; for a single-CPU run, Stats.TotalCycles(). Speedup
 	// comparisons between worker counts use this number.
 	WallCycles uint64
+	// MergeCycles is the simulated merge-phase makespan summed over all
+	// pipelines with partitioned sinks: per pipeline, the slowest
+	// worker's merge-kernel cycles in each round (partition merge, plus
+	// the placement round for group-by sinks). Zero for serial runs and
+	// for the legacy host-side merge, which runs outside the simulated
+	// machine and is therefore unmeasured — the blind spot the
+	// partitioned merge exists to remove.
+	MergeCycles uint64
 
 	// Profiling outputs (nil without sampling).
 	PMU     *pmu.PMU

@@ -56,10 +56,12 @@ func TestIterativeDataflowDetection(t *testing.T) {
 		t.Fatal("lineitem scan operator missing")
 	}
 	// The analyst picks the split threshold from the timestamps; the
-	// test scans a geometric grid and requires that some threshold
+	// test scans a geometric grid (10% steps — periodic sampling can
+	// leave resonance gaps inside a burst that narrow the window where
+	// exactly three intervals survive) and requires that some threshold
 	// recovers exactly the three iterations.
 	found := false
-	for gap := uint64(1000); gap < res.Stats.TotalCycles(); gap *= 2 {
+	for gap := uint64(1000); gap < res.Stats.TotalCycles(); gap += 1 + gap/10 {
 		iters := res.Profile.DetectIterations(gbID, gap)
 		if len(iters) == 3 {
 			found = true

@@ -1,0 +1,288 @@
+package engine
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/pmu"
+	"repro/internal/queries"
+	"repro/internal/vm"
+)
+
+// mergeQueries are the workloads the partitioned-merge battery sweeps: a
+// join-build-heavy plan (fig9), a plain group-by (q1), a selective
+// group-by (q6), and a group-join (intro) — one per partitioned sink kind.
+var mergeQueries = []string{"fig9", "q1", "q6", "intro"}
+
+func mergeRun(t *testing.T, name string, workers, partitions int, bloom bool) (*Compiled, *Result) {
+	t.Helper()
+	w, ok := queries.ByName(name)
+	if !ok {
+		t.Fatalf("no workload %s", name)
+	}
+	opts := DefaultOptions()
+	opts.Workers = workers
+	opts.MorselRows = 256
+	opts.Partitions = partitions
+	opts.BloomFilters = bloom
+	e := New(testCatalog(t), opts)
+	cq, err := e.CompileQuery(w.Query)
+	if err != nil {
+		t.Fatalf("%s compile: %v", name, err)
+	}
+	res, err := e.Run(cq, nil)
+	if err != nil {
+		t.Fatalf("%s workers=%d: %v", name, workers, err)
+	}
+	return cq, res
+}
+
+// TestMergeDeterminism is the partitioned merge's property test: for every
+// worker count, the result rows are identical to the serial oracle *in
+// order*, and every partitioned hash table — directory, arena, cursor —
+// is byte-identical on the canonical heap. The merge does not merely
+// produce equivalent tables; it reconstructs the serial run's bytes.
+func TestMergeDeterminism(t *testing.T) {
+	for _, name := range mergeQueries {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ocq, oracle := mergeRun(t, name, 0, DefaultOptions().Partitions, true)
+			for _, workers := range []int{1, 2, 4, 8} {
+				cq, res := mergeRun(t, name, workers, DefaultOptions().Partitions, true)
+				rowsEqual(t, res.Rows, oracle.Rows, true)
+
+				// The layout is a pure function of catalog + options, so
+				// both compiles place every hash table at the same
+				// addresses; pair them by descriptor address.
+				hts, ohts := partitionedHTs(cq), partitionedHTs(ocq)
+				if len(hts) == 0 {
+					t.Fatalf("workers=%d: no partitioned sink in %s — battery is vacuous", workers, name)
+				}
+				if len(hts) != len(ohts) {
+					t.Fatalf("workers=%d: %d partitioned sinks, oracle has %d", workers, len(hts), len(ohts))
+				}
+				for i, ht := range hts {
+					if *ohts[i] != *ht {
+						t.Fatalf("workers=%d: hash-table layout %d differs from oracle", workers, i)
+					}
+					got, want := res.CPU.Heap, oracle.CPU.Heap
+					gc := codegen.HeapI64(got, ht.Desc+codegen.HTDescCursor)
+					wc := codegen.HeapI64(want, ht.Desc+codegen.HTDescCursor)
+					if gc != wc {
+						t.Fatalf("workers=%d ht %d: cursor %d, oracle %d", workers, i, gc, wc)
+					}
+					if !bytesEq(got, want, ht.Dir, ht.Dir+ht.DirSlots*8) {
+						t.Fatalf("workers=%d ht %d: directory differs from oracle", workers, i)
+					}
+					if !bytesEq(got, want, ht.Arena, gc) {
+						t.Fatalf("workers=%d ht %d: arena differs from oracle", workers, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+func bytesEq(a, b []byte, lo, hi int64) bool {
+	return string(a[lo:hi]) == string(b[lo:hi])
+}
+
+// partitionedHTs returns the compiled query's partitioned hash-table
+// layouts in ascending descriptor-address order.
+func partitionedHTs(cq *Compiled) []*pipeline.HTLayout {
+	var hts []*pipeline.HTLayout
+	for _, ht := range cq.Layout.HT {
+		if ht.Partitions > 0 {
+			hts = append(hts, ht)
+		}
+	}
+	sort.Slice(hts, func(i, j int) bool { return hts[i].Desc < hts[j].Desc })
+	return hts
+}
+
+// TestMergeScalingGate is the CI gate: on the join benchmark, the merge
+// phase at 4 workers must be at least 2x faster than the same generated
+// kernels run on a single worker. The merge kernels are profiled code, so
+// this is simulated time — the gate catches any serial coordinator work
+// creeping back into the merge path.
+func TestMergeScalingGate(t *testing.T) {
+	_, r1 := mergeRun(t, "fig9", 1, DefaultOptions().Partitions, true)
+	_, r4 := mergeRun(t, "fig9", 4, DefaultOptions().Partitions, true)
+	if r1.MergeCycles == 0 || r4.MergeCycles == 0 {
+		t.Fatalf("merge cycles unmeasured: 1w=%d 4w=%d", r1.MergeCycles, r4.MergeCycles)
+	}
+	if r1.MergeCycles < 2*r4.MergeCycles {
+		t.Fatalf("merge phase scaled %.2fx at 4 workers (1w=%d, 4w=%d); gate requires >= 2x",
+			float64(r1.MergeCycles)/float64(r4.MergeCycles), r1.MergeCycles, r4.MergeCycles)
+	}
+}
+
+// TestMergeLegacyFallback: Partitions=0 selects the host-side merge — the
+// determinism oracle — and its rows stay identical to both the serial run
+// and the partitioned path's.
+func TestMergeLegacyFallback(t *testing.T) {
+	for _, name := range mergeQueries {
+		_, oracle := mergeRun(t, name, 0, DefaultOptions().Partitions, true)
+		for _, workers := range []int{1, 4} {
+			cq, res := mergeRun(t, name, workers, 0, true)
+			rowsEqual(t, res.Rows, oracle.Rows, true)
+			if res.MergeCycles != 0 {
+				t.Fatalf("%s: legacy merge reported %d merge cycles; it runs host-side, unmeasured", name, res.MergeCycles)
+			}
+			for _, info := range cq.Pipe.Pipelines {
+				if info.Merge != nil {
+					t.Fatalf("%s: merge kernels generated with Partitions=0", name)
+				}
+			}
+		}
+	}
+}
+
+// TestMergeBloomToggle: the bloom filter is a pure probe accelerator —
+// switching it off must not change a single row, serial or parallel.
+func TestMergeBloomToggle(t *testing.T) {
+	for _, name := range mergeQueries {
+		_, on := mergeRun(t, name, 4, DefaultOptions().Partitions, true)
+		_, off := mergeRun(t, name, 4, DefaultOptions().Partitions, false)
+		rowsEqual(t, off.Rows, on.Rows, true)
+		_, serialOff := mergeRun(t, name, 0, DefaultOptions().Partitions, false)
+		rowsEqual(t, serialOff.Rows, on.Rows, true)
+	}
+}
+
+// TestMergeSampleAttribution: merge kernels are profiled code. A sampled
+// parallel run must attribute PMU samples to merge-role tasks, and every
+// such task must resolve to its plan operator through the Tagging
+// Dictionary. (The worker-lanes overlay built on this predicate is
+// rendered by viz.WorkerLanesTagged, tested in internal/viz.)
+func TestMergeSampleAttribution(t *testing.T) {
+	w, _ := queries.ByName("fig9")
+	opts := DefaultOptions()
+	opts.Workers = 4
+	opts.MorselRows = 256
+	e := New(testCatalog(t), opts)
+	cq, err := e.CompileQuery(w.Query)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := e.Run(cq, &pmu.Config{Event: vm.EvInstRetired, Period: 97, Format: pmu.FormatIPTimeRegs})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	att := core.NewAttributor(cq.Pipe.Dict, cq.Code.NMap)
+	isMerge := func(s *core.Sample) bool {
+		for _, cr := range att.Attribute(s).Credits {
+			c, found := cq.Pipe.Registry.Lookup(cr.Task)
+			if !found || !pipeline.MergeRole(c.Kind) {
+				continue
+			}
+			if cq.Pipe.Dict.OperatorOf(cr.Task) == core.NoComponent {
+				t.Fatalf("merge task %v has no operator in the Tagging Dictionary", cr.Task)
+			}
+			return true
+		}
+		return false
+	}
+	n := 0
+	for i := range res.Samples {
+		if isMerge(&res.Samples[i]) {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no PMU samples attributed to merge kernels — merge is invisible to the profiler")
+	}
+}
+
+// TestLPTBeatsGreedy: the scheduling model. On skewed costs, in-order
+// least-loaded greedy commits small items before seeing the big one; LPT
+// sorts first and lands within 4/3 of optimal. The merge phase assigns
+// partitions with the same lptAssign, so this bound is what the gate
+// above leans on when partition sizes are skewed.
+func TestLPTBeatsGreedy(t *testing.T) {
+	costs := []uint64{1, 1, 1, 1, 9}
+	greedy := func(costs []uint64, workers int) uint64 {
+		load := make([]uint64, workers)
+		for _, c := range costs {
+			m := 0
+			for i := 1; i < workers; i++ {
+				if load[i] < load[m] {
+					m = i
+				}
+			}
+			load[m] += c
+		}
+		var max uint64
+		for _, l := range load {
+			if l > max {
+				max = l
+			}
+		}
+		return max
+	}
+	g := greedy(costs, 2)
+	l := makespan(costs, 2)
+	if g != 11 || l != 9 {
+		t.Fatalf("greedy=%d (want 11), LPT=%d (want 9)", g, l)
+	}
+
+	// lptAssign's partition lists must cover every index exactly once.
+	assign, ms := lptAssign(costs, 2)
+	if ms != l {
+		t.Fatalf("lptAssign makespan %d != makespan() %d", ms, l)
+	}
+	seen := map[int]bool{}
+	for _, parts := range assign {
+		for _, p := range parts {
+			if seen[p] {
+				t.Fatalf("partition %d assigned twice", p)
+			}
+			seen[p] = true
+		}
+	}
+	if len(seen) != len(costs) {
+		t.Fatalf("assigned %d of %d partitions", len(seen), len(costs))
+	}
+
+	// Degenerate shapes.
+	if makespan(nil, 4) != 0 {
+		t.Fatal("empty cost list must have zero makespan")
+	}
+	if makespan([]uint64{5}, 8) != 5 {
+		t.Fatal("one item: makespan is its cost")
+	}
+}
+
+// TestSinkOverflowErrorMessage: merge pre-validation reports a structured
+// error naming the sink and region, mirroring the SinkOutput check.
+func TestSinkOverflowErrorMessage(t *testing.T) {
+	err := &SinkOverflowError{Sink: "hashagg", Region: "hash-table arena", Needed: 4096, Capacity: 1024}
+	want := `engine: hash-table arena overflow merging sink of pipeline "hashagg": need 4096 bytes, capacity 1024`
+	if err.Error() != want {
+		t.Fatalf("got %q\nwant %q", err.Error(), want)
+	}
+}
+
+// BenchmarkMergeScaling times the partitioned 4-worker path end to end
+// (compile once, run per iteration); CI's bench-smoke runs it once.
+func BenchmarkMergeScaling(b *testing.B) {
+	w, _ := queries.ByName("fig9")
+	opts := DefaultOptions()
+	opts.Workers = 4
+	opts.MorselRows = 256
+	e := New(testCatalog(b), opts)
+	cq, err := e.CompileQuery(w.Query)
+	if err != nil {
+		b.Fatalf("compile: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(cq, nil); err != nil {
+			b.Fatalf("run: %v", err)
+		}
+	}
+}

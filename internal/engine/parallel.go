@@ -1,8 +1,8 @@
 package engine
 
 import (
-	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/codegen"
@@ -51,6 +51,36 @@ type parWorker struct {
 	cpu *vm.CPU
 	pmu *pmu.PMU
 	err error
+}
+
+// Sampling-epoch phases: each generated-code invocation re-arms the PMU
+// with a seed derived from (pipeline, index, phase) only — never the
+// worker — so count-event sample streams are worker-count invariant.
+// phaseRun keeps the exact seed formula of the original morsel scheduler.
+const (
+	phaseRun uint64 = iota
+	phaseScatter
+	phaseMerge
+	phasePlace
+)
+
+func epochSeed(pipeIdx, idx int, phase uint64) uint64 {
+	return uint64(pipeIdx)<<32 ^ uint64(idx)*0x9e3779b97f4a7c15 ^ phase<<56
+}
+
+// SinkOverflowError reports that a sink's output region cannot hold the
+// merge's worst case. The merge pre-validates headroom before writing
+// anything, so the canonical heap is untouched when this is returned.
+type SinkOverflowError struct {
+	Sink     string // pipeline name
+	Region   string // "result buffer" or "hash-table arena"
+	Needed   int64  // bytes the worst-case merge requires
+	Capacity int64  // bytes the region holds
+}
+
+func (e *SinkOverflowError) Error() string {
+	return fmt.Sprintf("engine: %s overflow merging sink of pipeline %q: need %d bytes, capacity %d",
+		e.Region, e.Sink, e.Needed, e.Capacity)
 }
 
 // RunParallel executes a compiled query with morsel-driven parallelism on
@@ -131,6 +161,7 @@ func (x *Executor) RunParallel(cq *Compiled, rs *RunState, workers int, cfg *pmu
 	}
 
 	wall := coord.TSC() // the prelude is serial coordinator work
+	var mergeCycles uint64
 
 	for pi := range cq.Pipe.Pipelines {
 		info := &cq.Pipe.Pipelines[pi]
@@ -138,11 +169,26 @@ func (x *Executor) RunParallel(cq *Compiled, rs *RunState, workers int, cfg *pmu
 		if err != nil {
 			return nil, err
 		}
+		scatterEntry, mergeEntry, placeEntry := 0, 0, 0
+		if info.Merge != nil {
+			if scatterEntry, err = funcEntry(prog, info.Merge.ScatterFunc); err != nil {
+				return nil, err
+			}
+			if mergeEntry, err = funcEntry(prog, info.Merge.MergeFunc); err != nil {
+				return nil, err
+			}
+			if info.Merge.PlaceFunc != "" {
+				if placeEntry, err = funcEntry(prog, info.Merge.PlaceFunc); err != nil {
+					return nil, err
+				}
+			}
+		}
 		spans := PartitionMorsels(pipeDomain(cq, coord, info), morselSize)
 		if len(spans) == 0 {
 			continue
 		}
 		segs := make([][]byte, len(spans))
+		cnts := make([][]int64, len(spans))
 		costs := make([]uint64, len(spans))
 
 		// Barrier entry: refresh every worker's private heap from the
@@ -154,8 +200,8 @@ func (x *Executor) RunParallel(cq *Compiled, rs *RunState, workers int, cfg *pmu
 		// Morsels are striped round-robin over the workers: morsel m runs
 		// on core m mod N. A deterministic assignment keeps each worker's
 		// microarchitectural history — and therefore its sample stream —
-		// reproducible on any host; the pull-based work-queue discipline
-		// is modeled in simulated time by makespan() below.
+		// reproducible on any host; the scheduling discipline is modeled
+		// in simulated time by makespan() below.
 		var wg sync.WaitGroup
 		for wi, w := range ws {
 			wg.Add(1)
@@ -166,12 +212,12 @@ func (x *Executor) RunParallel(cq *Compiled, rs *RunState, workers int, cfg *pmu
 						return
 					}
 					t0 := w.cpu.TSC()
-					seg, err := runMorsel(cq, w, info, entry, pi, spans[m], m, budget)
+					seg, cn, err := runMorsel(cq, w, info, entry, scatterEntry, pi, spans[m], m, budget)
 					if err != nil {
 						w.err = err
 						return
 					}
-					segs[m] = seg
+					segs[m], cnts[m] = seg, cn
 					costs[m] = w.cpu.TSC() - t0
 				}
 			}(wi, w)
@@ -183,13 +229,35 @@ func (x *Executor) RunParallel(cq *Compiled, rs *RunState, workers int, cfg *pmu
 			}
 		}
 
-		// Wall clock: the phase takes as long as the pull-based schedule's
-		// makespan in simulated time.
+		// Wall clock: the phase takes as long as the schedule's makespan
+		// in simulated time.
 		wall += makespan(costs, workers)
 
-		if err := mergePhase(cq, coord, info, segs, ws); err != nil {
+		if info.Merge != nil {
+			mw, err := mergePartitioned(cq, coord, info, mergeEntry, placeEntry, segs, cnts, ws, budget)
+			if err != nil {
+				return nil, err
+			}
+			wall += mw
+			mergeCycles += mw
+		} else if err := mergePhase(cq, coord, info, segs, ws); err != nil {
 			return nil, err
 		}
+
+		// Join bloom filters: each worker accumulated bits for its own
+		// morsels; the canonical filter is their union, which is the same
+		// bit set for any worker count (and identical to a serial run).
+		if info.Sink.Kind == pipeline.SinkJoinBuild && info.Sink.HT.BloomBits > 0 {
+			bb, n := info.Sink.HT.BloomBase, info.Sink.HT.BloomBits/8
+			for _, w := range ws {
+				for off := int64(0); off < n; off += 8 {
+					v := codegen.HeapI64(coord.Heap, bb+off) | codegen.HeapI64(w.cpu.Heap, bb+off)
+					codegen.PutHeapI64(coord.Heap, bb+off, v)
+				}
+			}
+		}
+
+		foldCounters(cq, coord, ws)
 	}
 
 	stats := coord.Stats
@@ -198,7 +266,7 @@ func (x *Executor) RunParallel(cq *Compiled, rs *RunState, workers int, cfg *pmu
 	}
 	res := &Result{
 		Cols: cq.Plan.Out(), Stats: stats, CPU: coord, PMU: coordPMU,
-		Workers: workers, WallCycles: wall,
+		Workers: workers, WallCycles: wall, MergeCycles: mergeCycles,
 	}
 	res.Rows = readRows(cq, coord)
 	sortRows(res.Rows, cq.Plan)
@@ -230,21 +298,31 @@ func (x *Executor) RunParallel(cq *Compiled, rs *RunState, workers int, cfg *pmu
 	return res, nil
 }
 
-// makespan models the morsel scheduler's pull discipline in simulated
-// time: morsels are taken in global order, each by the worker whose clock
-// is lowest (i.e. the first to go idle); the phase ends when the busiest
-// worker finishes. Deriving the wall clock from per-morsel costs instead
-// of host scheduling keeps it meaningful on any host core count.
-func makespan(costs []uint64, workers int) uint64 {
+// lptAssign distributes task costs over workers with the LPT heuristic
+// (longest processing time first): tasks are sorted by cost descending —
+// stably, so equal costs keep index order and the assignment is
+// deterministic — and each goes to the least-loaded worker. LPT's
+// makespan is within 4/3 of optimal, versus 2 for arbitrary-order greedy,
+// which matters exactly when costs are skewed (a giant morsel arriving
+// last lands on the least-loaded worker instead of stacking onto a busy
+// one). Returns the per-worker task index lists and the makespan.
+func lptAssign(costs []uint64, workers int) ([][]int, uint64) {
+	order := make([]int, len(costs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return costs[order[a]] > costs[order[b]] })
+	assign := make([][]int, workers)
 	clocks := make([]uint64, workers)
-	for _, c := range costs {
+	for _, t := range order {
 		lo := 0
 		for i := 1; i < workers; i++ {
 			if clocks[i] < clocks[lo] {
 				lo = i
 			}
 		}
-		clocks[lo] += c
+		assign[lo] = append(assign[lo], t)
+		clocks[lo] += costs[t]
 	}
 	var max uint64
 	for _, c := range clocks {
@@ -252,7 +330,16 @@ func makespan(costs []uint64, workers int) uint64 {
 			max = c
 		}
 	}
-	return max
+	return assign, max
+}
+
+// makespan models the morsel scheduler in simulated time: per-morsel
+// costs are packed onto the workers with LPT and the phase ends when the
+// busiest worker finishes. Deriving the wall clock from per-morsel costs
+// instead of host scheduling keeps it meaningful on any host core count.
+func makespan(costs []uint64, workers int) uint64 {
+	_, m := lptAssign(costs, workers)
+	return m
 }
 
 // pipeDomain returns the size of a pipeline's input domain: table rows for
@@ -269,8 +356,11 @@ func pipeDomain(cq *Compiled, coord *vm.CPU, info *pipeline.PipelineInfo) int64 
 
 // runMorsel executes one morsel on a worker: stage the bounds, reset the
 // sink partition, re-arm sampling deterministically, call the pipeline
-// function, and snapshot the partition the morsel produced.
-func runMorsel(cq *Compiled, w *parWorker, info *pipeline.PipelineInfo, entry, pipeIdx int, sp Span, morsel int, budget uint64) ([]byte, error) {
+// function, and snapshot the partition the morsel produced. For a
+// partitioned sink it additionally runs the generated scatter kernel on
+// the same worker and snapshots the radix-scattered copy plus the
+// per-partition entry counts instead of the raw segment.
+func runMorsel(cq *Compiled, w *parWorker, info *pipeline.PipelineInfo, entry, scatterEntry, pipeIdx int, sp Span, morsel int, budget uint64) ([]byte, []int64, error) {
 	lay := cq.Layout
 	heap := w.cpu.Heap
 
@@ -280,52 +370,276 @@ func runMorsel(cq *Compiled, w *parWorker, info *pipeline.PipelineInfo, entry, p
 		lo = ht.Arena + sp.Lo*ht.EntrySize
 		hi = ht.Arena + sp.Hi*ht.EntrySize
 	}
-	putHeapI64(heap, lay.MorselStart(pipeIdx), lo)
-	putHeapI64(heap, lay.MorselEnd(pipeIdx), hi)
+	codegen.PutHeapI64(heap, lay.MorselStart(pipeIdx), lo)
+	codegen.PutHeapI64(heap, lay.MorselEnd(pipeIdx), hi)
 
 	sink := &info.Sink
 	switch sink.Kind {
 	case pipeline.SinkOutput:
-		putHeapI64(heap, lay.ResultDesc+codegen.AllocDescCursor, cq.resultBase)
+		codegen.PutHeapI64(heap, lay.ResultDesc+codegen.AllocDescCursor, cq.resultBase)
 	case pipeline.SinkJoinBuild, pipeline.SinkGJBuild:
-		putHeapI64(heap, sink.HT.Desc+codegen.HTDescCursor, sink.HT.Arena)
+		codegen.PutHeapI64(heap, sink.HT.Desc+codegen.HTDescCursor, sink.HT.Arena)
 	case pipeline.SinkGroupAgg:
 		// Per-morsel private group table: clean directory + empty arena.
-		putHeapI64(heap, sink.HT.Desc+codegen.HTDescCursor, sink.HT.Arena)
+		codegen.PutHeapI64(heap, sink.HT.Desc+codegen.HTDescCursor, sink.HT.Arena)
 		clear(heap[sink.HT.Dir : sink.HT.Dir+sink.HT.DirSlots*8])
 	}
 
 	// The sampling epoch depends only on (pipeline, global morsel index):
 	// count-event sample positions are then worker-independent.
-	w.cpu.ReArm(uint64(pipeIdx)<<32 ^ uint64(morsel)*0x9e3779b97f4a7c15)
+	w.cpu.ReArm(epochSeed(pipeIdx, morsel, phaseRun))
 
 	if _, err := w.cpu.CallFunction(entry, budget); err != nil {
-		return nil, fmt.Errorf("pipeline %d morsel %d (worker %d): %w", pipeIdx, morsel, w.id, err)
+		return nil, nil, fmt.Errorf("pipeline %d morsel %d (worker %d): %w", pipeIdx, morsel, w.id, err)
+	}
+
+	if info.Merge != nil {
+		// Scatter the fresh segment by hash partition (generated code, its
+		// own deterministic sampling epoch; the cost lands in this morsel's
+		// TSC window, so the run-phase makespan includes it).
+		ht := sink.HT
+		w.cpu.ReArm(epochSeed(pipeIdx, morsel, phaseScatter))
+		if _, err := w.cpu.CallFunction(scatterEntry, budget); err != nil {
+			return nil, nil, fmt.Errorf("pipeline %d morsel %d scatter (worker %d): %w", pipeIdx, morsel, w.id, err)
+		}
+		cur := codegen.HeapI64(heap, ht.Desc+codegen.HTDescCursor)
+		cn := make([]int64, ht.Partitions)
+		for p := int64(0); p < ht.Partitions; p++ {
+			cn[p] = codegen.HeapI64(heap, ht.MergeCnt+p*8)
+		}
+		seg := append([]byte(nil), heap[ht.ScatterOut:ht.ScatterOut+(cur-ht.Arena)]...)
+		return seg, cn, nil
 	}
 
 	switch sink.Kind {
 	case pipeline.SinkOutput:
-		cur := heapI64(heap, lay.ResultDesc+codegen.AllocDescCursor)
-		return append([]byte(nil), heap[cq.resultBase:cur]...), nil
+		cur := codegen.HeapI64(heap, lay.ResultDesc+codegen.AllocDescCursor)
+		return append([]byte(nil), heap[cq.resultBase:cur]...), nil, nil
 	case pipeline.SinkJoinBuild, pipeline.SinkGJBuild, pipeline.SinkGroupAgg:
-		cur := heapI64(heap, sink.HT.Desc+codegen.HTDescCursor)
-		return append([]byte(nil), heap[sink.HT.Arena:cur]...), nil
+		cur := codegen.HeapI64(heap, sink.HT.Desc+codegen.HTDescCursor)
+		return append([]byte(nil), heap[sink.HT.Arena:cur]...), nil, nil
 	}
-	return nil, nil // SinkGJProbe: in-place updates, merged from the heap
+	return nil, nil, nil // SinkGJProbe: in-place updates, merged from the heap
+}
+
+// mergePartitioned fans the merge of a partitioned sink out across the
+// workers as generated partition-merge kernels (DESIGN.md §11). Each
+// partition owns a disjoint directory slot range and a disjoint set of
+// destination entries, so kernels run lock-free and their writes copy
+// back to the canonical heap without coordination. Returns the merge
+// phase's simulated makespan: the slowest worker's kernel cycles plus the
+// coordinator's placement kernel (group-by sinks).
+func mergePartitioned(cq *Compiled, coord *vm.CPU, info *pipeline.PipelineInfo, mergeEntry, placeEntry int, segs [][]byte, cnts [][]int64, ws []*parWorker, budget uint64) (uint64, error) {
+	sink := &info.Sink
+	ht := sink.HT
+	es := ht.EntrySize
+	P := int(ht.Partitions)
+	pipeIdx := info.Index
+	upsert := sink.Kind == pipeline.SinkGroupAgg
+
+	// Global sequence base per morsel (prefix sums of entry counts).
+	total := int64(0)
+	segBase := make([]int64, len(segs))
+	for m, seg := range segs {
+		segBase[m] = total
+		total += int64(len(seg)) / es
+	}
+
+	// Pre-validate worst-case arena headroom — every staged entry a fresh
+	// group/entry — before staging anything, mirroring the SinkOutput
+	// check. Structured, so callers can name the overflowing sink.
+	if need := total * es; need > ht.ArenaEnd-ht.Arena {
+		return 0, &SinkOverflowError{
+			Sink: info.Name, Region: "hash-table arena",
+			Needed: need, Capacity: ht.ArenaEnd - ht.Arena,
+		}
+	}
+
+	// Stage each partition's entries in global sequence order (morsels are
+	// already seq-ascending internally: the scatter is a stable counting
+	// sort), with the side vector the kernel consumes: destination
+	// addresses (insert sinks) or global sequence numbers (upsert sinks).
+	staged := make([][]byte, P)
+	vecs := make([][]int64, P)
+	for m, seg := range segs {
+		off := int64(0)
+		for p := 0; p < P; p++ {
+			for k := int64(0); k < cnts[m][p]; k++ {
+				seq := segBase[m] + codegen.HeapI64(seg, off+codegen.HTEntryNext)
+				if upsert {
+					vecs[p] = append(vecs[p], seq)
+				} else {
+					vecs[p] = append(vecs[p], ht.Arena+seq*es)
+				}
+				staged[p] = append(staged[p], seg[off:off+es]...)
+				off += es
+			}
+		}
+	}
+
+	// runRound fans one kernel round out across the workers: partitions
+	// are LPT-assigned by staged entry count (empty ones cost nothing and
+	// are skipped), each kernel call gets its own deterministic sampling
+	// epoch, and collect reads the kernel's output off the worker heap.
+	// Returns the round's simulated makespan (slowest worker).
+	spp := int64(1) << ht.SlotShift // directory slots per partition
+	runRound := func(entry int, phase uint64, staged [][]byte, vecs [][]int64, collect func(p int, heap []byte)) (uint64, error) {
+		pcosts := make([]uint64, P)
+		for p := range pcosts {
+			pcosts[p] = uint64(len(vecs[p]))
+		}
+		assign, _ := lptAssign(pcosts, len(ws))
+		clocks := make([]uint64, len(ws))
+		errs := make([]error, len(ws))
+		var wg sync.WaitGroup
+		for wi, w := range ws {
+			if len(assign[wi]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(wi int, w *parWorker, parts []int) {
+				defer wg.Done()
+				heap := w.cpu.Heap
+				for _, p := range parts {
+					if len(vecs[p]) == 0 {
+						continue
+					}
+					nb := int64(len(staged[p]))
+					copy(heap[ht.MergeSrc:], staged[p])
+					for k, v := range vecs[p] {
+						codegen.PutHeapI64(heap, ht.MergeVec+int64(k)*8, v)
+					}
+					codegen.PutHeapI64(heap, ht.MergeParam+pipeline.MPSrc, ht.MergeSrc)
+					codegen.PutHeapI64(heap, ht.MergeParam+pipeline.MPEnd, ht.MergeSrc+nb)
+					codegen.PutHeapI64(heap, ht.MergeParam+pipeline.MPVec, ht.MergeVec)
+					codegen.PutHeapI64(heap, ht.MergeParam+pipeline.MPPart, int64(p))
+					w.cpu.ReArm(epochSeed(pipeIdx, p, phase))
+					t0 := w.cpu.TSC()
+					if _, err := w.cpu.CallFunction(entry, budget); err != nil {
+						errs[wi] = fmt.Errorf("pipeline %d partition %d merge (worker %d): %w", pipeIdx, p, w.id, err)
+						return
+					}
+					clocks[wi] += w.cpu.TSC() - t0
+					collect(p, heap)
+				}
+			}(wi, w, assign[wi])
+		}
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				return 0, e
+			}
+		}
+		var max uint64
+		for _, c := range clocks {
+			if c > max {
+				max = c
+			}
+		}
+		return max, nil
+	}
+	// copyBack moves a finished partition from a worker heap to the
+	// canonical one: the entries at their destination addresses plus the
+	// partition's directory slot range. Partitions are disjoint in both,
+	// so concurrent copy-backs never collide.
+	copyBack := func(p int, heap []byte, dsts []int64) {
+		for _, dst := range dsts {
+			copy(coord.Heap[dst:dst+es], heap[dst:dst+es])
+		}
+		dlo := ht.Dir + int64(p)*spp*8
+		copy(coord.Heap[dlo:dlo+spp*8], heap[dlo:dlo+spp*8])
+	}
+
+	if !upsert {
+		mergeWall, err := runRound(mergeEntry, phaseMerge, staged, vecs, func(p int, heap []byte) {
+			copyBack(p, heap, vecs[p])
+		})
+		if err != nil {
+			return 0, err
+		}
+		coord.WriteI64(ht.Desc+codegen.HTDescCursor, ht.Arena+total*es)
+		return mergeWall, nil
+	}
+
+	// Group-by round 1: partition-local upsert. Kernels deduplicate their
+	// staged entries into per-partition group lists (first-occurrence
+	// order) and report each group's global sequence number.
+	var mu sync.Mutex
+	outs := make([][]byte, P)  // deduplicated groups per partition
+	seqs := make([][]int64, P) // first-occurrence seq per group
+	mergeWall, err := runRound(mergeEntry, phaseMerge, staged, vecs, func(p int, heap []byte) {
+		outEnd := codegen.HeapI64(heap, ht.MergeParam+pipeline.MPOut)
+		ng := (outEnd - ht.MergeOut) / es
+		sq := make([]int64, ng)
+		for k := int64(0); k < ng; k++ {
+			sq[k] = codegen.HeapI64(heap, ht.MergeSeq+k*8)
+		}
+		mu.Lock()
+		outs[p] = append([]byte(nil), heap[ht.MergeOut:outEnd]...)
+		seqs[p] = sq
+		mu.Unlock()
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	// Group-by round 2: parallel placement. Sequence numbers are unique,
+	// so sorting the (partition, index) references by seq reproduces the
+	// serial insertion order exactly — the group with global rank i lives
+	// at Arena + i*es, just as in the serial run. A group's directory
+	// slot determines its partition, so chains are partition-local and
+	// the placement is another run of the insert kernel: partitions in
+	// parallel on the workers, each re-linking its own slot range.
+	type gref struct {
+		seq int64
+		p   int
+		k   int64
+	}
+	var refs []gref
+	for p := 0; p < P; p++ {
+		for k, s := range seqs[p] {
+			refs = append(refs, gref{s, p, int64(k)})
+		}
+	}
+	sort.Slice(refs, func(a, b int) bool { return refs[a].seq < refs[b].seq })
+	dsts := make([][]int64, P)
+	for p := 0; p < P; p++ {
+		dsts[p] = make([]int64, len(seqs[p]))
+	}
+	for i, rf := range refs {
+		dsts[rf.p][rf.k] = ht.Arena + int64(i)*es
+	}
+	placeWall, err := runRound(placeEntry, phasePlace, outs, dsts, func(p int, heap []byte) {
+		copyBack(p, heap, dsts[p])
+	})
+	if err != nil {
+		return 0, err
+	}
+	coord.WriteI64(ht.Desc+codegen.HTDescCursor, ht.Arena+int64(len(refs))*es)
+	return mergeWall + placeWall, nil
 }
 
 // mergePhase folds the per-morsel partitions back into the canonical heap
-// in global morsel order, then folds the tuple-counter deltas.
+// in global morsel order. It serves the sinks that are always host-merged
+// (result output, group-join probes) and is the serial fallback — and
+// determinism oracle — for the partitioned sinks when Partitions is 0.
 func mergePhase(cq *Compiled, coord *vm.CPU, info *pipeline.PipelineInfo, segs [][]byte, ws []*parWorker) error {
 	sink := &info.Sink
 	switch sink.Kind {
 	case pipeline.SinkOutput:
 		cursorAddr := cq.Layout.ResultDesc + codegen.AllocDescCursor
 		cur := coord.ReadI64(cursorAddr)
+		staged := int64(0)
 		for _, seg := range segs {
-			if cur+int64(len(seg)) > cq.resultEnd {
-				return fmt.Errorf("engine: result buffer overflow during merge")
+			staged += int64(len(seg))
+		}
+		if cur+staged > cq.resultEnd {
+			return &SinkOverflowError{
+				Sink: info.Name, Region: "result buffer",
+				Needed: cur + staged - cq.resultBase, Capacity: cq.resultEnd - cq.resultBase,
 			}
+		}
+		for _, seg := range segs {
 			copy(coord.Heap[cur:], seg)
 			cur += int64(len(seg))
 		}
@@ -341,13 +655,20 @@ func mergePhase(cq *Compiled, coord *vm.CPU, info *pipeline.PipelineInfo, segs [
 		cursorAddr := ht.Desc + codegen.HTDescCursor
 		cur := coord.ReadI64(cursorAddr)
 		es := int(ht.EntrySize)
+		staged := int64(0)
+		for _, seg := range segs {
+			staged += int64(len(seg))
+		}
+		if cur+staged > ht.ArenaEnd {
+			return &SinkOverflowError{
+				Sink: info.Name, Region: "hash-table arena",
+				Needed: cur + staged - ht.Arena, Capacity: ht.ArenaEnd - ht.Arena,
+			}
+		}
 		for _, seg := range segs {
 			for off := 0; off+es <= len(seg); off += es {
-				if cur+ht.EntrySize > ht.ArenaEnd {
-					return fmt.Errorf("engine: hash-table arena overflow during merge")
-				}
 				copy(coord.Heap[cur:], seg[off:off+es])
-				h := heapI64(seg, int64(off)+codegen.HTEntryHash)
+				h := codegen.HeapI64(seg, int64(off)+codegen.HTEntryHash)
 				slotAddr := ht.Dir + (h&mask)*8
 				coord.WriteI64(cur+codegen.HTEntryNext, coord.ReadI64(slotAddr))
 				coord.WriteI64(slotAddr, cur)
@@ -365,16 +686,28 @@ func mergePhase(cq *Compiled, coord *vm.CPU, info *pipeline.PipelineInfo, segs [
 		cursorAddr := ht.Desc + codegen.HTDescCursor
 		cur := coord.ReadI64(cursorAddr)
 		es := int(ht.EntrySize)
+		// Worst-case headroom: every staged entry becomes a fresh group.
+		// Checked up front so the canonical heap is never left half-merged.
+		staged := int64(0)
+		for _, seg := range segs {
+			staged += int64(len(seg))
+		}
+		if cur+staged > ht.ArenaEnd {
+			return &SinkOverflowError{
+				Sink: info.Name, Region: "hash-table arena",
+				Needed: cur + staged - ht.Arena, Capacity: ht.ArenaEnd - ht.Arena,
+			}
+		}
 		for _, seg := range segs {
 			for off := 0; off+es <= len(seg); off += es {
-				h := heapI64(seg, int64(off)+codegen.HTEntryHash)
+				h := codegen.HeapI64(seg, int64(off)+codegen.HTEntryHash)
 				slotAddr := ht.Dir + (h&mask)*8
 				addr := coord.ReadI64(slotAddr)
 				for addr != 0 {
 					match := true
 					for k := 0; k < sink.NKeys; k++ {
 						ko := sink.KeyOff + int64(k)*8
-						if coord.ReadI64(addr+ko) != heapI64(seg, int64(off)+ko) {
+						if coord.ReadI64(addr+ko) != codegen.HeapI64(seg, int64(off)+ko) {
 							match = false
 							break
 						}
@@ -387,9 +720,6 @@ func mergePhase(cq *Compiled, coord *vm.CPU, info *pipeline.PipelineInfo, segs [
 				if addr != 0 {
 					combineAggs(coord, addr, seg[off:off+es], sink)
 					continue
-				}
-				if cur+ht.EntrySize > ht.ArenaEnd {
-					return fmt.Errorf("engine: hash-table arena overflow during merge")
 				}
 				copy(coord.Heap[cur:], seg[off:off+es])
 				coord.WriteI64(cur+codegen.HTEntryNext, coord.ReadI64(slotAddr))
@@ -411,20 +741,20 @@ func mergePhase(cq *Compiled, coord *vm.CPU, info *pipeline.PipelineInfo, segs [
 			for off := int64(0); off < n; off += ht.EntrySize {
 				addr := ht.Arena + off
 				mo := sink.MatchOff
-				d := heapI64(w.cpu.Heap, addr+mo) - heapI64(base, off+mo)
+				d := codegen.HeapI64(w.cpu.Heap, addr+mo) - codegen.HeapI64(base, off+mo)
 				if d != 0 {
 					coord.WriteI64(addr+mo, coord.ReadI64(addr+mo)+d)
 				}
 				for i, fn := range sink.Aggs {
 					ao := sink.AggOffs[i]
-					wv := heapI64(w.cpu.Heap, addr+ao)
+					wv := codegen.HeapI64(w.cpu.Heap, addr+ao)
 					switch fn {
 					case plan.AggSum, plan.AggCount:
-						coord.WriteI64(addr+ao, coord.ReadI64(addr+ao)+wv-heapI64(base, off+ao))
+						coord.WriteI64(addr+ao, coord.ReadI64(addr+ao)+wv-codegen.HeapI64(base, off+ao))
 					case plan.AggAvg:
-						coord.WriteI64(addr+ao, coord.ReadI64(addr+ao)+wv-heapI64(base, off+ao))
-						wc := heapI64(w.cpu.Heap, addr+ao+8)
-						coord.WriteI64(addr+ao+8, coord.ReadI64(addr+ao+8)+wc-heapI64(base, off+ao+8))
+						coord.WriteI64(addr+ao, coord.ReadI64(addr+ao)+wv-codegen.HeapI64(base, off+ao))
+						wc := codegen.HeapI64(w.cpu.Heap, addr+ao+8)
+						coord.WriteI64(addr+ao+8, coord.ReadI64(addr+ao+8)+wc-codegen.HeapI64(base, off+ao+8))
 					case plan.AggMin:
 						if wv < coord.ReadI64(addr+ao) {
 							coord.WriteI64(addr+ao, wv)
@@ -438,22 +768,27 @@ func mergePhase(cq *Compiled, coord *vm.CPU, info *pipeline.PipelineInfo, segs [
 			}
 		}
 	}
+	return nil
+}
 
-	// Tuple counters: fold each worker's per-phase delta. The coordinator
-	// was idle during the phase, so its counters are the phase baseline.
-	if cb := cq.Layout.CounterBase; cb != 0 {
-		for s := int64(0); s < counterSlots; s++ {
-			baseV := coord.ReadI64(cb + s*8)
-			total := baseV
-			for _, w := range ws {
-				total += heapI64(w.cpu.Heap, cb+s*8) - baseV
-			}
-			if total != baseV {
-				coord.WriteI64(cb+s*8, total)
-			}
+// foldCounters folds each worker's per-phase tuple-counter delta into the
+// canonical heap. The coordinator was idle during the phase, so its
+// counters are the phase baseline.
+func foldCounters(cq *Compiled, coord *vm.CPU, ws []*parWorker) {
+	cb := cq.Layout.CounterBase
+	if cb == 0 {
+		return
+	}
+	for s := int64(0); s < counterSlots; s++ {
+		baseV := coord.ReadI64(cb + s*8)
+		total := baseV
+		for _, w := range ws {
+			total += codegen.HeapI64(w.cpu.Heap, cb+s*8) - baseV
+		}
+		if total != baseV {
+			coord.WriteI64(cb+s*8, total)
 		}
 	}
-	return nil
 }
 
 // combineAggs folds one partition entry's aggregate state into the
@@ -462,13 +797,13 @@ func mergePhase(cq *Compiled, coord *vm.CPU, info *pipeline.PipelineInfo, segs [
 func combineAggs(coord *vm.CPU, dst int64, entry []byte, sink *pipeline.SinkInfo) {
 	for i, fn := range sink.Aggs {
 		off := sink.AggOffs[i]
-		v := heapI64(entry, off)
+		v := codegen.HeapI64(entry, off)
 		switch fn {
 		case plan.AggSum, plan.AggCount:
 			coord.WriteI64(dst+off, coord.ReadI64(dst+off)+v)
 		case plan.AggAvg:
 			coord.WriteI64(dst+off, coord.ReadI64(dst+off)+v)
-			cnt := heapI64(entry, off+8)
+			cnt := codegen.HeapI64(entry, off+8)
 			coord.WriteI64(dst+off+8, coord.ReadI64(dst+off+8)+cnt)
 		case plan.AggMin:
 			if v < coord.ReadI64(dst+off) {
@@ -492,16 +827,6 @@ func funcEntry(prog *isa.Program, name string) (int, error) {
 	return 0, fmt.Errorf("engine: no symbol %q in program", name)
 }
 
-// heapI64 reads a little-endian int64 from a raw byte region.
-func heapI64(b []byte, off int64) int64 {
-	return int64(binary.LittleEndian.Uint64(b[off:]))
-}
-
-// putHeapI64 writes a little-endian int64 into a raw byte region.
-func putHeapI64(b []byte, off, v int64) {
-	binary.LittleEndian.PutUint64(b[off:], uint64(v))
-}
-
 // addStats accumulates per-worker execution statistics.
 func addStats(dst, src *vm.Stats) {
 	dst.Instructions += src.Instructions
@@ -517,3 +842,4 @@ func addStats(dst, src *vm.Stats) {
 	dst.MemAccesses += src.MemAccesses
 	dst.Calls += src.Calls
 }
+

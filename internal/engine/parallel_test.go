@@ -159,7 +159,12 @@ func TestParallelProfileNearSerial(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			// Legacy host merge: the partitioned merge runs generated
+			// scatter/merge kernels that exist only in parallel runs, so
+			// their (deliberate, profiled) samples would skew the shares
+			// this test compares; merge attribution has its own tests.
 			par := parallelEngine(t, 4)
+			par.Opts.Partitions = 0
 			pcq, err := par.CompileQuery(w.Query)
 			if err != nil {
 				t.Fatal(err)

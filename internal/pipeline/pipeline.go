@@ -64,7 +64,47 @@ type HTLayout struct {
 	Arena     int64 // entry arena base
 	ArenaEnd  int64
 	EntrySize int64
+
+	// Partitioned-merge regions (DESIGN.md §11). Partitions == 0 disables
+	// the partitioned merge for this table; otherwise Partitions is a
+	// power of two <= DirSlots and partition p owns the directory slot
+	// range [p<<SlotShift, (p+1)<<SlotShift) — the top bits of the slot
+	// index (equivalently, bits [SlotShift, log2(DirSlots)) of the entry
+	// hash), so partitions tile the directory disjointly.
+	Partitions int64
+	SlotShift  int64 // log2(DirSlots / Partitions)
+	ScatterOut int64 // radix-scattered copy of one morsel's segment (arena-sized)
+	MergeCnt   int64 // Partitions slots: per-partition histogram counts
+	MergeCur   int64 // Partitions slots: scatter write cursors
+	MergeSrc   int64 // staged merge-kernel input (arena-sized)
+	MergeVec   int64 // per-entry side vector: dst addresses / global seqs / place script
+	MergeOut   int64 // group-by only: per-partition deduped group output (arena-sized)
+	MergeSeq   int64 // group-by only: per-group first-occurrence seq vector
+	MergeParam int64 // merge-kernel parameter block (MergeParamSlots slots)
+
+	// Bloom filter (join builds only; BloomBits == 0 disables it). The
+	// filter spans BloomBits bits (a power of two, BloomBits/8 bytes at
+	// BloomBase); build code sets two bits per entry from the crc32 pair,
+	// probe code tests both before touching the directory.
+	BloomBase int64
+	BloomBits int64
 }
+
+// Merge-kernel parameter block slots (offsets from HTLayout.MergeParam).
+// The host stages a partition's work into these before calling a merge
+// kernel on a worker CPU; the upsert kernel writes its output cursor back
+// through MPOut.
+const (
+	MPSrc  = 0  // staged input base (insert/upsert) or place script base
+	MPEnd  = 8  // staged input end / script end
+	MPVec  = 16 // side-vector base (dst addresses or global seqs)
+	MPPart = 24 // partition index
+	MPOut  = 32 // upsert: group output cursor (kernel-updated)
+	MPSeq  = 40 // upsert: first-occurrence seq output base
+
+	// MergeParamSlots is the parameter block size in 8-byte slots.
+	MergeParamSlots = 6
+)
 
 // Layout is the heap layout the engine prepared: where the state area,
 // column bases, hash tables and the result buffer live.
@@ -170,6 +210,21 @@ type SinkInfo struct {
 	AggOffs  []int64 // per-aggregate offset within the entry
 }
 
+// MergeInfo describes a sink pipeline's generated merge kernels (nil when
+// the sink is not partitioned). ScatterFunc runs per morsel on the worker
+// that produced the segment; MergeFunc runs once per partition, fanned out
+// across the workers; PlaceFunc (group-by sinks only) runs once on the
+// coordinator to lay groups out in global first-occurrence order.
+type MergeInfo struct {
+	Partitions  int64
+	ScatterFunc string
+	MergeFunc   string
+	PlaceFunc   string // "" except for SinkGroupAgg
+	ScatterTask core.ComponentID
+	MergeTask   core.ComponentID
+	PlaceTask   core.ComponentID // NoComponent except for SinkGroupAgg
+}
+
 // PipelineInfo describes one generated pipeline.
 type PipelineInfo struct {
 	Index  int
@@ -178,6 +233,7 @@ type PipelineInfo struct {
 	Tasks  []core.ComponentID
 	Driver DriverInfo
 	Sink   SinkInfo
+	Merge  *MergeInfo // nil unless the sink merge is partitioned
 }
 
 // Compiled is the result of lowering a plan.
@@ -208,7 +264,23 @@ const (
 	roleOutput role = "output"
 	roleGJJoin role = "gj-join"
 	roleGJAgg  role = "gj-agg"
+
+	// Merge-kernel roles: the partition-merge tasks of DESIGN.md §11.
+	roleMergeScatter role = "merge-scatter"
+	roleMergeInsert  role = "merge-insert"
+	roleMergeUpsert  role = "merge-upsert"
+	roleMergePlace   role = "merge-place"
 )
+
+// MergeRole reports whether a task kind (as registered in the component
+// registry) names a partitioned-merge kernel task.
+func MergeRole(kind string) bool {
+	switch role(kind) {
+	case roleMergeScatter, roleMergeInsert, roleMergeUpsert, roleMergePlace:
+		return true
+	}
+	return false
+}
 
 type taskKey struct {
 	node plan.Node
@@ -283,6 +355,14 @@ func Compile(out *plan.Output, lay *Layout, opts Options) (*Compiled, error) {
 			return nil, err
 		}
 	}
+	// Merge kernels for partitioned sinks: first-class tasks lowered
+	// through the same IR path, so merge cycles are profiled code.
+	merges := map[*pipe]*MergeInfo{}
+	for _, p := range c.pipes {
+		if mi := c.genMergeKernels(p); mi != nil {
+			merges[p] = mi
+		}
+	}
 	c.genMain()
 
 	if err := c.module.Verify(); err != nil {
@@ -303,7 +383,7 @@ func Compile(out *plan.Output, lay *Layout, opts Options) (*Compiled, error) {
 	for _, p := range c.pipes {
 		cd.Pipelines = append(cd.Pipelines, PipelineInfo{
 			Index: p.index, Name: p.name, Func: funcName(p.index), Tasks: p.tasks,
-			Driver: c.driverInfo(p), Sink: c.sinkInfo(p),
+			Driver: c.driverInfo(p), Sink: c.sinkInfo(p), Merge: merges[p],
 		})
 	}
 	return cd, nil

@@ -29,6 +29,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/pipeline"
 )
 
 // Severity ranks a diagnostic.
@@ -84,6 +85,11 @@ type Artifact struct {
 	// PGO marks a profile-guided compile: only then may NativeMap.Inverted
 	// carry set bits (the layout pass is the only writer).
 	PGO bool
+
+	// Pipelines and Layout carry the lowering's pipeline metadata for the
+	// partitioned-merge checks (MergeInvariants); nil disables them.
+	Pipelines []pipeline.PipelineInfo
+	Layout    *pipeline.Layout
 }
 
 // Checker is one analysis pass over an artifact.
@@ -106,10 +112,10 @@ type Suite struct {
 func NewSuite(cs ...Checker) *Suite { return &Suite{Checkers: cs} }
 
 // ArtifactSuite returns the standard artifact battery: IR well-formedness,
-// dictionary soundness, native invariants. (The source linter is not an
-// artifact checker; see Lint.)
+// dictionary soundness, native invariants, partitioned-merge invariants.
+// (The source linter is not an artifact checker; see Lint.)
 func ArtifactSuite() *Suite {
-	return NewSuite(IRWellFormed{}, DictSoundness{}, NativeInvariants{})
+	return NewSuite(IRWellFormed{}, DictSoundness{}, NativeInvariants{}, MergeInvariants{})
 }
 
 // Run executes every checker and returns all diagnostics, tagged with the

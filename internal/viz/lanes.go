@@ -15,6 +15,15 @@ import (
 // are per-core activity profiles, not a globally aligned timeline.
 // Darkness = share of the lane's busiest bin.
 func WorkerLanes(samples []core.Sample, width int) string {
+	return WorkerLanesTagged(samples, width, nil)
+}
+
+// WorkerLanesTagged is WorkerLanes with an overlay: tagged is a sample
+// predicate (e.g. "attributes to a partitioned-merge kernel task"), and
+// every lane with tagged samples gets a marker row underneath flagging the
+// bins where tagged samples dominate (>½ of the bin) with '^'. A nil
+// predicate renders the plain lanes.
+func WorkerLanesTagged(samples []core.Sample, width int, tagged func(*core.Sample) bool) string {
 	if width <= 0 {
 		width = 60
 	}
@@ -42,13 +51,20 @@ func WorkerLanes(samples []core.Sample, width int) string {
 			}
 		}
 		bins := make([]int, width)
+		tbins := make([]int, width)
+		nTagged := 0
 		span := hi - lo
-		for _, s := range ss {
+		for i := range ss {
+			s := &ss[i]
 			b := 0
 			if span > 0 {
 				b = int(uint64(width-1) * (s.TSC - lo) / span)
 			}
 			bins[b]++
+			if tagged != nil && tagged(s) {
+				tbins[b]++
+				nTagged++
+			}
 		}
 		peak := 0
 		for _, n := range bins {
@@ -65,6 +81,17 @@ func WorkerLanes(samples []core.Sample, width int) string {
 			sb.WriteByte(shade(float64(n) / float64(peak)))
 		}
 		fmt.Fprintf(&sb, "| %d samples\n", len(ss))
+		if nTagged > 0 {
+			fmt.Fprintf(&sb, "%-9s |", "")
+			for b, n := range bins {
+				if n > 0 && tbins[b]*2 > n {
+					sb.WriteByte('^')
+				} else {
+					sb.WriteByte(' ')
+				}
+			}
+			fmt.Fprintf(&sb, "| %d tagged\n", nTagged)
+		}
 	}
 	return sb.String()
 }

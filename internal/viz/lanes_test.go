@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/engine"
 	"repro/internal/pmu"
@@ -42,6 +43,32 @@ func TestWorkerLanes(t *testing.T) {
 		if !strings.Contains(l, "|") || !strings.HasSuffix(l, "samples") {
 			t.Errorf("malformed lane line %q", l)
 		}
+	}
+}
+
+func TestWorkerLanesTagged(t *testing.T) {
+	// Synthetic stream: worker 1's early bins are all tagged (merge
+	// kernel), its late bins untagged; worker 2 has no tagged samples and
+	// must not get a marker row.
+	var ss []core.Sample
+	for i := 0; i < 20; i++ {
+		ss = append(ss, core.Sample{Worker: 1, TSC: uint64(100 + i), Tag: 7})
+		ss = append(ss, core.Sample{Worker: 1, TSC: uint64(1000 + i)})
+		ss = append(ss, core.Sample{Worker: 2, TSC: uint64(500 + i)})
+	}
+	out := WorkerLanesTagged(ss, 40, func(s *core.Sample) bool { return s.Tag == 7 })
+	if !strings.Contains(out, "| 20 tagged") {
+		t.Fatalf("missing tagged marker row:\n%s", out)
+	}
+	if !strings.Contains(out, "^") {
+		t.Fatalf("no '^' markers in overlay:\n%s", out)
+	}
+	if strings.Count(out, "tagged") != 1 {
+		t.Fatalf("worker 2 has no tagged samples and should have no marker row:\n%s", out)
+	}
+	// Plain WorkerLanes must render no overlay at all.
+	if plain := WorkerLanes(ss, 40); strings.Contains(plain, "tagged") {
+		t.Fatalf("nil predicate rendered an overlay:\n%s", plain)
 	}
 }
 
