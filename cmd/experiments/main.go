@@ -15,7 +15,10 @@
 //	experiments -exp table1       Table 1 optimization support matrix
 //	experiments -exp parallel     morsel-driven scaling on simulated cores
 //	experiments -exp pgo          profile-guided recompilation cycle deltas
+//	experiments -exp ce           cardinality-estimation q-error sweep
 //	experiments -exp loc          Table 3 implementation effort
+//
+// -out FILE additionally writes the ce report as JSON (BENCH_ce.json).
 package main
 
 import (
@@ -31,6 +34,7 @@ func main() {
 	sf := flag.Float64("sf", 0.2, "data scale factor (1.0 ≈ TPC-H SF 0.01)")
 	seed := flag.Uint64("seed", 42, "data generator seed")
 	root := flag.String("root", ".", "repository root (for -exp loc)")
+	out := flag.String("out", "", "write the ce report as JSON to this file")
 	flag.Parse()
 
 	env := experiments.NewEnv(*sf, *seed)
@@ -54,6 +58,19 @@ func main() {
 		{"parallel", env.Parallel},
 		{"merge", func() (string, error) { s, _, err := env.Merge(); return s, err }},
 		{"pgo", func() (string, error) { s, _, err := env.PGO(); return s, err }},
+		{"ce", func() (string, error) {
+			s, rep, err := env.CE()
+			if err == nil && *out != "" {
+				b, jerr := rep.JSON()
+				if jerr == nil {
+					jerr = os.WriteFile(*out, b, 0o644)
+				}
+				if jerr != nil {
+					return s, jerr
+				}
+			}
+			return s, err
+		}},
 		{"loc", func() (string, error) { return experiments.LoC(*root) }},
 	}
 

@@ -1,7 +1,7 @@
 // Command tprofvet is the static verification driver for the Tailored
 // Profiling toolchain. It has two modes:
 //
-//	tprofvet check [-sf 0.05] [-workers 1,4] [-pgo] [-cache] [-merge] [-q name]
+//	tprofvet check [-sf 0.05] [-workers 1,4] [-pgo] [-cache] [-merge] [-cost] [-q name]
 //	tprofvet lint [root]
 //
 // check compiles the full query corpus with Engine.VerifyArtifacts on,
@@ -16,7 +16,11 @@
 // -merge it verifies the partitioned parallel merge: the static
 // MergeInvariants battery (kernel lineage tags, bloom bounds, partition
 // slot-range disjointness) plus exact-row determinism against the serial
-// oracle and PMU attribution of the generated merge kernels. lint
+// oracle and PMU attribution of the generated merge kernels. With -cost
+// it verifies the cost layer over the SQL suite: every plan node must
+// carry a consistent cardinality/cycle estimate (cost.CheckModel), and a
+// counter-instrumented run of every plan must yield true row counts that
+// all map to live Tagging Dictionary tags (cost.CheckObserved). lint
 // type-checks the repository and applies the source rules (no math/rand
 // outside internal/xrand, no fmt.Sprintf on the compile hot path, no
 // mutex-by-value, no time.Now in the VM/PMU).
@@ -34,12 +38,15 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/datagen"
 	"repro/internal/engine"
 	"repro/internal/pipeline"
+	"repro/internal/plan"
 	"repro/internal/pmu"
 	"repro/internal/queries"
 	"repro/internal/ref"
+	"repro/internal/sqlparse"
 	"repro/internal/verify"
 	"repro/internal/vm"
 )
@@ -71,6 +78,7 @@ func runCheck(args []string) int {
 	pgo := fs.Bool("pgo", false, "additionally verify one profile-guided recompilation per query")
 	cache := fs.Bool("cache", false, "verify the service path: SQL suite through the compiled-query cache")
 	merge := fs.Bool("merge", false, "verify the partitioned merge: static invariants, cross-worker determinism, merge-task attribution")
+	costPass := fs.Bool("cost", false, "verify the cost layer: model consistency on every plan, true-count lineage on every counted run")
 	only := fs.String("q", "", "restrict to one named workload")
 	fs.Parse(args)
 
@@ -90,6 +98,9 @@ func runCheck(args []string) int {
 	}
 	if *merge {
 		return runMergeCheck(cat, workers, *only)
+	}
+	if *costPass {
+		return runCostCheck(cat, *only)
 	}
 
 	suite := queries.Suite()
@@ -344,6 +355,74 @@ func runMergeCheck(cat *catalog.Catalog, workers []int, only string) int {
 		return 1
 	}
 	fmt.Printf("tprofvet check -merge: %d workloads verified, 0 diagnostics\n", checked)
+	return 0
+}
+
+// runCostCheck verifies the cost layer over the SQL suite. Static half:
+// every plan annotates cleanly — every node carries a finite, positive,
+// model-consistent cardinality and cycle estimate (cost.CheckModel).
+// Dynamic half: a counter-instrumented run of the exact same plan yields
+// true row counts whose every counter belongs to a registered task with
+// live Tagging Dictionary lineage, and every operator-bearing plan node
+// was actually counted (cost.CheckObserved).
+func runCostCheck(cat *catalog.Catalog, only string) int {
+	suite := queries.SQLSuite()
+	if only != "" {
+		w, ok := queries.SQLByName(only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tprofvet: no SQL workload %q\n", only)
+			return 2
+		}
+		suite = []queries.SQLWorkload{w}
+	}
+	opts := engine.DefaultOptions()
+	opts.TupleCounters = true
+
+	failures, checked := 0, 0
+	fail := func(name, format string, a ...any) {
+		failures++
+		fmt.Printf("FAIL  %-14s %s\n", name, fmt.Sprintf(format, a...))
+	}
+	for _, w := range suite {
+		checked++
+		q, err := sqlparse.Parse(w.SQL)
+		if err != nil {
+			fail(w.Name, "parse: %v", err)
+			continue
+		}
+		pl, err := plan.Plan(cat, q)
+		if err != nil {
+			fail(w.Name, "plan: %v", err)
+			continue
+		}
+		m := cost.Annotate(pl)
+		ds := cost.CheckModel(m)
+		cq, err := (&engine.Compiler{Cat: cat, Opts: opts}).CompilePlanGuided(pl, nil)
+		if err != nil {
+			fail(w.Name, "compile: %v", err)
+			continue
+		}
+		res, err := (&engine.Executor{Opts: opts}).Run(cq, nil, nil)
+		if err != nil {
+			fail(w.Name, "run: %v", err)
+			continue
+		}
+		ds = append(ds, cost.CheckObserved(pl, cq.Pipe, res.TupleCounts)...)
+		if errs := verify.Errs(ds); len(errs) > 0 {
+			fail(w.Name, "%d diagnostic(s)", len(errs))
+			for _, d := range errs {
+				fmt.Printf("      %s\n", d.String())
+			}
+			continue
+		}
+		fmt.Printf("ok    %-14s %d nodes annotated, %d true counts, est %d cycles\n",
+			w.Name, len(m.PerNode), len(res.PlanRows), int64(m.TotalCycles))
+	}
+	if failures > 0 {
+		fmt.Printf("tprofvet check -cost: %d of %d workloads FAILED\n", failures, checked)
+		return 1
+	}
+	fmt.Printf("tprofvet check -cost: %d workloads verified, 0 diagnostics\n", checked)
 	return 0
 }
 

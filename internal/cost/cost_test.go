@@ -1,0 +1,270 @@
+package cost
+
+// Unit tests for the cost layer: history EWMA/versioning semantics and
+// concurrency safety (run under -race in CI), histogram estimates, the
+// cycle model, the knob decisions, and the model checker.
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/plan"
+	"repro/internal/sqlparse"
+)
+
+func TestHistoryObserveSemantics(t *testing.T) {
+	h := NewHistory()
+	if _, ok := h.Lookup("e1"); ok {
+		t.Fatal("empty history answered a lookup")
+	}
+	if !h.Observe("e1", 100) {
+		t.Fatal("first observation must be material")
+	}
+	if r, ok := h.Lookup("e1"); !ok || r != 100 {
+		t.Fatalf("Lookup = %v,%v want 100,true", r, ok)
+	}
+	v := h.Version()
+	if h.Observe("e1", 100) {
+		t.Fatal("repeat of the same value must not be material")
+	}
+	if h.Version() != v {
+		t.Fatal("version bumped without a material change")
+	}
+	// EWMA with alpha=0.5: 100 -> 150 on observing 200, a 50% shift.
+	if !h.Observe("e1", 200) {
+		t.Fatal("a 50% shift must be material")
+	}
+	if r, _ := h.Lookup("e1"); r != 150 {
+		t.Fatalf("EWMA = %v, want 150", r)
+	}
+	if h.Version() != v+1 {
+		t.Fatalf("version = %d, want %d", h.Version(), v+1)
+	}
+	// A small drift stays immaterial: 150 -> 155 is ~3%.
+	if h.Observe("e1", 160) {
+		t.Fatal("a 3% smoothed shift must not be material")
+	}
+	// Non-positive counts clamp to one row.
+	h.Observe("e2", 0)
+	if r, _ := h.Lookup("e2"); r != 1 {
+		t.Fatalf("clamped rows = %v, want 1", r)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", h.Len())
+	}
+}
+
+// TestHistoryConcurrency hammers one history from many goroutines —
+// meaningful under -race (the CI ce-smoke job runs this package with it).
+func TestHistoryConcurrency(t *testing.T) {
+	h := NewHistory()
+	var wg sync.WaitGroup
+	canons := []string{"a", "b", "c", "d"}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c := canons[(g+i)%len(canons)]
+				h.Observe(c, int64(100+i%50))
+				h.Lookup(c)
+				h.Version()
+				h.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Len() != len(canons) {
+		t.Fatalf("Len = %d, want %d", h.Len(), len(canons))
+	}
+	for _, c := range canons {
+		if r, ok := h.Lookup(c); !ok || r < 1 || r > 200 {
+			t.Fatalf("Lookup(%s) = %v,%v out of range", c, r, ok)
+		}
+	}
+}
+
+func TestHistoryKeying(t *testing.T) {
+	// The history keys by sqlparse.Hash64 of the canon — equal canons
+	// share an entry regardless of which string instance observed them.
+	h := NewHistory()
+	h.Observe("scan(x)", 42)
+	if r, ok := h.Lookup("scan(" + "x)"); !ok || r != 42 {
+		t.Fatalf("Lookup through equal canon = %v,%v", r, ok)
+	}
+	if sqlparse.Hash64("scan(x)") == sqlparse.Hash64("scan(y)") {
+		t.Fatal("distinct canons share a hash")
+	}
+}
+
+func TestHistEquiDepth(t *testing.T) {
+	// 1..100 uniform: cdf(51) ≈ 0.5, eq(v) ≈ 0.01.
+	data := make([]int64, 100)
+	for i := range data {
+		data[i] = int64(i + 1)
+	}
+	h := NewHist(data, 10)
+	if h == nil {
+		t.Fatal("nil histogram")
+	}
+	if c := h.cdf(51); math.Abs(c-0.5) > 0.05 {
+		t.Fatalf("cdf(51) = %v, want ~0.5", c)
+	}
+	if e := h.eq(50); math.Abs(e-0.01) > 0.005 {
+		t.Fatalf("eq(50) = %v, want ~0.01", e)
+	}
+	// Heavily skewed data: equal values must not straddle buckets, so
+	// eq() of the hot value stays exact.
+	skew := make([]int64, 0, 120)
+	for i := 0; i < 100; i++ {
+		skew = append(skew, 7)
+	}
+	for i := 0; i < 20; i++ {
+		skew = append(skew, int64(10+i))
+	}
+	hs := NewHist(skew, 8)
+	if e := hs.eq(7); math.Abs(e-100.0/120.0) > 1e-9 {
+		t.Fatalf("eq(hot) = %v, want %v", e, 100.0/120.0)
+	}
+	if NewHist(nil, 8) != nil {
+		t.Fatal("histogram over no data must be nil")
+	}
+}
+
+func costCat() *catalog.Catalog {
+	return datagen.Generate(datagen.Config{ScaleFactor: 0.05, Seed: 42})
+}
+
+func planSQL(t testing.TB, cat *catalog.Catalog, sql string, est plan.Estimator) *plan.Output {
+	t.Helper()
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := plan.PlanWith(cat, q, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestAnnotateAndCheckModel(t *testing.T) {
+	cat := costCat()
+	pl := planSQL(t, cat, "select o_orderkey, sum(l_extendedprice) from lineitem, orders "+
+		"where o_orderkey = l_orderkey and o_orderdate < '1995-04-01' group by o_orderkey", nil)
+	m := Annotate(pl)
+	want := 0
+	plan.Walk(pl, func(plan.Node) { want++ })
+	if len(m.PerNode) != want {
+		t.Fatalf("annotated %d of %d nodes", len(m.PerNode), want)
+	}
+	if m.TotalCycles <= 0 {
+		t.Fatalf("TotalCycles = %v", m.TotalCycles)
+	}
+	if ds := CheckModel(m); len(ds) != 0 {
+		t.Fatalf("clean plan produced diagnostics: %v", ds)
+	}
+	// Corrupt one estimate: the checker must notice both the NaN and the
+	// model-vs-node disagreement.
+	var victim plan.Node
+	plan.Walk(pl, func(n plan.Node) {
+		if _, ok := n.(*plan.Scan); ok && victim == nil {
+			victim = n
+		}
+	})
+	e := m.PerNode[victim]
+	e.Rows = math.NaN()
+	m.PerNode[victim] = e
+	if ds := CheckModel(m); len(ds) == 0 {
+		t.Fatal("NaN estimate not flagged")
+	}
+}
+
+func TestDecideKnobs(t *testing.T) {
+	cat := costCat()
+	li, err := cat.Table("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(buildEst, probeEst, joinEst float64) *Model {
+		b := &plan.Scan{Table: li, Est: buildEst}
+		p := &plan.Scan{Table: li, Est: probeEst}
+		j := &plan.Join{Build: b, Probe: p, BuildKey: &plan.PCol{}, ProbeKey: &plan.PCol{}, Est: joinEst}
+		return Annotate(&plan.Output{Input: j})
+	}
+	// High match fraction: the bloom filter rejects almost nothing.
+	if bloom, _ := Decide(mk(100, 1000, 950), true, 8); bloom {
+		t.Error("bloom kept although probes nearly always match")
+	}
+	// Low match fraction: keep it.
+	if bloom, _ := Decide(mk(100, 1000, 100), true, 8); !bloom {
+		t.Error("bloom dropped although most probes miss")
+	}
+	// Never enable a disabled knob.
+	if bloom, _ := Decide(mk(100, 1000, 100), false, 8); bloom {
+		t.Error("Decide enabled bloom filters the configuration disabled")
+	}
+	// Tiny hash tables shrink the partition count; big ones keep it.
+	if _, parts := Decide(mk(100, 1000, 100), true, 8); parts != 2 {
+		t.Errorf("partitions = %d, want 2 for a tiny build", parts)
+	}
+	if _, parts := Decide(mk(5000, 50000, 5000), true, 8); parts != 8 {
+		t.Errorf("partitions = %d, want 8 for a large build", parts)
+	}
+	if _, parts := Decide(mk(100, 1000, 100), true, 0); parts != 0 {
+		t.Errorf("partitions = %d, want 0 kept (knob disabled)", parts)
+	}
+}
+
+func TestEstimatorStatsSources(t *testing.T) {
+	cat := costCat()
+	li, err := cat.Table("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := (FreshStats{}).ColStats(li, "l_quantity"); ok {
+		t.Error("FreshStats must decline (live table wins)")
+	}
+	if st, ok := (AbsentStats{}).ColStats(li, "l_quantity"); !ok || st.Distinct != 0 {
+		t.Errorf("AbsentStats = %+v,%v want zero stats, true", st, ok)
+	}
+	twin := datagen.Generate(datagen.Config{ScaleFactor: 0.0125, Seed: 99})
+	st, ok := StaleStats{Twin: twin}.ColStats(li, "l_quantity")
+	if !ok {
+		t.Fatal("StaleStats declined a column the twin has")
+	}
+	live := li.ColStats("l_quantity")
+	if st.Distinct == live.Distinct && st.Min == live.Min && st.Max == live.Max {
+		t.Log("twin stats coincide with live stats (possible but unexpected)")
+	}
+	// Histogram selectivity beats nothing it has no histogram for.
+	hg := &Histogram{Stats: FreshStats{}, H: NewHistograms(cat, 16)}
+	if _, ok := hg.Selectivity(li, "no_such_col", plan.OpLt, 10, 0.5); ok {
+		t.Error("histogram answered for a column without a histogram")
+	}
+	// The histogram must track the true fraction of qualifying rows.
+	lq := li.Col("l_quantity")
+	lt := 0
+	for _, v := range lq.Data {
+		if v < 26 {
+			lt++
+		}
+	}
+	truth := float64(lt) / float64(len(lq.Data))
+	if sel, ok := hg.Selectivity(li, "l_quantity", plan.OpLt, 26, 0.5); !ok || math.Abs(sel-truth) > 0.05 {
+		t.Errorf("hist selectivity(l_quantity < 26) = %v,%v want ~%v", sel, ok, truth)
+	}
+	// HistoryCorrected layers Rows over its base.
+	h := NewHistory()
+	hc := &HistoryCorrected{Base: &Naive{Stats: FreshStats{}}, H: h}
+	if _, ok := hc.Rows("scan(lineitem)", 10); ok {
+		t.Error("empty history answered Rows")
+	}
+	h.Observe("scan(lineitem)", 2957)
+	if r, ok := hc.Rows("scan(lineitem)", 10); !ok || r != 2957 {
+		t.Errorf("history Rows = %v,%v want 2957,true", r, ok)
+	}
+}

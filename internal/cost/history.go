@@ -1,0 +1,92 @@
+// Package cost is the profile-fed cost layer over the planner: a cycle
+// cost model annotating every plan node (Annotate), pluggable cardinality
+// estimators for the planner's Estimator hook (Naive, Histogram,
+// HistoryCorrected with fresh/stale/absent statistics sources), an
+// execution-side collector that reads true per-operator row counts out of
+// the attributed tuple counters (TrueRows), and the observed-cardinality
+// history cache that closes the loop (History): Session.Adapt feeds true
+// counts in, the next compile plans against them.
+package cost
+
+import (
+	"sync"
+
+	"repro/internal/sqlparse"
+)
+
+// materialDelta is the relative change in an entry's corrected rows that
+// counts as "material": only material changes bump the history version,
+// and only version changes are worth a cache-generation invalidation.
+const materialDelta = 0.2
+
+// ewmaAlpha weights the newest observation in the exponential moving
+// average. 0.5 follows new workload shifts quickly while smoothing noise
+// from partial runs.
+const ewmaAlpha = 0.5
+
+// History is the observed-cardinality cache: canonical plan-expression
+// fingerprint (plan.Canon hashed with sqlparse.Hash64) → exponentially
+// smoothed true output rows. It is shared by every session of a service
+// and is safe for concurrent Observe/Lookup.
+type History struct {
+	mu      sync.RWMutex
+	m       map[uint64]float64
+	version uint64
+}
+
+// NewHistory returns an empty history cache.
+func NewHistory() *History { return &History{m: map[uint64]float64{}} }
+
+// Observe folds one true row count for a plan expression into the
+// history and reports whether the entry changed materially (a new
+// expression, or a shift beyond materialDelta) — the caller's cue to
+// invalidate cached plans that were built against the old estimate.
+func (h *History) Observe(canon string, rows int64) bool {
+	if rows < 1 {
+		rows = 1
+	}
+	fp := sqlparse.Hash64(canon)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	old, ok := h.m[fp]
+	if !ok {
+		h.m[fp] = float64(rows)
+		h.version++
+		return true
+	}
+	next := old*(1-ewmaAlpha) + float64(rows)*ewmaAlpha
+	h.m[fp] = next
+	rel := (next - old) / old
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > materialDelta {
+		h.version++
+		return true
+	}
+	return false
+}
+
+// Lookup returns the smoothed observed rows for a plan expression.
+func (h *History) Lookup(canon string) (float64, bool) {
+	fp := sqlparse.Hash64(canon)
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	r, ok := h.m[fp]
+	return r, ok
+}
+
+// Len returns the number of remembered plan expressions.
+func (h *History) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.m)
+}
+
+// Version counts material changes; it bumps only when an Observe
+// materially moved an entry, so pollers can cheaply detect staleness.
+func (h *History) Version() uint64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.version
+}

@@ -1,0 +1,361 @@
+package engine
+
+// Closed-loop tests for the profile-fed cost layer: the no-regression
+// gate (history-corrected planning must never cost more than the
+// heuristic baseline, and must beat it substantially on at least one
+// join), the worker/partition determinism battery for re-planned shapes,
+// the worker-invariance of collected true cardinalities, and the
+// service-level replan-on-material-shift cycle.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/datagen"
+	"repro/internal/plan"
+	"repro/internal/queries"
+	"repro/internal/sqlparse"
+)
+
+// planSQLWith parses and plans one statement under an estimator.
+func planSQLWith(t testing.TB, cat *catalog.Catalog, sql string, est plan.Estimator) *plan.Output {
+	t.Helper()
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := plan.PlanWith(cat, q, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// sortedRows renders a result set order-independently (different physical
+// shapes of one query may emit rows in different orders).
+func sortedRows(rows [][]int64) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprint(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalSorted(a, b [][]int64) bool {
+	as, bs := sortedRows(a), sortedRows(b)
+	if len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCostModelNoRegression: plan the whole SQL suite twice — once with
+// the heuristic planner, once with a history trained by counter-
+// instrumented runs of the heuristic plans — and compare serial
+// simulated cycles. History-corrected planning must stay within +5% of
+// the baseline in total, must match every query's rows exactly (modulo
+// order), and must improve at least one join query by >= 10%.
+func TestCostModelNoRegression(t *testing.T) {
+	cat := datagen.Generate(datagen.Config{ScaleFactor: 0.05, Seed: 42})
+	suite := queries.SQLSuite()
+
+	// Training pass: heuristic plans, tuple counters on, observe truth.
+	h := cost.NewHistory()
+	copts := DefaultOptions()
+	copts.TupleCounters = true
+	for _, w := range suite {
+		pl := planSQLWith(t, cat, w.SQL, nil)
+		cq, err := (&Compiler{Cat: cat, Opts: copts}).CompilePlanGuided(pl, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		res, err := (&Executor{Opts: copts}).Run(cq, nil, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		cost.ObserveTrueRows(h, pl, cq.Pipe, res.TupleCounts)
+	}
+
+	// Measurement pass: same opts (no counters) for both plan flavors.
+	est := &cost.HistoryCorrected{Base: &cost.Naive{Stats: cost.FreshStats{}}, H: h}
+	opts := DefaultOptions()
+	run := func(name string, pl *plan.Output) (uint64, [][]int64) {
+		t.Helper()
+		cq, err := (&Compiler{Cat: cat, Opts: opts}).CompilePlanGuided(pl, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := (&Executor{Opts: opts}).Run(cq, nil, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return res.Stats.Cycles, res.Rows
+	}
+	var totalBase, totalCorr uint64
+	bestJoinGain := 0.0
+	bestJoin := ""
+	for _, w := range suite {
+		plB := planSQLWith(t, cat, w.SQL, nil)
+		plC := planSQLWith(t, cat, w.SQL, est)
+		cyB, rowsB := run(w.Name+"/heuristic", plB)
+		cyC, rowsC := run(w.Name+"/history", plC)
+		if !equalSorted(rowsB, rowsC) {
+			t.Fatalf("%s: history-corrected plan changed the result (%d vs %d rows)",
+				w.Name, len(rowsB), len(rowsC))
+		}
+		totalBase += cyB
+		totalCorr += cyC
+		if gain := 1 - float64(cyC)/float64(cyB); strings.Contains(plan.Canon(plB), "join{") && gain > bestJoinGain {
+			bestJoinGain, bestJoin = gain, w.Name
+		}
+		t.Logf("%-14s heuristic %9d cycles, history %9d cycles (%+.1f%%)",
+			w.Name, cyB, cyC, 100*(float64(cyC)/float64(cyB)-1))
+	}
+	if float64(totalCorr) > 1.05*float64(totalBase) {
+		t.Errorf("history-corrected planning regressed: %d vs %d total cycles (> +5%%)",
+			totalCorr, totalBase)
+	}
+	if bestJoinGain < 0.10 {
+		t.Errorf("no join query improved by >= 10%% (best: %s at %.1f%%)", bestJoin, bestJoinGain*100)
+	} else {
+		t.Logf("best join improvement: %s, %.1f%% fewer cycles", bestJoin, bestJoinGain*100)
+	}
+}
+
+// TestReplanDeterminism: every re-planned (history-corrected) shape
+// produces a byte-identical result heap at every worker count and both
+// partition settings — the serial run of the same artifact is the
+// oracle, and even unordered results may not move (the partitioned merge
+// reconstructs the serial heap exactly). Across partition settings and
+// against the heuristic plan, rows must agree modulo order.
+func TestReplanDeterminism(t *testing.T) {
+	cat := datagen.Generate(datagen.Config{ScaleFactor: 0.05, Seed: 42})
+	suite := []string{"join-opaque", "join-3way", "join-groupjoin"}
+	h := cost.NewHistory()
+	copts := DefaultOptions()
+	copts.TupleCounters = true
+	for _, name := range suite {
+		w, _ := queries.SQLByName(name)
+		pl := planSQLWith(t, cat, w.SQL, nil)
+		cq, err := (&Compiler{Cat: cat, Opts: copts}).CompilePlanGuided(pl, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := (&Executor{Opts: copts}).Run(cq, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost.ObserveTrueRows(h, pl, cq.Pipe, res.TupleCounts)
+	}
+	est := &cost.HistoryCorrected{Base: &cost.Naive{Stats: cost.FreshStats{}}, H: h}
+
+	for _, name := range suite {
+		w, _ := queries.SQLByName(name)
+		plB := planSQLWith(t, cat, w.SQL, nil)
+		plC := planSQLWith(t, cat, w.SQL, est)
+		var crossPartition [][]int64
+		for _, parts := range []int{0, 8} {
+			opts := DefaultOptions()
+			opts.Partitions = parts
+			cq, err := (&Compiler{Cat: cat, Opts: opts}).CompilePlanGuided(plC, nil)
+			if err != nil {
+				t.Fatalf("%s parts=%d: %v", name, parts, err)
+			}
+			var oracle [][]int64
+			for _, workers := range []int{0, 1, 2, 4, 8} {
+				ro := opts
+				ro.Workers = workers
+				res, err := (&Executor{Opts: ro}).Run(cq, nil, nil)
+				if err != nil {
+					t.Fatalf("%s parts=%d workers=%d: %v", name, parts, workers, err)
+				}
+				if workers == 0 {
+					oracle = res.Rows
+					continue
+				}
+				if !RowsEqual(res.Rows, oracle) {
+					t.Errorf("%s parts=%d workers=%d: rows differ from the serial oracle byte-for-byte",
+						name, parts, workers)
+				}
+			}
+			if crossPartition == nil {
+				crossPartition = oracle
+			} else if !equalSorted(oracle, crossPartition) {
+				t.Errorf("%s: partition settings disagree on the result set", name)
+			}
+		}
+		// Cross-plan: the re-planned shape computes the heuristic shape's
+		// rows (emission order may legitimately differ between shapes).
+		bq, err := (&Compiler{Cat: cat, Opts: DefaultOptions()}).CompilePlanGuided(plB, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bres, err := (&Executor{Opts: DefaultOptions()}).Run(bq, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalSorted(bres.Rows, crossPartition) {
+			t.Errorf("%s: heuristic and re-planned shapes disagree on the result set", name)
+		}
+	}
+}
+
+// TestTrueCardinalityWorkerInvariance: the collected true row counts —
+// Result.PlanRows, resolved through counter folding and the Tagging
+// Dictionary — are identical for serial and parallel runs of one
+// artifact.
+func TestTrueCardinalityWorkerInvariance(t *testing.T) {
+	cat := datagen.Generate(datagen.Config{ScaleFactor: 0.05, Seed: 42})
+	w, _ := queries.SQLByName("join-3way")
+	pl := planSQLWith(t, cat, w.SQL, nil)
+	opts := DefaultOptions()
+	opts.TupleCounters = true
+	cq, err := (&Compiler{Cat: cat, Opts: opts}).CompilePlanGuided(pl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serial map[plan.Node]int64
+	for _, workers := range []int{0, 1, 4} {
+		ro := opts
+		ro.Workers = workers
+		res, err := (&Executor{Opts: ro}).Run(cq, nil, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(res.PlanRows) == 0 {
+			t.Fatalf("workers=%d: no true cardinalities collected", workers)
+		}
+		if workers == 0 {
+			serial = res.PlanRows
+			continue
+		}
+		if len(res.PlanRows) != len(serial) {
+			t.Fatalf("workers=%d: %d counted nodes vs %d serial", workers, len(res.PlanRows), len(serial))
+		}
+		for n, r := range res.PlanRows {
+			if serial[n] != r {
+				t.Errorf("workers=%d: node %s counted %d rows, serial counted %d",
+					workers, n.Kind(), r, serial[n])
+			}
+		}
+	}
+}
+
+// TestServiceHistoryReplan: the production loop end to end. The opaque-
+// filter join misestimates badly, so the first service compile picks the
+// unfused shape; Adapt observes true cardinalities, detects that a
+// re-plan would change the physical plan, and bumps the fingerprint's
+// generation; the next Prepare recompiles — under the history — into the
+// fused shape, with an identical result set.
+func TestServiceHistoryReplan(t *testing.T) {
+	cat := datagen.Generate(datagen.Config{ScaleFactor: 0.05, Seed: 42})
+	svc := NewService(cat, DefaultOptions(), 0)
+	se := svc.NewSession()
+	w, _ := queries.SQLByName("join-opaque")
+
+	p1, err := se.Prepare(w.SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape1 := plan.Shape(p1.Compiled.Plan)
+	r1, err := se.Run(p1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := se.Adapt(w.SQL, nil); err != nil {
+		t.Fatal(err)
+	}
+	if svc.History().Len() == 0 {
+		t.Fatal("Adapt observed nothing into the history")
+	}
+	if gen := svc.gens.Current(p1.Fingerprint); gen == 0 {
+		t.Fatal("material cardinality shift with a shape change did not bump the generation")
+	}
+
+	p2, err := svc.NewSession().Prepare(w.SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape2 := plan.Shape(p2.Compiled.Plan)
+	if shape1 == shape2 {
+		t.Fatalf("service did not re-plan after the history shift; shape stayed %s", shape1)
+	}
+	if plan.Canon(p1.Compiled.Plan) != plan.Canon(p2.Compiled.Plan) {
+		t.Fatal("re-planned query changed its canonical expression")
+	}
+	r2, err := svc.NewSession().Run(p2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSorted(r1.Rows, r2.Rows) {
+		t.Fatalf("re-planned query changed the result set (%d vs %d rows)", len(r1.Rows), len(r2.Rows))
+	}
+	if r2.Stats.Cycles >= r1.Stats.Cycles {
+		t.Errorf("re-planned query is not faster: %d vs %d cycles", r2.Stats.Cycles, r1.Stats.Cycles)
+	}
+
+	// A second Adapt on the now-correct plan must not thrash: the
+	// history agrees with the served shape, so the generation holds.
+	gen := svc.gens.Current(p1.Fingerprint)
+	if _, err := se.Adapt(w.SQL, nil); err != nil {
+		t.Fatal(err)
+	}
+	p3, err := se.Prepare(w.SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 := plan.Shape(p3.Compiled.Plan); s3 != shape2 {
+		t.Fatalf("stable history re-planned again: %s -> %s", shape2, s3)
+	}
+	_ = gen
+}
+
+// TestServiceHistoryConcurrent drives Adapt and Execute from several
+// sessions at once — the history, generation table and cache must stay
+// consistent under contention (run with -race).
+func TestServiceHistoryConcurrent(t *testing.T) {
+	cat := datagen.Generate(datagen.Config{ScaleFactor: 0.05, Seed: 42})
+	svc := NewService(cat, DefaultOptions(), 0)
+	stmts := []string{"join-opaque", "agg-group", "join-groupjoin", "scan-filter"}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			se := svc.NewSession()
+			w, _ := queries.SQLByName(stmts[i%len(stmts)])
+			if _, err := se.Adapt(w.SQL, nil); err != nil {
+				errs <- fmt.Errorf("adapt %s: %w", w.Name, err)
+				return
+			}
+			for j := 0; j < 3; j++ {
+				w2, _ := queries.SQLByName(stmts[(i+j)%len(stmts)])
+				if _, _, err := se.Execute(w2.SQL, nil); err != nil {
+					errs <- fmt.Errorf("execute %s: %w", w2.Name, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if svc.History().Len() == 0 {
+		t.Error("no observations reached the shared history")
+	}
+}

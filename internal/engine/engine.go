@@ -16,6 +16,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/codegen"
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/iropt"
 	"repro/internal/pgo"
 	"repro/internal/pipeline"
@@ -526,6 +527,12 @@ type Result struct {
 	// TupleCounts holds EXPLAIN ANALYZE row counters per task component
 	// (only with Options.TupleCounters).
 	TupleCounts map[core.ComponentID]int64
+	// PlanRows is the true-cardinality collector's view of TupleCounts:
+	// observed output rows per plan node, resolved through the Tagging
+	// Dictionary's task → operator lineage (only with
+	// Options.TupleCounters; filled by the serial and parallel
+	// collectors alike).
+	PlanRows map[plan.Node]int64
 }
 
 // Run executes a compiled query. cfg selects PMU sampling; pass nil to run
@@ -653,6 +660,7 @@ func (x *Executor) RunIterations(cq *Compiled, rs *RunState, n int, cfg *pmu.Con
 				res.TupleCounts[task.ID] = n
 			}
 		}
+		res.PlanRows = cost.TrueRows(cq.Pipe, res.TupleCounts)
 	}
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/codegen"
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/isa"
 	"repro/internal/pipeline"
 	"repro/internal/plan"
@@ -294,6 +295,10 @@ func (x *Executor) RunParallel(cq *Compiled, rs *RunState, workers int, cfg *pmu
 				res.TupleCounts[task.ID] = n
 			}
 		}
+		// Same collector as the serial path: worker counter deltas were
+		// folded into the canonical heap per phase (foldCounters), so the
+		// attributed per-operator truth is worker-count invariant.
+		res.PlanRows = cost.TrueRows(cq.Pipe, res.TupleCounts)
 	}
 	return res, nil
 }
@@ -842,4 +847,3 @@ func addStats(dst, src *vm.Stats) {
 	dst.MemAccesses += src.MemAccesses
 	dst.Calls += src.Calls
 }
-

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/cost"
 	"repro/internal/pgo"
 	"repro/internal/plan"
 	"repro/internal/pmu"
@@ -49,6 +50,7 @@ type Service struct {
 	optDigest uint64
 	cache     *qcache.Cache[*Compiled]
 	gens      *pgo.Generations
+	history   *cost.History
 	nextID    atomic.Int64
 	fallbacks atomic.Uint64
 }
@@ -65,10 +67,23 @@ func NewService(cat *catalog.Catalog, opts Options, cacheEntries int) *Service {
 		optDigest: opts.Digest(),
 		cache:     qcache.New[*Compiled](cacheEntries),
 		gens:      pgo.NewGenerations(),
+		history:   cost.NewHistory(),
 	}
 }
 
 func (s *Service) compiler() *Compiler { return &Compiler{Cat: s.cat, Opts: s.opts} }
+
+// History exposes the service's observed-cardinality cache (shared by
+// all sessions; Adapt is its writer).
+func (s *Service) History() *cost.History { return s.history }
+
+// estimator is the planner hook every service compile runs under:
+// heuristics over fresh statistics, corrected by whatever true
+// cardinalities the history has accumulated. With an empty history it is
+// exactly the classic planner.
+func (s *Service) estimator() plan.Estimator {
+	return &cost.HistoryCorrected{Base: &cost.Naive{Stats: cost.FreshStats{}}, H: s.history}
+}
 
 // Options returns the service's compiler configuration.
 func (s *Service) Options() Options { return s.opts }
@@ -199,15 +214,25 @@ func (s *Service) prepare(sql string) (*Prepared, error) {
 		if err != nil {
 			return nil, err
 		}
-		pl, err := plan.Plan(s.cat, q)
+		// Plan under the history-corrected estimator and let the cost
+		// model pick the physical knobs (bloom filters, partition count)
+		// for this statement. All of this happens inside the compute
+		// function only: the cache key is untouched, so the hit path
+		// stays a pure lookup, and staleness is routed through PGO
+		// generations — Adapt bumps the generation when observed
+		// cardinalities shift materially, which changes the key and
+		// forces this compute to run again under the updated history.
+		pl, err := plan.PlanWith(s.cat, q, s.estimator())
 		if err != nil {
 			return nil, err
 		}
+		eff := s.opts
+		eff.BloomFilters, eff.Partitions = cost.Decide(cost.Annotate(pl), eff.BloomFilters, eff.Partitions)
 		var hot *pgo.Hotness
 		if key.Generation > 0 {
 			hot = s.gens.Hotness(fp.Hash)
 		}
-		return comp.CompilePlanGuided(pl, hot)
+		return (&Compiler{Cat: s.cat, Opts: eff}).CompilePlanGuided(pl, hot)
 	})
 	if err != nil {
 		// The parameterized form didn't compile — typically a literal in
@@ -305,5 +330,75 @@ func (se *Session) Adapt(sql string, cfg *pmu.Config) (*AdaptiveResult, error) {
 				k.Generation < gen
 		})
 	}
+	// Close the cardinality loop: feed this run's observed per-operator
+	// row counts into the shared history. When the corrected estimates
+	// would actually change the served artifact — a different physical
+	// plan shape or different bloom/partition decisions — the
+	// fingerprint's generation is bumped (after any promotion above, so
+	// a tuned artifact cannot pin a plan shape the history now
+	// contradicts) and the next Prepare re-plans under the history.
+	// Materially shifted observations that change nothing physical leave
+	// the generation alone: the cached artifact is still the plan the
+	// history would pick.
+	if !p.Fallback {
+		material, err := se.observeTrue(p, ar)
+		if err != nil {
+			return nil, err
+		}
+		if material && se.svc.replanChanges(p) {
+			gen := se.svc.gens.Bump(p.Fingerprint)
+			se.svc.cache.Invalidate(func(k qcache.Key) bool {
+				return k.Fingerprint == p.key.Fingerprint && k.Canon == p.key.Canon &&
+					k.Options == p.key.Options && k.Generation < gen
+			})
+		}
+	}
 	return ar, nil
+}
+
+// replanChanges re-plans a prepared statement's canon under the current
+// history and reports whether the result differs physically from the
+// cached artifact: a different plan.Shape (join order, build sides,
+// group-join fusion) or different cost-model knob decisions. The cached
+// plan's own frozen estimates reproduce its original knob decision, so
+// no extra state needs to ride in the cache.
+func (s *Service) replanChanges(p *Prepared) bool {
+	q, err := sqlparse.Parse(p.Canon)
+	if err != nil {
+		return false
+	}
+	pl, err := plan.PlanWith(s.cat, q, s.estimator())
+	if err != nil {
+		return false
+	}
+	if plan.Shape(pl) != plan.Shape(p.Compiled.Plan) {
+		return true
+	}
+	ob, op := cost.Decide(cost.Annotate(p.Compiled.Plan), s.opts.BloomFilters, s.opts.Partitions)
+	nb, np := cost.Decide(cost.Annotate(pl), s.opts.BloomFilters, s.opts.Partitions)
+	return ob != nb || op != np
+}
+
+// observeTrue collects a prepared statement's true per-operator
+// cardinalities and feeds them into the service history. When the service
+// already compiles with TupleCounters the adaptive baseline run carried
+// the counts; otherwise a counter-instrumented twin of the same plan is
+// compiled and run once under this session's options. Counter folding
+// makes the counts worker-count-invariant either way.
+func (se *Session) observeTrue(p *Prepared, ar *AdaptiveResult) (bool, error) {
+	cq, counts := p.Compiled, ar.Baseline.TupleCounts
+	if len(counts) == 0 {
+		opts := se.svc.opts
+		opts.TupleCounters = true
+		twin, err := (&Compiler{Cat: se.svc.cat, Opts: opts}).CompilePlanGuided(p.Compiled.Plan, nil)
+		if err != nil {
+			return false, err
+		}
+		res, err := se.exec.Run(twin, p.State, nil)
+		if err != nil {
+			return false, err
+		}
+		cq, counts = twin, res.TupleCounts
+	}
+	return cost.ObserveTrueRows(se.svc.history, cq.Plan, cq.Pipe, counts), nil
 }

@@ -1,0 +1,92 @@
+package experiments
+
+// CE-harness regression tests: a golden q-error report on a fixed seed
+// (the whole stack — datagen, planning, simulated execution, counter
+// collection — is deterministic, so the report must be byte-identical),
+// plus a strict-schema guard over the committed BENCH_ce.json.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestCEGolden: the report at (sf=0.02, seed=7) matches the committed
+// golden byte-for-byte, and two runs of the harness agree with each
+// other (no hidden map-order or timing dependence).
+func TestCEGolden(t *testing.T) {
+	run := func() []byte {
+		rep, err := NewEnv(0.02, 7).CEReportRun()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	b1 := run()
+	if b2 := run(); !bytes.Equal(b1, b2) {
+		t.Fatal("two CE harness runs on the same seed produced different reports")
+	}
+	golden, err := os.ReadFile("testdata/ce_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, golden) {
+		t.Fatalf("CE report drifted from testdata/ce_golden.json.\nRegenerate with:\n  go run ./cmd/experiments -exp ce -sf 0.02 -seed 7 -out internal/experiments/testdata/ce_golden.json\ngot:\n%s", b1)
+	}
+}
+
+// TestCEBenchSchema: the committed BENCH_ce.json decodes strictly into
+// CEReport (no unknown fields — the schema is load-bearing for external
+// consumers) and satisfies the acceptance shape: at least 3 estimators
+// crossed with at least 2 statistics-health regimes over at least 2
+// datasets, with the history-corrected estimator beating the naive one
+// on join-heavy median q-error in every gate.
+func TestCEBenchSchema(t *testing.T) {
+	b, err := os.ReadFile("../../BENCH_ce.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var rep CEReport
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("BENCH_ce.json does not match the CEReport schema: %v", err)
+	}
+	ests, healths, datasets := map[string]bool{}, map[string]bool{}, map[string]bool{}
+	for _, c := range rep.Cells {
+		ests[c.Estimator] = true
+		healths[c.Health] = true
+		datasets[c.Dataset] = true
+		if c.JoinHeavy.Count == 0 {
+			t.Errorf("cell %s/%s/%s has no join-heavy observations", c.Dataset, c.Health, c.Estimator)
+		}
+	}
+	if len(ests) < 3 {
+		t.Errorf("want >= 3 estimators, got %v", ests)
+	}
+	if len(healths) < 2 {
+		t.Errorf("want >= 2 statistics-health regimes, got %v", healths)
+	}
+	if len(datasets) < 2 {
+		t.Errorf("want >= 2 datasets, got %v", datasets)
+	}
+	if len(rep.Gates) == 0 {
+		t.Fatal("report has no gates")
+	}
+	for _, g := range rep.Gates {
+		if !g.Pass {
+			t.Errorf("gate %s/%s failed: naive=%v history=%v", g.Dataset, g.Health, g.NaiveMedian, g.HistoryMedian)
+		}
+		if g.HistoryMedian >= g.NaiveMedian {
+			t.Errorf("gate %s/%s: history median %v not below naive %v", g.Dataset, g.Health, g.HistoryMedian, g.NaiveMedian)
+		}
+	}
+	if !rep.Pass {
+		t.Error("report-level pass flag is false")
+	}
+}

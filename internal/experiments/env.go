@@ -21,13 +21,14 @@ const DefaultPeriod = 5000
 
 // Env carries the shared experiment environment.
 type Env struct {
-	Cat *catalog.Catalog
-	SF  float64
+	Cat  *catalog.Catalog
+	SF   float64
+	Seed uint64
 }
 
 // NewEnv generates the dataset at the given scale factor.
 func NewEnv(sf float64, seed uint64) *Env {
-	return &Env{Cat: datagen.Generate(datagen.Config{ScaleFactor: sf, Seed: seed}), SF: sf}
+	return &Env{Cat: datagen.Generate(datagen.Config{ScaleFactor: sf, Seed: seed}), SF: sf, Seed: seed}
 }
 
 // engine returns a fresh engine with default options.

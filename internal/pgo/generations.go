@@ -60,3 +60,21 @@ func (g *Generations) Promote(fp uint64, hot *Hotness) uint64 {
 	s.hot = hot
 	return s.gen
 }
+
+// Bump advances a fingerprint's generation without touching its guiding
+// profile — the cardinality-history invalidation path: when observed
+// true cardinalities materially shift, the plan (not the backend
+// guidance) is stale, so the service bumps the generation to route the
+// next Prepare to a fresh, history-corrected compile while any promoted
+// Hotness keeps guiding it.
+func (g *Generations) Bump(fp uint64) uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, ok := g.m[fp]
+	if !ok {
+		s = &genState{}
+		g.m[fp] = s
+	}
+	s.gen++
+	return s.gen
+}

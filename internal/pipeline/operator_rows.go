@@ -1,0 +1,40 @@
+package pipeline
+
+import "repro/internal/core"
+
+// OutputRolePriority ranks, per operator, which task's tuple counter
+// represents the operator's *emitted* rows (EXPLAIN ANALYZE semantics):
+// the group scan for aggregations, the probe for joins, the filter for
+// filtered scans, the plain scan for tables. Earlier entries win.
+var OutputRolePriority = []string{"output", "htscan", "probe", "gj-join", "filter", "scan", "build", "aggregate"}
+
+// OperatorRows resolves per-task tuple counters to per-operator output
+// row counts through the Tagging Dictionary's task → operator lineage
+// (Log A): tasks group under their operator, and the highest-priority
+// counted role represents the operator's output. This is the read side
+// of the true-cardinality collector — the counters themselves are
+// written by the compiled code (Options.TupleCounters).
+func (pc *Compiled) OperatorRows(counts map[core.ComponentID]int64) map[core.ComponentID]int64 {
+	byOp := map[core.ComponentID]map[string]int64{}
+	for _, task := range pc.Registry.ByLevel(core.LevelTask) {
+		n, ok := counts[task.ID]
+		if !ok {
+			continue
+		}
+		op := pc.Dict.OperatorOf(task.ID)
+		if byOp[op] == nil {
+			byOp[op] = map[string]int64{}
+		}
+		byOp[op][task.Kind] = n
+	}
+	out := map[core.ComponentID]int64{}
+	for op, kinds := range byOp {
+		for _, role := range OutputRolePriority {
+			if n, ok := kinds[role]; ok {
+				out[op] = n
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package plan
+
+// Plan-expression fingerprints: the identity under which observed
+// cardinalities are remembered across compilations.
+//
+// Canon renders a plan node's *logical expression* — which rows it
+// produces, not how — as canonical text, and Fingerprint hashes it
+// (64-bit FNV-1a, the same construction sqlparse.Normalize applies to
+// statement text). The rendering is chosen so that structurally equal
+// expressions collide and physically different plans for the same
+// expression collide too:
+//
+//   - aliases disappear: columns are rendered as <relation>.<column>
+//     where <relation> is the base scan's own canon, so "lineitem l1"
+//     and "lineitem x" fingerprint identically;
+//   - projection does not matter: a scan's canon carries the table and
+//     the filter, never the pruned column list — cardinality is a
+//     property of the rows, not of which columns survive;
+//   - literals dedup by value: a filter constant renders as #<value>,
+//     so two occurrences of the same value are one expression and two
+//     different values are two;
+//   - filter conjuncts and commutative operands are sorted, so
+//     "a < 4 and b = 2" and "b = 2 and a < 4" are one expression;
+//   - join trees flatten to the *set* of base relations plus the set of
+//     join edges: every join order of the same relations is one
+//     expression, which is exactly what a cardinality cache wants
+//     (output size is order-independent);
+//   - a group-join renders as the group-by over its underlying join, so
+//     the fused and unfused physical forms of one aggregation share a
+//     history entry.
+//
+// The history cache (package cost) keys observations by these
+// fingerprints; the planner consults it through the Estimator hook.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Canon returns the canonical text of a node's plan expression.
+func Canon(n Node) string {
+	c, _ := canonInfo(n)
+	return c
+}
+
+// Fingerprint returns the 64-bit FNV-1a hash of Canon(n).
+func Fingerprint(n Node) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(Canon(n)))
+	return h.Sum64()
+}
+
+// Shape renders a node's *physical* tree — the counterpart of Canon.
+// Where Canon deliberately erases physical choices (join order, fused
+// vs. unfused aggregation) so one expression keeps one history entry,
+// Shape preserves them: which side builds, how joins nest, whether an
+// aggregation fused into a group-join. Two plans with equal Canon but
+// different Shape compute the same rows differently — the cue the
+// adaptive loop uses to decide whether re-planning under an updated
+// history would actually change the served artifact.
+func Shape(n Node) string {
+	switch x := n.(type) {
+	case *Scan:
+		return scanCanon(x)
+	case *Join:
+		return "hjoin(build=" + Shape(x.Build) + ",probe=" + Shape(x.Probe) + ")"
+	case *GroupBy:
+		return "groupby(" + Shape(x.Input) + ")"
+	case *GroupJoin:
+		return "groupjoin(build=" + Shape(x.Build) + ",probe=" + Shape(x.Probe) + ")"
+	case *Output:
+		return Shape(x.Input)
+	default:
+		return "node{" + n.Kind() + "}"
+	}
+}
+
+// canonInfo renders a node's canon plus one canonical name per output
+// column (base columns render as <scan canon>.<column>; computed columns
+// render as their expression text). Column names feed the parent's key
+// and filter rendering, which is how alias and projection independence
+// propagate up the tree.
+func canonInfo(n Node) (canon string, cols []string) {
+	switch x := n.(type) {
+	case *Scan:
+		canon = scanCanon(x)
+		cols = make([]string, len(x.Cols))
+		for i, ci := range x.Cols {
+			cols[i] = canon + "." + x.Table.Cols[ci].Name
+		}
+		return canon, cols
+	case *Join:
+		rels, edges, bCols, pCols := joinParts(x)
+		canon = joinCanon(rels, edges)
+		cols = append(cols, pCols...)
+		for _, pi := range x.Payload {
+			cols = append(cols, bCols[pi])
+		}
+		return canon, cols
+	case *GroupBy:
+		in, inCols := canonInfo(x.Input)
+		keys := make([]string, len(x.Keys))
+		for i, k := range x.Keys {
+			keys[i] = pexprCanon(k, inCols)
+		}
+		cols = append(cols, keys...)
+		sort.Strings(keys)
+		canon = "agg{" + strings.Join(keys, ",") + "|" + in + "}"
+		for _, a := range x.Aggs {
+			cols = append(cols, aggCanon(a, inCols))
+		}
+		return canon, cols
+	case *GroupJoin:
+		// Canonicalize as the group-by over the underlying join: the
+		// fused operator computes the same expression.
+		j := &Join{Build: x.Build, Probe: x.Probe, BuildKey: x.BuildKey, ProbeKey: x.ProbeKey}
+		rels, edges, _, pCols := joinParts(j)
+		key := pexprCanon(x.ProbeKey, pCols)
+		canon = "agg{" + key + "|" + joinCanon(rels, edges) + "}"
+		cols = append(cols, key)
+		for _, a := range x.Aggs {
+			cols = append(cols, aggCanon(a, pCols))
+		}
+		return canon, cols
+	case *Output:
+		// Output neither filters nor expands: its expression is its
+		// input's (the projection list does not change cardinality).
+		return canonInfo(x.Input)
+	default:
+		return fmt.Sprintf("node{%s}", n.Kind()), namesOf(n)
+	}
+}
+
+func namesOf(n Node) []string {
+	out := n.Out()
+	cols := make([]string, len(out))
+	for i, c := range out {
+		cols[i] = c.Name
+	}
+	return cols
+}
+
+// scanCanon renders a base scan: table name plus the sorted filter
+// conjuncts over *table column names* (never positions or aliases).
+func scanCanon(s *Scan) string {
+	if s.Filter == nil {
+		return "scan(" + s.Table.Name + ")"
+	}
+	names := make([]string, len(s.Cols))
+	for i, ci := range s.Cols {
+		names[i] = s.Table.Name + "." + s.Table.Cols[ci].Name
+	}
+	var conjs []string
+	for _, c := range conjuncts(s.Filter) {
+		conjs = append(conjs, pexprCanon(c, names))
+	}
+	sort.Strings(conjs)
+	return "scan(" + s.Table.Name + " σ[" + strings.Join(conjs, "&") + "])"
+}
+
+// conjuncts flattens a top-level AND chain.
+func conjuncts(p PExpr) []PExpr {
+	if b, ok := p.(*PBin); ok && b.Op == OpAnd {
+		return append(conjuncts(b.L), conjuncts(b.R)...)
+	}
+	return []PExpr{p}
+}
+
+// joinParts flattens a join subtree into its base-relation canons and
+// its join-edge canons, plus the canonical column names of both direct
+// children (for the parent's payload and key resolution).
+func joinParts(j *Join) (rels, edges []string, buildCols, probeCols []string) {
+	collect := func(n Node) (cols []string) {
+		if sub, ok := n.(*Join); ok {
+			r, e, _, _ := joinParts(sub)
+			rels = append(rels, r...)
+			edges = append(edges, e...)
+			_, cols = canonInfo(sub)
+			return cols
+		}
+		c, cols := canonInfo(n)
+		rels = append(rels, c)
+		return cols
+	}
+	buildCols = collect(j.Build)
+	probeCols = collect(j.Probe)
+	bk := pexprCanon(j.BuildKey, buildCols)
+	pk := pexprCanon(j.ProbeKey, probeCols)
+	if bk > pk {
+		bk, pk = pk, bk
+	}
+	edges = append(edges, bk+"="+pk)
+	return rels, edges, buildCols, probeCols
+}
+
+func joinCanon(rels, edges []string) string {
+	rels = append([]string(nil), rels...)
+	edges = append([]string(nil), edges...)
+	sort.Strings(rels)
+	sort.Strings(edges)
+	return "join{" + strings.Join(rels, ",") + "|" + strings.Join(edges, "&") + "}"
+}
+
+// commutative marks operators whose operand order is not identity.
+func commutative(op BinOp) bool {
+	switch op {
+	case OpAdd, OpMul, OpEq, OpNe, OpAnd, OpOr:
+		return true
+	}
+	return false
+}
+
+// pexprCanon renders a bound expression with column positions resolved
+// through cols (the canonical names of the input schema).
+func pexprCanon(p PExpr, cols []string) string {
+	switch x := p.(type) {
+	case *PCol:
+		if x.Pos >= 0 && x.Pos < len(cols) {
+			return cols[x.Pos]
+		}
+		return fmt.Sprintf("$%d", x.Pos)
+	case *PConst:
+		return fmt.Sprintf("#%d", x.Val)
+	case *PParam:
+		return fmt.Sprintf("?%d", x.Idx)
+	case *PBin:
+		l, r := pexprCanon(x.L, cols), pexprCanon(x.R, cols)
+		if commutative(x.Op) && l > r {
+			l, r = r, l
+		}
+		return "(" + l + x.Op.String() + r + ")"
+	default:
+		return fmt.Sprintf("%v", p)
+	}
+}
+
+func aggCanon(a AggSpec, cols []string) string {
+	if a.Arg == nil {
+		return a.Fn.String() + "(*)"
+	}
+	return a.Fn.String() + "(" + pexprCanon(a.Arg, cols) + ")"
+}

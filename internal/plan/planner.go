@@ -193,17 +193,46 @@ func exprCols(e Expr, into *[]*ColRef) {
 	}
 }
 
+// Estimator hooks external cardinality knowledge into planning. The
+// planner's own heuristics stay the backbone; an estimator can swap the
+// statistics they read (stats-health experiments), refine a predicate's
+// selectivity (histograms), or correct a whole plan expression's output
+// estimate (the observed-cardinality history, keyed by Canon). Every
+// method may decline (ok=false) to fall back to the built-in behavior.
+//
+// Corrected estimates feed the same decisions the heuristic ones do:
+// probe-base and greedy build-order selection in joinTree, group-join
+// fusion by way of the shapes those choices produce, and the engine's
+// physical knobs (bloom filters, partition counts) via the cost model.
+type Estimator interface {
+	// ColStats overrides the statistics the planner reads for a
+	// base-table column; ok=false uses the table's own (fresh) stats.
+	ColStats(t *catalog.Table, col string) (catalog.Stats, bool)
+	// Selectivity overrides one pushed-down predicate's estimated pass
+	// fraction; heuristic is the stats-based estimate already computed.
+	Selectivity(t *catalog.Table, col string, op BinOp, val int64, heuristic float64) (float64, bool)
+	// Rows corrects a plan expression's estimated output cardinality;
+	// canon is the node's canonical expression text (Canon).
+	Rows(canon string, est float64) (float64, bool)
+}
+
 // planner carries binding state.
 type planner struct {
 	cat     *catalog.Catalog
 	q       *Query
 	tables  map[string]*catalog.Table // by alias
 	aliases []string
+	est     Estimator // nil: pure heuristics
 }
 
 // Plan turns a query into an optimized operator tree.
 func Plan(cat *catalog.Catalog, q *Query) (*Output, error) {
-	p := &planner{cat: cat, q: q, tables: map[string]*catalog.Table{}}
+	return PlanWith(cat, q, nil)
+}
+
+// PlanWith plans under an estimator hook (nil behaves like Plan).
+func PlanWith(cat *catalog.Catalog, q *Query, est Estimator) (*Output, error) {
+	p := &planner{cat: cat, q: q, tables: map[string]*catalog.Table{}, est: est}
 	for _, tr := range q.Tables {
 		t, err := cat.Table(tr.Name)
 		if err != nil {
@@ -463,7 +492,43 @@ func (p *planner) buildScan(alias string, cols map[string]bool, filterExprs []Ex
 	if s.Est < 1 {
 		s.Est = 1
 	}
+	p.correctRows(s)
 	return s, nil
+}
+
+// colStats reads a column's statistics through the estimator hook.
+func (p *planner) colStats(t *catalog.Table, col string) catalog.Stats {
+	if p.est != nil {
+		if st, ok := p.est.ColStats(t, col); ok {
+			return st
+		}
+	}
+	return t.ColStats(col)
+}
+
+// correctRows lets the estimator replace a freshly-estimated node's
+// output cardinality (history-corrected re-planning).
+func (p *planner) correctRows(n Node) {
+	if p.est == nil {
+		return
+	}
+	r, ok := p.est.Rows(Canon(n), n.EstRows())
+	if !ok {
+		return
+	}
+	if r < 1 {
+		r = 1
+	}
+	switch x := n.(type) {
+	case *Scan:
+		x.Est = r
+	case *Join:
+		x.Est = r
+	case *GroupBy:
+		x.Est = r
+	case *GroupJoin:
+		x.Est = r
+	}
 }
 
 // selectivity estimates a predicate's pass fraction from column stats.
@@ -478,22 +543,30 @@ func (p *planner) selectivity(s *Scan, f PExpr) float64 {
 		return 0.33
 	}
 	name := s.Out()[col.Pos].Name
-	st := s.Table.ColStats(name)
+	st := p.colStats(s.Table, name)
+	var sel float64
 	switch b.Op {
 	case OpEq:
 		if st.Distinct > 0 {
-			return 1.0 / float64(st.Distinct)
+			sel = 1.0 / float64(st.Distinct)
+		} else {
+			sel = 0.1
 		}
-		return 0.1
 	case OpLt, OpLe:
-		return rangeFraction(st, c.Val, true)
+		sel = rangeFraction(st, c.Val, true)
 	case OpGt, OpGe:
-		return rangeFraction(st, c.Val, false)
+		sel = rangeFraction(st, c.Val, false)
 	case OpNe:
-		return 0.9
+		sel = 0.9
 	default:
-		return 0.33
+		sel = 0.33
 	}
+	if p.est != nil {
+		if s2, ok := p.est.Selectivity(s.Table, name, b.Op, c.Val, sel); ok {
+			return s2
+		}
+	}
+	return sel
 }
 
 func rangeFraction(st catalog.Stats, v int64, below bool) float64 {

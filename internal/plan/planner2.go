@@ -89,7 +89,7 @@ func (p *planner) joinTree(scans map[string]*Scan, edges []joinEdge) (Node, *sch
 			BuildUnique: kc != nil && kc.Unique,
 			Label:       "join " + next,
 		}
-		d := build.Table.ColStats(bCol).Distinct
+		d := p.colStats(build.Table, bCol).Distinct
 		if d < 1 {
 			d = 1
 		}
@@ -97,6 +97,7 @@ func (p *planner) joinTree(scans map[string]*Scan, edges []joinEdge) (Node, *sch
 		if j.Est < 1 {
 			j.Est = 1
 		}
+		p.correctRows(j)
 		// New schema: probe columns ++ payload columns.
 		cols := append([]ColMeta{}, curSchema.cols...)
 		for _, pi := range payload {
@@ -255,6 +256,7 @@ func (p *planner) aggregate(cur Node, curSchema *schema) (Node, *schema, error) 
 				Aggs:     aggs,
 				Est:      j.Build.EstRows(),
 			}
+			p.correctRows(gj)
 			out := &schema{cols: gj.Out()}
 			return gj, out, nil
 		}
@@ -267,6 +269,7 @@ func (p *planner) aggregate(cur Node, curSchema *schema) (Node, *schema, error) 
 	if g.Est < 1 {
 		g.Est = 1
 	}
+	p.correctRows(g)
 	return g, &schema{cols: g.Out()}, nil
 }
 

@@ -49,6 +49,20 @@ func SQLSuite() []SQLWorkload {
 				"group by o_orderkey",
 		},
 		{
+			Name:        "join-opaque",
+			Description: "join + group-by behind opaque arithmetic filters (misestimated cardinality)",
+			SQL: "select l_orderkey, sum(l_extendedprice) from lineitem, orders " +
+				"where o_orderkey = l_orderkey and l_quantity*1 < 45 and l_discount*1 < 45 " +
+				"group by l_orderkey",
+		},
+		{
+			Name:        "join-3way",
+			Description: "three-way join with a selective dimension filter",
+			SQL: "select l_orderkey, sum(l_extendedprice) from lineitem, orders, part " +
+				"where o_orderkey = l_orderkey and p_partkey = l_partkey and p_size < 10 " +
+				"group by l_orderkey",
+		},
+		{
 			Name:        "topk",
 			Description: "aliased aggregate with ORDER BY alias DESC and LIMIT",
 			SQL: "select l_orderkey, sum(l_quantity) as qty from lineitem " +

@@ -133,10 +133,18 @@ func Normalize(src string) (*Fingerprint, error) {
 		}
 	}
 	fp.Canon = strings.Join(parts, " ")
-	h := fnv.New64a()
-	h.Write([]byte(fp.Canon))
-	fp.Hash = h.Sum64()
+	fp.Hash = Hash64(fp.Canon)
 	return fp, nil
+}
+
+// Hash64 is the 64-bit FNV-1a hash of a canonical text. Normalize uses
+// it for statement fingerprints; the cardinality-history cache (package
+// cost) uses it to key observations by canonical plan-expression text, so
+// both identity domains share one hash function and one collision story.
+func Hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
 }
 
 // quoteSQL re-quotes a string literal kept in the canonical text.

@@ -4,50 +4,27 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/pipeline"
 	"repro/internal/plan"
 )
 
-// outputRole picks, per operator, the task whose counter represents the
-// operator's emitted rows (EXPLAIN ANALYZE semantics): the group scan for
-// aggregations, the probe for joins, the plain scan for tables.
-var outputRolePriority = []string{"output", "htscan", "probe", "gj-join", "filter", "scan", "build", "aggregate"}
-
 // OperatorRows resolves per-operator output-row counts from per-task
-// counters.
+// counters (moved to pipeline.Compiled.OperatorRows so the cost
+// collector can share it; kept here for display callers).
 func OperatorRows(pc *pipeline.Compiled, counts map[core.ComponentID]int64) map[core.ComponentID]int64 {
-	// Group tasks by operator.
-	byOp := map[core.ComponentID]map[string]int64{}
-	for _, task := range pc.Registry.ByLevel(core.LevelTask) {
-		n, ok := counts[task.ID]
-		if !ok {
-			continue
-		}
-		op := pc.Dict.OperatorOf(task.ID)
-		if byOp[op] == nil {
-			byOp[op] = map[string]int64{}
-		}
-		byOp[op][task.Kind] = n
-	}
-	out := map[core.ComponentID]int64{}
-	for op, kinds := range byOp {
-		for _, role := range outputRolePriority {
-			if n, ok := kinds[role]; ok {
-				out[op] = n
-				break
-			}
-		}
-	}
-	return out
+	return pc.OperatorRows(counts)
 }
 
 // AnalyzedPlan renders the plan annotated with EXPLAIN ANALYZE tuple
-// counts and, when a profile is supplied, the sampled time share next to
-// them — the §6.1 comparison: "even though the tuple count is a decent
-// approximation, our sampling approach captures the actual time spent in
-// each operator."
+// counts, the planner's cardinality estimate with its q-error against
+// the observed truth, and, when a profile is supplied, the sampled time
+// share next to them — the §6.1 comparison: "even though the tuple count
+// is a decent approximation, our sampling approach captures the actual
+// time spent in each operator."
 func AnalyzedPlan(pl *plan.Output, pc *pipeline.Compiled, counts map[core.ComponentID]int64, p *core.Profile) string {
 	rows := OperatorRows(pc, counts)
+	true_ := cost.TrueRows(pc, counts)
 	return plan.Render(pl, func(n plan.Node) string {
 		id, ok := pc.OpIDs[n]
 		if !ok {
@@ -57,11 +34,30 @@ func AnalyzedPlan(pl *plan.Output, pc *pipeline.Compiled, counts map[core.Compon
 		if fid, ok := pc.FilterOpIDs[n]; ok {
 			out += fmt.Sprintf(" [σ rows=%d]", rows[fid])
 		}
+		if t, ok := true_[n]; ok {
+			out += fmt.Sprintf(" [est=%.0f q=%.2f]", n.EstRows(), qErr(n.EstRows(), t))
+		}
 		if p != nil && p.TotalSamples > 0 {
 			out += fmt.Sprintf(" (time %.1f%%)", p.OpPct(id))
 		}
 		return out
 	})
+}
+
+// qErr is the q-error of an estimate against an observed count, both
+// sides clamped to >= 1 row (1.0 = perfect).
+func qErr(est float64, true_ int64) float64 {
+	e, t := est, float64(true_)
+	if e < 1 {
+		e = 1
+	}
+	if t < 1 {
+		t = 1
+	}
+	if e > t {
+		return e / t
+	}
+	return t / e
 }
 
 // TaskRowTable renders the raw per-task counters.
