@@ -16,9 +16,11 @@
 //	experiments -exp parallel     morsel-driven scaling on simulated cores
 //	experiments -exp pgo          profile-guided recompilation cycle deltas
 //	experiments -exp ce           cardinality-estimation q-error sweep
+//	experiments -exp shard        sharded execution + cross-shard pruning scaling
 //	experiments -exp loc          Table 3 implementation effort
 //
-// -out FILE additionally writes the ce report as JSON (BENCH_ce.json).
+// -out FILE additionally writes the ce or shard report as JSON
+// (BENCH_ce.json / BENCH_shard.json).
 package main
 
 import (
@@ -60,6 +62,19 @@ func main() {
 		{"pgo", func() (string, error) { s, _, err := env.PGO(); return s, err }},
 		{"ce", func() (string, error) {
 			s, rep, err := env.CE()
+			if err == nil && *out != "" {
+				b, jerr := rep.JSON()
+				if jerr == nil {
+					jerr = os.WriteFile(*out, b, 0o644)
+				}
+				if jerr != nil {
+					return s, jerr
+				}
+			}
+			return s, err
+		}},
+		{"shard", func() (string, error) {
+			s, rep, err := env.Shard()
 			if err == nil && *out != "" {
 				b, jerr := rep.JSON()
 				if jerr == nil {

@@ -12,7 +12,11 @@
 // Use -explain to see the optimized plan, -verify to cross-check results
 // against the interpreted reference executor, -serve to drive a batch of
 // statements from stdin across -sessions concurrent sessions and report
-// cache traffic plus the compile-vs-execute time split.
+// cache traffic plus the compile-vs-execute time split. With -shards N
+// scans run through the cross-shard coordinator (the cost model may trim
+// the count per statement); -shardprune=false disables zone pruning, and
+// -analyze then also prints the per-shard pruning summary — which zones
+// were proven unnecessary and why.
 package main
 
 import (
@@ -49,6 +53,8 @@ func main() {
 	partitions := flag.Int("partitions", engine.DefaultOptions().Partitions,
 		"radix partitions for the parallel sink merge (power of two; 0 = legacy host-side merge)")
 	bloom := flag.Bool("bloom", true, "build per-join bloom filters probed before the hash directory (-bloom=off via -bloom=false)")
+	shards := flag.Int("shards", 0, "execute scans as N zone-aligned shards through the cross-shard coordinator (0 = unsharded)")
+	shardprune := flag.Bool("shardprune", true, "prune shard zones from bounds and shipped semi-join filters (with -shards)")
 	pgo := flag.Bool("pgo", false, "profile-guided recompilation: run sampled, recompile from the profile, report the cycle delta")
 	serve := flag.Bool("serve", false, "batch mode: execute stdin statements across -sessions concurrent sessions")
 	sessions := flag.Int("sessions", 4, "concurrent sessions in -serve mode")
@@ -64,6 +70,8 @@ func main() {
 	opts.MorselRows = *morsel
 	opts.Partitions = *partitions
 	opts.BloomFilters = *bloom
+	opts.Shards = *shards
+	opts.ShardPruning = *shardprune
 	svc := engine.NewService(cat, opts, *cacheN)
 
 	stmts := flag.Args()
@@ -127,6 +135,9 @@ func runOne(se *engine.Session, sql string, cfg config) error {
 	}
 	if cfg.analyze {
 		fmt.Print(viz.AnalyzedPlan(p.Compiled.Plan, p.Compiled.Pipe, res.TupleCounts, nil))
+		if s := viz.ShardSummary(res); s != "" {
+			fmt.Print(s)
+		}
 		fmt.Println()
 	}
 	fmt.Print(viz.ResultTable(res, cfg.maxRows))
@@ -134,9 +145,13 @@ func runOne(se *engine.Session, sql string, cfg config) error {
 	if p.CacheHit {
 		cached = "cache hit"
 	}
+	sharded := ""
+	if res.Shards > 0 {
+		sharded = fmt.Sprintf(", %d shards", res.Shards)
+	}
 	if res.Workers > 0 {
-		fmt.Printf("(%d rows; %s; %.3f ms simulated wall on %d workers, %d instructions total)\n",
-			len(res.Rows), cached, float64(res.WallCycles)/3.5e6, res.Workers, res.Stats.Instructions)
+		fmt.Printf("(%d rows; %s; %.3f ms simulated wall on %d workers%s, %d instructions total)\n",
+			len(res.Rows), cached, float64(res.WallCycles)/3.5e6, res.Workers, sharded, res.Stats.Instructions)
 	} else {
 		fmt.Printf("(%d rows; %s; %.3f ms simulated, %d instructions)\n",
 			len(res.Rows), cached, float64(res.Stats.Cycles)/3.5e6, res.Stats.Instructions)

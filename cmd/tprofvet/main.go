@@ -1,7 +1,7 @@
 // Command tprofvet is the static verification driver for the Tailored
 // Profiling toolchain. It has two modes:
 //
-//	tprofvet check [-sf 0.05] [-workers 1,4] [-pgo] [-cache] [-merge] [-cost] [-q name]
+//	tprofvet check [-sf 0.05] [-workers 1,4] [-pgo] [-cache] [-merge] [-cost] [-shard] [-q name]
 //	tprofvet lint [root]
 //
 // check compiles the full query corpus with Engine.VerifyArtifacts on,
@@ -20,7 +20,14 @@
 // it verifies the cost layer over the SQL suite: every plan node must
 // carry a consistent cardinality/cycle estimate (cost.CheckModel), and a
 // counter-instrumented run of every plan must yield true row counts that
-// all map to live Tagging Dictionary tags (cost.CheckObserved). lint
+// all map to live Tagging Dictionary tags (cost.CheckObserved). With
+// -shard it verifies sharded execution: every workload runs profiled at
+// Shards ∈ {1,2,4,8} for every worker count with pruning on; rows and the
+// canonical profile must be identical across the whole grid, and each
+// run's per-shard lineage journals must replay cleanly against the
+// table's row counts and the profile's skip events (verify.CheckShards:
+// shards tile the table, no zone tag collisions, every pruned zone has
+// exactly one matching skip event). lint
 // type-checks the repository and applies the source rules (no math/rand
 // outside internal/xrand, no fmt.Sprintf on the compile hot path, no
 // mutex-by-value, no time.Now in the VM/PMU).
@@ -79,6 +86,7 @@ func runCheck(args []string) int {
 	cache := fs.Bool("cache", false, "verify the service path: SQL suite through the compiled-query cache")
 	merge := fs.Bool("merge", false, "verify the partitioned merge: static invariants, cross-worker determinism, merge-task attribution")
 	costPass := fs.Bool("cost", false, "verify the cost layer: model consistency on every plan, true-count lineage on every counted run")
+	shard := fs.Bool("shard", false, "verify sharded execution: journal/skip lineage, row and profile invariance across shard counts")
 	only := fs.String("q", "", "restrict to one named workload")
 	fs.Parse(args)
 
@@ -101,6 +109,9 @@ func runCheck(args []string) int {
 	}
 	if *costPass {
 		return runCostCheck(cat, *only)
+	}
+	if *shard {
+		return runShardCheck(cat, workers, *only)
 	}
 
 	suite := queries.Suite()
@@ -355,6 +366,145 @@ func runMergeCheck(cat *catalog.Catalog, workers []int, only string) int {
 		return 1
 	}
 	fmt.Printf("tprofvet check -merge: %d workloads verified, 0 diagnostics\n", checked)
+	return 0
+}
+
+// runShardCheck verifies sharded execution end to end (DESIGN.md §13).
+// Every workload first runs serially unsharded — the row oracle — then
+// profiled at every requested worker count × Shards ∈ {1,2,4,8} with
+// pruning on. Each sharded run must (a) reproduce the oracle's rows in
+// order (the canonical morsel list reconstructs the serial heap), (b)
+// produce a merged profile whose Canonical() bytes are identical across
+// the whole grid — the shard-count-invariance claim — and (c) leave
+// per-shard lineage journals that replay cleanly against the scanned
+// tables' row counts and the profile's skip events (verify.CheckShards).
+func runShardCheck(cat *catalog.Catalog, workers []int, only string) int {
+	suite := queries.Suite()
+	if only != "" {
+		w, ok := queries.ByName(only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tprofvet: no workload %q\n", only)
+			return 2
+		}
+		suite = []queries.Workload{w}
+	}
+	shardCounts := []int{1, 2, 4, 8}
+
+	failures, checked := 0, 0
+	fail := func(name, format string, a ...any) {
+		failures++
+		fmt.Printf("FAIL  %-12s %s\n", name, fmt.Sprintf(format, a...))
+	}
+	for _, w := range suite {
+		checked++
+		opts := engine.DefaultOptions()
+		opts.VerifyArtifacts = true
+		opts.MorselRows = 256 // several morsels (and zones) per pipeline at check scale
+		e := engine.New(cat, opts)
+		cq, err := e.CompileQuery(w.Query)
+		if err != nil {
+			fail(w.Name, "compile: %v", err)
+			continue
+		}
+		oracle, err := e.Run(cq, nil)
+		if err != nil {
+			fail(w.Name, "serial oracle: %v", err)
+			continue
+		}
+
+		ok := true
+		var baseCanon []byte
+		var zones, pruned int
+		for _, nw := range workers {
+			for _, ns := range shardCounts {
+				so := opts
+				so.Workers = nw
+				so.Shards = ns
+				so.ShardPruning = true
+				se := engine.New(cat, so)
+				scq, err := se.CompileQuery(w.Query)
+				if err != nil {
+					fail(w.Name, "workers=%d shards=%d compile: %v", nw, ns, err)
+					ok = false
+					break
+				}
+				res, err := se.Run(scq, &pmu.Config{Event: vm.EvInstRetired, Period: 487})
+				if err != nil {
+					fail(w.Name, "workers=%d shards=%d: %v", nw, ns, err)
+					ok = false
+					break
+				}
+				if res.Shards != ns {
+					fail(w.Name, "workers=%d shards=%d: ran with %d shards", nw, ns, res.Shards)
+					ok = false
+					break
+				}
+				// Shard-count invariance: same rows in the same order (the
+				// canonical morsel list rebuilds the serial heap), same
+				// canonical profile bytes across the whole grid.
+				if !rowsMatch(res.Rows, oracle.Rows, true) {
+					fail(w.Name, "workers=%d shards=%d: rows differ from the serial oracle", nw, ns)
+					ok = false
+					break
+				}
+				canon := res.Profile.Canonical()
+				if baseCanon == nil {
+					baseCanon = canon
+				} else if string(canon) != string(baseCanon) {
+					fail(w.Name, "workers=%d shards=%d: canonical profile differs across the grid", nw, ns)
+					ok = false
+					break
+				}
+				// Lineage replay: journals vs table row counts vs skips.
+				tableRows := map[string]int64{}
+				plan.Walk(scq.Plan, func(n plan.Node) {
+					if s, isScan := n.(*plan.Scan); isScan {
+						tableRows[s.Alias] = int64(s.Table.Rows())
+					}
+				})
+				journals := make([]verify.ShardJournal, len(res.ShardStates))
+				for i, st := range res.ShardStates {
+					j := verify.ShardJournal{
+						Pipeline: st.Pipeline, Alias: st.Alias, Shard: st.Shard,
+						Lo: st.Lo, Hi: st.Hi, Rows: st.Rows, Scanned: st.Scanned,
+						Pruned: st.Pruned,
+					}
+					for _, z := range st.Zones {
+						j.Zones = append(j.Zones, verify.ShardZone{
+							Zone: z.Zone, Lo: z.Lo, Hi: z.Hi, Pruned: z.Pruned, Cause: z.Cause,
+						})
+					}
+					journals[i] = j
+				}
+				if ds := verify.CheckShards(tableRows, journals, res.Skips); len(ds) > 0 {
+					fail(w.Name, "workers=%d shards=%d: %d journal diagnostic(s)", nw, ns, len(ds))
+					for _, d := range ds {
+						fmt.Printf("      %s\n", d.String())
+					}
+					ok = false
+					break
+				}
+				if ns == shardCounts[len(shardCounts)-1] && nw == workers[len(workers)-1] {
+					zones, pruned = 0, len(res.Skips)
+					for _, st := range res.ShardStates {
+						zones += len(st.Zones)
+					}
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			fmt.Printf("ok    %-12s %d rows, workers=%v shards=%v (%d/%d zones pruned)\n",
+				w.Name, len(oracle.Rows), workers, shardCounts, pruned, zones)
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("tprofvet check -shard: %d of %d workloads FAILED\n", failures, checked)
+		return 1
+	}
+	fmt.Printf("tprofvet check -shard: %d workloads verified, 0 diagnostics\n", checked)
 	return 0
 }
 

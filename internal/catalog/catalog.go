@@ -118,6 +118,7 @@ type Table struct {
 	Cols []*Column
 
 	stats map[string]Stats
+	zc    zoneCache
 }
 
 // NewTable creates an empty table.

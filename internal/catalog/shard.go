@@ -1,0 +1,197 @@
+package catalog
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Zone maps and shards.
+//
+// A zone is a fixed-granularity horizontal block of a table carrying
+// per-column min/max bounds ("small materialized aggregates"). Zones are a
+// pure function of the table contents — their granularity never depends on
+// the shard count, the worker count, or any session knob. That is the load-
+// bearing property behind shard-count-invariant execution: pruning decisions
+// are taken per zone, so the set of surviving rows (and therefore the global
+// morsel list, the result heap, and the merged profile) is identical whether
+// those zones are grouped into 1, 2, 4, or 8 shards.
+//
+// A shard is a contiguous, zone-aligned group of rows: shard k of n covers
+// zones [k*Z/n, (k+1)*Z/n). Shards carry per-shard column slices (views into
+// the table columns — no copying), folded min/max bounds, and row counts.
+// A shard is prunable wholesale exactly when all of its zones are pruned.
+
+// zoneRowsMin/zoneRowsMax clamp the per-table zone granularity.
+const (
+	zoneRowsMin = 256
+	zoneRowsMax = 8192
+	// zoneTargetCount is the target number of zones per table; granularity
+	// is rows/zoneTargetCount rounded down to a power of two and clamped.
+	zoneTargetCount = 64
+)
+
+// ZoneRowsFor returns the zone granularity for a table of n rows: a power
+// of two near n/zoneTargetCount, clamped to [zoneRowsMin, zoneRowsMax].
+// Deterministic in n only — the same table always zones the same way.
+func ZoneRowsFor(n int) int64 {
+	target := n / zoneTargetCount
+	z := int64(zoneRowsMin)
+	for z*2 <= int64(target) && z*2 <= zoneRowsMax {
+		z *= 2
+	}
+	return z
+}
+
+// Bound is a closed [Min, Max] value interval for one column over a row
+// range. Empty ranges are represented with Min > Max.
+type Bound struct {
+	Min, Max int64
+}
+
+// Empty reports whether the bound covers no values.
+func (b Bound) Empty() bool { return b.Min > b.Max }
+
+// Zone is one fixed-granularity row block with per-column bounds.
+type Zone struct {
+	Index  int     // position in the table's zone list
+	Lo, Hi int64   // row range [Lo, Hi)
+	Bounds []Bound // per table column position, parallel to Table.Cols
+}
+
+// Rows returns the number of rows the zone covers.
+func (z Zone) Rows() int64 { return z.Hi - z.Lo }
+
+// Shard is a contiguous zone-aligned row group with column-slice views.
+type Shard struct {
+	ID     int
+	Lo, Hi int64     // row range [Lo, Hi)
+	Zones  []Zone    // the zones the shard owns (views into Table.Zones())
+	Cols   []*Column // per-shard column slices (Data windows, shared dicts)
+	Bounds []Bound   // per-column bounds folded over the shard's zones
+}
+
+// Rows returns the shard's row count.
+func (s Shard) Rows() int64 { return s.Hi - s.Lo }
+
+// zoneCache is the lazily built, mutex-guarded zone map of one table.
+// Concurrent sessions may fault it in simultaneously.
+type zoneCache struct {
+	mu    sync.Mutex
+	zones []Zone
+	rows  int // row count the cache was built for
+}
+
+// Zones returns the table's zone map, computing and caching it on first
+// use. The result is shared — callers must not mutate it. If the table
+// grew or shrank since the cache was built the map is recomputed (callers
+// mutating data in place must Bump the catalog version anyway).
+func (t *Table) Zones() []Zone {
+	t.zc.mu.Lock()
+	defer t.zc.mu.Unlock()
+	if t.zc.zones != nil && t.zc.rows == t.Rows() {
+		return t.zc.zones
+	}
+	t.zc.zones = buildZones(t)
+	t.zc.rows = t.Rows()
+	return t.zc.zones
+}
+
+func buildZones(t *Table) []Zone {
+	n := int64(t.Rows())
+	if n == 0 {
+		return []Zone{}
+	}
+	zr := ZoneRowsFor(int(n))
+	zones := make([]Zone, 0, (n+zr-1)/zr)
+	for lo := int64(0); lo < n; lo += zr {
+		hi := lo + zr
+		if hi > n {
+			hi = n
+		}
+		z := Zone{Index: len(zones), Lo: lo, Hi: hi, Bounds: make([]Bound, len(t.Cols))}
+		for ci, c := range t.Cols {
+			seg := c.Data[lo:hi]
+			b := Bound{Min: seg[0], Max: seg[0]}
+			for _, v := range seg[1:] {
+				if v < b.Min {
+					b.Min = v
+				}
+				if v > b.Max {
+					b.Max = v
+				}
+			}
+			z.Bounds[ci] = b
+		}
+		zones = append(zones, z)
+	}
+	return zones
+}
+
+// foldBounds folds per-zone bounds into one bound per column.
+func foldBounds(zones []Zone, ncols int) []Bound {
+	out := make([]Bound, ncols)
+	for i := range out {
+		out[i] = Bound{Min: 1, Max: 0} // empty
+	}
+	for _, z := range zones {
+		for ci, b := range z.Bounds {
+			if out[ci].Empty() {
+				out[ci] = b
+				continue
+			}
+			if b.Min < out[ci].Min {
+				out[ci].Min = b.Min
+			}
+			if b.Max > out[ci].Max {
+				out[ci].Max = b.Max
+			}
+		}
+	}
+	return out
+}
+
+// Shards partitions the table into n contiguous zone-aligned shards.
+// Shard k receives zones [k*Z/n, (k+1)*Z/n) — the same arithmetic as
+// morsel striping, so shard boundaries are a pure function of (zone
+// count, n). n <= 1 yields a single shard covering the whole table.
+// Every shard carries column Data slice views; no row data is copied.
+func (t *Table) Shards(n int) []Shard {
+	zones := t.Zones()
+	if n < 1 {
+		n = 1
+	}
+	if n > len(zones) && len(zones) > 0 {
+		n = len(zones)
+	}
+	if len(zones) == 0 {
+		return []Shard{makeShard(t, 0, nil, 0, 0)}
+	}
+	out := make([]Shard, 0, n)
+	z := len(zones)
+	for k := 0; k < n; k++ {
+		zlo, zhi := k*z/n, (k+1)*z/n
+		if zlo == zhi {
+			continue
+		}
+		group := zones[zlo:zhi]
+		out = append(out, makeShard(t, len(out), group, group[0].Lo, group[len(group)-1].Hi))
+	}
+	return out
+}
+
+// Shard returns shard i of an n-way partitioning.
+func (t *Table) Shard(i, n int) (Shard, error) {
+	sh := t.Shards(n)
+	if i < 0 || i >= len(sh) {
+		return Shard{}, fmt.Errorf("catalog: shard %d of %d-way split of %s (have %d shards)", i, n, t.Name, len(sh))
+	}
+	return sh[i], nil
+}
+
+func makeShard(t *Table, id int, zones []Zone, lo, hi int64) Shard {
+	cols := make([]*Column, len(t.Cols))
+	for i, c := range t.Cols {
+		cols[i] = &Column{Name: c.Name, Type: c.Type, Data: c.Data[lo:hi], Dict: c.Dict, Unique: c.Unique}
+	}
+	return Shard{ID: id, Lo: lo, Hi: hi, Zones: zones, Cols: cols, Bounds: foldBounds(zones, len(t.Cols))}
+}

@@ -57,6 +57,16 @@ type Profile struct {
 	// single-CPU run has everything under worker 0.
 	ByWorker map[int]float64
 
+	// ByShard counts samples per data shard (Sample.Shard: 0 = unsharded
+	// work, s+1 = shard s). Like ByWorker it is a per-buffer reporting
+	// lens, not part of the invariant attribution (see Canonical).
+	ByShard map[int]float64
+
+	// Skips are the zero-cost skip events of pruned scan zones, attached
+	// by the engine after the sample merge so attribution stays complete
+	// when sharded execution proves work unnecessary and never runs it.
+	Skips []SkipEvent
+
 	// BranchTaken aggregates captured LBR records per native branch IP.
 	// When the native map marks a branch as sense-inverted (PGO'd
 	// binaries), the outcome is flipped during aggregation so Taken
@@ -97,6 +107,7 @@ func BuildProfile(att *Attributor, samples []Sample) *Profile {
 		NativeCount:  make([]float64, len(att.NMap.Region)),
 		RoutineCount: make(map[string]float64),
 		ByWorker:     make(map[int]float64),
+		ByShard:      make(map[int]float64),
 		BranchTaken:  make(map[int]*BranchStat),
 		MemByOp:      make(map[ComponentID][]MemPoint),
 		MinTSC:       ^uint64(0),
@@ -105,6 +116,7 @@ func BuildProfile(att *Attributor, samples []Sample) *Profile {
 		s := &samples[i]
 		p.TotalSamples++
 		p.ByWorker[s.Worker]++
+		p.ByShard[s.Shard]++
 		if s.TSC < p.MinTSC {
 			p.MinTSC = s.TSC
 		}

@@ -29,6 +29,14 @@ type Sample struct {
 	// workers are numbered from 1.
 	Worker int
 
+	// Shard identifies the data shard whose morsel was executing when the
+	// sample fired: 0 for unsharded work (coordinator, merge kernels,
+	// legacy runs), shard s is recorded as s+1. The per-shard sub-buffers
+	// this induces are a reporting lens — the merged profile's attribution
+	// aggregates are identical for every shard count (Profile.Canonical
+	// excludes the stamp, like Worker).
+	Shard int
+
 	// LBR is the captured last-branch-record snapshot (valid when
 	// HasLBR): the most recently retired conditional branches and their
 	// outcomes, oldest first. Profile-guided recompilation aggregates

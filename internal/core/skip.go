@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SkipEvent records one pruned zone of a sharded scan: work the engine
+// proved unnecessary from zone bounds or a semi-join filter and therefore
+// never executed. Skips keep the attribution complete — every row of every
+// table is accounted for either by executed-task samples or by an explicit
+// zero-cost skip — which is what lets the merged profile stay byte-identical
+// across shard counts even though pruned shards never run.
+type SkipEvent struct {
+	Pipeline int    // pipeline index of the pruned scan
+	Alias    string // driving scan alias
+	Shard    int    // shard that owned the zone (a grouping lens: depends on
+	// the shard count, so Canonical excludes it, like Sample.Worker)
+	Zone   int   // zone index in the table's zone map
+	Lo, Hi int64 // pruned row range [Lo, Hi)
+	Rows   int64 // rows skipped
+	Cause  string
+}
+
+// Skip causes.
+const (
+	SkipFilter   = "filter"   // zone bounds cannot satisfy the scan filter
+	SkipSemiJoin = "semijoin" // probe-key bounds miss every build-side key
+	SkipBloom    = "bloom"    // every candidate key misses the join bloom filter
+)
+
+// sortSkips orders skip events canonically: by pipeline, then zone.
+func sortSkips(skips []SkipEvent) []SkipEvent {
+	out := append([]SkipEvent(nil), skips...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pipeline != out[j].Pipeline {
+			return out[i].Pipeline < out[j].Pipeline
+		}
+		return out[i].Zone < out[j].Zone
+	})
+	return out
+}
+
+// Canonical serializes the profile's attribution content into a
+// deterministic byte form for invariance proofs: the merged profile of a
+// run must produce identical bytes for every worker count and every shard
+// count (the determinism suite compares these across Workers × Shards).
+// It covers exactly the fields that are execution-strategy invariant —
+// sample totals, per-operator/task/IR weights, kernel and unattributed
+// shares, routine counts, and skip events keyed by zone. Per-buffer lenses
+// (ByWorker, ByShard, SkipEvent.Shard) and raw timestamps (MinTSC/MaxTSC,
+// MemByOp points) describe *where and when* samples were recorded, not
+// what they attribute to, so they are excluded by design.
+func (p *Profile) Canonical() []byte {
+	var sb strings.Builder
+	w := func(parts ...string) {
+		for i, s := range parts {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(s)
+		}
+		sb.WriteByte('\n')
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	w("samples", strconv.Itoa(p.TotalSamples))
+	w("kernel", f(p.KernelWeight))
+	w("unattributed", f(p.Unattributed))
+
+	ops := make([]int, 0, len(p.OpWeight))
+	for id := range p.OpWeight {
+		ops = append(ops, int(id))
+	}
+	sort.Ints(ops)
+	for _, id := range ops {
+		w("op", strconv.Itoa(id), f(p.OpWeight[ComponentID(id)]))
+	}
+	tasks := make([]int, 0, len(p.TaskWeight))
+	for id := range p.TaskWeight {
+		tasks = append(tasks, int(id))
+	}
+	sort.Ints(tasks)
+	for _, id := range tasks {
+		w("task", strconv.Itoa(id), f(p.TaskWeight[ComponentID(id)]))
+	}
+	irs := make([]int, 0, len(p.IRWeight))
+	for id := range p.IRWeight {
+		irs = append(irs, id)
+	}
+	sort.Ints(irs)
+	for _, id := range irs {
+		w("ir", strconv.Itoa(id), f(p.IRWeight[id]))
+	}
+	routines := make([]string, 0, len(p.RoutineCount))
+	for name := range p.RoutineCount {
+		routines = append(routines, name)
+	}
+	sort.Strings(routines)
+	for _, name := range routines {
+		w("routine", name, f(p.RoutineCount[name]))
+	}
+	for _, s := range sortSkips(p.Skips) {
+		w("skip", strconv.Itoa(s.Pipeline), s.Alias, strconv.Itoa(s.Zone),
+			strconv.FormatInt(s.Lo, 10), strconv.FormatInt(s.Hi, 10),
+			strconv.FormatInt(s.Rows, 10), s.Cause)
+	}
+	return []byte(sb.String())
+}

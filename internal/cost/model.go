@@ -121,3 +121,51 @@ func Decide(m *Model, bloom bool, partitions int) (bool, int) {
 	}
 	return bloom, partitions
 }
+
+// shardMinRows: a driving scan below this size fits a handful of zones —
+// splitting it further buys no pruning resolution and no attribution
+// detail, so the shard count is clamped toward 1.
+const shardMinRows = 4096
+
+// shardSelectivityThreshold: a scan whose history-corrected output
+// estimate is below this fraction of its table makes zone pruning
+// worthwhile (some zones can be expected to fall entirely outside the
+// predicate).
+const shardSelectivityThreshold = 0.95
+
+// DecideShards picks the per-statement sharded-execution knobs from an
+// annotated model, never enabling anything the configuration disabled:
+// the shard count never exceeds the request and shrinks to what the
+// largest driving scan supports, and pruning is kept only when the
+// observed-cardinality history suggests it can fire — a selective scan
+// filter, or a join/group-join whose build side can ship bounds and bloom
+// filters to the probe scans. Because the model's estimates come from the
+// history-corrected planner, a statement whose filters *looked* opaque at
+// first run gains pruning after Adapt observes its true cardinalities.
+func DecideShards(m *Model, shards int, pruning bool) (int, bool) {
+	if shards < 1 {
+		return 0, false
+	}
+	maxScan := 0
+	selective := false
+	semiJoin := false
+	plan.Walk(m.Root, func(n plan.Node) {
+		switch x := n.(type) {
+		case *plan.Scan:
+			rows := x.Table.Rows()
+			if rows > maxScan {
+				maxScan = rows
+			}
+			if x.Filter != nil && rows > 0 &&
+				m.PerNode[n].Rows < shardSelectivityThreshold*float64(rows) {
+				selective = true
+			}
+		case *plan.Join, *plan.GroupJoin:
+			semiJoin = true
+		}
+	})
+	for shards > 1 && maxScan < shardMinRows*shards {
+		shards /= 2
+	}
+	return shards, pruning && (selective || semiJoin)
+}

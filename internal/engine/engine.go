@@ -70,6 +70,22 @@ type Options struct {
 	// code tests it before touching the directory, cutting cache misses
 	// on low-selectivity joins.
 	BloomFilters bool
+	// Shards >= 1 executes every table scan through the cross-shard
+	// coordinator: the table's zone map is grouped into that many
+	// contiguous shards with per-shard column slices, bounds, and row
+	// counts, and pruned/surviving zones are journaled per shard
+	// (DESIGN.md §13). Zone granularity is a function of the table alone,
+	// so results, count-event sample streams, and the merged profile are
+	// identical for every shard count — only the per-shard attribution
+	// lens changes. 0 keeps the unsharded path.
+	Shards int
+	// ShardPruning skips zones (and thereby whole shards) that provably
+	// contribute no rows: zone bounds that cannot satisfy the scan filter,
+	// and probe-side zones whose key range misses every build-side join
+	// key (bounds or bloom-filter semi-join shipping). Every pruned zone
+	// becomes an explicit zero-cost skip event in the merged profile.
+	// Requires Shards >= 1.
+	ShardPruning bool
 	// VerifyArtifacts runs the cross-level verification suite
 	// (internal/verify) over every compilation artifact: after pipeline
 	// construction, after each optimizer pass, and after native emit.
@@ -156,6 +172,11 @@ type Compiled struct {
 	Code     *codegen.Result
 	Layout   *pipeline.Layout
 	OptStats iropt.Stats
+
+	// Shard is the per-statement sharded-execution decision the service's
+	// cost model attaches at compile time (cost.DecideShards); nil
+	// artifacts execute with the executor's static Options knobs.
+	Shard *ShardDecision
 
 	heapSize   int
 	writes     []slotWrite
@@ -524,6 +545,18 @@ type Result struct {
 	// merge (parallel runs with sampling; index 0 is the coordinator).
 	WorkerSamples [][]core.Sample
 
+	// Shards is the effective shard count of a cross-shard run (0 for
+	// unsharded execution).
+	Shards int
+	// ShardStates are the per-shard run-state journals of every scan
+	// pipeline (sharded runs only): zone verdicts, scanned rows, morsel
+	// counts. `tprofvet check -shard` replays them against the table's
+	// zone map and the profile's skip events.
+	ShardStates []ShardState
+	// Skips are the zero-cost skip events of pruned zones (also attached
+	// to Profile.Skips when sampling is on).
+	Skips []core.SkipEvent
+
 	// TupleCounts holds EXPLAIN ANALYZE row counters per task component
 	// (only with Options.TupleCounters).
 	TupleCounts map[core.ComponentID]int64
@@ -558,8 +591,15 @@ func (e *Engine) RunParallel(cq *Compiled, workers int, cfg *pmu.Config) (*Resul
 // parameterless plans). With Options.Workers >= 1 the run is morsel-driven
 // parallel.
 func (x *Executor) Run(cq *Compiled, rs *RunState, cfg *pmu.Config) (*Result, error) {
-	if x.Opts.Workers >= 1 {
-		return x.RunParallel(cq, rs, x.Opts.Workers, cfg)
+	if shards, _ := x.shardKnobs(cq); x.Opts.Workers >= 1 || shards >= 1 {
+		// Sharded execution always runs through the cross-shard
+		// coordinator (on one worker when Workers is 0): the serial
+		// driver stages whole-table bounds and cannot skip zones.
+		workers := x.Opts.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		return x.RunParallel(cq, rs, workers, cfg)
 	}
 	return x.RunIterations(cq, rs, 1, cfg)
 }

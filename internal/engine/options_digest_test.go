@@ -38,6 +38,32 @@ func TestOptionsDigestCoversEveryField(t *testing.T) {
 	t.Logf("digest covers %d leaf fields", len(leaves))
 }
 
+// TestOptionsDigestShardKnobs pins the sharding knobs into the cache key
+// explicitly (the reflection guard above covers them generically): an
+// artifact compiled under one shard configuration must never be served
+// for another, since the coordinator's decision — and with it the skip
+// events — is baked into the artifact on the service path.
+func TestOptionsDigestShardKnobs(t *testing.T) {
+	base := DefaultOptions()
+	d0 := base.Digest()
+
+	a := base
+	a.Shards = 4
+	if a.Digest() == d0 {
+		t.Error("Options.Shards does not feed the digest")
+	}
+	b := base
+	b.ShardPruning = !base.ShardPruning
+	if b.Digest() == d0 {
+		t.Error("Options.ShardPruning does not feed the digest")
+	}
+	c := base
+	c.Shards = 8
+	if c.Digest() == a.Digest() {
+		t.Error("different shard counts share a digest")
+	}
+}
+
 type leafPath struct {
 	chain []int
 	path  string

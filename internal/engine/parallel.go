@@ -164,6 +164,13 @@ func (x *Executor) RunParallel(cq *Compiled, rs *RunState, workers int, cfg *pmu
 	wall := coord.TSC() // the prelude is serial coordinator work
 	var mergeCycles uint64
 
+	// Cross-shard coordination (DESIGN.md §13): scan pipelines execute
+	// the canonical surviving-morsel list of their table's zone map, with
+	// per-shard journals and zero-cost skip events for pruned zones.
+	shards, shardPruning := x.shardKnobs(cq)
+	var shardStates []ShardState
+	var skips []core.SkipEvent
+
 	for pi := range cq.Pipe.Pipelines {
 		info := &cq.Pipe.Pipelines[pi]
 		entry, err := funcEntry(prog, info.Func)
@@ -184,7 +191,19 @@ func (x *Executor) RunParallel(cq *Compiled, rs *RunState, workers int, cfg *pmu
 				}
 			}
 		}
-		spans := PartitionMorsels(pipeDomain(cq, coord, info), morselSize)
+		var spans []Span
+		var shardOf []int
+		if shards >= 1 && info.Driver.Kind == pipeline.DriverScan {
+			se, err := buildShardExec(cq, coord, info, params, shards, shardPruning, morselSize)
+			if err != nil {
+				return nil, err
+			}
+			spans, shardOf = se.spans, se.shardOf
+			shardStates = append(shardStates, se.states...)
+			skips = append(skips, se.skips...)
+		} else {
+			spans = PartitionMorsels(pipeDomain(cq, coord, info), morselSize)
+		}
 		if len(spans) == 0 {
 			continue
 		}
@@ -212,8 +231,14 @@ func (x *Executor) RunParallel(cq *Compiled, rs *RunState, workers int, cfg *pmu
 					if w.err != nil {
 						return
 					}
+					// Shard stamp: samples of this morsel land in the
+					// owning shard's logical sub-buffer (0 = unsharded).
+					stamp := 0
+					if shardOf != nil {
+						stamp = shardOf[m] + 1
+					}
 					t0 := w.cpu.TSC()
-					seg, cn, err := runMorsel(cq, w, info, entry, scatterEntry, pi, spans[m], m, budget)
+					seg, cn, err := runMorsel(cq, w, info, entry, scatterEntry, pi, spans[m], m, stamp, budget)
 					if err != nil {
 						w.err = err
 						return
@@ -268,6 +293,7 @@ func (x *Executor) RunParallel(cq *Compiled, rs *RunState, workers int, cfg *pmu
 	res := &Result{
 		Cols: cq.Plan.Out(), Stats: stats, CPU: coord, PMU: coordPMU,
 		Workers: workers, WallCycles: wall, MergeCycles: mergeCycles,
+		Shards: shards, ShardStates: shardStates, Skips: skips,
 	}
 	res.Rows = readRows(cq, coord)
 	sortRows(res.Rows, cq.Plan)
@@ -284,6 +310,9 @@ func (x *Executor) RunParallel(cq *Compiled, rs *RunState, workers int, cfg *pmu
 		res.Samples = core.MergeSamples(buffers...)
 		att := core.NewAttributor(cq.Pipe.Dict, cq.Code.NMap)
 		res.Profile = core.BuildProfile(att, res.Samples)
+		// Pruned zones enter the merged profile as explicit zero-cost
+		// skip events, keeping attribution complete over every table row.
+		res.Profile.Skips = skips
 	}
 	if cq.Layout.CounterBase != 0 {
 		res.TupleCounts = map[core.ComponentID]int64{}
@@ -365,9 +394,12 @@ func pipeDomain(cq *Compiled, coord *vm.CPU, info *pipeline.PipelineInfo) int64 
 // partitioned sink it additionally runs the generated scatter kernel on
 // the same worker and snapshots the radix-scattered copy plus the
 // per-partition entry counts instead of the raw segment.
-func runMorsel(cq *Compiled, w *parWorker, info *pipeline.PipelineInfo, entry, scatterEntry, pipeIdx int, sp Span, morsel int, budget uint64) ([]byte, []int64, error) {
+func runMorsel(cq *Compiled, w *parWorker, info *pipeline.PipelineInfo, entry, scatterEntry, pipeIdx int, sp Span, morsel, shardStamp int, budget uint64) ([]byte, []int64, error) {
 	lay := cq.Layout
 	heap := w.cpu.Heap
+	if w.pmu != nil {
+		w.pmu.SetShard(shardStamp)
+	}
 
 	lo, hi := sp.Lo, sp.Hi
 	if info.Driver.Kind == pipeline.DriverArena {
@@ -505,6 +537,10 @@ func mergePartitioned(cq *Compiled, coord *vm.CPU, info *pipeline.PipelineInfo, 
 			go func(wi int, w *parWorker, parts []int) {
 				defer wg.Done()
 				heap := w.cpu.Heap
+				if w.pmu != nil {
+					// The cross-shard combine is unsharded work.
+					w.pmu.SetShard(0)
+				}
 				for _, p := range parts {
 					if len(vecs[p]) == 0 {
 						continue

@@ -134,6 +134,15 @@ func (se *Session) SetWorkers(n int) { se.exec.Opts.Workers = n }
 // SetMorselRows selects this session's morsel size (0 = default).
 func (se *Session) SetMorselRows(n int) { se.exec.Opts.MorselRows = n }
 
+// SetShards selects this session's shard count for artifacts compiled
+// without a per-statement decision; service-cached artifacts carry their
+// own cost-model decision (cost.DecideShards), which wins.
+func (se *Session) SetShards(n int) { se.exec.Opts.Shards = n }
+
+// SetShardPruning toggles zone pruning for this session's sharded runs
+// (same per-statement-decision precedence as SetShards).
+func (se *Session) SetShardPruning(on bool) { se.exec.Opts.ShardPruning = on }
+
 // Stats returns the session's accumulated counters.
 func (se *Session) Stats() SessionStats { return se.stats }
 
@@ -227,12 +236,24 @@ func (s *Service) prepare(sql string) (*Prepared, error) {
 			return nil, err
 		}
 		eff := s.opts
-		eff.BloomFilters, eff.Partitions = cost.Decide(cost.Annotate(pl), eff.BloomFilters, eff.Partitions)
+		model := cost.Annotate(pl)
+		eff.BloomFilters, eff.Partitions = cost.Decide(model, eff.BloomFilters, eff.Partitions)
 		var hot *pgo.Hotness
 		if key.Generation > 0 {
 			hot = s.gens.Hotness(fp.Hash)
 		}
-		return (&Compiler{Cat: s.cat, Opts: eff}).CompilePlanGuided(pl, hot)
+		cq, err := (&Compiler{Cat: s.cat, Opts: eff}).CompilePlanGuided(pl, hot)
+		if err != nil {
+			return nil, err
+		}
+		if s.opts.Shards >= 1 {
+			// Per-statement shard knobs ride on the artifact: decided
+			// once per compile from the history-corrected model, read by
+			// every executing session (warm prepares stay a pure lookup).
+			sh, prune := cost.DecideShards(model, s.opts.Shards, s.opts.ShardPruning)
+			cq.Shard = &ShardDecision{Shards: sh, Pruning: prune}
+		}
+		return cq, nil
 	})
 	if err != nil {
 		// The parameterized form didn't compile — typically a literal in
@@ -374,9 +395,12 @@ func (s *Service) replanChanges(p *Prepared) bool {
 	if plan.Shape(pl) != plan.Shape(p.Compiled.Plan) {
 		return true
 	}
-	ob, op := cost.Decide(cost.Annotate(p.Compiled.Plan), s.opts.BloomFilters, s.opts.Partitions)
-	nb, np := cost.Decide(cost.Annotate(pl), s.opts.BloomFilters, s.opts.Partitions)
-	return ob != nb || op != np
+	om, nm := cost.Annotate(p.Compiled.Plan), cost.Annotate(pl)
+	ob, op := cost.Decide(om, s.opts.BloomFilters, s.opts.Partitions)
+	nb, np := cost.Decide(nm, s.opts.BloomFilters, s.opts.Partitions)
+	os, oprune := cost.DecideShards(om, s.opts.Shards, s.opts.ShardPruning)
+	ns, nprune := cost.DecideShards(nm, s.opts.Shards, s.opts.ShardPruning)
+	return ob != nb || op != np || os != ns || oprune != nprune
 }
 
 // observeTrue collects a prepared statement's true per-operator
@@ -394,6 +418,10 @@ func (se *Session) observeTrue(p *Prepared, ar *AdaptiveResult) (bool, error) {
 		if err != nil {
 			return false, err
 		}
+		// The twin observes *full* cardinalities: pin it unsharded so
+		// semi-join pruning cannot shrink a scan's observed row count
+		// below what the planner should estimate for it.
+		twin.Shard = &ShardDecision{}
 		res, err := se.exec.Run(twin, p.State, nil)
 		if err != nil {
 			return false, err

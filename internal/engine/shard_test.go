@@ -1,0 +1,601 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/datagen"
+	"repro/internal/plan"
+	"repro/internal/pmu"
+	"repro/internal/queries"
+	"repro/internal/ref"
+	"repro/internal/vm"
+	"repro/internal/xrand"
+)
+
+// shardQueries sweeps the invariance battery over the main pipeline
+// shapes: join + group-by (fig9), plain group-by (q1), selective global
+// aggregate (q6), and a group-join (intro).
+var shardQueries = []string{"fig9", "q1", "q6", "intro"}
+
+func shardRun(t *testing.T, cat *catalog.Catalog, q *plan.Query, workers, shards int, pruning bool, cfg *pmu.Config) *Result {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Workers = workers
+	opts.MorselRows = 256
+	opts.Shards = shards
+	opts.ShardPruning = pruning
+	e := New(cat, opts)
+	cq, err := e.CompileQuery(q)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := e.Run(cq, cfg)
+	if err != nil {
+		t.Fatalf("workers=%d shards=%d pruning=%v: %v", workers, shards, pruning, err)
+	}
+	return res
+}
+
+// TestShardDeterminism is the tentpole's core property: across Workers
+// {0,1,2,4} x Shards {1,2,4,8}, with pruning off and on, the result rows
+// equal the serial unsharded oracle, the coordinator's canonical heap is
+// byte-identical, and the merged profile's canonical serialization is
+// byte-identical. Zone granularity is a function of the table alone, so
+// the shard count must be invisible everywhere except the attribution
+// lenses (ByShard, ShardStates, SkipEvent.Shard) that Canonical excludes.
+func TestShardDeterminism(t *testing.T) {
+	cat := testCatalog(t)
+	cfg := &pmu.Config{Event: vm.EvInstRetired, Period: 487}
+	for _, name := range shardQueries {
+		w, ok := queries.ByName(name)
+		if !ok {
+			t.Fatalf("no workload %s", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			oracle := shardRun(t, cat, w.Query, 0, 0, false, nil)
+			for _, pruning := range []bool{false, true} {
+				var baseHeap []byte
+				var baseCanon []byte
+				for _, workers := range []int{0, 1, 2, 4} {
+					for _, shards := range []int{1, 2, 4, 8} {
+						res := shardRun(t, cat, w.Query, workers, shards, pruning, cfg)
+						tag := fmt.Sprintf("pruning=%v workers=%d shards=%d", pruning, workers, shards)
+						if res.Shards != shards {
+							t.Fatalf("%s: Result.Shards = %d", tag, res.Shards)
+						}
+						rowsEqual(t, res.Rows, oracle.Rows, len(w.Query.OrderBy) > 0)
+						canon := res.Profile.Canonical()
+						if baseHeap == nil {
+							baseHeap, baseCanon = res.CPU.Heap, canon
+							continue
+						}
+						if !bytes.Equal(res.CPU.Heap, baseHeap) {
+							t.Errorf("%s: canonical heap differs from grid baseline", tag)
+						}
+						if !bytes.Equal(canon, baseCanon) {
+							t.Errorf("%s: canonical profile differs from grid baseline", tag)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardMatchesUnshardedParallel: with pruning off, a sharded run is
+// the unsharded parallel run plus attribution — one whole-table surviving
+// run morselizes to exactly the legacy span list, so heap and canonical
+// profile match the Shards=0 run bit-for-bit at every worker count.
+func TestShardMatchesUnshardedParallel(t *testing.T) {
+	cat := testCatalog(t)
+	cfg := &pmu.Config{Event: vm.EvInstRetired, Period: 487}
+	for _, name := range shardQueries {
+		w, _ := queries.ByName(name)
+		t.Run(name, func(t *testing.T) {
+			for _, workers := range []int{1, 4} {
+				legacy := shardRun(t, cat, w.Query, workers, 0, false, cfg)
+				sharded := shardRun(t, cat, w.Query, workers, 4, false, cfg)
+				if !bytes.Equal(sharded.CPU.Heap, legacy.CPU.Heap) {
+					t.Errorf("workers=%d: sharded heap differs from unsharded parallel", workers)
+				}
+				if !bytes.Equal(sharded.Profile.Canonical(), legacy.Profile.Canonical()) {
+					t.Errorf("workers=%d: sharded canonical profile differs from unsharded parallel", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestShardSkipCompleteness replays fig9's shard journals: shards tile
+// each scanned table with no zone claimed twice, every pruned zone has
+// exactly one matching skip event in the merged profile (and vice versa),
+// scanned + skipped rows account for every table row, and the per-shard
+// sample lanes are populated. fig9 exercises both pruning rules: the
+// orders scan prunes on its date filter (the column is correlated with
+// position), and the lineitem scan prunes via the shipped build-side
+// bounds/bloom of the join (clustered l_orderkey).
+func TestShardSkipCompleteness(t *testing.T) {
+	cat := testCatalog(t)
+	w, _ := queries.ByName("fig9")
+	res := shardRun(t, cat, w.Query, 2, 4, true, &pmu.Config{Event: vm.EvInstRetired, Period: 487})
+
+	if len(res.ShardStates) == 0 {
+		t.Fatal("no shard states")
+	}
+	// Journal-side view of pruned zones, keyed by (pipeline, zone).
+	type zkey struct{ pipe, zone int }
+	pruned := map[zkey]ZoneDecision{}
+	owner := map[zkey]int{}
+	byScan := map[string][]ShardState{}
+	for _, st := range res.ShardStates {
+		byScan[st.Alias] = append(byScan[st.Alias], st)
+		var rows, scanned, prunedRows int64
+		for _, z := range st.Zones {
+			k := zkey{st.Pipeline, z.Zone}
+			if prev, dup := owner[k]; dup {
+				t.Fatalf("zone %d of pipeline %d claimed by shards %d and %d (tag collision)",
+					z.Zone, st.Pipeline, prev, st.Shard)
+			}
+			owner[k] = st.Shard
+			rows += z.Hi - z.Lo
+			if z.Pruned {
+				pruned[k] = z
+				prunedRows += z.Hi - z.Lo
+				if z.Cause == "" {
+					t.Errorf("pruned zone %d has no cause", z.Zone)
+				}
+			} else {
+				scanned += z.Hi - z.Lo
+				if z.Cause != "" {
+					t.Errorf("surviving zone %d has cause %q", z.Zone, z.Cause)
+				}
+			}
+		}
+		if rows != st.Rows {
+			t.Errorf("shard %d of %s: zones cover %d rows, journal says %d", st.Shard, st.Alias, rows, st.Rows)
+		}
+		if scanned != st.Scanned {
+			t.Errorf("shard %d of %s: %d surviving rows, journal says scanned %d", st.Shard, st.Alias, scanned, st.Scanned)
+		}
+		if st.Scanned+prunedRows != st.Rows {
+			t.Errorf("shard %d of %s: scanned %d + pruned %d != rows %d",
+				st.Shard, st.Alias, st.Scanned, prunedRows, st.Rows)
+		}
+		if st.Pruned != (scanned == 0 && len(st.Zones) > 0) {
+			t.Errorf("shard %d of %s: Pruned=%v with %d surviving rows", st.Shard, st.Alias, st.Pruned, scanned)
+		}
+	}
+	// Shards tile each table.
+	for alias, states := range byScan {
+		var total int64
+		var next int64
+		for _, st := range states {
+			if st.Lo != next {
+				t.Errorf("%s: shard %d starts at %d, want %d", alias, st.Shard, st.Lo, next)
+			}
+			next = st.Hi
+			total += st.Rows
+		}
+		tb, err := cat.Table(trimAlias(alias))
+		if err != nil {
+			t.Fatalf("%s: %v", alias, err)
+		}
+		if total != int64(tb.Rows()) {
+			t.Errorf("%s: shards own %d rows, table has %d", alias, total, tb.Rows())
+		}
+	}
+	// Every pruned zone has exactly one skip event, and no skip event
+	// lacks a pruned zone.
+	if len(res.Skips) != len(pruned) {
+		t.Fatalf("%d skip events for %d pruned zones", len(res.Skips), len(pruned))
+	}
+	causes := map[string]int{}
+	for _, sk := range res.Skips {
+		z, ok := pruned[zkey{sk.Pipeline, sk.Zone}]
+		if !ok {
+			t.Fatalf("skip event for zone %d of pipeline %d: no pruned journal entry", sk.Zone, sk.Pipeline)
+		}
+		if sk.Lo != z.Lo || sk.Hi != z.Hi || sk.Rows != z.Hi-z.Lo || sk.Cause != z.Cause {
+			t.Errorf("skip event for zone %d disagrees with journal: %+v vs %+v", sk.Zone, sk, z)
+		}
+		if want := owner[zkey{sk.Pipeline, sk.Zone}]; sk.Shard != want {
+			t.Errorf("skip event for zone %d stamped shard %d, journal owner %d", sk.Zone, sk.Shard, want)
+		}
+		causes[sk.Cause]++
+	}
+	if causes["filter"] == 0 {
+		t.Error("fig9 pruned no zone on the orders date filter — battery is vacuous")
+	}
+	if causes["semijoin"]+causes["bloom"] == 0 {
+		t.Error("fig9 pruned no lineitem zone via the shipped build side — battery is vacuous")
+	}
+	// The profile carries the same skips, and per-shard sample lanes exist.
+	if res.Profile == nil || len(res.Profile.Skips) != len(res.Skips) {
+		t.Fatal("profile does not carry the run's skip events")
+	}
+	lanes := 0
+	for shard, w := range res.Profile.ByShard {
+		if shard > 0 && w > 0 {
+			lanes++
+		}
+	}
+	if lanes < 2 {
+		t.Errorf("only %d populated shard lanes in profile, want >= 2", lanes)
+	}
+}
+
+// trimAlias maps a scan alias back to its table name (suite queries use
+// the table name itself or a one-letter alias; shard states store the
+// alias, the catalog stores the name).
+func trimAlias(alias string) string {
+	switch alias {
+	case "s":
+		return "sales"
+	case "p":
+		return "products"
+	}
+	return alias
+}
+
+// randShardTable builds a table whose first column is clustered (the case
+// zone pruning exploits) and whose others are uniform / low-cardinality.
+func randShardTable(r *xrand.Rand, rows int) (*catalog.Catalog, int64) {
+	c := catalog.New()
+	tb := catalog.NewTable("pts")
+	a := tb.AddCol("a", catalog.TInt)
+	b := tb.AddCol("b", catalog.TInt)
+	cc := tb.AddCol("c", catalog.TInt)
+	var hi int64
+	for i := 0; i < rows; i++ {
+		hi += r.Int64Range(0, 3)
+		a.Data = append(a.Data, hi)
+		b.Data = append(b.Data, r.Int64Range(-1000, 1000))
+		cc.Data = append(cc.Data, r.Int64Range(0, 16))
+	}
+	c.Add(tb)
+	return c, hi
+}
+
+// randPred generates a random predicate tree over the pts columns:
+// comparisons (sometimes over column arithmetic) joined by AND/OR.
+func randPred(r *xrand.Rand, maxA int64, depth int) plan.Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		cols := []string{"a", "b", "c"}
+		name := cols[r.Intn(len(cols))]
+		var lhs plan.Expr = plan.Col(name)
+		if r.Bool(0.25) {
+			k := plan.Num(r.Int64Range(1, 5))
+			switch r.Intn(3) {
+			case 0:
+				lhs = &plan.Bin{Op: plan.OpAdd, L: lhs, R: k}
+			case 1:
+				lhs = &plan.Bin{Op: plan.OpSub, L: lhs, R: k}
+			default:
+				lhs = &plan.Bin{Op: plan.OpMul, L: lhs, R: k}
+			}
+		}
+		lo, hi := int64(-1200), maxA+200
+		ops := []plan.BinOp{plan.OpEq, plan.OpNe, plan.OpLt, plan.OpLe, plan.OpGt, plan.OpGe}
+		return &plan.Bin{Op: ops[r.Intn(len(ops))], L: lhs, R: plan.Num(r.Int64Range(lo, hi))}
+	}
+	op := plan.OpAnd
+	if r.Bool(0.5) {
+		op = plan.OpOr
+	}
+	return &plan.Bin{Op: op, L: randPred(r, maxA, depth-1), R: randPred(r, maxA, depth-1)}
+}
+
+// TestShardPruningProperty is the soundness property test: on random
+// clustered data and random predicates, a pruned run returns exactly the
+// rows of the unpruned run and of the interpreted reference. Over the
+// trial budget, pruning must actually fire (otherwise the test is
+// vacuous) — the interval evaluator's job is to prune aggressively
+// *and* provably.
+func TestShardPruningProperty(t *testing.T) {
+	r := xrand.New(40604067)
+	var prunedZones, totalZones int64
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		cat, maxA := randShardTable(r, 12000)
+		q := &plan.Query{
+			Tables: []plan.TableRef{{Name: "pts"}},
+			Where:  []plan.Expr{randPred(r, maxA, 3)},
+			Select: []plan.SelectItem{
+				{Expr: &plan.Agg{Fn: plan.AggSum, Arg: plan.Col("a")}, Alias: "sa"},
+				{Expr: &plan.Agg{Fn: plan.AggSum, Arg: plan.Col("b")}, Alias: "sb"},
+				{Expr: &plan.Agg{Fn: plan.AggSum, Arg: &plan.Bin{
+					Op: plan.OpMul, L: plan.Col("b"), R: plan.Col("c"),
+				}}, Alias: "sbc"},
+				{Expr: &plan.Agg{Fn: plan.AggCount}, Alias: "n"},
+			},
+			Limit: -1,
+		}
+		shards := []int{1, 3, 4}[trial%3]
+		workers := []int{0, 2}[trial%2]
+		res := shardRun(t, cat, q, workers, shards, true, nil)
+		plain := shardRun(t, cat, q, workers, shards, false, nil)
+		rowsEqual(t, res.Rows, plain.Rows, false)
+
+		e := New(cat, DefaultOptions())
+		cq, err := e.CompileQuery(q)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, err := ref.Execute(cq.Plan)
+		if err != nil {
+			t.Fatalf("trial %d: reference: %v", trial, err)
+		}
+		rowsEqual(t, res.Rows, want, false)
+
+		for _, st := range res.ShardStates {
+			for _, z := range st.Zones {
+				totalZones++
+				if z.Pruned {
+					prunedZones++
+				}
+			}
+		}
+	}
+	if prunedZones == 0 {
+		t.Fatalf("no zone pruned in %d random trials (%d zones seen) — property test is vacuous", trials, totalZones)
+	}
+	t.Logf("pruned %d of %d zones across %d trials", prunedZones, totalZones, trials)
+}
+
+// selectiveScanQuery is the 90%-prunable workload of the scaling gate: a
+// projection over lineitem with a compound filter — a range conjunct on
+// the clustered l_orderkey below its 10th percentile (prunes ~90% of
+// zones from bounds alone) and a sparse equality on l_quantity (keeps the
+// surviving output, and therefore the irreducible per-result work, tiny).
+// Prunability and selectivity are deliberately decoupled: zone pruning
+// removes whole-zone *scan* work, so the gate workload's residual cost
+// must be scan-shaped, not output-shaped.
+func selectiveScanQuery(t testing.TB, cat *catalog.Catalog) *plan.Query {
+	t.Helper()
+	tb, err := cat.Table("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tb.ColStats("l_orderkey")
+	cut := st.Min + (st.Max-st.Min)/10
+	return &plan.Query{
+		Tables: []plan.TableRef{{Name: "lineitem"}},
+		Where: []plan.Expr{
+			plan.Lt(plan.Col("l_orderkey"), plan.Num(cut)),
+			plan.Eq(plan.Col("l_quantity"), plan.Num(13)),
+		},
+		Select: []plan.SelectItem{
+			{Expr: plan.Col("l_orderkey")},
+			{Expr: plan.Col("l_extendedprice")},
+		},
+		Limit: -1,
+	}
+}
+
+// gateCatalog is the scaling gate's dataset: larger than the unit-test
+// fixture so per-query constants (prelude, merge rounds, group-scan
+// sweeps) don't mask the scan-proportional work the gate measures.
+func gateCatalog(t testing.TB) *catalog.Catalog {
+	t.Helper()
+	return datagen.Generate(datagen.Config{ScaleFactor: 0.2, Seed: 7})
+}
+
+// TestShardScalingGate is the CI gate (simulated cycles, so the numbers
+// are load-bound, not host-bound):
+//
+//   - fig9 join: 4 shards on 4 workers with pruning vs the serial
+//     unsharded baseline — parallel speedup plus zone pruning must
+//     compound to >= 2x wall-clock.
+//   - 90%-prunable selective scan: 4 shards with pruning vs the *same
+//     worker count* unsharded — the pure pruning win must be >= 5x.
+//   - sharding without pruning is attribution only and must not tax the
+//     unsharded parallel wall clock.
+func TestShardScalingGate(t *testing.T) {
+	cat := gateCatalog(t)
+
+	w, _ := queries.ByName("fig9")
+	serial := shardRun(t, cat, w.Query, 0, 0, false, nil)
+	sharded := shardRun(t, cat, w.Query, 4, 4, true, nil)
+	rowsEqual(t, sharded.Rows, serial.Rows, len(w.Query.OrderBy) > 0)
+	if serial.WallCycles == 0 || sharded.WallCycles == 0 {
+		t.Fatal("no wall cycles")
+	}
+	speedup := float64(serial.WallCycles) / float64(sharded.WallCycles)
+	t.Logf("fig9: serial %d cycles, 4 workers x 4 shards + pruning %d cycles — %.2fx",
+		serial.WallCycles, sharded.WallCycles, speedup)
+	if speedup < 2.0 {
+		t.Errorf("fig9 sharded speedup %.2fx, gate requires >= 2x", speedup)
+	}
+
+	scan := selectiveScanQuery(t, cat)
+	base := shardRun(t, cat, scan, 4, 0, false, nil)
+	pruned := shardRun(t, cat, scan, 4, 4, true, nil)
+	rowsEqual(t, pruned.Rows, base.Rows, false)
+	if len(pruned.Rows) == 0 {
+		t.Fatal("gate scan returned no rows — workload is degenerate")
+	}
+	var owned, scanned int64
+	for _, st := range pruned.ShardStates {
+		owned += st.Rows
+		scanned += st.Scanned
+	}
+	if frac := float64(scanned) / float64(owned); frac > 0.15 {
+		t.Errorf("gate scan executed %.0f%% of the table, want <= 15%% (90%%-prunable workload)", 100*frac)
+	}
+	scanSpeedup := float64(base.WallCycles) / float64(pruned.WallCycles)
+	t.Logf("selective scan: unsharded %d cycles, pruned %d cycles — %.2fx",
+		base.WallCycles, pruned.WallCycles, scanSpeedup)
+	if scanSpeedup < 5.0 {
+		t.Errorf("selective-scan pruning speedup %.2fx, gate requires >= 5x", scanSpeedup)
+	}
+
+	noPrune := shardRun(t, cat, w.Query, 4, 4, false, nil)
+	unsharded := shardRun(t, cat, w.Query, 4, 0, false, nil)
+	if tax := float64(noPrune.WallCycles) / float64(unsharded.WallCycles); tax > 1.05 {
+		t.Errorf("sharding without pruning costs %.2fx the unsharded wall clock — attribution must be free", tax)
+	}
+}
+
+// TestDecideShards pins the cost model's shard knob: the count shrinks to
+// what the largest driving scan supports, and pruning survives only when
+// the model sees something for it to bite on (a selective filter or a
+// join build to ship).
+func TestDecideShards(t *testing.T) {
+	small := testCatalog(t) // lineitem ~3k rows: below shardMinRows*2
+	big := gateCatalog(t)   // lineitem ~12k rows: supports 2 shards
+
+	annotate := func(cat *catalog.Catalog, q *plan.Query) *cost.Model {
+		e := New(cat, DefaultOptions())
+		cq, err := e.CompileQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cost.Annotate(cq.Plan)
+	}
+	fig9, _ := queries.ByName("fig9")
+	fullScan := &plan.Query{
+		Tables: []plan.TableRef{{Name: "lineitem"}},
+		Select: []plan.SelectItem{{Expr: plan.Col("l_orderkey")}},
+		Limit:  -1,
+	}
+
+	if s, p := cost.DecideShards(annotate(small, fig9.Query), 0, true); s != 0 || p {
+		t.Errorf("shards=0 request: got (%d,%v), want disabled", s, p)
+	}
+	if s, p := cost.DecideShards(annotate(small, fig9.Query), 8, true); s != 1 || !p {
+		t.Errorf("tiny fig9: got (%d,%v), want (1,true) — scan too small to split, join still ships bounds", s, p)
+	}
+	if s, _ := cost.DecideShards(annotate(big, fig9.Query), 4, true); s != 2 {
+		t.Errorf("sf0.2 fig9: got %d shards, want 2 (12k-row scan supports 2)", s)
+	}
+	if _, p := cost.DecideShards(annotate(big, fullScan), 4, true); p {
+		t.Error("unfiltered joinless scan: pruning kept with nothing to prune on")
+	}
+	if _, p := cost.DecideShards(annotate(big, selectiveScanQuery(t, big)), 4, true); !p {
+		t.Error("selective scan: pruning dropped despite a selective filter")
+	}
+	if _, p := cost.DecideShards(annotate(big, selectiveScanQuery(t, big)), 4, false); p {
+		t.Error("pruning enabled against the configuration")
+	}
+}
+
+// TestShardServiceDecision covers the service path: with shard options
+// set, the compile closure attaches a per-statement ShardDecision to the
+// artifact, warm prepares stay pure cache hits on the same artifact, and
+// execution honors the artifact's decision (not the session's static
+// knobs).
+func TestShardServiceDecision(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Workers = 2
+	opts.MorselRows = 256
+	opts.Shards = 4
+	opts.ShardPruning = true
+	svc := NewService(testCatalog(t), opts, 0)
+	se := svc.NewSession()
+
+	const sql = "select l_orderkey, sum(l_quantity) as q from lineitem where l_orderkey < 120 group by l_orderkey"
+	p, res, err := se.Execute(sql, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Compiled.Shard
+	if d == nil {
+		t.Fatal("artifact carries no shard decision under shard options")
+	}
+	if d.Shards < 1 || d.Shards > opts.Shards {
+		t.Fatalf("decision shards = %d, want in [1,%d]", d.Shards, opts.Shards)
+	}
+	if !d.Pruning {
+		t.Fatal("selective filter: decision should keep pruning")
+	}
+	if res.Shards != d.Shards {
+		t.Fatalf("run used %d shards, artifact decided %d", res.Shards, d.Shards)
+	}
+	rowsEqual(t, res.Rows, refRows(t, p), false)
+
+	warm, res2, err := se.Execute(sql, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit || warm.Compiled != p.Compiled {
+		t.Fatal("warm prepare must hit the same artifact")
+	}
+	rowsEqual(t, res2.Rows, res.Rows, false)
+
+	// The artifact's decision wins over session knobs: cranking the
+	// session to 8 unpruned shards must not change this statement.
+	se.SetShards(8)
+	se.SetShardPruning(false)
+	p3, res3, err := se.Execute(sql, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p3.CacheHit {
+		t.Fatal("session shard knobs must not invalidate the cache")
+	}
+	if res3.Shards != d.Shards {
+		t.Fatalf("artifact decision overridden: ran %d shards, want %d", res3.Shards, d.Shards)
+	}
+	rowsEqual(t, res3.Rows, res.Rows, false)
+}
+
+// TestShardConcurrentSessions hammers one service from sessions that
+// enable sharding with different knobs mid-flight — the -race companion
+// to TestServiceConcurrentSessions. Concurrent zone-map builds (the
+// catalog's lazy per-table cache) and concurrent sharded runs must not
+// race, and every result must match the reference.
+func TestShardConcurrentSessions(t *testing.T) {
+	svc := NewService(testCatalog(t), DefaultOptions(), 0)
+	sqls := []string{
+		"select count(*) from lineitem where l_orderkey < 100",
+		"select l_orderkey, sum(l_quantity) as qty from lineitem where l_orderkey < 200 group by l_orderkey",
+		"select count(*) from orders where o_orderdate < 800",
+	}
+	want := make([][][]int64, len(sqls))
+	warm := svc.NewSession()
+	for i, sql := range sqls {
+		p, err := warm.Prepare(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = refRows(t, p)
+	}
+
+	const G = 8
+	const iters = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, G*iters)
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			se := svc.NewSession()
+			se.SetWorkers(g % 3)
+			se.SetMorselRows(256)
+			se.SetShards(1 + g%4)
+			se.SetShardPruning(g%2 == 0)
+			for i := 0; i < iters; i++ {
+				k := (g + i) % len(sqls)
+				_, res, err := se.Execute(sqls[k], nil)
+				if err != nil {
+					errs <- fmt.Errorf("g%d: %s: %w", g, sqls[k], err)
+					return
+				}
+				if !sameRows(res.Rows, want[k], false) {
+					errs <- fmt.Errorf("g%d: %s: rows diverge from reference", g, sqls[k])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

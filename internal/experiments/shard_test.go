@@ -1,0 +1,166 @@
+package experiments
+
+// Shard-benchmark regression tests: a golden report on a fixed small
+// scale (the simulated stack is deterministic end to end, so the report
+// must be byte-identical), plus a strict-schema guard over the committed
+// BENCH_shard.json. The scaling gates only hold at bench scale — small
+// tables are dominated by fixed prelude and output costs — so the golden
+// pins bytes and invariance, while the schema test asserts the gates on
+// the committed sf-0.2 report.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestShardGolden: the report at (sf=0.02, seed=7) matches the committed
+// golden byte-for-byte, two runs agree with each other, and every
+// measured row is rows-identical and profile-invariant — the shard
+// tentpole's correctness claims at any scale.
+func TestShardGolden(t *testing.T) {
+	run := func() *ShardReport {
+		rep, err := NewEnv(0.02, 7).ShardReportRun()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	r1 := run()
+	b1, err := r1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := run()
+	b2, err := r2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("two shard benchmark runs on the same seed produced different reports")
+	}
+	for _, r := range r1.Rows {
+		if !r.RowsIdentical {
+			t.Errorf("%s workers=%d shards=%d pruning=%v: rows differ from the serial oracle",
+				r.Query, r.Workers, r.Shards, r.Pruning)
+		}
+		if !r.ProfileInvariant {
+			t.Errorf("%s workers=%d shards=%d pruning=%v: canonical profile drifted within its class",
+				r.Query, r.Workers, r.Shards, r.Pruning)
+		}
+	}
+	golden, err := os.ReadFile("testdata/shard_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, golden) {
+		t.Fatalf("shard report drifted from testdata/shard_golden.json.\nRegenerate with:\n  go run ./cmd/experiments -exp shard -sf 0.02 -seed 7 -out internal/experiments/testdata/shard_golden.json\ngot:\n%s", b1)
+	}
+}
+
+// TestShardBenchSchema: the committed BENCH_shard.json decodes strictly
+// into ShardReport (no unknown fields) and satisfies the acceptance
+// shape: three workload shapes across Shards ∈ {1,2,4,8}, every row
+// rows-identical and profile-invariant, the sharded-no-pruning rows pay
+// no tax over unsharded execution, the selectivity sweep spans the
+// prunability axis with monotone pruning, and both scaling gates pass.
+func TestShardBenchSchema(t *testing.T) {
+	b, err := os.ReadFile("../../BENCH_shard.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var rep ShardReport
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("BENCH_shard.json does not match the ShardReport schema: %v", err)
+	}
+
+	queries := map[string]bool{}
+	shardCounts := map[int]bool{}
+	type key struct {
+		q       string
+		workers int
+	}
+	unsharded := map[key]uint64{}
+	for _, r := range rep.Rows {
+		queries[r.Query] = true
+		if r.Shards > 0 {
+			shardCounts[r.Shards] = true
+		}
+		if !r.RowsIdentical {
+			t.Errorf("%s workers=%d shards=%d: rows not identical to the oracle", r.Query, r.Workers, r.Shards)
+		}
+		if !r.ProfileInvariant {
+			t.Errorf("%s workers=%d shards=%d: profile not invariant", r.Query, r.Workers, r.Shards)
+		}
+		if r.Shards == 0 && r.Workers > 0 {
+			unsharded[key{r.Query, r.Workers}] = r.WallCycles
+		}
+	}
+	if len(queries) < 3 {
+		t.Errorf("want >= 3 workload shapes, got %v", queries)
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		if !shardCounts[n] {
+			t.Errorf("no measurement at shards=%d", n)
+		}
+	}
+	// No-prune tax: coordinating shards without pruning may cost at most
+	// 5% over the plain parallel path.
+	taxRows := 0
+	for _, r := range rep.Rows {
+		if r.Shards == 0 || r.Pruning || r.Workers == 0 {
+			continue
+		}
+		base, ok := unsharded[key{r.Query, r.Workers}]
+		if !ok {
+			continue
+		}
+		taxRows++
+		if float64(r.WallCycles) > 1.05*float64(base) {
+			t.Errorf("%s workers=%d shards=%d pruning=off: %d cycles vs %d unsharded (> 5%% tax)",
+				r.Query, r.Workers, r.Shards, r.WallCycles, base)
+		}
+	}
+	if taxRows == 0 {
+		t.Error("no sharded pruning-off rows to check the no-tax claim against")
+	}
+
+	if len(rep.Sweep) < 5 {
+		t.Fatalf("want >= 5 sweep points, got %d", len(rep.Sweep))
+	}
+	for i := 1; i < len(rep.Sweep); i++ {
+		a, b := rep.Sweep[i-1], rep.Sweep[i]
+		if b.CutFrac <= a.CutFrac {
+			t.Errorf("sweep not ordered by cut_frac: %v after %v", b.CutFrac, a.CutFrac)
+		}
+		if b.PrunedZones > a.PrunedZones {
+			t.Errorf("pruned zones grew as the prunable range shrank: %d at %.2f, %d at %.2f",
+				a.PrunedZones, a.CutFrac, b.PrunedZones, b.CutFrac)
+		}
+	}
+	first, last := rep.Sweep[0], rep.Sweep[len(rep.Sweep)-1]
+	if first.Speedup < 2 {
+		t.Errorf("most-prunable sweep point speeds up only %.2fx", first.Speedup)
+	}
+	if last.PrunedZones != 0 {
+		t.Errorf("unprunable sweep point still pruned %d zones", last.PrunedZones)
+	}
+
+	if len(rep.Gates) < 2 {
+		t.Fatalf("want >= 2 gates, got %d", len(rep.Gates))
+	}
+	for _, g := range rep.Gates {
+		if !g.Pass {
+			t.Errorf("gate %s vs %s failed: %.2fx < %.1fx", g.Query, g.Baseline, g.Speedup, g.Required)
+		}
+		if g.Speedup < g.Required {
+			t.Errorf("gate %s: recorded speedup %.2f below requirement %.1f", g.Query, g.Speedup, g.Required)
+		}
+	}
+	if !rep.Pass {
+		t.Error("report-level pass flag is false")
+	}
+}

@@ -1,0 +1,50 @@
+package pipeline
+
+import "repro/internal/codegen"
+
+// Host-side mirror of the generated bloom-filter probe, used by the
+// cross-shard coordinator for semi-join shipping: before a probe-side
+// shard scan runs, the engine tests candidate key values against the
+// build side's finished bloom filter and prunes zones whose every
+// candidate misses. Kept next to genBloomSet/genBloomTest so the host
+// replay and the generated bit math cannot drift apart.
+
+// crc32Mix replays the VM's isa.CRC32 ALU op: one mixing step of the
+// hash pipeline (crc32 i64 const, v), not the real CRC polynomial.
+func crc32Mix(a, b int64) int64 {
+	x := uint64(a) ^ uint64(b)*0x9e3779b97f4a7c15
+	x ^= x >> 32
+	x *= 0xd6e8feb86659fd93
+	x ^= x >> 32
+	return int64(x)
+}
+
+// BloomProbes returns the two bloom probe values the generated code
+// derives for a key (hashParts' g1/g2 crc32 pair). Operand binding
+// matters: in the executed kernel the key lands in the mix's xor slot and
+// the constant in the multiply slot, so the replay must call
+// crc32Mix(key, const) — TestShardSkipCompleteness and the pruning
+// property suite pin this against drift.
+func BloomProbes(key int64) (g1, g2 int64) {
+	return crc32Mix(key, hashC1), crc32Mix(key, hashC2)
+}
+
+// BloomMayContain reports whether a key can be present in a join build's
+// bloom filter, reading the filter region from a canonical heap. False is
+// definitive (the build inserted no such key — exactly the test the
+// generated probe short-circuits on); true means "possibly present".
+// Tables without a filter (BloomBits == 0) always report true.
+func BloomMayContain(heap []byte, ht *HTLayout, key int64) bool {
+	if ht == nil || ht.BloomBits == 0 {
+		return true
+	}
+	g1, g2 := BloomProbes(key)
+	for _, g := range [2]int64{g1, g2} {
+		idx := g & (ht.BloomBits - 1)
+		word := codegen.HeapI64(heap, ht.BloomBase+((idx>>6)<<3))
+		if (word>>uint(idx&63))&1 == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -42,7 +42,7 @@ type Node interface {
 type Scan struct {
 	Table  *catalog.Table
 	Alias  string
-	Filter PExpr // conjunction over *table column positions*; nil = none
+	Filter PExpr // conjunction over positions in the scan's *output* row (indices into Cols); nil = none
 
 	// Cols are the table column indices this scan outputs (pruned).
 	Cols []int

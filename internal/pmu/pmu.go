@@ -115,6 +115,7 @@ type PMU struct {
 	cfg      Config
 	samples  []core.Sample
 	buffered int
+	shard    int
 
 	// Flushes counts PEBS buffer drains (kernel involvement).
 	Flushes int
@@ -149,9 +150,15 @@ func (p *PMU) Config() Config { return p.cfg }
 // StorageBytes returns the total sample storage used so far.
 func (p *PMU) StorageBytes() int { return len(p.samples) * RecordBytes(p.cfg.Format) }
 
+// SetShard sets the shard stamp applied to subsequent samples (0 =
+// unsharded work; shard s is stamped as s+1). The morsel scheduler calls
+// it before each morsel so every sample lands in its shard's logical
+// sub-buffer, mirroring how Config.Worker splits buffers per core.
+func (p *PMU) SetShard(id int) { p.shard = id }
+
 // Sample implements vm.SampleHook.
 func (p *PMU) Sample(c *vm.CPU, ev vm.Event, addr int64) uint64 {
-	s := core.Sample{IP: c.IP(), Event: ev, Addr: addr, Worker: p.cfg.Worker}
+	s := core.Sample{IP: c.IP(), Event: ev, Addr: addr, Worker: p.cfg.Worker, Shard: p.shard}
 	var cost uint64
 	if p.cfg.Format.CallStack {
 		// Interrupt-based sampling: the kernel handler walks and stores
