@@ -1,8 +1,8 @@
 // Command tprofvet is the static verification driver for the Tailored
 // Profiling toolchain. It has two modes:
 //
-//	tprofvet check [-sf 0.05] [-workers 1,4] [-pgo] [-cache] [-merge] [-cost] [-shard] [-q name]
-//	tprofvet lint [root]
+//	tprofvet check [-sf 0.05] [-workers 1,4] [-tv] [-absint] [-mutants] [-json] [-pgo] [-cache] [-merge] [-cost] [-shard] [-q name]
+//	tprofvet lint [-json] [root]
 //
 // check compiles the full query corpus with Engine.VerifyArtifacts on,
 // so the cross-level suite (internal/verify) runs over every artifact:
@@ -27,15 +27,30 @@
 // run's per-shard lineage journals must replay cleanly against the
 // table's row counts and the profile's skip events (verify.CheckShards:
 // shards tile the table, no zone tag collisions, every pruned zone has
-// exactly one matching skip event). lint
-// type-checks the repository and applies the source rules (no math/rand
-// outside internal/xrand, no fmt.Sprintf on the compile hot path, no
-// mutex-by-value, no time.Now in the VM/PMU).
+// exactly one matching skip event).
+//
+// -tv reports translation-validation coverage: the per-pass validator
+// (internal/verify/tv) must have checked at least one optimizer pass
+// application per compile. -absint runs the abstract interpreter
+// (internal/verify/absint) over the emitted native code and reports how
+// many memory accesses it proved in-bounds and aligned; any definite
+// violation fails the check. -mutants runs the miscompilation-mutant
+// harness (internal/verify/mutate) over the corpus and enforces the 95%
+// catch-rate gate. -json switches the default check mode and lint mode to
+// machine-readable JSON on stdout.
+//
+// lint type-checks the repository and applies the source rules (no
+// math/rand outside internal/xrand, no fmt.Sprintf on the compile hot
+// path, no mutex-by-value, no time.Now in the VM/PMU, no panic outside
+// the bug/bugf helpers, no dropped errors on engine/service paths, and
+// the concurrency rules: lock ordering, WaitGroup.Add placement,
+// channel-close discipline, no mixed atomic/plain field access).
 //
 // Exit status: 0 clean, 1 diagnostics or failures, 2 usage error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -55,6 +70,9 @@ import (
 	"repro/internal/ref"
 	"repro/internal/sqlparse"
 	"repro/internal/verify"
+	"repro/internal/verify/absint"
+	"repro/internal/verify/mutate"
+	"repro/internal/verify/tv"
 	"repro/internal/vm"
 )
 
@@ -87,6 +105,10 @@ func runCheck(args []string) int {
 	merge := fs.Bool("merge", false, "verify the partitioned merge: static invariants, cross-worker determinism, merge-task attribution")
 	costPass := fs.Bool("cost", false, "verify the cost layer: model consistency on every plan, true-count lineage on every counted run")
 	shard := fs.Bool("shard", false, "verify sharded execution: journal/skip lineage, row and profile invariance across shard counts")
+	tvFlag := fs.Bool("tv", false, "report translation-validation coverage; fail any compile that validated no optimizer pass")
+	absFlag := fs.Bool("absint", false, "run the abstract interpreter over the emitted code and report proof coverage")
+	mutants := fs.Bool("mutants", false, "run the miscompilation-mutant harness and enforce the 95% catch-rate gate")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (default check and -mutants modes only)")
 	only := fs.String("q", "", "restrict to one named workload")
 	fs.Parse(args)
 
@@ -101,6 +123,10 @@ func runCheck(args []string) int {
 	}
 
 	cat := datagen.Generate(datagen.Config{ScaleFactor: *sf, Seed: *seed})
+	if *jsonOut && (*cache || *merge || *costPass || *shard) {
+		fmt.Fprintln(os.Stderr, "tprofvet: -json supports the default check and -mutants modes only")
+		return 2
+	}
 	if *cache {
 		return runCacheCheck(cat, workers, *only)
 	}
@@ -113,6 +139,9 @@ func runCheck(args []string) int {
 	if *shard {
 		return runShardCheck(cat, workers, *only)
 	}
+	if *mutants {
+		return runMutantCheck(cat, *only, *jsonOut)
+	}
 
 	suite := queries.Suite()
 	if *only != "" {
@@ -124,6 +153,7 @@ func runCheck(args []string) int {
 		suite = []queries.Workload{w}
 	}
 
+	var results []checkResult
 	failures := 0
 	checked := 0
 	for _, w := range suite {
@@ -133,16 +163,63 @@ func runCheck(args []string) int {
 			opts.VerifyArtifacts = true
 			e := engine.New(cat, opts)
 
+			r := checkResult{Workload: w.Name, Workers: nw}
 			cq, err := e.CompileQuery(w.Query)
 			checked++
 			if err != nil {
 				failures++
-				fmt.Printf("FAIL  %-12s workers=%d: %v\n", w.Name, nw, err)
+				r.Error = err.Error()
+				results = append(results, r)
+				if !*jsonOut {
+					fmt.Printf("FAIL  %-12s workers=%d: %v\n", w.Name, nw, err)
+				}
+				continue
+			}
+			r.OK = true
+			r.NativeInstrs = len(cq.Code.Program.Code)
+			r.TVSteps = cq.TVSteps
+
+			extra := ""
+			if *tvFlag {
+				if cq.TVSteps == 0 {
+					r.OK = false
+					r.Error = "translation validator checked no optimizer pass applications"
+				} else {
+					extra += fmt.Sprintf(", %d tv steps", cq.TVSteps)
+				}
+			}
+			if r.OK && *absFlag {
+				rep := absint.Analyze(cq.Code, cq.Mem, opts.RegisterTagging)
+				r.Absint = &absintResult{
+					Accesses: rep.Accesses, Proved: rep.Proved, Unproven: rep.Unproven,
+				}
+				for _, d := range rep.Diags {
+					r.Diags = append(r.Diags, jsonDiag(d))
+				}
+				if len(rep.Diags) > 0 {
+					r.OK = false
+					r.Error = fmt.Sprintf("%d abstract-interpretation diagnostic(s)", len(rep.Diags))
+				} else {
+					extra += fmt.Sprintf(", absint %d/%d proved", rep.Proved, rep.Accesses)
+				}
+			}
+			if !r.OK {
+				failures++
+				results = append(results, r)
+				if !*jsonOut {
+					fmt.Printf("FAIL  %-12s workers=%d: %s\n", w.Name, nw, r.Error)
+					for _, d := range r.Diags {
+						fmt.Printf("      %s: %s: %s\n", d.Check, d.Locus, d.Msg)
+					}
+				}
 				continue
 			}
 			if !*pgo {
-				fmt.Printf("ok    %-12s workers=%d (%d native instrs)\n",
-					w.Name, nw, len(cq.Code.Program.Code))
+				results = append(results, r)
+				if !*jsonOut {
+					fmt.Printf("ok    %-12s workers=%d (%d native instrs%s)\n",
+						w.Name, nw, len(cq.Code.Program.Code), extra)
+				}
 				continue
 			}
 			// The adaptive cycle recompiles through the same verified
@@ -153,18 +230,205 @@ func runCheck(args []string) int {
 			checked++
 			if err != nil {
 				failures++
-				fmt.Printf("FAIL  %-12s workers=%d pgo: %v\n", w.Name, nw, err)
+				r.OK = false
+				r.Error = "pgo: " + err.Error()
+				results = append(results, r)
+				if !*jsonOut {
+					fmt.Printf("FAIL  %-12s workers=%d pgo: %v\n", w.Name, nw, err)
+				}
 				continue
 			}
-			fmt.Printf("ok    %-12s workers=%d pgo (%d -> %d cycles)\n",
-				w.Name, nw, ar.BaselineCycles, ar.TunedCycles)
+			results = append(results, r)
+			if !*jsonOut {
+				fmt.Printf("ok    %-12s workers=%d pgo (%d -> %d cycles%s)\n",
+					w.Name, nw, ar.BaselineCycles, ar.TunedCycles, extra)
+			}
 		}
+	}
+	if *jsonOut {
+		emitJSON(checkReport{Mode: "check", Checked: checked, Failures: failures, Results: results})
+		if failures > 0 {
+			return 1
+		}
+		return 0
 	}
 	if failures > 0 {
 		fmt.Printf("tprofvet check: %d of %d artifact sets FAILED\n", failures, checked)
 		return 1
 	}
 	fmt.Printf("tprofvet check: %d artifact sets verified, 0 diagnostics\n", checked)
+	return 0
+}
+
+// checkReport is the machine-readable envelope for -json runs.
+type checkReport struct {
+	Mode     string        `json:"mode"`
+	Checked  int           `json:"checked"`
+	Failures int           `json:"failures"`
+	Results  []checkResult `json:"results"`
+}
+
+type checkResult struct {
+	Workload     string        `json:"workload"`
+	Workers      int           `json:"workers"`
+	OK           bool          `json:"ok"`
+	Error        string        `json:"error,omitempty"`
+	NativeInstrs int           `json:"nativeInstrs,omitempty"`
+	TVSteps      int           `json:"tvSteps,omitempty"`
+	Absint       *absintResult `json:"absint,omitempty"`
+	Diags        []diagJSON    `json:"diags,omitempty"`
+}
+
+type absintResult struct {
+	Accesses int `json:"accesses"`
+	Proved   int `json:"proved"`
+	Unproven int `json:"unproven"`
+}
+
+type diagJSON struct {
+	Check    string `json:"check"`
+	Severity string `json:"severity"`
+	Level    string `json:"level"`
+	Locus    string `json:"locus"`
+	Msg      string `json:"msg"`
+}
+
+func jsonDiag(d verify.Diag) diagJSON {
+	return diagJSON{
+		Check: d.Check, Severity: d.Severity.String(), Level: d.Level.String(),
+		Locus: d.Locus, Msg: d.Msg,
+	}
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintf(os.Stderr, "tprofvet: encoding JSON: %v\n", err)
+	}
+}
+
+// runMutantCheck runs the miscompilation-mutant harness over the corpus:
+// every clean compile must verify silently, and the validators must catch
+// at least 95% of injected defects in aggregate (the same gate the
+// internal/verify/mutate tests enforce, exposed for CI).
+func runMutantCheck(cat *catalog.Catalog, only string, jsonOut bool) int {
+	suite := queries.Suite()
+	if only != "" {
+		w, ok := queries.ByName(only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tprofvet: no workload %q\n", only)
+			return 2
+		}
+		suite = []queries.Workload{w}
+	}
+
+	type tally struct{ Caught, Total int }
+	perClass := map[string]*tally{}
+	count := func(class string, caught bool) {
+		tl := perClass[class]
+		if tl == nil {
+			tl = &tally{}
+			perClass[class] = tl
+		}
+		tl.Total++
+		if caught {
+			tl.Caught++
+		}
+	}
+	gate := verify.NewSuite(append(verify.ArtifactSuite().Checkers, absint.Checker{})...)
+	var missed []string
+
+	for _, w := range suite {
+		opts := engine.DefaultOptions()
+		opts.VerifyArtifacts = true
+		c := engine.NewCompiler(cat, opts)
+		cq, err := c.CompileQuery(w.Query)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tprofvet: clean compile of %s flagged: %v\n", w.Name, err)
+			return 1
+		}
+
+		popts := pipeline.Options{RegisterTagging: opts.RegisterTagging}
+		fresh := func() *pipeline.Compiled {
+			pc, err := pipeline.Compile(cq.Plan, cq.Layout, popts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tprofvet: pipeline recompile of %s: %v\n", w.Name, err)
+				os.Exit(1)
+			}
+			return pc
+		}
+		it := tv.NewInterner()
+		pre := tv.Summarize(fresh().Module, it)
+		nIR := len(mutate.IR(fresh().Module))
+		for i := 0; i < nIR; i++ {
+			pc := fresh()
+			muts := mutate.IR(pc.Module)
+			muts[i].Apply()
+			caught := len(tv.Compare(pre, tv.Summarize(pc.Module, it), it)) > 0
+			count(muts[i].Class, caught)
+			if !caught {
+				missed = append(missed, w.Name+": "+muts[i].Class+" at "+muts[i].Site)
+			}
+		}
+
+		nNative := len(mutate.Native(mutate.CloneResult(cq.Code), cq.Mem))
+		for i := 0; i < nNative; i++ {
+			code := mutate.CloneResult(cq.Code)
+			muts := mutate.Native(code, cq.Mem)
+			muts[i].Apply()
+			ds := gate.Run(&verify.Artifact{
+				Phase: "emit", Module: cq.Pipe.Module, Dict: cq.Pipe.Dict,
+				Code: code, RegisterTagging: opts.RegisterTagging,
+				Pipelines: cq.Pipe.Pipelines, Layout: cq.Layout, Mem: cq.Mem,
+			})
+			caught := len(verify.Errs(ds)) > 0
+			count(muts[i].Class, caught)
+			if !caught {
+				missed = append(missed, w.Name+": "+muts[i].Class+" at "+muts[i].Site)
+			}
+		}
+	}
+
+	var caught, total int
+	classes := make([]string, 0, len(perClass))
+	for class := range perClass {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		tl := perClass[class]
+		caught += tl.Caught
+		total += tl.Total
+		if !jsonOut {
+			fmt.Printf("%-26s %3d/%3d\n", class, tl.Caught, tl.Total)
+		}
+	}
+	if total == 0 {
+		fmt.Fprintln(os.Stderr, "tprofvet: no mutants enumerated")
+		return 1
+	}
+	rate := float64(caught) / float64(total)
+	pass := rate >= 0.95
+	if jsonOut {
+		emitJSON(struct {
+			Mode     string            `json:"mode"`
+			Caught   int               `json:"caught"`
+			Total    int               `json:"total"`
+			Rate     float64           `json:"rate"`
+			Pass     bool              `json:"pass"`
+			PerClass map[string]*tally `json:"perClass"`
+			Missed   []string          `json:"missed,omitempty"`
+		}{"mutants", caught, total, rate, pass, perClass, missed})
+	} else {
+		for _, m := range missed {
+			fmt.Printf("missed  %s\n", m)
+		}
+		fmt.Printf("tprofvet check -mutants: %d/%d caught = %.1f%% (gate 95%%)\n", caught, total, 100*rate)
+	}
+	if !pass {
+		return 1
+	}
 	return 0
 }
 
@@ -601,6 +865,11 @@ func rowsMatch(a, b [][]int64, ordered bool) bool {
 }
 
 func runLint(args []string) int {
+	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON")
+	fs.Parse(args)
+	args = fs.Args()
+
 	root := "."
 	if len(args) > 0 && args[0] != "./..." {
 		root = args[0]
@@ -628,6 +897,21 @@ func runLint(args []string) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tprofvet lint: %v\n", err)
 		return 1
+	}
+	if *jsonOut {
+		diags := make([]diagJSON, 0, len(ds))
+		for _, d := range ds {
+			diags = append(diags, jsonDiag(d))
+		}
+		emitJSON(struct {
+			Mode  string     `json:"mode"`
+			Clean bool       `json:"clean"`
+			Diags []diagJSON `json:"diags"`
+		}{"lint", len(verify.Errs(ds)) == 0, diags})
+		if len(verify.Errs(ds)) > 0 {
+			return 1
+		}
+		return 0
 	}
 	for _, d := range ds {
 		fmt.Println(d.String())

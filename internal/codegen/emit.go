@@ -345,7 +345,7 @@ func (e *emitter) emitFunc(fn *lfunc, a *allocation) error {
 func (e *emitter) emitCall(a *allocation, l *lins) {
 	ids := l.irIDs
 	if len(l.args) > isa.NumArgRegs {
-		panic("codegen: too many call arguments")
+		bug("too many call arguments")
 	}
 	for i, arg := range l.args {
 		src := e.readInto(a, arg, scratchA, ids)

@@ -612,7 +612,7 @@ func insertBeforeTerminator(b *lblock, seq []lins) {
 		t := &b.ins[i]
 		for _, m := range seq {
 			if m.dst != 0 && (t.a == m.dst || (!t.useImm && t.b == m.dst)) {
-				panic("codegen: phi copy clobbers terminator operand in " + b.name)
+				bug("phi copy clobbers terminator operand in " + b.name)
 			}
 		}
 	}

@@ -96,7 +96,7 @@ func (r *Registry) Add(level Level, name, kind string, pipeline int, parent Comp
 // Get returns the component for id; it panics on an invalid ID.
 func (r *Registry) Get(id ComponentID) *Component {
 	if id <= 0 || int(id) > len(r.comps) {
-		panic(fmt.Sprintf("core: invalid component id %d", id))
+		bugf("invalid component id %d", id)
 	}
 	return &r.comps[id-1]
 }
@@ -152,7 +152,7 @@ func (t *Tracker) Push(id ComponentID) { t.stack = append(t.stack, id) }
 // which indicates unbalanced produce/consume bookkeeping.
 func (t *Tracker) Pop() {
 	if len(t.stack) == 0 {
-		panic(fmt.Sprintf("core: tracker %s underflow", t.level))
+		bugf("tracker %s underflow", t.level)
 	}
 	t.stack = t.stack[:len(t.stack)-1]
 }

@@ -24,6 +24,8 @@ import (
 	"repro/internal/pmu"
 	"repro/internal/sqlparse"
 	"repro/internal/verify"
+	"repro/internal/verify/absint"
+	"repro/internal/verify/tv"
 	"repro/internal/vm"
 )
 
@@ -173,6 +175,14 @@ type Compiled struct {
 	Layout   *pipeline.Layout
 	OptStats iropt.Stats
 
+	// Mem is the heap layout and staged-cell model handed to the abstract
+	// interpreter (internal/verify/absint); built on every compile so
+	// tooling (tprofvet) can verify finished artifacts.
+	Mem *verify.MemModel
+	// TVSteps counts the optimizer pass applications the translation
+	// validator (internal/verify/tv) checked; zero unless VerifyArtifacts.
+	TVSteps int
+
 	// Shard is the per-statement sharded-execution decision the service's
 	// cost model attaches at compile time (cost.DecideShards); nil
 	// artifacts execute with the executor's static Options knobs.
@@ -299,6 +309,7 @@ func (c *Compiler) compilePlan(pl *plan.Output, hot *pgo.Hotness) (*Compiled, er
 		return nil, err
 	}
 	cq.Pipe = pc
+	cq.Mem = buildMemModel(cq, lay, pc)
 
 	// VerifyArtifacts: run the invariant suite on every lowering artifact,
 	// so a violation names the exact phase that introduced it.
@@ -316,16 +327,26 @@ func (c *Compiler) compilePlan(pl *plan.Output, hot *pgo.Hotness) (*Compiled, er
 			PGO:             hot != nil,
 			Pipelines:       pc.Pipelines,
 			Layout:          lay,
+			Mem:             cq.Mem,
 		})
 		return verify.AsError(ds)
 	}
 	opt := c.Opts.Optimize
+	var tval *tv.Validator
 	if c.Opts.VerifyArtifacts {
-		suite = verify.ArtifactSuite()
+		suite = verify.NewSuite(append(verify.ArtifactSuite().Checkers, absint.Checker{})...)
 		if err := check("pipeline", nil); err != nil {
 			return nil, err
 		}
-		opt.AfterPass = func(pass string) error { return check("iropt/"+pass, nil) }
+		// Translation validation: prove each optimizer pass application
+		// preserved observational equivalence, not just well-formedness.
+		tval = tv.NewValidator(pc.Module)
+		opt.AfterPass = func(pass string) error {
+			if err := verify.AsError(tval.Step(pc.Module, pass)); err != nil {
+				return err
+			}
+			return check("iropt/"+pass, nil)
+		}
 	}
 
 	if hot != nil {
@@ -336,6 +357,9 @@ func (c *Compiler) compilePlan(pl *plan.Output, hot *pgo.Hotness) (*Compiled, er
 		return nil, err
 	}
 	cq.OptStats = st
+	if tval != nil {
+		cq.TVSteps = tval.Steps()
+	}
 	if err := pc.Module.Verify(); err != nil {
 		return nil, fmt.Errorf("engine: IR invalid after optimization: %w", err)
 	}

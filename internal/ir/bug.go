@@ -1,0 +1,18 @@
+package ir
+
+import "fmt"
+
+// bug reports a violated internal invariant. It is the one place this
+// package is allowed to panic (the lint/nopanic rule enforces it): every
+// call marks a state the caller cannot have caused and cannot recover
+// from, so unwinding to the test or tool boundary is the only honest
+// outcome.
+func bug(msg string) {
+	panic("ir: " + msg)
+}
+
+// bugf is bug with formatting; it only runs on the failure path, so the
+// fmt allocation cost does not matter.
+func bugf(format string, args ...interface{}) {
+	bug(fmt.Sprintf(format, args...))
+}

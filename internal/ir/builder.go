@@ -1,7 +1,5 @@
 package ir
 
-import "fmt"
-
 // Builder constructs IR with a current-insertion-point API, the way the
 // dataflow system's code generator emits instructions during the
 // produce/consume traversal.
@@ -34,7 +32,7 @@ func (b *Builder) SetBlock(blk *Block) { b.Cur = blk }
 
 func (b *Builder) emit(in *Instr) *Instr {
 	if t := b.Cur.Terminator(); t != nil {
-		panic(fmt.Sprintf("ir: emitting %s into terminated block %s", in.Op, b.Cur.Name))
+		bugf("emitting %s into terminated block %s", in.Op, b.Cur.Name)
 	}
 	in.ID = b.Func.Module.NewID()
 	in.Block = b.Cur
@@ -53,7 +51,7 @@ func (b *Builder) Const(v int64) *Instr {
 // Param references function parameter i.
 func (b *Builder) Param(i int) *Instr {
 	if i >= b.Func.NumParams {
-		panic("ir: parameter index out of range")
+		bug("parameter index out of range")
 	}
 	return b.emit(&Instr{Op: OpParam, Type: I64, Imm: int64(i)})
 }
@@ -93,7 +91,7 @@ func (b *Builder) Load(width int, addr *Instr) *Instr {
 	case 64:
 		op = OpLoad64
 	default:
-		panic("ir: bad load width")
+		bug("bad load width")
 	}
 	return b.emit(&Instr{Op: op, Type: I64, Args: []*Instr{addr}})
 }
@@ -109,7 +107,7 @@ func (b *Builder) Store(width int, addr, val *Instr) *Instr {
 	case 64:
 		op = OpStore64
 	default:
-		panic("ir: bad store width")
+		bug("bad store width")
 	}
 	return b.emit(&Instr{Op: op, Type: Void, Args: []*Instr{addr, val}})
 }
@@ -124,7 +122,7 @@ func (b *Builder) Phi() *Instr {
 // block's Preds list.
 func AddIncoming(phi *Instr, v *Instr) {
 	if phi.Op != OpPhi {
-		panic("ir: AddIncoming on non-phi")
+		bug("AddIncoming on non-phi")
 	}
 	phi.Args = append(phi.Args, v)
 }

@@ -175,7 +175,7 @@ func ConstFold(m *ir.Module, lin core.Lineage) int {
 		if (in.Op == ir.OpSDiv || in.Op == ir.OpSMod) && b.Imm == 0 {
 			return // preserve the runtime trap
 		}
-		v, ok := evalBin(in.Op, a.Imm, b.Imm)
+		v, ok := EvalBin(in.Op, a.Imm, b.Imm)
 		if !ok {
 			return
 		}
@@ -328,8 +328,10 @@ func countUses(m *ir.Module) map[*ir.Instr]int {
 	return uses
 }
 
-// evalBin mirrors the VM's ALU semantics (cross-checked by tests).
-func evalBin(op ir.Op, a, b int64) (int64, bool) {
+// EvalBin mirrors the VM's ALU semantics (cross-checked by tests). It is
+// exported so the translation validator (internal/verify/tv) folds
+// constants with exactly the semantics the optimizer uses.
+func EvalBin(op ir.Op, a, b int64) (int64, bool) {
 	switch op {
 	case ir.OpAdd:
 		return a + b, true

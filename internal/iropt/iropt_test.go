@@ -221,7 +221,7 @@ func TestEvalBinMatchesVM(t *testing.T) {
 		ir.OpCmpEq, ir.OpCmpNe, ir.OpCmpLt, ir.OpCmpLe, ir.OpCmpGt, ir.OpCmpGe}
 	f := func(opIdx uint8, a, b int64) bool {
 		op := ops[int(opIdx)%len(ops)]
-		got, ok := evalBin(op, a, b)
+		got, ok := EvalBin(op, a, b)
 		if !ok {
 			return false
 		}

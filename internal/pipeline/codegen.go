@@ -62,7 +62,7 @@ func (c *Compiler) genScanLoop(s *plan.Scan, pipeIdx int) {
 		for _, ci := range s.Cols {
 			slot, ok := c.lay.ColSlots[ColKey{Alias: s.Alias, Col: ci}]
 			if !ok {
-				panic("pipeline: no layout slot for " + s.Alias + " column " + strconv.Itoa(ci))
+				bug("no layout slot for " + s.Alias + " column " + strconv.Itoa(ci))
 			}
 			addr := c.b.Add(state, c.b.Const(int64(slot)*8))
 			base := c.b.Load(64, addr)
@@ -154,7 +154,7 @@ func (c *Compiler) consumeUp(n plan.Node, r row) {
 	case *plan.Output:
 		c.genOutput(pn, r)
 	default:
-		panic("pipeline: cannot consume into " + reflect.TypeOf(parent).String())
+		bug("cannot consume into " + reflect.TypeOf(parent).String())
 	}
 }
 

@@ -59,12 +59,12 @@ func (c *Compiler) evalExpr(e plan.PExpr, r row) *ir.Instr {
 		return c.b.Const(x.Val)
 	case *plan.PParam:
 		if c.lay.ParamBase == 0 {
-			panic("pipeline: parameter $" + strconv.Itoa(x.Idx) + " but layout has no parameter region")
+			bug("parameter $" + strconv.Itoa(x.Idx) + " but layout has no parameter region")
 		}
 		return c.b.Load(64, c.b.Const(c.lay.ParamBase+int64(x.Idx)*8))
 	case *plan.PCol:
 		if x.Pos < 0 || x.Pos >= len(r.cols) {
-			panic("pipeline: column position " + strconv.Itoa(x.Pos) +
+			bug("column position " + strconv.Itoa(x.Pos) +
 				" out of row width " + strconv.Itoa(len(r.cols)))
 		}
 		return r.cols[x.Pos]()
@@ -73,11 +73,12 @@ func (c *Compiler) evalExpr(e plan.PExpr, r row) *ir.Instr {
 		rv := c.evalExpr(x.R, r)
 		op, ok := planToIR[x.Op]
 		if !ok {
-			panic("pipeline: no IR op for " + x.Op.String())
+			bug("no IR op for " + x.Op.String())
 		}
 		return c.b.Bin(op, l, rv)
 	}
-	panic("pipeline: cannot evaluate " + reflect.TypeOf(e).String())
+	bug("cannot evaluate " + reflect.TypeOf(e).String())
+	return nil
 }
 
 // evalAggArgs evaluates every aggregate input (nil for count(*)).

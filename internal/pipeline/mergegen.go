@@ -377,4 +377,3 @@ func (c *Compiler) genAggCombine(entry, src *ir.Instr, si SinkInfo) {
 		}
 	}
 }
-

@@ -547,7 +547,8 @@ func (c *Compiler) pass1(n plan.Node) *pipe {
 		p.sinkNode, p.sinkKind = x, SinkOutput
 		return p
 	}
-	panic("pipeline: unknown node " + reflect.TypeOf(n).String())
+	bug("unknown node " + reflect.TypeOf(n).String())
+	return nil
 }
 
 // withTask runs body with the operator and task trackers pointing at
@@ -564,7 +565,7 @@ func (c *Compiler) withTask(opID, taskID core.ComponentID, body func()) {
 func (c *Compiler) task(n plan.Node, r role) core.ComponentID {
 	id, ok := c.tasks[taskKey{n, r}]
 	if !ok {
-		panic("pipeline: missing task " + string(r) + " for " + n.Describe())
+		bug("missing task " + string(r) + " for " + n.Describe())
 	}
 	return id
 }

@@ -54,6 +54,14 @@ var deterministicPaths = map[string]bool{
 // randExemptPath is the one package allowed to own randomness.
 const randExemptPath = modulePath + "/internal/xrand"
 
+// errStrictPaths are the engine/service hot paths where a silently
+// discarded error turns a failed compile or a poisoned cache entry into
+// wrong profile numbers instead of a visible failure.
+var errStrictPaths = map[string]bool{
+	modulePath + "/internal/engine": true,
+	modulePath + "/internal/qcache": true,
+}
+
 // Lint type-checks every package under root and applies the repository
 // rules. The returned diagnostics use file:line loci. A non-nil error
 // means the linter itself could not run (unreadable tree); broken Go code
@@ -216,8 +224,21 @@ func (l *linter) lintDir(dir string) []Diag {
 		for _, f := range unit {
 			out = append(out, l.lintFile(path, f, info)...)
 		}
+		// The concurrency rules need whole-unit state (lock orders and
+		// atomically-accessed fields are package-level properties).
+		out = append(out, l.lintConcurrency(path, unit, info)...)
 	}
 	return out
+}
+
+// pos renders a token position as a root-relative file:line locus.
+func (l *linter) pos(p token.Pos) string {
+	position := l.fset.Position(p)
+	rel, err := filepath.Rel(l.root, position.Filename)
+	if err != nil {
+		rel = position.Filename
+	}
+	return rel + ":" + strconv.Itoa(position.Line)
 }
 
 func lintDiag(rule, locus string, sev Severity, format string, args ...interface{}) Diag {
@@ -229,14 +250,7 @@ func lintDiag(rule, locus string, sev Severity, format string, args ...interface
 
 func (l *linter) lintFile(pkgPath string, f *ast.File, info *types.Info) []Diag {
 	var out []Diag
-	pos := func(p token.Pos) string {
-		position := l.fset.Position(p)
-		rel, err := filepath.Rel(l.root, position.Filename)
-		if err != nil {
-			rel = position.Filename
-		}
-		return rel + ":" + strconv.Itoa(position.Line)
-	}
+	pos := l.pos
 	fileName := l.fset.Position(f.Pos()).Filename
 	isTest := strings.HasSuffix(fileName, "_test.go")
 
@@ -252,8 +266,49 @@ func (l *linter) lintFile(pkgPath string, f *ast.File, info *types.Info) []Diag 
 		}
 	}
 
+	// Rule: no panic in library packages outside the bug/bugf
+	// invariant-violation helpers. A library panic is either a violated
+	// internal invariant (then it belongs in bug/bugf, where the message
+	// gets the package prefix and the rule's blessing) or input
+	// validation (then it should be an error).
+	if !isTest && strings.HasPrefix(pkgPath, modulePath+"/internal/") {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil &&
+				(fd.Name.Name == "bug" || fd.Name.Name == "bugf") {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, isID := call.Fun.(*ast.Ident); isID && id.Name == "panic" {
+					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+						out = append(out, lintDiag("nopanic", pos(call.Pos()), Error,
+							"panic in a library package: report invariant violations through the package's bug/bugf helper, and turn input validation into errors"))
+					}
+				}
+				return true
+			})
+		}
+	}
+
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch x := n.(type) {
+		case *ast.ExprStmt:
+			// Rule: no silently discarded error on the engine/service hot
+			// paths — a call whose error result is not consumed.
+			if errStrictPaths[pkgPath] && !isTest {
+				if call, isCall := x.X.(*ast.CallExpr); isCall && returnsError(call, info) {
+					out = append(out, lintDiag("noerrdrop", pos(x.Pos()), Error,
+						"call discards its error result on an engine/service path; handle or explicitly propagate it"))
+				}
+			}
+		case *ast.AssignStmt:
+			// Rule (noerrdrop): no `_` in an error position of a call result.
+			if errStrictPaths[pkgPath] && !isTest {
+				out = append(out, checkErrBlank(x, info, pos)...)
+			}
 		case *ast.CallExpr:
 			// Rule: no fmt.Sprintf on the compile hot path (non-test code).
 			if hotCompilePaths[pkgPath] && !isTest && isPkgFunc(x.Fun, info, "fmt", "Sprintf") {
@@ -287,6 +342,70 @@ func (l *linter) lintFile(pkgPath string, f *ast.File, info *types.Info) []Diag 
 		}
 		return true
 	})
+	return out
+}
+
+// errType is the predeclared error interface type.
+var errType = types.Universe.Lookup("error").Type()
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(call *ast.CallExpr, info *types.Info) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tuple, isTuple := tv.Type.(*types.Tuple); isTuple {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(tv.Type, errType)
+}
+
+// checkErrBlank flags blank identifiers bound to error-typed results in an
+// assignment (x, _ := f() where f's second result is an error).
+func checkErrBlank(as *ast.AssignStmt, info *types.Info, pos func(token.Pos) string) []Diag {
+	var out []Diag
+	flag := func(p token.Pos) {
+		out = append(out, lintDiag("noerrdrop", pos(p), Error,
+			"error result assigned to _ on an engine/service path; handle or explicitly propagate it"))
+	}
+	isBlank := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// Multi-value call: map tuple positions onto the LHS.
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return out
+		}
+		tv, ok := info.Types[call]
+		if !ok {
+			return out
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(as.Lhs) {
+			return out
+		}
+		for i, lhs := range as.Lhs {
+			if isBlank(lhs) && types.Identical(tuple.At(i).Type(), errType) {
+				flag(lhs.Pos())
+			}
+		}
+		return out
+	}
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) || !isBlank(lhs) {
+			continue
+		}
+		if t := info.TypeOf(as.Rhs[i]); t != nil && types.Identical(t, errType) {
+			flag(lhs.Pos())
+		}
+	}
 	return out
 }
 

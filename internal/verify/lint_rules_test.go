@@ -1,0 +1,270 @@
+package verify_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/verify"
+)
+
+// lintFixture lints a synthetic module rooted in a temp dir. File names
+// are root-relative, so "internal/engine/x.go" lands in the path-scoped
+// rules exactly like the real package would.
+func lintFixture(t *testing.T, files map[string]string) []verify.Diag {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := verify.Lint(root)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	return ds
+}
+
+// wantChecks asserts exactly the given lint checks fired (by count).
+func wantChecks(t *testing.T, ds []verify.Diag, want map[string]int) {
+	t.Helper()
+	got := map[string]int{}
+	for _, d := range ds {
+		got[d.Check]++
+	}
+	for check, n := range want {
+		if got[check] != n {
+			t.Errorf("%s: got %d diagnostics, want %d", check, got[check], n)
+		}
+	}
+	for check, n := range got {
+		if _, ok := want[check]; !ok {
+			t.Errorf("unexpected %s (%d): %v", check, n, diagsFor(ds, check))
+		}
+	}
+}
+
+func diagsFor(ds []verify.Diag, check string) []string {
+	var out []string
+	for _, d := range ds {
+		if d.Check == check {
+			out = append(out, d.String())
+		}
+	}
+	return out
+}
+
+func TestLintNoPanic(t *testing.T) {
+	ds := lintFixture(t, map[string]string{
+		"internal/fix/fix.go": `package fix
+
+// bug is the blessed invariant helper.
+func bug(msg string) {
+	panic("fix: " + msg)
+}
+
+func bad() {
+	panic("boom")
+}
+
+func alsoBad(x int) int {
+	if x < 0 {
+		panic("negative")
+	}
+	return x
+}
+`,
+	})
+	wantChecks(t, ds, map[string]int{"lint/nopanic": 2})
+}
+
+func TestLintNoErrDrop(t *testing.T) {
+	ds := lintFixture(t, map[string]string{
+		"internal/engine/x.go": `package engine
+
+import "errors"
+
+func fail() error { return errors.New("x") }
+
+func pair() (int, error) { return 0, errors.New("x") }
+
+func use() int {
+	fail()
+	_ = fail()
+	v, _ := pair()
+	w := v
+	_ = w // not an error: blank of a non-error value is fine
+	return w
+}
+`,
+	})
+	wantChecks(t, ds, map[string]int{"lint/noerrdrop": 3})
+}
+
+func TestLintLockOrder(t *testing.T) {
+	inverted := map[string]string{
+		"internal/fix/fix.go": `package fix
+
+import "sync"
+
+type S struct {
+	a, b sync.Mutex
+}
+
+func f(s *S) {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func g(s *S) {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+`,
+	}
+	ds := lintFixture(t, inverted)
+	wantChecks(t, ds, map[string]int{"lint/lockorder": 1})
+
+	consistent := map[string]string{
+		"internal/fix/fix.go": `package fix
+
+import "sync"
+
+type S struct {
+	a, b sync.Mutex
+}
+
+func f(s *S) {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func g(s *S) {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock()
+	defer s.b.Unlock()
+}
+`,
+	}
+	wantChecks(t, lintFixture(t, consistent), map[string]int{})
+}
+
+func TestLintWaitGroup(t *testing.T) {
+	ds := lintFixture(t, map[string]string{
+		"internal/fix/fix.go": `package fix
+
+import "sync"
+
+func racy() {
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		go func() {
+			wg.Add(1)
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func sound() {
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+`,
+	})
+	wantChecks(t, ds, map[string]int{"lint/waitgroup": 1})
+}
+
+func TestLintChanClose(t *testing.T) {
+	ds := lintFixture(t, map[string]string{
+		"internal/fix/fix.go": `package fix
+
+func sendAfterClose() {
+	ch := make(chan int)
+	close(ch)
+	ch <- 1
+	close(ch)
+}
+
+func closeParam(ch chan int) {
+	close(ch)
+}
+
+func fine() chan int {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+	return ch
+}
+`,
+	})
+	// send-after-close, double-close, close-of-parameter.
+	wantChecks(t, ds, map[string]int{"lint/chanclose": 3})
+}
+
+func TestLintAtomicMix(t *testing.T) {
+	ds := lintFixture(t, map[string]string{
+		"internal/fix/fix.go": `package fix
+
+import "sync/atomic"
+
+type C struct {
+	n int64
+	m int64
+}
+
+func inc(c *C) {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func reset(c *C) {
+	c.n = 0
+	c.m = 0 // plain-only field: fine
+}
+`,
+	})
+	wantChecks(t, ds, map[string]int{"lint/atomicmix": 1})
+}
+
+func TestLintConcurrencyDiagsAreErrors(t *testing.T) {
+	ds := lintFixture(t, map[string]string{
+		"internal/fix/fix.go": `package fix
+
+func bad() {
+	ch := make(chan int)
+	close(ch)
+	close(ch)
+}
+`,
+	})
+	if len(ds) == 0 {
+		t.Fatal("no diagnostics")
+	}
+	for _, d := range ds {
+		if d.Severity != verify.Error {
+			t.Errorf("severity %v for %s, want Error", d.Severity, d.Check)
+		}
+		if !strings.HasPrefix(d.Locus, "internal/fix/") {
+			t.Errorf("locus %q not root-relative", d.Locus)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package verify_test
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/pipeline"
+	"repro/internal/queries"
+	"repro/internal/verify"
+)
+
+// mergeArtifact compiles the fig9 workload — which carries both a
+// bloom-guarded join build and a place-kernel group sink under the
+// default partitioned configuration — and returns the emit-phase
+// artifact. Compilation is deterministic, so each corruption case gets
+// an identical fresh fixture.
+func mergeArtifact(t *testing.T) *verify.Artifact {
+	t.Helper()
+	cat := datagen.Generate(datagen.Config{ScaleFactor: 0.01, Seed: 42})
+	c := engine.NewCompiler(cat, engine.DefaultOptions())
+	cq, err := c.CompileQuery(queries.Fig9().Query)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return &verify.Artifact{
+		Phase:     "emit",
+		Module:    cq.Pipe.Module,
+		Dict:      cq.Pipe.Dict,
+		Code:      cq.Code,
+		Pipelines: cq.Pipe.Pipelines,
+		Layout:    cq.Layout,
+		Mem:       cq.Mem,
+	}
+}
+
+// pickMerge returns a partitioned pipeline from the artifact; with
+// needBloom it returns one whose hash table carries a bloom filter.
+func pickMerge(t *testing.T, a *verify.Artifact, needBloom bool) *pipeline.PipelineInfo {
+	t.Helper()
+	for i := range a.Pipelines {
+		p := &a.Pipelines[i]
+		if p.Merge == nil {
+			continue
+		}
+		if needBloom && p.Sink.HT.BloomBits == 0 {
+			continue
+		}
+		return p
+	}
+	t.Fatal("fixture has no matching partitioned pipeline")
+	return nil
+}
+
+func mergeHasCheck(ds []verify.Diag, check string) bool {
+	for _, d := range ds {
+		if d.Check == check {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMergeInvariantsClean(t *testing.T) {
+	a := mergeArtifact(t)
+	if ds := (verify.MergeInvariants{}).Check(a); len(ds) != 0 {
+		t.Fatalf("clean fixture produced diagnostics: %v", ds)
+	}
+	// The fixture must actually exercise both sink shapes.
+	pickMerge(t, a, true)
+	if p := pickMerge(t, a, false); p.Merge == nil {
+		t.Fatal("no partitioned pipeline in fixture")
+	}
+}
+
+// TestMergeInvariantsCorruptions mirrors the shardcheck battery: every
+// corruption of the merge artifacts must surface as the named diagnostic,
+// and every diagnostic the checker emits must be an error.
+func TestMergeInvariantsCorruptions(t *testing.T) {
+	cases := []struct {
+		name  string
+		bloom bool // corrupt the bloom-carrying pipeline
+		corr  func(p *pipeline.PipelineInfo)
+		want  string
+	}{
+		{"partition count not a power of two", false, func(p *pipeline.PipelineInfo) {
+			p.Sink.HT.Partitions = 3
+		}, "merge/partitions"},
+		{"merge info partition mismatch", false, func(p *pipeline.PipelineInfo) {
+			p.Merge.Partitions = p.Sink.HT.Partitions * 2
+		}, "merge/partitions"},
+		{"slot ranges do not tile the directory", false, func(p *pipeline.PipelineInfo) {
+			p.Sink.HT.SlotShift++
+		}, "merge/slot-ranges"},
+		{"staging region unallocated", false, func(p *pipeline.PipelineInfo) {
+			p.Sink.HT.MergeCnt = 0
+		}, "merge/region"},
+		{"staging region overlaps the arena", false, func(p *pipeline.PipelineInfo) {
+			p.Sink.HT.MergeSrc = p.Sink.HT.Arena
+		}, "merge/region-overlap"},
+		{"bloom bit count not a power of two", true, func(p *pipeline.PipelineInfo) {
+			p.Sink.HT.BloomBits = 24
+		}, "merge/bloom"},
+		{"bloom bit count not sized to directory", true, func(p *pipeline.PipelineInfo) {
+			p.Sink.HT.BloomBits *= 2
+		}, "merge/bloom"},
+		{"merge task unregistered", false, func(p *pipeline.PipelineInfo) {
+			p.Merge.ScatterTask = 999999
+		}, "merge/task"},
+		{"merge task has a non-merge kind", false, func(p *pipeline.PipelineInfo) {
+			p.Merge.MergeTask = p.Tasks[0] // the scan task
+		}, "merge/task"},
+		{"generated merge function missing", false, func(p *pipeline.PipelineInfo) {
+			p.Merge.ScatterFunc = "nosuchfunc"
+		}, "merge/func"},
+		{"kernel instructions linked to the wrong task", false, func(p *pipeline.PipelineInfo) {
+			// Point the merge slot at the scatter kernel: the function
+			// exists, but its instructions carry the scatter task's
+			// lineage, not the merge task's.
+			p.Merge.MergeFunc = p.Merge.ScatterFunc
+		}, "merge/lineage"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := mergeArtifact(t)
+			tc.corr(pickMerge(t, a, tc.bloom))
+			ds := verify.MergeInvariants{}.Check(a)
+			if !mergeHasCheck(ds, tc.want) {
+				t.Errorf("expected a %s diagnostic, got %v", tc.want, ds)
+			}
+			for _, d := range ds {
+				if d.Severity != verify.Error {
+					t.Errorf("diagnostic %s not an error", d.Check)
+				}
+			}
+		})
+	}
+}

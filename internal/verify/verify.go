@@ -54,10 +54,10 @@ func (s Severity) String() string {
 // precise enough to find it (an IR ID, a native instruction index, a task
 // component, or a file:line).
 type Diag struct {
-	Check    string        // "checker/rule", e.g. "dict/orphan-instr"
+	Check    string // "checker/rule", e.g. "dict/orphan-instr"
 	Severity Severity
-	Level    core.Level    // abstraction level of the offending artifact
-	Locus    string        // e.g. "%42", "native@137", "task 7", "a.go:12"
+	Level    core.Level // abstraction level of the offending artifact
+	Locus    string     // e.g. "%42", "native@137", "task 7", "a.go:12"
 	Msg      string
 }
 
@@ -90,6 +90,10 @@ type Artifact struct {
 	// partitioned-merge checks (MergeInvariants); nil disables them.
 	Pipelines []pipeline.PipelineInfo
 	Layout    *pipeline.Layout
+
+	// Mem declares the heap layout and staged-cell invariants for the
+	// abstract interpreter (internal/verify/absint); nil disables it.
+	Mem *MemModel
 }
 
 // Checker is one analysis pass over an artifact.

@@ -47,7 +47,7 @@ func (r *Rand) Int63() int64 {
 // Intn returns a pseudo-random integer in [0, n). It panics if n <= 0.
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
-		panic("xrand: Intn with non-positive n")
+		bug("Intn with non-positive n")
 	}
 	return int(r.Uint64() % uint64(n))
 }
@@ -55,7 +55,7 @@ func (r *Rand) Intn(n int) int {
 // Int64Range returns a pseudo-random integer in [lo, hi]. It panics if hi < lo.
 func (r *Rand) Int64Range(lo, hi int64) int64 {
 	if hi < lo {
-		panic("xrand: Int64Range with hi < lo")
+		bug("Int64Range with hi < lo")
 	}
 	span := uint64(hi-lo) + 1
 	return lo + int64(r.Uint64()%span)
@@ -112,7 +112,7 @@ type Zipf struct {
 // NewZipf precomputes a Zipf distribution over [0, n) with skew s.
 func NewZipf(n int, s float64) *Zipf {
 	if n <= 0 {
-		panic("xrand: NewZipf with non-positive n")
+		bug("NewZipf with non-positive n")
 	}
 	z := &Zipf{cum: make([]float64, n)}
 	acc := 0.0
