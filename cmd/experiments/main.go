@@ -17,10 +17,13 @@
 //	experiments -exp pgo          profile-guided recompilation cycle deltas
 //	experiments -exp ce           cardinality-estimation q-error sweep
 //	experiments -exp shard        sharded execution + cross-shard pruning scaling
+//	experiments -exp ingest       streaming ingest under epoch-versioned storage
 //	experiments -exp loc          Table 3 implementation effort
 //
-// -out FILE additionally writes the ce or shard report as JSON
-// (BENCH_ce.json / BENCH_shard.json).
+// -out FILE additionally writes the ce, shard, or ingest report as JSON
+// (BENCH_ce.json / BENCH_shard.json / BENCH_ingest.json). -normalize
+// zeroes the ingest report's host-time throughput before writing — the
+// form the golden test pins.
 package main
 
 import (
@@ -37,6 +40,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "data generator seed")
 	root := flag.String("root", ".", "repository root (for -exp loc)")
 	out := flag.String("out", "", "write the ce report as JSON to this file")
+	normalize := flag.Bool("normalize", false, "zero host-time fields in the ingest report before writing (golden form)")
 	flag.Parse()
 
 	env := experiments.NewEnv(*sf, *seed)
@@ -76,6 +80,22 @@ func main() {
 		{"shard", func() (string, error) {
 			s, rep, err := env.Shard()
 			if err == nil && *out != "" {
+				b, jerr := rep.JSON()
+				if jerr == nil {
+					jerr = os.WriteFile(*out, b, 0o644)
+				}
+				if jerr != nil {
+					return s, jerr
+				}
+			}
+			return s, err
+		}},
+		{"ingest", func() (string, error) {
+			s, rep, err := env.Ingest()
+			if err == nil && *out != "" {
+				if *normalize {
+					rep.Normalize()
+				}
 				b, jerr := rep.JSON()
 				if jerr == nil {
 					jerr = os.WriteFile(*out, b, 0o644)

@@ -17,6 +17,19 @@
 // the count per statement); -shardprune=false disables zone pruning, and
 // -analyze then also prints the per-shard pruning summary — which zones
 // were proven unnecessary and why.
+//
+// Storage is epoch-versioned: appends land in preallocated tail capacity
+// and advance the storage epoch without invalidating compiled artifacts.
+// A statement of the form
+//
+//	\append table [rows] [seed]
+//
+// (stdin or argument, alongside ordinary SQL) appends a deterministic
+// batch of rows shaped like the resident data (datagen.AppendBatch) and
+// reports the epoch it created. The -ingest flag runs a background writer
+// for the whole batch — `-ingest rate=500,table=sales,batch=64` appends
+// 64-row batches at ~500 rows/sec while the sessions execute — so cache
+// hit rates and result epochs can be observed under live ingest.
 package main
 
 import (
@@ -25,6 +38,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -59,6 +73,7 @@ func main() {
 	serve := flag.Bool("serve", false, "batch mode: execute stdin statements across -sessions concurrent sessions")
 	sessions := flag.Int("sessions", 4, "concurrent sessions in -serve mode")
 	cacheN := flag.Int("cache", 0, "compiled-query cache capacity in entries (0 = default)")
+	ingest := flag.String("ingest", "", "background writer: rate=N[,table=T][,batch=B] appends B-row batches at ~N rows/sec while statements run")
 	flag.Parse()
 
 	// One catalog, one service: sessions are cheap handles that share the
@@ -84,16 +99,167 @@ func main() {
 	}
 
 	cfg := config{explain: *explain, verify: *verify, analyze: *analyze, pgo: *pgo, maxRows: *maxRows}
+	var stopIngest func() (int64, uint64)
+	if *ingest != "" {
+		ic, err := parseIngest(*ingest)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "minidb: -ingest: %v\n", err)
+			os.Exit(2)
+		}
+		stopIngest = startIngest(svc, ic)
+	}
+	report := func(code int) {
+		if stopIngest != nil {
+			rows, epoch := stopIngest()
+			fmt.Printf("ingest: %d rows appended in the background; storage at epoch %d\n", rows, epoch)
+		}
+		os.Exit(code)
+	}
 	if *serve {
-		os.Exit(serveBatch(svc, stmts, *sessions, cfg))
+		report(serveBatch(svc, stmts, *sessions, cfg))
 	}
 
 	se := svc.NewSession()
 	for _, sql := range stmts {
+		if line, ok, err := appendCmd(svc, sql); ok {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(line)
+			continue
+		}
 		if err := runOne(se, sql, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	report(0)
+}
+
+// appendCmd recognizes and executes the `\append table [rows] [seed]`
+// command. The batch is generated by datagen.AppendBatch, so repeated
+// commands with the same seed replay the same ingest stream.
+func appendCmd(svc *engine.Service, stmt string) (string, bool, error) {
+	fields := strings.Fields(stmt)
+	if len(fields) == 0 || fields[0] != `\append` {
+		return "", false, nil
+	}
+	if len(fields) < 2 || len(fields) > 4 {
+		return "", true, fmt.Errorf(`usage: \append table [rows] [seed]`)
+	}
+	table := fields[1]
+	n, seed := 64, uint64(1)
+	if len(fields) >= 3 {
+		v, err := strconv.Atoi(fields[2])
+		if err != nil || v <= 0 {
+			return "", true, fmt.Errorf(`\append: bad row count %q`, fields[2])
+		}
+		n = v
+	}
+	if len(fields) == 4 {
+		v, err := strconv.ParseUint(fields[3], 10, 64)
+		if err != nil {
+			return "", true, fmt.Errorf(`\append: bad seed %q`, fields[3])
+		}
+		seed = v
+	}
+	tb, err := svc.Catalog().Table(table)
+	if err != nil {
+		return "", true, err
+	}
+	r, err := svc.AppendCols(table, datagen.AppendBatch(tb, n, seed))
+	if err != nil {
+		return "", true, err
+	}
+	grew := ""
+	if r.Grew {
+		grew = "; capacity grew, compiled artifacts invalidated"
+	}
+	return fmt.Sprintf("epoch %d: appended rows [%d,%d) to %s%s", r.Epoch, r.Lo, r.Hi, table, grew), true, nil
+}
+
+// ingestCfg configures the background writer.
+type ingestCfg struct {
+	table string
+	rate  int // rows per second (host time)
+	batch int // rows per append
+}
+
+// parseIngest parses "rate=N[,table=T][,batch=B]".
+func parseIngest(s string) (ingestCfg, error) {
+	ic := ingestCfg{table: "sales", batch: 64}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, found := strings.Cut(strings.TrimSpace(kv), "=")
+		if !found {
+			return ic, fmt.Errorf("expected k=v, got %q", kv)
+		}
+		switch k {
+		case "rate":
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				return ic, fmt.Errorf("bad rate %q", v)
+			}
+			ic.rate = n
+		case "table":
+			ic.table = v
+		case "batch":
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				return ic, fmt.Errorf("bad batch %q", v)
+			}
+			ic.batch = n
+		default:
+			return ic, fmt.Errorf("unknown key %q", k)
+		}
+	}
+	if ic.rate == 0 {
+		return ic, fmt.Errorf("rate=N is required")
+	}
+	return ic, nil
+}
+
+// startIngest launches the background writer: one ingestCfg.batch-row
+// append every batch/rate seconds until the returned stop function is
+// called. Appends race with executing sessions by design — snapshot
+// binding makes that safe — and stop reports the appended row total and
+// the final storage epoch.
+func startIngest(svc *engine.Service, ic ingestCfg) func() (int64, uint64) {
+	tb, err := svc.Catalog().Table(ic.table)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "minidb: -ingest: %v\n", err)
+		os.Exit(2)
+	}
+	interval := time.Duration(float64(ic.batch) / float64(ic.rate) * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	var total int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for seed := uint64(1); ; seed++ {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				r, err := svc.AppendCols(ic.table, datagen.AppendBatch(tb, ic.batch, seed))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "minidb: -ingest: %v\n", err)
+					return
+				}
+				total += r.Hi - r.Lo
+			}
+		}
+	}()
+	return func() (int64, uint64) {
+		close(done)
+		wg.Wait()
+		return total, svc.Epoch()
 	}
 }
 
@@ -231,6 +397,14 @@ func serveBatch(svc *engine.Service, stmts []string, n int, cfg config) int {
 			defer wg.Done()
 			se := sess[si]
 			for j := si; j < len(stmts); j += n {
+				if line, isAppend, err := appendCmd(svc, stmts[j]); isAppend {
+					if err != nil {
+						results[j] = outcome{err: err}
+					} else {
+						results[j] = outcome{line: fmt.Sprintf("s%-2d %s", se.ID, line)}
+					}
+					continue
+				}
 				p, res, err := se.Execute(stmts[j], nil)
 				if err != nil {
 					results[j] = outcome{err: err}

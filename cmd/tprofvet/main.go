@@ -1,7 +1,7 @@
 // Command tprofvet is the static verification driver for the Tailored
 // Profiling toolchain. It has two modes:
 //
-//	tprofvet check [-sf 0.05] [-workers 1,4] [-tv] [-absint] [-mutants] [-json] [-pgo] [-cache] [-merge] [-cost] [-shard] [-q name]
+//	tprofvet check [-sf 0.05] [-workers 1,4] [-tv] [-absint] [-mutants] [-json] [-pgo] [-cache] [-merge] [-cost] [-shard] [-epoch] [-q name]
 //	tprofvet lint [-json] [root]
 //
 // check compiles the full query corpus with Engine.VerifyArtifacts on,
@@ -27,7 +27,12 @@
 // run's per-shard lineage journals must replay cleanly against the
 // table's row counts and the profile's skip events (verify.CheckShards:
 // shards tile the table, no zone tag collisions, every pruned zone has
-// exactly one matching skip event).
+// exactly one matching skip event). With -epoch it verifies
+// epoch-versioned storage: the SQL suite runs through one service while a
+// scripted ingest stream appends to the fact tables between workloads;
+// the catalog's append journal must replay cleanly against the per-epoch
+// snapshots (verify.CheckEpochs) and every warm re-prepare must hit the
+// cold artifact — appends cause zero recompiles and zero evictions.
 //
 // -tv reports translation-validation coverage: the per-pass validator
 // (internal/verify/tv) must have checked at least one optimizer pass
@@ -105,6 +110,7 @@ func runCheck(args []string) int {
 	merge := fs.Bool("merge", false, "verify the partitioned merge: static invariants, cross-worker determinism, merge-task attribution")
 	costPass := fs.Bool("cost", false, "verify the cost layer: model consistency on every plan, true-count lineage on every counted run")
 	shard := fs.Bool("shard", false, "verify sharded execution: journal/skip lineage, row and profile invariance across shard counts")
+	epoch := fs.Bool("epoch", false, "verify epoch-versioned storage: replay the append journal against session snapshots, assert zero recompiles under ingest")
 	tvFlag := fs.Bool("tv", false, "report translation-validation coverage; fail any compile that validated no optimizer pass")
 	absFlag := fs.Bool("absint", false, "run the abstract interpreter over the emitted code and report proof coverage")
 	mutants := fs.Bool("mutants", false, "run the miscompilation-mutant harness and enforce the 95% catch-rate gate")
@@ -123,7 +129,7 @@ func runCheck(args []string) int {
 	}
 
 	cat := datagen.Generate(datagen.Config{ScaleFactor: *sf, Seed: *seed})
-	if *jsonOut && (*cache || *merge || *costPass || *shard) {
+	if *jsonOut && (*cache || *merge || *costPass || *shard || *epoch) {
 		fmt.Fprintln(os.Stderr, "tprofvet: -json supports the default check and -mutants modes only")
 		return 2
 	}
@@ -138,6 +144,9 @@ func runCheck(args []string) int {
 	}
 	if *shard {
 		return runShardCheck(cat, workers, *only)
+	}
+	if *epoch {
+		return runEpochCheck(cat, *only)
 	}
 	if *mutants {
 		return runMutantCheck(cat, *only, *jsonOut)
@@ -769,6 +778,113 @@ func runShardCheck(cat *catalog.Catalog, workers []int, only string) int {
 		return 1
 	}
 	fmt.Printf("tprofvet check -shard: %d workloads verified, 0 diagnostics\n", checked)
+	return 0
+}
+
+// runEpochCheck verifies epoch-versioned storage end to end (DESIGN.md
+// §15). It drives the SQL suite through one query service while a
+// scripted ingest stream appends batches to the fact tables between
+// workloads, snapshotting the storage state at every epoch. The mode then
+// replays the catalog's append journal against those snapshots
+// (verify.CheckEpochs: strictly monotonic epochs, append windows tiling
+// each table's tail exactly once, zone granularity a pure function of the
+// visible rows, per-column zone bounds only widening) and enforces the
+// compiled-artifact contract: every warm re-prepare under ingest must hit
+// the cache — appends cause zero recompiles, zero evictions, zero
+// invalidations — while each run's result is stamped with the epoch it
+// actually bound.
+func runEpochCheck(cat *catalog.Catalog, only string) int {
+	suite := queries.SQLSuite()
+	if only != "" {
+		w, ok := queries.SQLByName(only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tprofvet: no SQL workload %q\n", only)
+			return 2
+		}
+		suite = []queries.SQLWorkload{w}
+	}
+	ingest := []string{"sales", "lineitem", "orders"}
+
+	opts := engine.DefaultOptions()
+	opts.VerifyArtifacts = true
+	svc := engine.NewService(cat, opts, 0)
+	se := svc.NewSession()
+	base := cat.BaseRows()
+	version0 := cat.Version()
+
+	failures, checked := 0, 0
+	fail := func(name, format string, a ...any) {
+		failures++
+		fmt.Printf("FAIL  %-14s %s\n", name, fmt.Sprintf(format, a...))
+	}
+
+	snaps := []verify.EpochSnapshot{verify.SnapshotEpochState(svc.Snapshot(), cat.Names())}
+	appended := int64(0)
+	for i, w := range suite {
+		checked++
+		cold, _, err := se.Execute(w.SQL, nil)
+		if err != nil {
+			fail(w.Name, "cold: %v", err)
+			continue
+		}
+		if cold.Fallback {
+			fail(w.Name, "fell back to an uncached direct compile")
+			continue
+		}
+		// Scripted ingest: append a deterministic batch to one fact table,
+		// snapshot the new epoch.
+		table := ingest[i%len(ingest)]
+		tb, err := cat.Table(table)
+		if err != nil {
+			fail(w.Name, "ingest table %s: %v", table, err)
+			continue
+		}
+		r, err := svc.AppendCols(table, datagen.AppendBatch(tb, 64, uint64(i+1)))
+		if err != nil {
+			fail(w.Name, "append to %s: %v", table, err)
+			continue
+		}
+		appended += r.Hi - r.Lo
+		snaps = append(snaps, verify.SnapshotEpochState(svc.Snapshot(), cat.Names()))
+
+		// The warm re-prepare must hit the very artifact the cold compile
+		// cached — in-capacity appends are invisible to the cache key.
+		warm, res, err := se.Execute(w.SQL, nil)
+		if err != nil {
+			fail(w.Name, "warm: %v", err)
+			continue
+		}
+		if !warm.CacheHit || warm.Compiled != cold.Compiled {
+			fail(w.Name, "re-prepare after append recompiled (hit=%v)", warm.CacheHit)
+			continue
+		}
+		if res.Epoch != r.Epoch {
+			fail(w.Name, "warm run stamped epoch %d, catalog at %d", res.Epoch, r.Epoch)
+			continue
+		}
+		fmt.Printf("ok    %-14s epoch %d (+%d rows to %s), warm hit on cold artifact\n",
+			w.Name, r.Epoch, r.Hi-r.Lo, table)
+	}
+
+	if cat.Version() != version0 {
+		fail("catalog", "scripted ingest bumped the catalog version (capacity growth at check scale)")
+	}
+	cs := svc.CacheStats()
+	if cs.Evictions != 0 || cs.Invalidations != 0 {
+		fail("qcache", "ingest evicted or invalidated artifacts: %+v", cs)
+	}
+	if ds := verify.CheckEpochs(base, cat.EpochJournal(), snaps); len(ds) > 0 {
+		fail("journal", "%d epoch-replay diagnostic(s)", len(ds))
+		for _, d := range ds {
+			fmt.Printf("      %s\n", d.String())
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("tprofvet check -epoch: %d of %d workloads FAILED\n", failures, checked)
+		return 1
+	}
+	fmt.Printf("tprofvet check -epoch: %d workloads verified over %d epochs (+%d rows, %d hits, %d misses, 0 recompiles)\n",
+		checked, cat.Epoch(), appended, cs.Hits, cs.Misses)
 	return 0
 }
 

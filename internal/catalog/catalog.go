@@ -7,6 +7,9 @@ package catalog
 import (
 	"fmt"
 	"sort"
+	"sync"
+
+	"repro/internal/core"
 )
 
 // Type is a column type.
@@ -30,8 +33,11 @@ func (t Type) String() string {
 	return "?"
 }
 
-// Dict is a string dictionary for one TStr column.
+// Dict is a string dictionary for one TStr column. It is safe for
+// concurrent use: streaming appends may add codes (ID) while sessions
+// resolve bound parameters (Lookup) and render results (String).
 type Dict struct {
+	mu    sync.RWMutex
 	byID  []string
 	byStr map[string]int64
 }
@@ -41,6 +47,8 @@ func NewDict() *Dict { return &Dict{byStr: make(map[string]int64)} }
 
 // ID returns the code for s, adding it if new.
 func (d *Dict) ID(s string) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if id, ok := d.byStr[s]; ok {
 		return id
 	}
@@ -52,12 +60,16 @@ func (d *Dict) ID(s string) int64 {
 
 // Lookup returns the code for s and whether it exists.
 func (d *Dict) Lookup(s string) (int64, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	id, ok := d.byStr[s]
 	return id, ok
 }
 
 // String returns the string for a code.
 func (d *Dict) String(id int64) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if id < 0 || id >= int64(len(d.byID)) {
 		return fmt.Sprintf("<dict:%d>", id)
 	}
@@ -65,7 +77,11 @@ func (d *Dict) String(id int64) string {
 }
 
 // Len returns the number of distinct strings.
-func (d *Dict) Len() int { return len(d.byID) }
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.byID)
+}
 
 // Column is one column of a table.
 type Column struct {
@@ -86,15 +102,17 @@ type Stats struct {
 }
 
 // ComputeStats scans the column.
-func (c *Column) ComputeStats() Stats {
+func (c *Column) ComputeStats() Stats { return computeStats(c.Data, c.Unique) }
+
+func computeStats(data []int64, unique bool) Stats {
 	s := Stats{}
-	if len(c.Data) == 0 {
+	if len(data) == 0 {
 		return s
 	}
-	s.Min, s.Max = c.Data[0], c.Data[0]
+	s.Min, s.Max = data[0], data[0]
 	const cap = 1 << 16
 	seen := make(map[int64]struct{}, 1024)
-	for _, v := range c.Data {
+	for _, v := range data {
 		if v < s.Min {
 			s.Min = v
 		}
@@ -106,24 +124,37 @@ func (c *Column) ComputeStats() Stats {
 		}
 	}
 	s.Distinct = len(seen)
-	if c.Unique {
-		s.Distinct = len(c.Data)
+	if unique {
+		s.Distinct = len(data)
 	}
 	return s
 }
 
 // Table is a named columnar table.
+//
+// Concurrency: once registered with a Catalog, a table's row set may only
+// grow through Catalog.Append*, which serializes writers under mu. Readers
+// that need a consistent row set take a TableView (View / Catalog.Snapshot)
+// — an immutable prefix of the columns captured under the lock — and are
+// then free of the lock entirely: appends land at row indices the view
+// never touches, so view reads and tail writes are disjoint by address.
+// Direct Data mutation (loaders, tests) remains legal only while the table
+// is not being served concurrently.
 type Table struct {
 	Name string
 	Cols []*Column
 
-	stats map[string]Stats
-	zc    zoneCache
+	mu     sync.RWMutex
+	rowCap int // frozen row capacity of the column backing arrays
+
+	stats     map[string]Stats
+	statsRows map[string]int // row count each cached stat was computed over
+	zc        zoneCache
 }
 
 // NewTable creates an empty table.
 func NewTable(name string) *Table {
-	return &Table{Name: name, stats: make(map[string]Stats)}
+	return &Table{Name: name, stats: make(map[string]Stats), statsRows: make(map[string]int)}
 }
 
 // AddCol appends a column and returns it.
@@ -158,24 +189,77 @@ func (t *Table) ColIndex(name string) int {
 
 // Rows returns the row count.
 func (t *Table) Rows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rowsLocked()
+}
+
+func (t *Table) rowsLocked() int {
 	if len(t.Cols) == 0 {
 		return 0
 	}
 	return len(t.Cols[0].Data)
 }
 
-// ColStats returns (cached) statistics for a column.
+// RowCap returns the table's row capacity: the size compiled artifacts
+// reserve for each column region, so epochs within capacity bind to the
+// same layout and appends never force a recompile. It is frozen when the
+// table is registered (CapRowsFor over the load-time row count) and only
+// changes when an append outgrows it — which reallocates the backing
+// arrays and bumps the catalog version, the documented artifact-
+// invalidation escape hatch.
+func (t *Table) RowCap() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rowCapLocked()
+}
+
+func (t *Table) rowCapLocked() int {
+	if n := t.rowsLocked(); t.rowCap < n {
+		// Self-heal after direct Data mutation past capacity (loaders);
+		// Catalog.Append maintains rowCap itself.
+		t.rowCap = CapRowsFor(n)
+	}
+	return t.rowCap
+}
+
+// ColStats returns statistics for a column, cached per visible row count:
+// an append invalidates the entry, so the optimizer always estimates
+// against the current epoch's data while repeated plans at one epoch pay
+// for the scan once.
 func (t *Table) ColStats(name string) Stats {
-	if s, ok := t.stats[name]; ok {
+	t.mu.Lock()
+	rows := t.rowsLocked()
+	if s, ok := t.stats[name]; ok && t.statsRows[name] == rows {
+		t.mu.Unlock()
 		return s
 	}
 	c := t.Col(name)
 	if c == nil {
+		t.mu.Unlock()
 		return Stats{}
 	}
-	s := c.ComputeStats()
+	data := c.Data[:rows:rows]
+	unique := c.Unique
+	t.mu.Unlock()
+	// Compute outside the lock: the prefix is immutable under append-only
+	// growth, and concurrent appends must not stall on a stats scan.
+	s := computeStats(data, unique)
+	t.mu.Lock()
 	t.stats[name] = s
+	t.statsRows[name] = rows
+	t.mu.Unlock()
 	return s
+}
+
+// flushDerived drops the cached statistics and zone maps (Catalog.Bump —
+// an in-place data mutation invalidates both).
+func (t *Table) flushDerived() {
+	t.mu.Lock()
+	t.stats = make(map[string]Stats)
+	t.statsRows = make(map[string]int)
+	t.mu.Unlock()
+	t.zc.flush()
 }
 
 // Validate checks that all columns have equal length.
@@ -189,36 +273,97 @@ func (t *Table) Validate() error {
 	return nil
 }
 
-// Catalog is a set of tables.
+// Catalog is a set of tables plus the storage-epoch state: a monotonic
+// epoch counter bumped by every append, the append journal
+// (core.EpochEvent lineage), and the per-table row counts at registration
+// (the journal's replay base).
 type Catalog struct {
+	mu      sync.Mutex
 	tables  map[string]*Table
 	version uint64
+	epoch   uint64
+	base    map[string]int64
+	journal []core.EpochEvent
 }
 
 // New returns an empty catalog.
-func New() *Catalog { return &Catalog{tables: make(map[string]*Table)} }
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Table), base: make(map[string]int64)}
+}
 
 // Add registers a table; it replaces an existing table of the same name.
 // Every registration bumps the catalog version, so compiled-query caches
-// keyed by it shed artifacts built against the old schema.
+// keyed by it shed artifacts built against the old schema. Registration
+// freezes the table's row capacity (CapRowsFor) and reallocates the
+// column backing arrays to it, so subsequent appends land in the
+// preallocated tail without copying a single existing row.
 func (c *Catalog) Add(t *Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.tables[t.Name] = t
+	c.base[t.Name] = int64(t.Rows())
 	c.version++
+	t.reserveTail()
 }
 
 // Version identifies the catalog's current schema state. It changes on
-// every Add and on explicit Bump calls; cached compilation artifacts are
-// only valid for the version they were compiled under.
-func (c *Catalog) Version() uint64 { return c.version }
+// every Add, on explicit Bump calls, and when an append outgrows a table's
+// row capacity; cached compilation artifacts are only valid for the
+// version they were compiled under. Appends within capacity do NOT change
+// it — that is the qcache key contract that keeps compiled artifacts warm
+// under streaming ingest.
+func (c *Catalog) Version() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
 
 // Bump invalidates the current version without a schema change — for
-// callers that mutate table data in place (compiled artifacts bake column
-// base addresses and row counts into their memory layout).
-func (c *Catalog) Bump() { c.version++ }
+// callers that mutate table data *in place* (compiled artifacts bake
+// column base addresses into their memory layout, and zone maps /
+// statistics describe the old values). It also flushes every table's
+// derived caches. Appends never need it: they go through Append/
+// AppendCols, which advance the epoch instead.
+func (c *Catalog) Bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.version++
+	for _, t := range c.tables {
+		t.flushDerived()
+	}
+}
+
+// Epoch returns the current storage epoch: 0 after load, +1 per append.
+func (c *Catalog) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// EpochJournal returns a copy of the append journal.
+func (c *Catalog) EpochJournal() []core.EpochEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]core.EpochEvent(nil), c.journal...)
+}
+
+// BaseRows returns each table's row count at registration — the replay
+// base for the epoch journal.
+func (c *Catalog) BaseRows() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.base))
+	for k, v := range c.base {
+		out[k] = v
+	}
+	return out
+}
 
 // Table looks up a table by name.
 func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.Lock()
 	t, ok := c.tables[name]
+	c.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("catalog: unknown table %q", name)
 	}
@@ -227,6 +372,8 @@ func (c *Catalog) Table(name string) (*Table, error) {
 
 // Names returns all table names, sorted.
 func (c *Catalog) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]string, 0, len(c.tables))
 	for n := range c.tables {
 		out = append(out, n)

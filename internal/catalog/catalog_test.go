@@ -73,15 +73,24 @@ func TestStats(t *testing.T) {
 	}
 }
 
-func TestStatsCached(t *testing.T) {
+func TestStatsCachedPerEpoch(t *testing.T) {
 	tb := NewTable("t")
 	c := tb.AddCol("v", TInt)
 	c.Data = []int64{1, 2}
 	first := tb.ColStats("v")
+	if again := tb.ColStats("v"); first != again {
+		t.Fatal("stats at one row count should be cached")
+	}
+	// Statistics are keyed by the visible row count: growing the table
+	// invalidates them, so the optimizer always estimates against the
+	// current epoch's data.
 	c.Data = append(c.Data, 100)
 	second := tb.ColStats("v")
-	if first != second {
-		t.Fatal("stats should be cached per table")
+	if second == first {
+		t.Fatal("stats should recompute after the row set grows")
+	}
+	if second.Max != 100 || second.Distinct != 3 {
+		t.Fatalf("post-append stats = %+v", second)
 	}
 }
 

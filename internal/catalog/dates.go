@@ -2,14 +2,14 @@ package catalog
 
 import "time"
 
-// Dates are stored as day numbers relative to Epoch (the TPC-H range
+// Dates are stored as day numbers relative to DateEpoch (the TPC-H range
 // starts at 1992-01-01).
-var Epoch = time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC)
+var DateEpoch = time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC)
 
 // DateOf converts a calendar date into its day-number encoding.
 func DateOf(y, m, d int) int64 {
 	t := time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC)
-	return int64(t.Sub(Epoch).Hours() / 24)
+	return int64(t.Sub(DateEpoch).Hours() / 24)
 }
 
 // ParseDate converts "YYYY-MM-DD" into its day-number encoding.
@@ -18,10 +18,10 @@ func ParseDate(s string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return int64(t.Sub(Epoch).Hours() / 24), nil
+	return int64(t.Sub(DateEpoch).Hours() / 24), nil
 }
 
 // FormatDate renders a day number as "YYYY-MM-DD".
 func FormatDate(d int64) string {
-	return Epoch.Add(time.Duration(d) * 24 * time.Hour).Format("2006-01-02")
+	return DateEpoch.Add(time.Duration(d) * 24 * time.Hour).Format("2006-01-02")
 }

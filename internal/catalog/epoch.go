@@ -1,0 +1,237 @@
+package catalog
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Epoch-versioned storage (DESIGN.md §15).
+//
+// The catalog separates two axes of change that used to share one version
+// counter:
+//
+//   - Schema (catalog version): table registrations, in-place mutation.
+//     Compiled artifacts bind to it — a version change invalidates them.
+//   - Data tail (storage epoch): appends. Artifacts are epoch-oblivious;
+//     sessions bind an epoch at execute time by pinning a Snapshot, and
+//     the executor stages the snapshot's column prefixes and row counts
+//     into the artifact's capacity-sized regions per run.
+//
+// Appends are zero-copy on both sides: registration preallocates each
+// column's backing array to the frozen row capacity (CapRowsFor), so an
+// append writes the new rows into the tail and publishes the new length —
+// no existing row moves. A snapshot captures prefix slice headers under
+// the lock; after that, readers touch only indices below the captured row
+// count while writers touch only indices at or above it, so concurrent
+// execute/append is race-free by address disjointness.
+
+// capRowsMin is the smallest row capacity any served table reserves.
+const capRowsMin = 1024
+
+// CapRowsFor returns the frozen row capacity for a table loaded with n
+// rows: the smallest power of two ≥ n plus 12.5% headroom, at least
+// capRowsMin. A pure function of n, so a bulk-loaded table and an
+// incrementally-appended one whose load sizes share a capacity class
+// produce byte-identical layouts and heaps.
+func CapRowsFor(n int) int {
+	need := n + n/8
+	c := capRowsMin
+	for c < need {
+		c *= 2
+	}
+	return c
+}
+
+// reserveTail freezes the table's row capacity and reallocates each
+// column's backing array to it (called under the catalog lock at Add).
+func (t *Table) reserveTail() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.rowsLocked()
+	if t.rowCap < n || t.rowCap == 0 {
+		t.rowCap = CapRowsFor(n)
+	}
+	for _, c := range t.Cols {
+		if cap(c.Data) < t.rowCap {
+			nd := make([]int64, len(c.Data), t.rowCap)
+			copy(nd, c.Data)
+			c.Data = nd
+		}
+	}
+}
+
+// AppendResult reports one append batch.
+type AppendResult struct {
+	Epoch  uint64 // storage epoch the append created
+	Lo, Hi int64  // appended row window [Lo, Hi)
+	Grew   bool   // capacity exceeded: arrays reallocated, version bumped
+}
+
+// Append appends row tuples (one []int64 per row, one value per column,
+// dictionary codes for TStr columns) to a table, advancing the storage
+// epoch and journaling the window. Within capacity it never changes the
+// catalog version — compiled artifacts stay valid and cached.
+func (c *Catalog) Append(table string, rows [][]int64) (AppendResult, error) {
+	if len(rows) == 0 {
+		return AppendResult{}, fmt.Errorf("catalog: empty append to %q", table)
+	}
+	t, err := c.Table(table)
+	if err != nil {
+		return AppendResult{}, err
+	}
+	ncols := len(t.Cols)
+	cols := make([][]int64, ncols)
+	for ri, r := range rows {
+		if len(r) != ncols {
+			return AppendResult{}, fmt.Errorf("catalog: append row %d to %s has %d values, table has %d columns",
+				ri, table, len(r), ncols)
+		}
+		for ci, v := range r {
+			cols[ci] = append(cols[ci], v)
+		}
+	}
+	return c.AppendCols(table, cols)
+}
+
+// AppendCols appends one batch in columnar form: cols[i] holds the new
+// values of table column i, all the same length. Within the frozen
+// capacity the values land in the preallocated tail (zero-copy); beyond
+// it the backing arrays grow to the next capacity class and the catalog
+// version is bumped — the one append path that invalidates artifacts.
+func (c *Catalog) AppendCols(table string, cols [][]int64) (AppendResult, error) {
+	t, err := c.Table(table)
+	if err != nil {
+		return AppendResult{}, err
+	}
+	if len(cols) != len(t.Cols) {
+		return AppendResult{}, fmt.Errorf("catalog: append to %s supplies %d columns, table has %d",
+			table, len(cols), len(t.Cols))
+	}
+	k := 0
+	for i, vals := range cols {
+		if i == 0 {
+			k = len(vals)
+		} else if len(vals) != k {
+			return AppendResult{}, fmt.Errorf("catalog: append to %s: column %s has %d values, column %s has %d",
+				table, t.Cols[i].Name, len(vals), t.Cols[0].Name, k)
+		}
+	}
+	if k == 0 {
+		return AppendResult{}, fmt.Errorf("catalog: empty append to %q", table)
+	}
+
+	// Epoch, version and journal updates happen under the catalog lock;
+	// the data write happens under the table lock inside it. Lock order
+	// (catalog → table) matches Add and Snapshot.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t.mu.Lock()
+	lo := int64(t.rowsLocked())
+	hi := lo + int64(k)
+	grew := false
+	if int(hi) > t.rowCapLocked() {
+		t.rowCap = CapRowsFor(int(hi))
+		grew = true
+	}
+	for i, col := range t.Cols {
+		if cap(col.Data) < t.rowCap {
+			nd := make([]int64, len(col.Data), t.rowCap)
+			copy(nd, col.Data)
+			col.Data = nd
+		}
+		col.Data = append(col.Data, cols[i]...)
+	}
+	t.mu.Unlock()
+
+	c.epoch++
+	if grew {
+		c.version++
+	}
+	ev := core.EpochEvent{Epoch: c.epoch, Table: table, Lo: lo, Hi: hi, Grew: grew}
+	c.journal = append(c.journal, ev)
+	return AppendResult{Epoch: ev.Epoch, Lo: lo, Hi: hi, Grew: grew}, nil
+}
+
+// TableView is the immutable per-table face of a snapshot: the first Rows
+// rows of every column, captured as slice-header prefixes (zero-copy).
+// Its zone map and shards are pure functions of (table contents, Rows) —
+// never of the snapshot, session, worker count, or shard count.
+type TableView struct {
+	Table *Table
+	Rows  int
+	cols  [][]int64
+}
+
+// View captures an immutable view of the table's current rows.
+func (t *Table) View() *TableView {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.viewLocked()
+}
+
+func (t *Table) viewLocked() *TableView {
+	rows := t.rowsLocked()
+	v := &TableView{Table: t, Rows: rows, cols: make([][]int64, len(t.Cols))}
+	for i, c := range t.Cols {
+		v.cols[i] = c.Data[:rows:rows]
+	}
+	return v
+}
+
+// Col returns the view's data prefix for table column i.
+func (v *TableView) Col(i int) []int64 { return v.cols[i] }
+
+// ColByName returns the view's data prefix for a named column, or nil.
+func (v *TableView) ColByName(name string) []int64 {
+	if i := v.Table.ColIndex(name); i >= 0 {
+		return v.cols[i]
+	}
+	return nil
+}
+
+// Zones returns the view's zone map (cached per row count on the table —
+// sound under append-only growth, since zones over [0, Rows) only read
+// the immutable prefix).
+func (v *TableView) Zones() []Zone { return v.Table.zc.zonesFor(v) }
+
+// Shards partitions the view into n contiguous zone-aligned shards, the
+// epoch-resolved analogue of Table.Shards.
+func (v *TableView) Shards(n int) []Shard {
+	return shardsOf(v.Table, v.Zones(), v.cols, int64(v.Rows), n)
+}
+
+// Snapshot is an epoch-stamped, immutable view of every table: what one
+// execution binds against. Concurrent appends land in rows the snapshot
+// does not expose.
+type Snapshot struct {
+	Epoch   uint64
+	Version uint64
+	views   map[string]*TableView
+}
+
+// Snapshot captures the current epoch's view of every table.
+func (c *Catalog) Snapshot() *Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := &Snapshot{Epoch: c.epoch, Version: c.version, views: make(map[string]*TableView, len(c.tables))}
+	for name, t := range c.tables {
+		t.mu.RLock()
+		s.views[name] = t.viewLocked()
+		t.mu.RUnlock()
+	}
+	return s
+}
+
+// View returns the snapshot's view of a table, or nil if the table was
+// registered after the snapshot was taken.
+func (s *Snapshot) View(name string) *TableView { return s.views[name] }
+
+// TableRows returns the snapshot's visible row count per table.
+func (s *Snapshot) TableRows() map[string]int64 {
+	out := make(map[string]int64, len(s.views))
+	for name, v := range s.views {
+		out[name] = int64(v.Rows)
+	}
+	return out
+}

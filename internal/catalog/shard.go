@@ -73,31 +73,66 @@ type Shard struct {
 // Rows returns the shard's row count.
 func (s Shard) Rows() int64 { return s.Hi - s.Lo }
 
-// zoneCache is the lazily built, mutex-guarded zone map of one table.
-// Concurrent sessions may fault it in simultaneously.
+// zoneCache holds the lazily built zone maps of one table, keyed by the
+// visible row count: each epoch's view gets an immutable zone map, and the
+// maps stay sound under append-only growth because a map over [0, n) only
+// ever read the immutable data prefix. Concurrent sessions may fault views
+// in simultaneously; the cache keeps a bounded number of row counts
+// (epochs churn, but executions cluster on recent ones).
 type zoneCache struct {
-	mu    sync.Mutex
-	zones []Zone
-	rows  int // row count the cache was built for
+	mu     sync.Mutex
+	byRows map[int][]Zone
 }
 
-// Zones returns the table's zone map, computing and caching it on first
-// use. The result is shared — callers must not mutate it. If the table
-// grew or shrank since the cache was built the map is recomputed (callers
-// mutating data in place must Bump the catalog version anyway).
-func (t *Table) Zones() []Zone {
-	t.zc.mu.Lock()
-	defer t.zc.mu.Unlock()
-	if t.zc.zones != nil && t.zc.rows == t.Rows() {
-		return t.zc.zones
+// zoneCacheViews bounds how many row counts' zone maps are retained.
+const zoneCacheViews = 8
+
+// zonesFor returns the zone map for a view's row count, computing and
+// caching it on first use. The result is shared — callers must not mutate.
+func (zc *zoneCache) zonesFor(v *TableView) []Zone {
+	zc.mu.Lock()
+	if zc.byRows == nil {
+		zc.byRows = make(map[int][]Zone)
 	}
-	t.zc.zones = buildZones(t)
-	t.zc.rows = t.Rows()
-	return t.zc.zones
+	if z, ok := zc.byRows[v.Rows]; ok {
+		zc.mu.Unlock()
+		return z
+	}
+	zc.mu.Unlock()
+
+	// Build outside the lock (the view's prefixes are immutable); publish
+	// under it. Concurrent builders of the same row count produce
+	// identical maps, so last-publish-wins is harmless.
+	z := buildZones(v.cols, int64(v.Rows))
+	zc.mu.Lock()
+	defer zc.mu.Unlock()
+	zc.byRows[v.Rows] = z
+	for len(zc.byRows) > zoneCacheViews {
+		min := -1
+		for rows := range zc.byRows {
+			if min < 0 || rows < min {
+				min = rows
+			}
+		}
+		delete(zc.byRows, min)
+	}
+	return z
 }
 
-func buildZones(t *Table) []Zone {
-	n := int64(t.Rows())
+// flush drops every cached zone map (Catalog.Bump after in-place data
+// mutation).
+func (zc *zoneCache) flush() {
+	zc.mu.Lock()
+	defer zc.mu.Unlock()
+	zc.byRows = nil
+}
+
+// Zones returns the zone map of the table's current rows. The result is
+// shared — callers must not mutate it. Under streaming ingest prefer a
+// view's Zones (TableView.Zones), which pins the row count.
+func (t *Table) Zones() []Zone { return t.View().Zones() }
+
+func buildZones(cols [][]int64, n int64) []Zone {
 	if n == 0 {
 		return []Zone{}
 	}
@@ -108,9 +143,9 @@ func buildZones(t *Table) []Zone {
 		if hi > n {
 			hi = n
 		}
-		z := Zone{Index: len(zones), Lo: lo, Hi: hi, Bounds: make([]Bound, len(t.Cols))}
-		for ci, c := range t.Cols {
-			seg := c.Data[lo:hi]
+		z := Zone{Index: len(zones), Lo: lo, Hi: hi, Bounds: make([]Bound, len(cols))}
+		for ci, c := range cols {
+			seg := c[lo:hi]
 			b := Bound{Min: seg[0], Max: seg[0]}
 			for _, v := range seg[1:] {
 				if v < b.Min {
@@ -150,13 +185,18 @@ func foldBounds(zones []Zone, ncols int) []Bound {
 	return out
 }
 
-// Shards partitions the table into n contiguous zone-aligned shards.
-// Shard k receives zones [k*Z/n, (k+1)*Z/n) — the same arithmetic as
-// morsel striping, so shard boundaries are a pure function of (zone
-// count, n). n <= 1 yields a single shard covering the whole table.
-// Every shard carries column Data slice views; no row data is copied.
-func (t *Table) Shards(n int) []Shard {
-	zones := t.Zones()
+// Shards partitions the table's current rows into n contiguous
+// zone-aligned shards. Shard k receives zones [k*Z/n, (k+1)*Z/n) — the
+// same arithmetic as morsel striping, so shard boundaries are a pure
+// function of (zone count, n). n <= 1 yields a single shard covering the
+// whole table. Every shard carries column Data slice views; no row data
+// is copied. Under streaming ingest prefer a view's Shards
+// (TableView.Shards), which pins the row count.
+func (t *Table) Shards(n int) []Shard { return t.View().Shards(n) }
+
+// shardsOf groups a zone map into n contiguous shards over the given
+// column prefixes (a TableView's, or the full table's).
+func shardsOf(t *Table, zones []Zone, cols [][]int64, rows int64, n int) []Shard {
 	if n < 1 {
 		n = 1
 	}
@@ -164,7 +204,7 @@ func (t *Table) Shards(n int) []Shard {
 		n = len(zones)
 	}
 	if len(zones) == 0 {
-		return []Shard{makeShard(t, 0, nil, 0, 0)}
+		return []Shard{makeShard(t, cols, 0, nil, 0, 0)}
 	}
 	out := make([]Shard, 0, n)
 	z := len(zones)
@@ -174,7 +214,7 @@ func (t *Table) Shards(n int) []Shard {
 			continue
 		}
 		group := zones[zlo:zhi]
-		out = append(out, makeShard(t, len(out), group, group[0].Lo, group[len(group)-1].Hi))
+		out = append(out, makeShard(t, cols, len(out), group, group[0].Lo, group[len(group)-1].Hi))
 	}
 	return out
 }
@@ -188,10 +228,10 @@ func (t *Table) Shard(i, n int) (Shard, error) {
 	return sh[i], nil
 }
 
-func makeShard(t *Table, id int, zones []Zone, lo, hi int64) Shard {
+func makeShard(t *Table, data [][]int64, id int, zones []Zone, lo, hi int64) Shard {
 	cols := make([]*Column, len(t.Cols))
 	for i, c := range t.Cols {
-		cols[i] = &Column{Name: c.Name, Type: c.Type, Data: c.Data[lo:hi], Dict: c.Dict, Unique: c.Unique}
+		cols[i] = &Column{Name: c.Name, Type: c.Type, Data: data[i][lo:hi], Dict: c.Dict, Unique: c.Unique}
 	}
 	return Shard{ID: id, Lo: lo, Hi: hi, Zones: zones, Cols: cols, Bounds: foldBounds(zones, len(t.Cols))}
 }

@@ -1,0 +1,74 @@
+package datagen
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/xrand"
+)
+
+// AppendBatch generates n deterministic tail rows for a table in columnar
+// form (one slice per column, ready for catalog.AppendCols). The batch is
+// shaped like the data already in the table — values are drawn inside each
+// column's observed [min, max], dictionary columns reuse existing codes,
+// unique key columns continue past the current maximum — so streaming
+// ingest extends the distributions the resident data established instead
+// of injecting outliers that would flip zone-pruning or optimizer
+// decisions for reasons unrelated to ingest itself.
+//
+// The batch is a pure function of (table contents, n, seed): the ingest
+// experiments vary the seed per batch and replay identical streams across
+// runs.
+func AppendBatch(t *catalog.Table, n int, seed uint64) [][]int64 {
+	r := xrand.New(seed ^ nameSeed(t.Name) ^ 0xa99d)
+	view := t.View()
+	cols := make([][]int64, len(t.Cols))
+	for ci, c := range t.Cols {
+		data := view.Col(ci)
+		out := make([]int64, n)
+		switch {
+		case c.Unique:
+			var maxKey int64
+			for _, v := range data {
+				if v > maxKey {
+					maxKey = v
+				}
+			}
+			for i := range out {
+				out[i] = maxKey + int64(i) + 1
+			}
+		case c.Type == catalog.TStr && c.Dict != nil && c.Dict.Len() > 0:
+			for i := range out {
+				out[i] = int64(r.Intn(c.Dict.Len()))
+			}
+		default:
+			lo, hi := int64(0), int64(1)
+			if len(data) > 0 {
+				lo, hi = data[0], data[0]
+				for _, v := range data[1:] {
+					if v < lo {
+						lo = v
+					}
+					if v > hi {
+						hi = v
+					}
+				}
+			}
+			if lo >= hi {
+				hi = lo + 1
+			}
+			for i := range out {
+				out[i] = r.Int64Range(lo, hi)
+			}
+		}
+		cols[ci] = out
+	}
+	return cols
+}
+
+// nameSeed folds a table name into the batch seed (FNV-1a).
+func nameSeed(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}

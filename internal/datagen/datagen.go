@@ -15,7 +15,7 @@ import (
 )
 
 // Date converts a calendar date into its day-number encoding
-// (see catalog.Epoch).
+// (see catalog.DateEpoch).
 func Date(y, m, d int) int64 { return catalog.DateOf(y, m, d) }
 
 // Config scales the generated dataset. ScaleFactor 1.0 corresponds to

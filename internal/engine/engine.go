@@ -135,14 +135,19 @@ type Executor struct {
 func NewExecutor(opts Options) *Executor { return &Executor{Opts: opts} }
 
 // RunState is the per-session mutable state of one execution: everything
-// a run needs beyond the shared artifact. Today that is the encoded
-// bound-parameter values; VM heap, counters and sample buffers are
-// created per run and never shared.
+// a run needs beyond the shared artifact — the encoded bound-parameter
+// values and the storage snapshot the run binds against. VM heap,
+// counters and sample buffers are created per run and never shared.
 type RunState struct {
 	// Params are the encoded bound-parameter values, staged into the
 	// artifact's parameter region before each run. Must hold exactly
 	// len(cq.Plan.Params) values.
 	Params []int64
+	// Snap pins the storage epoch this execution sees: column prefixes and
+	// row counts are staged from it exactly like params, so concurrent
+	// appends land invisibly in the tail. nil binds the catalog's current
+	// epoch at execute time.
+	Snap *catalog.Snapshot
 }
 
 // Engine is the classic single-tenant façade over Compiler + Executor:
@@ -190,15 +195,106 @@ type Compiled struct {
 
 	heapSize   int
 	writes     []slotWrite
-	cols       []colStage
 	resultBase int64
 	resultEnd  int64
 	rowBytes   int64
+
+	// Epoch-resolved data binding (DESIGN.md §15). The artifact bakes only
+	// schema-derived facts: region addresses sized by each table's frozen
+	// row capacity, plus which (table, column) fills each region and which
+	// state slot holds each scan's row count. The data itself — column
+	// prefixes and row counts — is staged per execution from a
+	// catalog.Snapshot, exactly like bound parameters, so one artifact
+	// serves every epoch its capacities admit without recompiling.
+	cat    *catalog.Catalog
+	binds  []colBind
+	rowsBinds []rowsBind
+	tables []tableBind
 }
 
-type colStage struct {
-	addr int64
-	data []int64
+// colBind maps one heap column region to its source (table, column).
+type colBind struct {
+	addr  int64  // region base address
+	table string // source table name
+	col   int    // column position in the table
+	cap   int64  // region capacity in rows
+}
+
+// rowsBind maps one scan's row-count state slot to its source table.
+type rowsBind struct {
+	addr  int64  // state-slot address
+	table string // source table name
+}
+
+// tableBind records one scan's compile-time view of its table: the frozen
+// capacity the layout reserved and the row count the planner saw (the
+// baseline for staleness checks).
+type tableBind struct {
+	alias   string
+	table   string
+	cap     int64
+	planned int64
+}
+
+// PlannedRows returns the per-alias row counts the planner saw at compile
+// time — the baseline Session.Adapt's staleness trigger drifts against.
+func (cq *Compiled) PlannedRows() map[string]int64 {
+	out := make(map[string]int64, len(cq.tables))
+	for _, tb := range cq.tables {
+		out[tb.alias] = tb.planned
+	}
+	return out
+}
+
+// SnapshotCapacityError reports a snapshot whose visible rows exceed the
+// capacity an artifact reserved — the one condition under which an epoch
+// cannot bind to an existing artifact and a recompile (via the catalog
+// version bump the capacity-growing append performed) is required.
+type SnapshotCapacityError struct {
+	Table    string
+	Rows     int64
+	Capacity int64
+}
+
+func (e *SnapshotCapacityError) Error() string {
+	return fmt.Sprintf("engine: snapshot of %s has %d rows, artifact reserved capacity %d (stale artifact; recompile under current catalog version)",
+		e.Table, e.Rows, e.Capacity)
+}
+
+// snapshotFor resolves the storage snapshot one run binds against: the
+// session-pinned snapshot when the run state carries one, else the
+// catalog's current epoch captured at execute time.
+func (cq *Compiled) snapshotFor(rs *RunState) *catalog.Snapshot {
+	if rs != nil && rs.Snap != nil {
+		return rs.Snap
+	}
+	return cq.cat.Snapshot()
+}
+
+// stageSnapshot writes the snapshot's column prefixes and row counts into
+// the artifact's data regions and row-count slots — the epoch-resolution
+// step of every execution. It fails with SnapshotCapacityError if any
+// view outgrew the capacity the layout reserved.
+func stageSnapshot(cq *Compiled, cpu *vm.CPU, snap *catalog.Snapshot) error {
+	for _, tb := range cq.tables {
+		v := snap.View(tb.table)
+		if v == nil {
+			return fmt.Errorf("engine: snapshot has no view of table %q", tb.table)
+		}
+		if int64(v.Rows) > tb.cap {
+			return &SnapshotCapacityError{Table: tb.table, Rows: int64(v.Rows), Capacity: tb.cap}
+		}
+	}
+	for _, b := range cq.binds {
+		data := snap.View(b.table).Col(b.col)
+		for i, v := range data {
+			cpu.WriteI64(b.addr+int64(i)*8, v)
+		}
+	}
+	for _, rb := range cq.rowsBinds {
+		cpu.WriteI64(rb.addr, int64(snap.View(rb.table).Rows))
+	}
+	return nil
 }
 
 // Memory layout constants (DESIGN.md: fixed low-memory regions, then
@@ -292,7 +388,7 @@ func (c *Compiler) CompilePlanGuided(pl *plan.Output, hot *pgo.Hotness) (*Compil
 // reproduces every IR instruction ID and task component ID — which is
 // what lets a profile keyed by IR ID steer a fresh compilation.
 func (c *Compiler) compilePlan(pl *plan.Output, hot *pgo.Hotness) (*Compiled, error) {
-	cq := &Compiled{Plan: pl}
+	cq := &Compiled{Plan: pl, cat: c.Cat}
 	lay, err := c.buildLayout(pl, cq)
 	if err != nil {
 		return nil, err
@@ -442,20 +538,26 @@ func (c *Compiler) buildLayout(pl *plan.Output, cq *Compiled) (*pipeline.Layout,
 		cur = align(cur+counterSlots*8, 64)
 	}
 
-	// Table columns.
+	// Table column regions, sized by the frozen row *capacity* so the same
+	// layout serves every epoch within capacity; the data itself is staged
+	// per run (stageSnapshot). Row counts are epoch-resolved too: their
+	// state slots are filled from the run's snapshot, not baked here.
 	for _, s := range scans {
+		capRows := int64(s.Table.RowCap())
+		cq.tables = append(cq.tables, tableBind{
+			alias: s.Alias, table: s.Table.Name, cap: capRows, planned: int64(s.Table.Rows()),
+		})
 		for _, ci := range s.Cols {
-			col := s.Table.Cols[ci]
-			cq.cols = append(cq.cols, colStage{addr: cur, data: col.Data})
+			cq.binds = append(cq.binds, colBind{addr: cur, table: s.Table.Name, col: ci, cap: capRows})
 			cq.writes = append(cq.writes, slotWrite{
 				addr: lay.StateBase + int64(lay.ColSlots[pipeline.ColKey{Alias: s.Alias, Col: ci}])*8,
 				val:  cur,
 			})
-			cur = align(cur+int64(len(col.Data))*8, 64)
+			cur = align(cur+capRows*8, 64)
 		}
-		cq.writes = append(cq.writes, slotWrite{
-			addr: lay.StateBase + int64(lay.RowsSlots[s.Alias])*8,
-			val:  int64(s.Table.Rows()),
+		cq.rowsBinds = append(cq.rowsBinds, rowsBind{
+			addr:  lay.StateBase + int64(lay.RowsSlots[s.Alias])*8,
+			table: s.Table.Name,
 		})
 	}
 
@@ -542,6 +644,10 @@ type Result struct {
 
 	Stats vm.Stats
 	CPU   *vm.CPU
+
+	// Epoch is the storage epoch the run bound against: the pinned
+	// session snapshot's, or the catalog's current epoch at execute time.
+	Epoch uint64
 
 	// Workers is the worker count of a morsel-driven parallel run
 	// (0 for the single-CPU path).
@@ -660,11 +766,10 @@ func (x *Executor) RunIterations(cq *Compiled, rs *RunState, n int, cfg *pmu.Con
 	if err != nil {
 		return nil, err
 	}
+	snap := cq.snapshotFor(rs)
 	cpu := vm.New(cq.heapSize)
-	for _, cs := range cq.cols {
-		for i, v := range cs.data {
-			cpu.WriteI64(cs.addr+int64(i)*8, v)
-		}
+	if err := stageSnapshot(cq, cpu, snap); err != nil {
+		return nil, err
 	}
 	cpu.Load(cq.Code.Program)
 
@@ -702,7 +807,7 @@ func (x *Executor) RunIterations(cq *Compiled, rs *RunState, n int, cfg *pmu.Con
 		}
 	}
 
-	res := &Result{Cols: cq.Plan.Out(), Stats: stats, CPU: cpu, PMU: p, WallCycles: stats.TotalCycles()}
+	res := &Result{Cols: cq.Plan.Out(), Stats: stats, CPU: cpu, PMU: p, WallCycles: stats.TotalCycles(), Epoch: snap.Epoch}
 	res.Rows = readRows(cq, cpu)
 	sortRows(res.Rows, cq.Plan)
 	if cq.Plan.Limit >= 0 && len(res.Rows) > cq.Plan.Limit {

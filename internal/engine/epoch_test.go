@@ -1,0 +1,388 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/pmu"
+	"repro/internal/queries"
+	"repro/internal/vm"
+)
+
+// TestQCacheKeyEpochContract pins the cache-key contract of epoch-versioned
+// storage: appends within capacity change neither the options digest nor
+// the catalog version, so a warm prepare after an append is a hit on the
+// *same* artifact — zero recompiles, zero evictions — while a schema
+// change (Add) still misses.
+func TestQCacheKeyEpochContract(t *testing.T) {
+	svc := testService(t)
+	se := svc.NewSession()
+	sql := "select count(*) from lineitem where l_quantity < 10"
+
+	digest0 := svc.Options().Digest()
+	version0 := svc.Catalog().Version()
+
+	p1, err := se.Prepare(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.CacheHit || p1.Fallback {
+		t.Fatalf("first prepare: hit=%v fallback=%v", p1.CacheHit, p1.Fallback)
+	}
+	missesAfterCold := svc.CacheStats().Misses
+
+	tb, err := svc.Catalog().Table("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := svc.AppendCols("lineitem", datagen.AppendBatch(tb, 40, uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if d := svc.Options().Digest(); d != digest0 {
+		t.Fatalf("Options.Digest changed across appends: %x -> %x", digest0, d)
+	}
+	if v := svc.Catalog().Version(); v != version0 {
+		t.Fatalf("catalog version changed across in-capacity appends: %d -> %d", version0, v)
+	}
+
+	p2, err := se.Prepare(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.CacheHit {
+		t.Fatal("prepare after append must be a cache hit")
+	}
+	if p2.Compiled != p1.Compiled {
+		t.Fatal("append must not re-compile: artifacts differ")
+	}
+	st := svc.CacheStats()
+	if st.Misses != missesAfterCold {
+		t.Fatalf("appends caused %d extra compiles", st.Misses-missesAfterCold)
+	}
+	if st.Evictions != 0 || st.Invalidations != 0 {
+		t.Fatalf("appends evicted/invalidated artifacts: %+v", st)
+	}
+
+	// The warm artifact executes against the grown table: the run binds the
+	// current epoch and sees all appended rows.
+	res, err := se.Run(p2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != svc.Epoch() || res.Epoch != 3 {
+		t.Fatalf("run bound epoch %d, catalog at %d", res.Epoch, svc.Epoch())
+	}
+
+	// A schema change still invalidates: the version moves and the next
+	// prepare misses.
+	svc.Catalog().Add(catalog.NewTable("epoch_contract_scratch"))
+	if svc.Catalog().Version() == version0 {
+		t.Fatal("Add must bump the catalog version")
+	}
+	p3, err := se.Prepare(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.CacheHit {
+		t.Fatal("prepare after a schema change must miss")
+	}
+}
+
+// incrementalPair builds two catalogs with identical visible contents: one
+// bulk-loaded, one loaded to a prefix and grown to the same rows by
+// streaming appends. The prefix is chosen inside the full row count's
+// capacity class, so both catalogs freeze identical layouts — the
+// precondition for byte-identical artifacts and heaps.
+func incrementalPair(t *testing.T) (*catalog.Catalog, *catalog.Catalog) {
+	t.Helper()
+	cfg := datagen.Config{ScaleFactor: 0.02, Seed: 7}
+	bulk := datagen.Generate(cfg)
+	incr := datagen.Generate(cfg)
+	tbB, err := bulk.Table("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbI, err := incr.Table("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tbB.Rows()
+	n0 := n - 200
+	if n0 <= 0 || catalog.CapRowsFor(n0) != catalog.CapRowsFor(n) {
+		t.Fatalf("prefix %d and full %d rows land in different capacity classes", n0, n)
+	}
+	for _, c := range tbI.Cols {
+		c.Data = c.Data[:n0]
+	}
+	for lo := n0; lo < n; {
+		hi := lo + 80
+		if hi > n {
+			hi = n
+		}
+		cols := make([][]int64, len(tbB.Cols))
+		for i, c := range tbB.Cols {
+			cols[i] = c.Data[lo:hi]
+		}
+		if _, err := incr.AppendCols("lineitem", cols); err != nil {
+			t.Fatal(err)
+		}
+		lo = hi
+	}
+	if tbI.Rows() != n {
+		t.Fatalf("incremental catalog has %d rows, want %d", tbI.Rows(), n)
+	}
+	return bulk, incr
+}
+
+// TestEpochDeterminismBattery is the acceptance battery of the epoch axis:
+// for the same visible epoch, result rows, canonical heap bytes, and the
+// canonical profile are byte-identical across Workers {0,1,2,4} × Shards
+// {1,2,4} × {bulk-load, incremental-append}. Storage history, parallelism
+// and shard attribution must all be invisible in what a query computes.
+func TestEpochDeterminismBattery(t *testing.T) {
+	bulk, incr := incrementalPair(t)
+	query := queries.Fig9().Query
+	cfg := &pmu.Config{Event: vm.EvInstRetired, Period: 487}
+
+	var refHeap []byte
+	var refCanon []byte
+	var refRows [][]int64
+	for _, axis := range []struct {
+		name string
+		cat  *catalog.Catalog
+	}{{"bulk", bulk}, {"incremental", incr}} {
+		for _, workers := range []int{0, 1, 2, 4} {
+			for _, shards := range []int{1, 2, 4} {
+				label := fmt.Sprintf("%s/w%d/s%d", axis.name, workers, shards)
+				opts := DefaultOptions()
+				opts.Workers = workers
+				opts.MorselRows = 256
+				opts.Shards = shards
+				opts.ShardPruning = true
+				e := New(axis.cat, opts)
+				cq, err := e.CompileQuery(query)
+				if err != nil {
+					t.Fatalf("%s: compile: %v", label, err)
+				}
+				res, err := e.Run(cq, cfg)
+				if err != nil {
+					t.Fatalf("%s: run: %v", label, err)
+				}
+				canon := res.Profile.Canonical()
+				if refHeap == nil {
+					refHeap = append([]byte(nil), res.CPU.Heap...)
+					refCanon = canon
+					refRows = res.Rows
+					continue
+				}
+				if !bytes.Equal(res.CPU.Heap, refHeap) {
+					t.Errorf("%s: canonical heap differs from reference cell", label)
+				}
+				if !bytes.Equal(canon, refCanon) {
+					t.Errorf("%s: canonical profile differs from reference cell", label)
+				}
+				if len(res.Rows) != len(refRows) {
+					t.Fatalf("%s: %d rows, want %d", label, len(res.Rows), len(refRows))
+				}
+				for i := range res.Rows {
+					for j := range res.Rows[i] {
+						if res.Rows[i][j] != refRows[i][j] {
+							t.Fatalf("%s: row %d differs", label, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSessionSnapshotPinning: a pinned session keeps reading its epoch
+// while appends land and unpinned sessions see them — repeatable reads on
+// one handle, fresh reads on the other, one shared artifact.
+func TestSessionSnapshotPinning(t *testing.T) {
+	cat := datagen.Generate(datagen.Config{ScaleFactor: 0.02, Seed: 7})
+	svc := NewService(cat, DefaultOptions(), 0)
+	pinned := svc.NewSession()
+	fresh := svc.NewSession()
+	sql := "select count(*) from sales where price >= 0"
+
+	snap := pinned.PinSnapshot()
+	pRows := int64(snap.View("sales").Rows)
+
+	tb, err := cat.Table("sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.AppendCols("sales", datagen.AppendBatch(tb, 64, 99)); err != nil {
+		t.Fatal(err)
+	}
+
+	p1, err := pinned.Prepare(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := pinned.Run(p1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Epoch != snap.Epoch || res1.Rows[0][0] != pRows {
+		t.Fatalf("pinned run: epoch=%d count=%d, want epoch=%d count=%d",
+			res1.Epoch, res1.Rows[0][0], snap.Epoch, pRows)
+	}
+
+	p2, err := fresh.Prepare(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.CacheHit || p2.Compiled != p1.Compiled {
+		t.Fatal("pinned and fresh sessions must share one artifact")
+	}
+	res2, err := fresh.Run(p2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Epoch != svc.Epoch() || res2.Rows[0][0] != pRows+64 {
+		t.Fatalf("fresh run: epoch=%d count=%d, want epoch=%d count=%d",
+			res2.Epoch, res2.Rows[0][0], svc.Epoch(), pRows+64)
+	}
+
+	pinned.Unpin()
+	res3, err := pinned.Run(p1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Rows[0][0] != pRows+64 {
+		t.Fatalf("unpinned run sees %d rows, want %d", res3.Rows[0][0], pRows+64)
+	}
+}
+
+// TestConcurrentAppendExecute races streaming appends against executing
+// sessions (the CI -race job runs this package): every observed count must
+// be exactly one of the epoch-boundary row counts — never a torn read —
+// and a pinned session must observe its own epoch repeatably.
+func TestConcurrentAppendExecute(t *testing.T) {
+	cat := datagen.Generate(datagen.Config{ScaleFactor: 0.02, Seed: 7})
+	svc := NewService(cat, DefaultOptions(), 0)
+	tb, err := cat.Table("sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := int64(tb.Rows())
+	const batch, nBatches = 64, 8
+	valid := map[int64]bool{}
+	for k := 0; k <= nBatches; k++ {
+		valid[base+int64(k*batch)] = true
+	}
+	sql := "select count(*) from sales where price >= 0"
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < nBatches; i++ {
+			if _, err := svc.AppendCols("sales", datagen.AppendBatch(tb, batch, uint64(i+1))); err != nil {
+				t.Errorf("append %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	const readers = 3
+	wg.Add(readers)
+	for r := 0; r < readers; r++ {
+		go func(r int) {
+			defer wg.Done()
+			se := svc.NewSession()
+			se.SetWorkers(2)
+			for i := 0; i < 4; i++ {
+				var pinnedRows int64 = -1
+				if i%2 == 1 {
+					pinnedRows = int64(se.PinSnapshot().View("sales").Rows)
+				} else {
+					se.Unpin()
+				}
+				p, err := se.Prepare(sql)
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				res, err := se.Run(p, nil)
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				got := res.Rows[0][0]
+				if !valid[got] {
+					t.Errorf("reader %d saw %d rows — not an epoch boundary (base %d, batch %d)", r, got, base, batch)
+					return
+				}
+				if pinnedRows >= 0 && got != pinnedRows {
+					t.Errorf("reader %d: pinned snapshot has %d rows, run saw %d", r, pinnedRows, got)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+// TestAdaptStalenessBumpsGeneration: row-count drift past the threshold is
+// a staleness trigger — the next Adapt bumps the statement's PGO
+// generation and the following prepare recompiles over the current
+// epoch's statistics, re-freezing the drift baseline.
+func TestAdaptStalenessBumpsGeneration(t *testing.T) {
+	cat := datagen.Generate(datagen.Config{ScaleFactor: 0.02, Seed: 7})
+	svc := NewService(cat, DefaultOptions(), 0)
+	se := svc.NewSession()
+	sql := "select count(*) from sales where price >= 0"
+
+	if _, err := se.Adapt(sql, nil); err != nil {
+		t.Fatal(err)
+	}
+	p1, err := se.Prepare(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen0 := svc.gens.Current(p1.Fingerprint)
+	planned0 := p1.Compiled.PlannedRows()["sales"]
+
+	// Drift the scanned table by ~40% — past StalenessDriftThreshold but
+	// within capacity, so only the epoch moves.
+	tb, err := cat.Table("sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	version0 := cat.Version()
+	grow := int(float64(tb.Rows()) * 0.4)
+	if _, err := svc.AppendCols("sales", datagen.AppendBatch(tb, grow, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if cat.Version() != version0 {
+		t.Fatalf("drift append outgrew capacity — pick a smaller batch")
+	}
+
+	if _, err := se.Adapt(sql, nil); err != nil {
+		t.Fatal(err)
+	}
+	gen1 := svc.gens.Current(p1.Fingerprint)
+	if gen1 <= gen0 {
+		t.Fatalf("drifted Adapt left generation at %d (was %d)", gen1, gen0)
+	}
+	p2, err := se.Prepare(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.CacheHit {
+		t.Fatal("prepare after a staleness bump must recompile")
+	}
+	if planned1 := p2.Compiled.PlannedRows()["sales"]; planned1 != planned0+int64(grow) {
+		t.Fatalf("recompile planned %d rows, want %d (drift baseline not re-frozen)", planned1, planned0+int64(grow))
+	}
+}

@@ -48,8 +48,8 @@ func TestLayoutRegionsDisjoint(t *testing.T) {
 			if lay.CounterBase != 0 {
 				add("counters", lay.CounterBase, lay.CounterBase+1024*8)
 			}
-			for i, cs := range cq.cols {
-				add(fmt.Sprintf("column%d", i), cs.addr, cs.addr+int64(len(cs.data))*8)
+			for i, b := range cq.binds {
+				add(fmt.Sprintf("column%d", i), b.addr, b.addr+b.cap*8)
 			}
 			hti := 0
 			for n, ht := range lay.HT {

@@ -53,9 +53,11 @@ func buildMemModel(cq *Compiled, lay *pipeline.Layout, pc *pipeline.Compiled) *v
 	}
 
 	// Table columns: host-staged, read-only. A provable store into one is
-	// a miscompile.
-	for _, cs := range cq.cols {
-		add("col", cs.addr, cs.addr+int64(len(cs.data))*8, false)
+	// a miscompile. Regions span the full reserved capacity — the addresses
+	// an execution at *any* epoch within capacity may touch — not just the
+	// compile-time row count.
+	for _, b := range cq.binds {
+		add("col", b.addr, b.addr+b.cap*8, false)
 	}
 
 	// Hash-table areas: all written by generated code and runtime routines.
@@ -97,16 +99,39 @@ func buildMemModel(cq *Compiled, lay *pipeline.Layout, pc *pipeline.Compiled) *v
 		}
 	}
 
+	// Row-count slots are epoch-resolved — staged from the run's snapshot,
+	// not baked into cq.writes — so their fact is the range of visible row
+	// counts an artifact may serve: [0, capacity].
+	capOf := map[string]int64{}
+	for _, tb := range cq.tables {
+		capOf[tb.alias] = tb.cap
+	}
+	for _, rb := range cq.rowsBinds {
+		var c int64
+		for _, tb := range cq.tables {
+			if tb.table == rb.table {
+				c = tb.cap
+				break
+			}
+		}
+		mm.Cells[rb.addr] = verify.CellFact{Lo: 0, Hi: c}
+	}
+
 	// Morsel-bound facts: interval invariants over every morsel the host
 	// can stage (runMorsel semantics — scan morsels are tuple-index ranges
-	// within [0, rows]; arena morsels are entry-aligned addresses within
-	// the arena).
+	// within [0, rows], where rows can reach the reserved capacity at a
+	// later epoch; arena morsels are entry-aligned addresses within the
+	// arena).
 	for i := range pc.Pipelines {
 		p := &pc.Pipelines[i]
 		var f verify.CellFact
 		switch d := p.Driver; d.Kind {
 		case pipeline.DriverScan:
-			f = verify.CellFact{Lo: 0, Hi: int64(d.Rows)}
+			hi := int64(d.Rows)
+			if c, ok := capOf[d.Alias]; ok && c > hi {
+				hi = c
+			}
+			f = verify.CellFact{Lo: 0, Hi: hi}
 		case pipeline.DriverArena:
 			if d.HT == nil {
 				continue

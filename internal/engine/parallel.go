@@ -115,12 +115,14 @@ func (x *Executor) RunParallel(cq *Compiled, rs *RunState, workers int, cfg *pmu
 	}
 
 	// Coordinator: owns the canonical heap, runs the kernel prelude
-	// (directory memsets) serially, then only merges.
+	// (directory memsets) serially, then only merges. Its heap binds the
+	// run's storage snapshot — column prefixes and row counts staged like
+	// parameters — and workers inherit the binding with every per-barrier
+	// heap refresh.
+	snap := cq.snapshotFor(rs)
 	coord := vm.New(cq.heapSize)
-	for _, cs := range cq.cols {
-		for i, v := range cs.data {
-			coord.WriteI64(cs.addr+int64(i)*8, v)
-		}
+	if err := stageSnapshot(cq, coord, snap); err != nil {
+		return nil, err
 	}
 	coord.Load(prog)
 	var coordPMU *pmu.PMU
@@ -194,7 +196,7 @@ func (x *Executor) RunParallel(cq *Compiled, rs *RunState, workers int, cfg *pmu
 		var spans []Span
 		var shardOf []int
 		if shards >= 1 && info.Driver.Kind == pipeline.DriverScan {
-			se, err := buildShardExec(cq, coord, info, params, shards, shardPruning, morselSize)
+			se, err := buildShardExec(cq, coord, info, snap, params, shards, shardPruning, morselSize)
 			if err != nil {
 				return nil, err
 			}
@@ -294,6 +296,7 @@ func (x *Executor) RunParallel(cq *Compiled, rs *RunState, workers int, cfg *pmu
 		Cols: cq.Plan.Out(), Stats: stats, CPU: coord, PMU: coordPMU,
 		Workers: workers, WallCycles: wall, MergeCycles: mergeCycles,
 		Shards: shards, ShardStates: shardStates, Skips: skips,
+		Epoch: snap.Epoch,
 	}
 	res.Rows = readRows(cq, coord)
 	sortRows(res.Rows, cq.Plan)
@@ -376,11 +379,16 @@ func makespan(costs []uint64, workers int) uint64 {
 	return m
 }
 
-// pipeDomain returns the size of a pipeline's input domain: table rows for
-// scan drivers, materialized entry count for arena drivers (read from the
-// canonical heap, i.e. after the producing pipelines merged).
+// pipeDomain returns the size of a pipeline's input domain: the staged
+// row-count slot for scan drivers (the snapshot's visible rows — NOT the
+// compile-time count, which an append may have outgrown), materialized
+// entry count for arena drivers (read from the canonical heap, i.e. after
+// the producing pipelines merged).
 func pipeDomain(cq *Compiled, coord *vm.CPU, info *pipeline.PipelineInfo) int64 {
 	if info.Driver.Kind == pipeline.DriverScan {
+		if slot, ok := cq.Layout.RowsSlots[info.Driver.Alias]; ok {
+			return coord.ReadI64(cq.Layout.StateBase + int64(slot)*8)
+		}
 		return int64(info.Driver.Rows)
 	}
 	ht := info.Driver.HT

@@ -88,6 +88,30 @@ func (s *Service) estimator() plan.Estimator {
 // Options returns the service's compiler configuration.
 func (s *Service) Options() Options { return s.opts }
 
+// Catalog returns the service's catalog.
+func (s *Service) Catalog() *catalog.Catalog { return s.cat }
+
+// Append ingests row tuples into a table (see catalog.Append): the storage
+// epoch advances, the window is journaled, and — within the table's frozen
+// capacity — the catalog version does not change, so every cached artifact
+// stays valid and every in-flight execution keeps reading its pinned
+// snapshot while the rows land in the tail.
+func (s *Service) Append(table string, rows [][]int64) (catalog.AppendResult, error) {
+	return s.cat.Append(table, rows)
+}
+
+// AppendCols is Append in columnar form (see catalog.AppendCols).
+func (s *Service) AppendCols(table string, cols [][]int64) (catalog.AppendResult, error) {
+	return s.cat.AppendCols(table, cols)
+}
+
+// Snapshot captures the catalog's current epoch: an immutable view every
+// table, suitable for pinning to a RunState or a Session.
+func (s *Service) Snapshot() *catalog.Snapshot { return s.cat.Snapshot() }
+
+// Epoch returns the catalog's current storage epoch.
+func (s *Service) Epoch() uint64 { return s.cat.Epoch() }
+
 // CacheStats snapshots the compiled-query cache's traffic counters.
 func (s *Service) CacheStats() qcache.Stats { return s.cache.Stats() }
 
@@ -118,6 +142,7 @@ type Session struct {
 	svc   *Service
 	exec  Executor
 	stats SessionStats
+	snap  *catalog.Snapshot
 }
 
 // NewSession opens a session. Run knobs (worker count, morsel size) are
@@ -145,6 +170,30 @@ func (se *Session) SetShardPruning(on bool) { se.exec.Opts.ShardPruning = on }
 
 // Stats returns the session's accumulated counters.
 func (se *Session) Stats() SessionStats { return se.stats }
+
+// Append ingests row tuples through the session's service. The session's
+// own pinned snapshot (if any) is unaffected: the new rows become visible
+// to it only after the next PinSnapshot (or immediately to unpinned runs,
+// which bind the current epoch per execution).
+func (se *Session) Append(table string, rows [][]int64) (catalog.AppendResult, error) {
+	return se.svc.Append(table, rows)
+}
+
+// PinSnapshot pins the catalog's current epoch to this session: every
+// subsequent Run binds against it — repeatable reads under concurrent
+// ingest — until the next PinSnapshot or Unpin. Returns the pinned
+// snapshot.
+func (se *Session) PinSnapshot() *catalog.Snapshot {
+	se.snap = se.svc.Snapshot()
+	return se.snap
+}
+
+// Pinned returns the session's pinned snapshot, nil if unpinned.
+func (se *Session) Pinned() *catalog.Snapshot { return se.snap }
+
+// Unpin releases the session's pinned snapshot; subsequent runs bind the
+// catalog's current epoch at execute time.
+func (se *Session) Unpin() { se.snap = nil }
 
 // Prepared is a statement readied for execution: a shared compiled
 // artifact plus this statement's private run state.
@@ -184,10 +233,19 @@ func (se *Session) Prepare(sql string) (*Prepared, error) {
 	return p, nil
 }
 
-// Run executes a prepared statement under this session's run options.
+// Run executes a prepared statement under this session's run options,
+// bound to the session's pinned snapshot when one is set.
 func (se *Session) Run(p *Prepared, cfg *pmu.Config) (*Result, error) {
 	t0 := time.Now()
-	res, err := se.exec.Run(p.Compiled, p.State, cfg)
+	rs := p.State
+	if se.snap != nil {
+		bound := RunState{Snap: se.snap}
+		if rs != nil {
+			bound.Params = rs.Params
+		}
+		rs = &bound
+	}
+	res, err := se.exec.Run(p.Compiled, rs, cfg)
 	se.stats.Execute += time.Since(t0)
 	return res, err
 }
@@ -361,12 +419,20 @@ func (se *Session) Adapt(sql string, cfg *pmu.Config) (*AdaptiveResult, error) {
 	// Materially shifted observations that change nothing physical leave
 	// the generation alone: the cached artifact is still the plan the
 	// history would pick.
+	//
+	// Epoch staleness rides the same path: when streaming appends have
+	// drifted any scanned table's visible rows past the threshold relative
+	// to what the artifact's planner saw, the generation is bumped
+	// unconditionally — the recompile re-plans over the current epoch's
+	// statistics (ColStats are per-row-count) and re-freezes the planned
+	// row counts, resetting the drift baseline.
 	if !p.Fallback {
 		material, err := se.observeTrue(p, ar)
 		if err != nil {
 			return nil, err
 		}
-		if material && se.svc.replanChanges(p) {
+		drifted := staleByDrift(p.Compiled, se.svc.cat.Snapshot())
+		if drifted || (material && se.svc.replanChanges(p)) {
 			gen := se.svc.gens.Bump(p.Fingerprint)
 			se.svc.cache.Invalidate(func(k qcache.Key) bool {
 				return k.Fingerprint == p.key.Fingerprint && k.Canon == p.key.Canon &&
@@ -375,6 +441,37 @@ func (se *Session) Adapt(sql string, cfg *pmu.Config) (*AdaptiveResult, error) {
 		}
 	}
 	return ar, nil
+}
+
+// StalenessDriftThreshold is the relative row-count drift — per scanned
+// table, |visible − planned| / planned — past which Session.Adapt declares
+// an artifact stale and bumps its PGO generation.
+const StalenessDriftThreshold = 0.3
+
+// staleByDrift reports whether any table an artifact scans has drifted
+// past StalenessDriftThreshold relative to the row count its planner saw.
+func staleByDrift(cq *Compiled, snap *catalog.Snapshot) bool {
+	for _, tb := range cq.tables {
+		v := snap.View(tb.table)
+		if v == nil {
+			continue
+		}
+		rows := int64(v.Rows)
+		if tb.planned == 0 {
+			if rows > 0 {
+				return true
+			}
+			continue
+		}
+		d := rows - tb.planned
+		if d < 0 {
+			d = -d
+		}
+		if float64(d) >= StalenessDriftThreshold*float64(tb.planned) {
+			return true
+		}
+	}
+	return false
 }
 
 // replanChanges re-plans a prepared statement's canon under the current

@@ -110,14 +110,21 @@ const bloomProbeMaxKeys = 64
 
 // buildShardExec computes one scan pipeline's sharded execution plan
 // against the canonical heap (build sides of already-executed pipelines
-// are final there — the semi-join shipping reads them).
-func buildShardExec(cq *Compiled, coord *vm.CPU, info *pipeline.PipelineInfo, params []int64, shards int, pruning bool, morselSize int64) (*shardExec, error) {
+// are final there — the semi-join shipping reads them). Zones and shards
+// come from the run's pinned snapshot view, never the live table, so the
+// verdicts describe exactly the rows this execution sees — concurrent
+// appends land in a tail no zone covers.
+func buildShardExec(cq *Compiled, coord *vm.CPU, info *pipeline.PipelineInfo, snap *catalog.Snapshot, params []int64, shards int, pruning bool, morselSize int64) (*shardExec, error) {
 	scan := findScan(cq.Plan, info.Driver.Alias)
 	if scan == nil {
 		return nil, fmt.Errorf("engine: shard coordinator: no scan %q in plan", info.Driver.Alias)
 	}
-	zones := scan.Table.Zones()
-	shardList := scan.Table.Shards(shards)
+	view := snap.View(scan.Table.Name)
+	if view == nil {
+		return nil, fmt.Errorf("engine: shard coordinator: snapshot has no view of table %q", scan.Table.Name)
+	}
+	zones := view.Zones()
+	shardList := view.Shards(shards)
 
 	// Decide every zone. The verdicts depend on (table, filter, params,
 	// canonical build state) only — never on the shard grouping.

@@ -1,0 +1,150 @@
+package experiments
+
+// Ingest-benchmark regression tests: a golden report at a fixed small
+// scale (the simulated stack is deterministic end to end, so everything
+// but the host-time throughput must be byte-identical after Normalize),
+// plus a strict-schema guard over the committed BENCH_ingest.json. The
+// golden pins the 0%-tax and 100%-warm-hit claims at small scale; the
+// schema test asserts the same gates — and a positive real throughput —
+// on the committed sf-0.2 report.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestIngestGolden: the normalized report at (sf=0.02, seed=7) matches
+// the committed golden byte-for-byte, two runs agree, every tax row is
+// exactly 0% with identical rows and invariant profiles, and the warm
+// phase saw only cache hits.
+func TestIngestGolden(t *testing.T) {
+	run := func() *IngestReport {
+		rep, err := NewEnv(0.02, 7).IngestReportRun()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Normalize()
+		return rep
+	}
+	r1 := run()
+	b1, err := r1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := run()
+	b2, err := r2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("two ingest benchmark runs on the same seed produced different reports")
+	}
+	for _, r := range r1.Tax {
+		if r.TaxPct != 0 {
+			t.Errorf("%s workers=%d shards=%d: %.2f%% ingest tax, want exactly 0",
+				r.Query, r.Workers, r.Shards, r.TaxPct)
+		}
+		if !r.RowsIdentical || !r.ProfileInvariant {
+			t.Errorf("%s workers=%d shards=%d: rows_identical=%v profile_invariant=%v",
+				r.Query, r.Workers, r.Shards, r.RowsIdentical, r.ProfileInvariant)
+		}
+	}
+	if r1.Warm.HitRate < 1.0 {
+		t.Errorf("warm hit rate %.2f under ingest, want 1.0", r1.Warm.HitRate)
+	}
+	if r1.Warm.Evictions != 0 || r1.Warm.Invalidations != 0 {
+		t.Errorf("ingest evicted/invalidated artifacts: %+v", r1.Warm)
+	}
+	if !r1.Pass {
+		t.Error("report-level pass flag is false")
+	}
+	golden, err := os.ReadFile("testdata/ingest_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, golden) {
+		t.Fatalf("ingest report drifted from testdata/ingest_golden.json.\nRegenerate with:\n  go run ./cmd/experiments -exp ingest -sf 0.02 -seed 7 -normalize -out internal/experiments/testdata/ingest_golden.json\ngot:\n%s", b1)
+	}
+}
+
+// TestIngestBenchSchema: the committed BENCH_ingest.json decodes strictly
+// into IngestReport (no unknown fields) and satisfies the acceptance
+// shape: fig9-class tax rows at exactly 0% in serial and sharded-parallel
+// configurations, a warm phase with a 100% hit rate and zero
+// evictions/recompiles, real (positive) append throughput, and all gates
+// passing.
+func TestIngestBenchSchema(t *testing.T) {
+	b, err := os.ReadFile("../../BENCH_ingest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var rep IngestReport
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("BENCH_ingest.json does not match the IngestReport schema: %v", err)
+	}
+
+	if len(rep.Tax) < 4 {
+		t.Fatalf("want >= 4 tax rows (two workloads x serial and parallel), got %d", len(rep.Tax))
+	}
+	qs := map[string]bool{}
+	serial, parallel := false, false
+	for _, r := range rep.Tax {
+		qs[r.Query] = true
+		if r.Workers == 0 {
+			serial = true
+		}
+		if r.Workers > 0 && r.Shards > 0 {
+			parallel = true
+		}
+		if r.TaxPct != 0 {
+			t.Errorf("%s workers=%d shards=%d: %.2f%% ingest tax, want exactly 0",
+				r.Query, r.Workers, r.Shards, r.TaxPct)
+		}
+		if r.BulkCycles != r.IncrementalCycles {
+			t.Errorf("%s workers=%d shards=%d: %d bulk vs %d incremental cycles",
+				r.Query, r.Workers, r.Shards, r.BulkCycles, r.IncrementalCycles)
+		}
+		if !r.RowsIdentical || !r.ProfileInvariant {
+			t.Errorf("%s workers=%d shards=%d: rows_identical=%v profile_invariant=%v",
+				r.Query, r.Workers, r.Shards, r.RowsIdentical, r.ProfileInvariant)
+		}
+	}
+	if len(qs) < 2 || !serial || !parallel {
+		t.Errorf("tax rows must span >= 2 workloads in serial and sharded-parallel form, got %v", qs)
+	}
+
+	w := rep.Warm
+	if w.Statements == 0 || w.Appends == 0 || w.AppendedRows == 0 {
+		t.Fatalf("empty warm phase: %+v", w)
+	}
+	if w.HitRate < 1.0 || uint64(w.Statements) != w.Hits {
+		t.Errorf("warm phase: %d hits over %d statements (rate %.2f), want every warm prepare to hit",
+			w.Hits, w.Statements, w.HitRate)
+	}
+	if w.Evictions != 0 || w.Invalidations != 0 {
+		t.Errorf("warm phase evicted/invalidated artifacts: %+v", w)
+	}
+	if w.FinalEpoch == 0 {
+		t.Error("warm phase never advanced the storage epoch")
+	}
+
+	if rep.Throughput.Rows == 0 || rep.Throughput.AppendRowsPerSec <= 0 {
+		t.Errorf("committed bench must report real append throughput, got %+v", rep.Throughput)
+	}
+
+	if len(rep.Gates) < 4 {
+		t.Fatalf("want >= 4 gates, got %d", len(rep.Gates))
+	}
+	for _, g := range rep.Gates {
+		if !g.Pass {
+			t.Errorf("gate %s failed: %.2f (requires %s)", g.Name, g.Value, g.Required)
+		}
+	}
+	if !rep.Pass {
+		t.Error("report-level pass flag is false")
+	}
+}

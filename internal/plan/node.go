@@ -60,7 +60,12 @@ func (s *Scan) Out() []ColMeta {
 }
 func (s *Scan) Children() []Node { return nil }
 func (s *Scan) EstRows() float64 { return s.Est }
-func (s *Scan) BoundRows() int   { return s.Table.Rows() }
+
+// BoundRows is the table's row *capacity*, not its current row count: the
+// sizes derived from it (hash-table arenas, result buffers, column
+// regions) are baked into compiled artifacts, which must keep serving
+// every epoch the capacity admits while rows append underneath.
+func (s *Scan) BoundRows() int { return s.Table.RowCap() }
 func (s *Scan) Kind() string {
 	if s.Filter != nil {
 		return "tablescan+filter"
