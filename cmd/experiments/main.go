@@ -18,10 +18,12 @@
 //	experiments -exp ce           cardinality-estimation q-error sweep
 //	experiments -exp shard        sharded execution + cross-shard pruning scaling
 //	experiments -exp ingest       streaming ingest under epoch-versioned storage
+//	experiments -exp mview        materialized views: dashboard speedup + zero rewrite tax
 //	experiments -exp loc          Table 3 implementation effort
 //
-// -out FILE additionally writes the ce, shard, or ingest report as JSON
-// (BENCH_ce.json / BENCH_shard.json / BENCH_ingest.json). -normalize
+// -out FILE additionally writes the ce, shard, ingest, or mview report as
+// JSON (BENCH_ce.json / BENCH_shard.json / BENCH_ingest.json /
+// BENCH_mview.json). -normalize
 // zeroes the ingest report's host-time throughput before writing — the
 // form the golden test pins.
 package main
@@ -96,6 +98,19 @@ func main() {
 				if *normalize {
 					rep.Normalize()
 				}
+				b, jerr := rep.JSON()
+				if jerr == nil {
+					jerr = os.WriteFile(*out, b, 0o644)
+				}
+				if jerr != nil {
+					return s, jerr
+				}
+			}
+			return s, err
+		}},
+		{"mview", func() (string, error) {
+			s, rep, err := env.MView()
+			if err == nil && *out != "" {
 				b, jerr := rep.JSON()
 				if jerr == nil {
 					jerr = os.WriteFile(*out, b, 0o644)

@@ -30,6 +30,18 @@
 // for the whole batch — `-ingest rate=500,table=sales,batch=64` appends
 // 64-row batches at ~500 rows/sec while the sessions execute — so cache
 // hit rates and result epochs can be observed under live ingest.
+//
+// Materialized views (DESIGN.md §16) are managed with statements of the
+// form
+//
+//	create [lazy] view name as select ...
+//	refresh view name
+//	drop view name
+//
+// alongside the `\views` meta-command, which lists every registered view
+// with its refresh policy, rewrite hit count, coverage, and staleness.
+// Once a view exists, statements it subsumes are rewritten onto it at
+// prepare time; with -analyze the rewrite is announced above the plan.
 package main
 
 import (
@@ -45,6 +57,7 @@ import (
 
 	"repro/internal/datagen"
 	"repro/internal/engine"
+	"repro/internal/mview"
 	"repro/internal/plan"
 	"repro/internal/ref"
 	"repro/internal/viz"
@@ -129,6 +142,14 @@ func main() {
 			fmt.Println(line)
 			continue
 		}
+		if line, ok, err := viewCmd(svc, sql); ok {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(line)
+			continue
+		}
 		if err := runOne(se, sql, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			os.Exit(1)
@@ -177,6 +198,91 @@ func appendCmd(svc *engine.Service, stmt string) (string, bool, error) {
 		grew = "; capacity grew, compiled artifacts invalidated"
 	}
 	return fmt.Sprintf("epoch %d: appended rows [%d,%d) to %s%s", r.Epoch, r.Lo, r.Hi, table, grew), true, nil
+}
+
+// viewCmd recognizes the view-management statements — `\views`,
+// `create [lazy] view name as select ...`, `refresh view name`, and
+// `drop view name`. Anything else passes through to the SQL path.
+func viewCmd(svc *engine.Service, stmt string) (string, bool, error) {
+	fields := strings.Fields(stmt)
+	if len(fields) == 0 {
+		return "", false, nil
+	}
+	if fields[0] == `\views` {
+		return viewList(svc), true, nil
+	}
+	kw := func(i int) string {
+		if i < len(fields) {
+			return strings.ToLower(fields[i])
+		}
+		return ""
+	}
+	switch {
+	case kw(0) == "create" && (kw(1) == "view" || (kw(1) == "lazy" && kw(2) == "view")):
+		policy, at := mview.RefreshIncremental, 2
+		if kw(1) == "lazy" {
+			policy, at = mview.RefreshLazy, 3
+		}
+		name := ""
+		if at < len(fields) {
+			name = fields[at]
+		}
+		if name == "" || kw(at+1) != "as" || at+2 >= len(fields) {
+			return "", true, fmt.Errorf("usage: create [lazy] view name as select ...")
+		}
+		def := strings.Join(fields[at+2:], " ")
+		v, err := svc.CreateView(name, def, policy)
+		if err != nil {
+			return "", true, err
+		}
+		st := v.States()
+		return fmt.Sprintf("created %s view %s over %s: %d partial rows at build epoch %d",
+			policy, name, v.Def().Table, st[len(st)-1].ViewRows, v.BuildEpoch), true, nil
+	case kw(0) == "drop" && kw(1) == "view":
+		if len(fields) != 3 {
+			return "", true, fmt.Errorf("usage: drop view name")
+		}
+		if err := svc.DropView(fields[2]); err != nil {
+			return "", true, err
+		}
+		return fmt.Sprintf("dropped view %s", fields[2]), true, nil
+	case kw(0) == "refresh" && kw(1) == "view":
+		if len(fields) != 3 {
+			return "", true, fmt.Errorf("usage: refresh view name")
+		}
+		if err := svc.RefreshView(fields[2]); err != nil {
+			return "", true, err
+		}
+		for _, in := range svc.Views().List() {
+			if in.Name == fields[2] {
+				return fmt.Sprintf("refreshed view %s: %d base rows covered, %d partial rows at epoch %d",
+					in.Name, in.Covered, in.ViewRows, in.LastEpoch), true, nil
+			}
+		}
+		return fmt.Sprintf("refreshed view %s", fields[2]), true, nil
+	}
+	return "", false, nil
+}
+
+// viewList renders the `\views` meta-command: one line per registered
+// view with policy, rewrite traffic, coverage, and staleness.
+func viewList(svc *engine.Service) string {
+	infos := svc.Views().List()
+	if len(infos) == 0 {
+		return "no materialized views"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-18s %-10s %-11s %6s %9s %9s %9s %9s  %s\n",
+		"view", "base", "policy", "hits", "rows", "covered", "base", "bytes", "state")
+	for _, in := range infos {
+		state := "fresh"
+		if in.Stale() {
+			state = fmt.Sprintf("stale (+%d rows)", in.BaseRows-in.Covered)
+		}
+		fmt.Fprintf(&sb, "%-18s %-10s %-11s %6d %9d %9d %9d %9d  %s\n",
+			in.Name, in.Base, in.Policy, in.Hits, in.ViewRows, in.Covered, in.BaseRows, in.Bytes, state)
+	}
+	return strings.TrimRight(sb.String(), "\n")
 }
 
 // ingestCfg configures the background writer.
@@ -300,6 +406,10 @@ func runOne(se *engine.Session, sql string, cfg config) error {
 		return err
 	}
 	if cfg.analyze {
+		if p.Rewrite != nil {
+			fmt.Printf("rewritten onto materialized view %s (base %s); the plan below scans the view's partials\n",
+				p.Rewrite.View, p.Rewrite.Base)
+		}
 		fmt.Print(viz.AnalyzedPlan(p.Compiled.Plan, p.Compiled.Pipe, res.TupleCounts, nil))
 		if s := viz.ShardSummary(res); s != "" {
 			fmt.Print(s)
@@ -398,6 +508,14 @@ func serveBatch(svc *engine.Service, stmts []string, n int, cfg config) int {
 			se := sess[si]
 			for j := si; j < len(stmts); j += n {
 				if line, isAppend, err := appendCmd(svc, stmts[j]); isAppend {
+					if err != nil {
+						results[j] = outcome{err: err}
+					} else {
+						results[j] = outcome{line: fmt.Sprintf("s%-2d %s", se.ID, line)}
+					}
+					continue
+				}
+				if line, isView, err := viewCmd(svc, stmts[j]); isView {
 					if err != nil {
 						results[j] = outcome{err: err}
 					} else {

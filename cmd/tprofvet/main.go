@@ -1,7 +1,7 @@
 // Command tprofvet is the static verification driver for the Tailored
 // Profiling toolchain. It has two modes:
 //
-//	tprofvet check [-sf 0.05] [-workers 1,4] [-tv] [-absint] [-mutants] [-json] [-pgo] [-cache] [-merge] [-cost] [-shard] [-epoch] [-q name]
+//	tprofvet check [-sf 0.05] [-workers 1,4] [-tv] [-absint] [-mutants] [-json] [-pgo] [-cache] [-merge] [-cost] [-shard] [-epoch] [-views] [-q name]
 //	tprofvet lint [-json] [root]
 //
 // check compiles the full query corpus with Engine.VerifyArtifacts on,
@@ -32,7 +32,14 @@
 // scripted ingest stream appends to the fact tables between workloads;
 // the catalog's append journal must replay cleanly against the per-epoch
 // snapshots (verify.CheckEpochs) and every warm re-prepare must hit the
-// cold artifact — appends cause zero recompiles and zero evictions.
+// cold artifact — appends cause zero recompiles and zero evictions. With
+// -views it verifies materialized views end to end: a probe family of
+// aggregate statements must rewrite onto registered views and return rows
+// byte-identical to the un-rewritten base execution, across scripted
+// appends and incremental refreshes with zero run-time fallbacks; the
+// refresh ledger must then replay byte-exactly against the base tables
+// (verify.CheckViews), and statements matching no view must carry no
+// rewrite.
 //
 // -tv reports translation-validation coverage: the per-pass validator
 // (internal/verify/tv) must have checked at least one optimizer pass
@@ -68,6 +75,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/datagen"
 	"repro/internal/engine"
+	"repro/internal/mview"
 	"repro/internal/pipeline"
 	"repro/internal/plan"
 	"repro/internal/pmu"
@@ -111,6 +119,7 @@ func runCheck(args []string) int {
 	costPass := fs.Bool("cost", false, "verify the cost layer: model consistency on every plan, true-count lineage on every counted run")
 	shard := fs.Bool("shard", false, "verify sharded execution: journal/skip lineage, row and profile invariance across shard counts")
 	epoch := fs.Bool("epoch", false, "verify epoch-versioned storage: replay the append journal against session snapshots, assert zero recompiles under ingest")
+	views := fs.Bool("views", false, "verify materialized views: subsumption rewrites byte-identical to base execution under ingest, ledger replay via verify.CheckViews")
 	tvFlag := fs.Bool("tv", false, "report translation-validation coverage; fail any compile that validated no optimizer pass")
 	absFlag := fs.Bool("absint", false, "run the abstract interpreter over the emitted code and report proof coverage")
 	mutants := fs.Bool("mutants", false, "run the miscompilation-mutant harness and enforce the 95% catch-rate gate")
@@ -129,7 +138,7 @@ func runCheck(args []string) int {
 	}
 
 	cat := datagen.Generate(datagen.Config{ScaleFactor: *sf, Seed: *seed})
-	if *jsonOut && (*cache || *merge || *costPass || *shard || *epoch) {
+	if *jsonOut && (*cache || *merge || *costPass || *shard || *epoch || *views) {
 		fmt.Fprintln(os.Stderr, "tprofvet: -json supports the default check and -mutants modes only")
 		return 2
 	}
@@ -147,6 +156,9 @@ func runCheck(args []string) int {
 	}
 	if *epoch {
 		return runEpochCheck(cat, *only)
+	}
+	if *views {
+		return runViewCheck(cat, *only)
 	}
 	if *mutants {
 		return runMutantCheck(cat, *only, *jsonOut)
@@ -885,6 +897,179 @@ func runEpochCheck(cat *catalog.Catalog, only string) int {
 	}
 	fmt.Printf("tprofvet check -epoch: %d workloads verified over %d epochs (+%d rows, %d hits, %d misses, 0 recompiles)\n",
 		checked, cat.Epoch(), appended, cs.Hits, cs.Misses)
+	return 0
+}
+
+// runViewCheck verifies materialized views end to end (DESIGN.md §16).
+// It registers one view per fact table, then drives a probe family of
+// aggregate statements through the service: every probe must rewrite onto
+// a view (prepare-time subsumption) and return rows byte-identical to a
+// second, view-free service executing the original text over the same
+// catalog. Between the cold and warm run of each probe a scripted batch
+// is appended to the probe's base table, so the warm prepare exercises
+// the incremental catch-up path — and must still hit the cold artifact
+// (refreshes bump neither the catalog version nor the view generation).
+// Afterwards the refresh ledger must replay byte-exactly against the base
+// tables (verify.CheckViews), the run-time consistency guard must have
+// fallen back zero times, and a statement matching no view must carry no
+// rewrite.
+func runViewCheck(cat *catalog.Catalog, only string) int {
+	type probe struct {
+		name  string
+		table string
+		sql   string
+	}
+	probes := []probe{
+		{"sales-all", "sales",
+			"select id, sum(price) as rev, count(*) as n from sales group by id order by id"},
+		{"sales-range", "sales",
+			"select id, sum(price) as rev from sales where id >= 3 and id <= 40 group by id order by id"},
+		{"sales-between", "sales",
+			"select id, sum(price) as rev from sales where id between 3 and 40 group by id order by id"},
+		{"sales-scalar", "sales",
+			"select sum(price) as rev, count(*) as n from sales"},
+		{"lineitem-flag", "lineitem",
+			"select l_returnflag, sum(l_extendedprice) as rev, min(l_quantity) as qmin from lineitem group by l_returnflag order by l_returnflag"},
+	}
+	if only != "" {
+		var kept []probe
+		for _, p := range probes {
+			if p.name == only {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == 0 {
+			fmt.Fprintf(os.Stderr, "tprofvet: no view probe %q\n", only)
+			return 2
+		}
+		probes = kept
+	}
+
+	opts := engine.DefaultOptions()
+	opts.VerifyArtifacts = true
+	svc := engine.NewService(cat, opts, 0)
+	oracle := engine.NewService(cat, opts, 0) // view-free: always executes base text
+	if _, err := svc.CreateView("rev_by_prod",
+		"select id, sum(price), count(*) from sales group by id", mview.RefreshIncremental); err != nil {
+		fmt.Fprintf(os.Stderr, "tprofvet: create view rev_by_prod: %v\n", err)
+		return 1
+	}
+	if _, err := svc.CreateView("flag_totals",
+		"select l_returnflag, sum(l_extendedprice), count(*), min(l_quantity), max(l_quantity) from lineitem group by l_returnflag",
+		mview.RefreshIncremental); err != nil {
+		fmt.Fprintf(os.Stderr, "tprofvet: create view flag_totals: %v\n", err)
+		return 1
+	}
+	se := svc.NewSession()
+	ose := oracle.NewSession()
+
+	failures, checked := 0, 0
+	fail := func(name, format string, a ...any) {
+		failures++
+		fmt.Printf("FAIL  %-14s %s\n", name, fmt.Sprintf(format, a...))
+	}
+	same := func(a, b *engine.Result) bool {
+		if len(a.Rows) != len(b.Rows) || len(a.Cols) != len(b.Cols) {
+			return false
+		}
+		for i := range a.Cols {
+			if a.Cols[i].Name != b.Cols[i].Name {
+				return false
+			}
+		}
+		for i := range a.Rows {
+			if len(a.Rows[i]) != len(b.Rows[i]) {
+				return false
+			}
+			for j := range a.Rows[i] {
+				if a.Rows[i][j] != b.Rows[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	appended := int64(0)
+	for i, pr := range probes {
+		checked++
+		cold, res, err := se.Execute(pr.sql, nil)
+		if err != nil {
+			fail(pr.name, "cold: %v", err)
+			continue
+		}
+		if cold.Rewrite == nil {
+			fail(pr.name, "did not rewrite onto a view")
+			continue
+		}
+		_, want, err := ose.Execute(pr.sql, nil)
+		if err != nil {
+			fail(pr.name, "oracle: %v", err)
+			continue
+		}
+		if !same(res, want) {
+			fail(pr.name, "cold rewrite rows differ from base execution (%d vs %d rows)",
+				len(res.Rows), len(want.Rows))
+			continue
+		}
+		// Scripted ingest to the probe's base table, then the warm pass:
+		// the incremental view catches up at prepare time, the artifact
+		// stays cached, and the rows stay byte-identical.
+		tb, err := cat.Table(pr.table)
+		if err != nil {
+			fail(pr.name, "ingest table %s: %v", pr.table, err)
+			continue
+		}
+		r, err := svc.AppendCols(pr.table, datagen.AppendBatch(tb, 64, uint64(i+1)))
+		if err != nil {
+			fail(pr.name, "append to %s: %v", pr.table, err)
+			continue
+		}
+		appended += r.Hi - r.Lo
+		warm, res2, err := se.Execute(pr.sql, nil)
+		if err != nil {
+			fail(pr.name, "warm: %v", err)
+			continue
+		}
+		if warm.Rewrite == nil || !warm.CacheHit || warm.Compiled != cold.Compiled {
+			fail(pr.name, "warm re-prepare after append lost the rewritten artifact (hit=%v)", warm.CacheHit)
+			continue
+		}
+		_, want2, err := ose.Execute(pr.sql, nil)
+		if err != nil {
+			fail(pr.name, "oracle warm: %v", err)
+			continue
+		}
+		if !same(res2, want2) {
+			fail(pr.name, "post-append rewrite rows differ from base execution")
+			continue
+		}
+		fmt.Printf("ok    %-14s via %s, +%d rows to %s, warm hit on cold artifact\n",
+			pr.name, cold.Rewrite.View, r.Hi-r.Lo, pr.table)
+	}
+
+	// A statement over a table with no registered view must pass through
+	// untouched — the rewriter's zero-tax contract.
+	if p, _, err := se.Execute("select count(*) as n from orders where o_totalprice >= 1000", nil); err != nil {
+		fail("no-match", "%v", err)
+	} else if p.Rewrite != nil {
+		fail("no-match", "statement with no matching view was rewritten onto %s", p.Rewrite.View)
+	}
+	if fb := svc.Views().Fallbacks(); fb != 0 {
+		fail("guard", "run-time consistency guard fell back %d time(s)", fb)
+	}
+	if ds := verify.CheckViews(cat, svc.Views()); len(ds) > 0 {
+		fail("ledger", "%d view-replay diagnostic(s)", len(ds))
+		for _, d := range ds {
+			fmt.Printf("      %s\n", d.String())
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("tprofvet check -views: %d of %d probes FAILED\n", failures, checked)
+		return 1
+	}
+	fmt.Printf("tprofvet check -views: %d probes verified over %d views (+%d rows ingested, 0 fallbacks, ledger replay clean)\n",
+		checked, svc.Views().Len(), appended)
 	return 0
 }
 

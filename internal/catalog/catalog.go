@@ -306,6 +306,21 @@ func (c *Catalog) Add(t *Table) {
 	t.reserveTail()
 }
 
+// Remove drops a table from the catalog and bumps the version. The
+// registration base and any journal entries for the name are retained:
+// the epoch journal is append-only lineage, and replay-based checkers
+// skip tables the catalog no longer holds. Removing an unknown name is
+// a no-op (no version bump).
+func (c *Catalog) Remove(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; !ok {
+		return
+	}
+	delete(c.tables, name)
+	c.version++
+}
+
 // Version identifies the catalog's current schema state. It changes on
 // every Add, on explicit Bump calls, and when an append outgrows a table's
 // row capacity; cached compilation artifacts are only valid for the

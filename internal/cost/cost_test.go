@@ -5,6 +5,7 @@ package cost
 // cycle model, the knob decisions, and the model checker.
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"testing"
@@ -266,5 +267,55 @@ func TestEstimatorStatsSources(t *testing.T) {
 	h.Observe("scan(lineitem)", 2957)
 	if r, ok := hc.Rows("scan(lineitem)", 10); !ok || r != 2957 {
 		t.Errorf("history Rows = %v,%v want 2957,true", r, ok)
+	}
+}
+
+// TestHistoryCapacityCap: under a churning workload with 10k distinct
+// fingerprints the history must stay at its capacity bound, evicting
+// least-recently-touched entries while keeping hot ones resident.
+func TestHistoryCapacityCap(t *testing.T) {
+	h := NewHistoryCap(64)
+	// A hot expression observed throughout must survive the churn.
+	hot := "hot-expression"
+	h.Observe(hot, 100)
+	for i := 0; i < 10000; i++ {
+		h.Observe(fmt.Sprintf("churn-expression-%d", i), int64(i+1))
+		if i%50 == 0 {
+			h.Observe(hot, 100) // keep it recent
+		}
+	}
+	if got := h.Len(); got > h.Cap() {
+		t.Fatalf("history grew to %d entries, cap is %d", got, h.Cap())
+	}
+	if got := h.Len(); got != 64 {
+		t.Fatalf("history holds %d entries, want full cap 64", got)
+	}
+	if _, ok := h.Lookup(hot); !ok {
+		t.Fatalf("hot entry evicted despite constant touches")
+	}
+	if n := h.Touches(hot); n < 100 {
+		t.Fatalf("hot touches = %d, want >= 100", n)
+	}
+	// The earliest churn entries must be gone; the latest resident.
+	if _, ok := h.Lookup("churn-expression-0"); ok {
+		t.Fatalf("oldest churn entry still resident past the cap")
+	}
+	if _, ok := h.Lookup("churn-expression-9999"); !ok {
+		t.Fatalf("newest churn entry missing")
+	}
+}
+
+// TestHistoryDefaultCap: the default constructor applies the documented
+// bound so no service-owned history can grow without limit.
+func TestHistoryDefaultCap(t *testing.T) {
+	h := NewHistory()
+	if h.Cap() != DefaultHistoryCap {
+		t.Fatalf("default cap = %d, want %d", h.Cap(), DefaultHistoryCap)
+	}
+	for i := 0; i < DefaultHistoryCap+512; i++ {
+		h.Observe(fmt.Sprintf("e%d", i), 10)
+	}
+	if h.Len() != DefaultHistoryCap {
+		t.Fatalf("len = %d, want %d", h.Len(), DefaultHistoryCap)
 	}
 }

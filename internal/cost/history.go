@@ -9,6 +9,7 @@
 package cost
 
 import (
+	"container/list"
 	"sync"
 
 	"repro/internal/sqlparse"
@@ -24,23 +25,50 @@ const materialDelta = 0.2
 // from partial runs.
 const ewmaAlpha = 0.5
 
+// DefaultHistoryCap bounds the history under churning workloads: a
+// service that sees millions of distinct plan expressions (e.g. ad-hoc
+// dashboards) keeps only the most recently touched ones. 4096 entries is
+// ~100KB and far above any steady-state working set in the suite.
+const DefaultHistoryCap = 4096
+
+// histEntry is one LRU-tracked observation.
+type histEntry struct {
+	fp      uint64
+	rows    float64
+	touches uint64 // Observe count — the admission heat signal
+}
+
 // History is the observed-cardinality cache: canonical plan-expression
 // fingerprint (plan.Canon hashed with sqlparse.Hash64) → exponentially
-// smoothed true output rows. It is shared by every session of a service
-// and is safe for concurrent Observe/Lookup.
+// smoothed true output rows, capacity-capped with LRU eviction (both
+// Observe and Lookup refresh recency). It is shared by every session of
+// a service and is safe for concurrent Observe/Lookup.
 type History struct {
-	mu      sync.RWMutex
-	m       map[uint64]float64
+	mu      sync.Mutex
+	m       map[uint64]*list.Element // fp → element holding *histEntry
+	lru     *list.List               // front = most recently touched
+	cap     int
 	version uint64
 }
 
-// NewHistory returns an empty history cache.
-func NewHistory() *History { return &History{m: map[uint64]float64{}} }
+// NewHistory returns an empty history cache with DefaultHistoryCap.
+func NewHistory() *History { return NewHistoryCap(DefaultHistoryCap) }
+
+// NewHistoryCap returns an empty history cache holding at most capacity
+// entries (minimum 1).
+func NewHistoryCap(capacity int) *History {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &History{m: map[uint64]*list.Element{}, lru: list.New(), cap: capacity}
+}
 
 // Observe folds one true row count for a plan expression into the
 // history and reports whether the entry changed materially (a new
 // expression, or a shift beyond materialDelta) — the caller's cue to
 // invalidate cached plans that were built against the old estimate.
+// Evictions do not bump the version: losing an entry reverts estimates
+// to the planner's defaults, and the drift detector re-learns it.
 func (h *History) Observe(canon string, rows int64) bool {
 	if rows < 1 {
 		rows = 1
@@ -48,45 +76,73 @@ func (h *History) Observe(canon string, rows int64) bool {
 	fp := sqlparse.Hash64(canon)
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	old, ok := h.m[fp]
-	if !ok {
-		h.m[fp] = float64(rows)
-		h.version++
-		return true
+	if el, ok := h.m[fp]; ok {
+		e := el.Value.(*histEntry)
+		h.lru.MoveToFront(el)
+		e.touches++
+		old := e.rows
+		e.rows = old*(1-ewmaAlpha) + float64(rows)*ewmaAlpha
+		rel := (e.rows - old) / old
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > materialDelta {
+			h.version++
+			return true
+		}
+		return false
 	}
-	next := old*(1-ewmaAlpha) + float64(rows)*ewmaAlpha
-	h.m[fp] = next
-	rel := (next - old) / old
-	if rel < 0 {
-		rel = -rel
+	h.m[fp] = h.lru.PushFront(&histEntry{fp: fp, rows: float64(rows), touches: 1})
+	for len(h.m) > h.cap {
+		back := h.lru.Back()
+		h.lru.Remove(back)
+		delete(h.m, back.Value.(*histEntry).fp)
 	}
-	if rel > materialDelta {
-		h.version++
-		return true
-	}
-	return false
+	h.version++
+	return true
 }
 
-// Lookup returns the smoothed observed rows for a plan expression.
+// Lookup returns the smoothed observed rows for a plan expression and
+// refreshes its recency.
 func (h *History) Lookup(canon string) (float64, bool) {
 	fp := sqlparse.Hash64(canon)
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	r, ok := h.m[fp]
-	return r, ok
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	el, ok := h.m[fp]
+	if !ok {
+		return 0, false
+	}
+	h.lru.MoveToFront(el)
+	return el.Value.(*histEntry).rows, true
+}
+
+// Touches returns how many times a plan expression has been observed —
+// the heat signal the materialized-view admission policy reads.
+func (h *History) Touches(canon string) uint64 {
+	fp := sqlparse.Hash64(canon)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	el, ok := h.m[fp]
+	if !ok {
+		return 0
+	}
+	return el.Value.(*histEntry).touches
 }
 
 // Len returns the number of remembered plan expressions.
 func (h *History) Len() int {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return len(h.m)
 }
+
+// Cap returns the capacity bound.
+func (h *History) Cap() int { return h.cap }
 
 // Version counts material changes; it bumps only when an Observe
 // materially moved an entry, so pollers can cheaply detect staleness.
 func (h *History) Version() uint64 {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.version
 }

@@ -1,0 +1,388 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/mview"
+	"repro/internal/xrand"
+)
+
+// mviewCatalog builds the rewrite-soundness fixture: m(a, b, v) with a
+// in [0,8), b in [0,16), v in [-100,100] — 128 possible (a,b) groups
+// under `rows` base rows, so a view keyed by (a,b) is far smaller than
+// its base and passes the cost gate.
+func mviewCatalog(r *xrand.Rand, rows int) *catalog.Catalog {
+	c := catalog.New()
+	tb := catalog.NewTable("m")
+	a := tb.AddCol("a", catalog.TInt)
+	b := tb.AddCol("b", catalog.TInt)
+	v := tb.AddCol("v", catalog.TInt)
+	for i := 0; i < rows; i++ {
+		a.Data = append(a.Data, r.Int64Range(0, 8))
+		b.Data = append(b.Data, r.Int64Range(0, 16))
+		v.Data = append(v.Data, r.Int64Range(-100, 101))
+	}
+	c.Add(tb)
+	return c
+}
+
+// randMViewQuery draws one summarizable aggregate statement over m:
+// a random group-key subset (possibly scalar), random interval or
+// equality predicates on the key columns, a random non-empty aggregate
+// subset, ORDER BY covering all keys, and an occasional LIMIT.
+func randMViewQuery(r *xrand.Rand) string {
+	keySets := [][]string{{}, {"a"}, {"b"}, {"a", "b"}, {"b", "a"}}
+	keys := keySets[r.Intn(len(keySets))]
+	aggPool := []string{"sum(v) as s", "count(*) as n", "min(v) as mn", "max(v) as mx"}
+	perm := r.Perm(len(aggPool))
+	naggs := 1 + r.Intn(len(aggPool))
+
+	var sel []string
+	sel = append(sel, keys...)
+	for _, i := range perm[:naggs] {
+		sel = append(sel, aggPool[i])
+	}
+	var b strings.Builder
+	b.WriteString("select ")
+	b.WriteString(strings.Join(sel, ", "))
+	b.WriteString(" from m")
+
+	var preds []string
+	for _, pc := range []struct {
+		col string
+		max int64
+	}{{"a", 8}, {"b", 16}} {
+		switch r.Intn(3) {
+		case 0: // no predicate on this column
+		case 1: // equality, sometimes outside the domain (empty result)
+			preds = append(preds, fmt.Sprintf("%s = %d", pc.col, r.Int64Range(0, pc.max+2)))
+		case 2: // range, spelled as a pair or as BETWEEN
+			lo := r.Int64Range(0, pc.max)
+			hi := r.Int64Range(lo, pc.max+1)
+			if r.Bool(0.5) {
+				preds = append(preds, fmt.Sprintf("%s between %d and %d", pc.col, lo, hi))
+			} else {
+				preds = append(preds, fmt.Sprintf("%s >= %d and %s <= %d", pc.col, lo, pc.col, hi))
+			}
+		}
+	}
+	if len(preds) > 0 {
+		b.WriteString(" where ")
+		b.WriteString(strings.Join(preds, " and "))
+	}
+	if len(keys) > 0 {
+		b.WriteString(" group by ")
+		b.WriteString(strings.Join(keys, ", "))
+		b.WriteString(" order by ")
+		b.WriteString(strings.Join(keys, ", "))
+		if r.Bool(0.2) {
+			fmt.Fprintf(&b, " limit %d", 1+r.Intn(5))
+		}
+	}
+	return b.String()
+}
+
+// runBothWays executes one statement through the rewriter and directly
+// against the base table, under the same session (and thus the same
+// pinned snapshot when one is set), and demands byte-identical rows and
+// column headers.
+func runBothWays(t *testing.T, se *Session, sql string) (rewritten bool) {
+	t.Helper()
+	pv, err := se.Prepare(sql)
+	if err != nil {
+		t.Fatalf("prepare %q: %v", sql, err)
+	}
+	rv, err := se.Run(pv, nil)
+	if err != nil {
+		t.Fatalf("run (view path) %q: %v", sql, err)
+	}
+	pb, err := se.svc.prepareOpt(sql, false)
+	if err != nil {
+		t.Fatalf("prepare (base path) %q: %v", sql, err)
+	}
+	rb, err := se.Run(pb, nil)
+	if err != nil {
+		t.Fatalf("run (base path) %q: %v", sql, err)
+	}
+	if !reflect.DeepEqual(rv.Rows, rb.Rows) {
+		t.Fatalf("rows diverge for %q (rewritten=%v):\nview: %v\nbase: %v",
+			sql, pv.Rewrite != nil, rv.Rows, rb.Rows)
+	}
+	if len(rv.Cols) != len(rb.Cols) {
+		t.Fatalf("column count diverges for %q", sql)
+	}
+	for i := range rv.Cols {
+		if rv.Cols[i].Name != rb.Cols[i].Name {
+			t.Fatalf("column %d header diverges for %q: %q vs %q",
+				i, sql, rv.Cols[i].Name, rb.Cols[i].Name)
+		}
+	}
+	return pv.Rewrite != nil
+}
+
+// TestMViewRewriteSoundnessProperty is the acceptance property: random
+// predicates and group-key subsets, across worker counts {0,1,4} and
+// shard counts {1,4}, must produce byte-identical rows through the view
+// and against the base table — including after a streaming append plus
+// incremental refresh, with zero stale reads.
+func TestMViewRewriteSoundnessProperty(t *testing.T) {
+	r := xrand.New(0x5eed_317)
+	cat := mviewCatalog(r, 6000)
+	svc := NewService(cat, Options{}, 0)
+	if _, err := svc.CreateView("mv", "select a, b, sum(v), min(v), max(v) from m group by a, b", mview.RefreshIncremental); err != nil {
+		t.Fatal(err)
+	}
+
+	rewrites := 0
+	queries := 0
+	run := func(iters int) {
+		for _, workers := range []int{0, 1, 4} {
+			for _, shards := range []int{1, 4} {
+				se := svc.NewSession()
+				se.SetWorkers(workers)
+				se.SetShards(shards)
+				for i := 0; i < iters; i++ {
+					sql := randMViewQuery(r)
+					queries++
+					if runBothWays(t, se, sql) {
+						rewrites++
+					}
+				}
+			}
+		}
+	}
+	run(8)
+
+	// Streaming append: the view goes stale; incremental policy catches
+	// it up inside the next rewrite, append-only. Old and new snapshots
+	// both keep exact coverage.
+	var delta [][]int64
+	for i := 0; i < 500; i++ {
+		delta = append(delta, []int64{r.Int64Range(0, 8), r.Int64Range(0, 16), r.Int64Range(-100, 101)})
+	}
+	if _, err := svc.Append("m", delta); err != nil {
+		t.Fatal(err)
+	}
+	run(8)
+
+	if rewrites == 0 {
+		t.Fatal("property ran without a single rewrite — the harness is vacuous")
+	}
+	if got := svc.Views().Fallbacks(); got != 0 {
+		t.Fatalf("%d consistency fallbacks in a refresh-on-rewrite run; want 0", got)
+	}
+	t.Logf("property: %d/%d statements served by the view", rewrites, queries)
+}
+
+// TestMViewPinnedSnapshotsNeverReadStale drives the zero-stale-read
+// guard through both outcomes: a snapshot pinned before an append keeps
+// serving the view (its exact coverage pair stays in the ledger), and a
+// snapshot pinned mid-append — base grown, view not yet refreshed —
+// must transparently fall back to base execution under that very
+// snapshot, never reading half-covered partials.
+func TestMViewPinnedSnapshotsNeverReadStale(t *testing.T) {
+	r := xrand.New(0xbad5eed)
+	cat := mviewCatalog(r, 6000)
+	svc := NewService(cat, Options{}, 0)
+	// Lazy policy: rewrites serve only ledger-consistent snapshots and
+	// never refresh on their own.
+	if _, err := svc.CreateView("mv", "select a, sum(v), min(v), max(v) from m group by a", mview.RefreshLazy); err != nil {
+		t.Fatal(err)
+	}
+	q := "select a, sum(v) as s, min(v) as mn from m group by a order by a"
+
+	se := svc.NewSession()
+	se.PinSnapshot()
+	if !runBothWays(t, se, q) {
+		t.Fatal("fresh lazy view must serve the pinned snapshot")
+	}
+	// Prepared while fresh: this artifact carries the rewrite and may be
+	// run against any snapshot later — that is where the guard earns it.
+	pv, err := se.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv.Rewrite == nil {
+		t.Fatal("fresh lazy view must rewrite at prepare time")
+	}
+
+	// Append under the pin: the pinned snapshot still pairs exactly, so
+	// the pre-append artifact keeps serving the view with no fallback.
+	if _, err := svc.Append("m", [][]int64{{1, 2, 3}, {4, 5, 6}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.Run(pv, nil); err != nil {
+		t.Fatal(err)
+	}
+	if se.Stats().RewriteFallbacks != 0 {
+		t.Fatal("no fallback expected for the pre-append snapshot")
+	}
+	// New prepares now see a stale lazy view and stop rewriting — lazy
+	// invalidation at the prepare boundary.
+	pStale, err := se.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pStale.Rewrite != nil {
+		t.Fatal("stale lazy view must stop matching new prepares")
+	}
+
+	// A session pinned mid-append sees (grown base, old view): no ledger
+	// pair. Running the pre-append rewritten artifact there must fall
+	// back, and its rows must equal base execution under that snapshot.
+	se2 := svc.NewSession()
+	se2.PinSnapshot() // mid-append: grown base, unrefreshed view
+	res, err := se2.Run(pv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se2.Stats().RewriteFallbacks != 1 {
+		t.Fatalf("mid-append snapshot must fall back, stats: %+v", se2.Stats())
+	}
+	pb, err := svc.prepareOpt(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := se2.Run(pb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Rows, rb.Rows) {
+		t.Fatalf("fallback rows diverge from base execution:\n%v\n%v", res.Rows, rb.Rows)
+	}
+	if svc.Views().Fallbacks() == 0 {
+		t.Fatal("manager must count the consistency fallback")
+	}
+
+	// Catch the view up; the current snapshot pairs again.
+	if err := svc.RefreshView("mv"); err != nil {
+		t.Fatal(err)
+	}
+	se3 := svc.NewSession()
+	se3.PinSnapshot()
+	if !runBothWays(t, se3, q) {
+		t.Fatal("refreshed view must serve the post-refresh snapshot")
+	}
+	if se3.Stats().RewriteFallbacks != 0 {
+		t.Fatal("post-refresh snapshot must not fall back")
+	}
+}
+
+// TestMViewQCacheKeyContract pins the cache-key contract on the view
+// axis: (1) all textual variants of a query family collapse onto ONE
+// rewritten artifact; (2) an in-capacity append plus incremental
+// refresh keeps that artifact warm (no recompile); (3) CreateView and
+// DropView change the key and force a re-decision.
+func TestMViewQCacheKeyContract(t *testing.T) {
+	r := xrand.New(0xcafe)
+	cat := mviewCatalog(r, 6000)
+	svc := NewService(cat, Options{}, 0)
+	if _, err := svc.CreateView("mv", "select a, sum(v) from m group by a", mview.RefreshIncremental); err != nil {
+		t.Fatal(err)
+	}
+	se := svc.NewSession()
+
+	// (1) One artifact for the whole family: different constants, same
+	// rewritten canon.
+	family := func(lo int64) string {
+		return fmt.Sprintf("select a, sum(v) as s from m where a >= %d and a <= %d group by a order by a", lo, lo+3)
+	}
+	p0, err := se.Prepare(family(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0.Rewrite == nil {
+		t.Fatal("family must rewrite")
+	}
+	for lo := int64(1); lo < 5; lo++ {
+		p, err := se.Prepare(family(lo))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Rewrite == nil || !p.CacheHit {
+			t.Fatalf("family member lo=%d: rewrite=%v hit=%v — want one warm artifact", lo, p.Rewrite != nil, p.CacheHit)
+		}
+		if p.Canon != p0.Canon {
+			t.Fatalf("family canons diverge:\n%s\n%s", p.Canon, p0.Canon)
+		}
+	}
+
+	// (2) In-capacity append + incremental refresh: same catalog version,
+	// same view generation → warm hit, zero recompiles.
+	ver := svc.Catalog().Version()
+	if _, err := svc.Append("m", [][]int64{{2, 3, 50}}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := se.Prepare(family(0)) // triggers the incremental refresh, then hits
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Catalog().Version() != ver {
+		t.Fatal("in-capacity base append + view refresh must not bump the catalog version")
+	}
+	if p.Rewrite == nil || !p.CacheHit {
+		t.Fatalf("append within capacity must keep the rewritten artifact warm: rewrite=%v hit=%v", p.Rewrite != nil, p.CacheHit)
+	}
+	if _, err := se.Run(p, nil); err != nil {
+		t.Fatal(err)
+	}
+	if se.Stats().RewriteFallbacks != 0 {
+		t.Fatal("refresh-on-rewrite must leave no stale pair for an unpinned run")
+	}
+
+	// (3) Dropping the view orphans the rewrite: the next prepare of the
+	// same text recompiles against the base table.
+	if err := svc.DropView("mv"); err != nil {
+		t.Fatal(err)
+	}
+	p, err = se.Prepare(family(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rewrite != nil {
+		t.Fatal("dropped view must not serve")
+	}
+	if p.CacheHit {
+		t.Fatal("view generation changed; the cached rewritten artifact must not be served")
+	}
+}
+
+// TestMViewAutoAdmissionThroughService drives heat-based admission end
+// to end: a hot summarizable family crosses the threshold, a
+// generalizing view appears, and the family starts rewriting.
+func TestMViewAutoAdmissionThroughService(t *testing.T) {
+	r := xrand.New(0x60a1)
+	cat := mviewCatalog(r, 6000)
+	svc := NewService(cat, Options{}, 0)
+	svc.Views().SetAutoAdmit(4, 1)
+	se := svc.NewSession()
+	family := func(lo int64) string {
+		return fmt.Sprintf("select b, sum(v) as s from m where b >= %d and b <= %d group by b order by b", lo, lo+5)
+	}
+	sawRewrite := false
+	for i := int64(0); i < 10; i++ {
+		p, err := se.Prepare(family(i % 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := se.Run(p, nil); err != nil {
+			t.Fatal(err)
+		}
+		if p.Rewrite != nil {
+			sawRewrite = true
+		}
+	}
+	if svc.Views().Len() != 1 {
+		t.Fatalf("auto admission created %d views, want 1", svc.Views().Len())
+	}
+	if !sawRewrite {
+		t.Fatal("the hot family never rewrote after admission")
+	}
+	if se.Stats().Rewrites == 0 {
+		t.Fatal("session stats must count the rewrites")
+	}
+}

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/cost"
+	"repro/internal/mview"
 	"repro/internal/pgo"
 	"repro/internal/plan"
 	"repro/internal/pmu"
@@ -51,6 +52,7 @@ type Service struct {
 	cache     *qcache.Cache[*Compiled]
 	gens      *pgo.Generations
 	history   *cost.History
+	views     *mview.Manager
 	nextID    atomic.Int64
 	fallbacks atomic.Uint64
 }
@@ -61,15 +63,37 @@ func NewService(cat *catalog.Catalog, opts Options, cacheEntries int) *Service {
 	if cacheEntries <= 0 {
 		cacheEntries = DefaultCacheEntries
 	}
-	return &Service{
+	s := &Service{
 		cat:       cat,
 		opts:      opts,
 		optDigest: opts.Digest(),
 		cache:     qcache.New[*Compiled](cacheEntries),
 		gens:      pgo.NewGenerations(),
 		history:   cost.NewHistory(),
+		views:     mview.NewManager(cat),
 	}
+	// The view rewriter's cost gate prices candidate plans with the same
+	// cycle model the compiler's knob decisions use.
+	s.views.SetCostModel(func(pl *plan.Output) float64 { return cost.Annotate(pl).TotalCycles })
+	return s
 }
+
+// Views exposes the service's materialized-view manager.
+func (s *Service) Views() *mview.Manager { return s.views }
+
+// CreateView registers and builds a materialized view; every session's
+// subsequent prepares consider it for subsumption rewriting. The view
+// generation in the cache key changes, so previously cached artifacts
+// (compiled under the old rewrite decision space) are re-decided.
+func (s *Service) CreateView(name, defSQL string, policy mview.RefreshPolicy) (*mview.View, error) {
+	return s.views.Create(name, defSQL, policy)
+}
+
+// DropView unregisters a view and removes its backing table.
+func (s *Service) DropView(name string) error { return s.views.Drop(name) }
+
+// RefreshView catches a view up to the base table's current prefix.
+func (s *Service) RefreshView(name string) error { return s.views.Refresh(name) }
 
 func (s *Service) compiler() *Compiler { return &Compiler{Cat: s.cat, Opts: s.opts} }
 
@@ -128,6 +152,12 @@ type SessionStats struct {
 	Queries   int
 	CacheHits int
 	Fallbacks int
+	// Rewrites counts prepares served by a materialized-view rewrite;
+	// RewriteFallbacks counts runs of rewritten statements that fell
+	// back to base-table execution because the bound snapshot had no
+	// consistent view prefix (the zero-stale-read guard).
+	Rewrites         int
+	RewriteFallbacks int
 	// Prepare is wall time spent in Prepare (cache lookups, compiles,
 	// argument encoding); Execute is wall time spent running artifacts.
 	Prepare time.Duration
@@ -207,13 +237,25 @@ type Prepared struct {
 	CacheHit bool
 	// Fallback reports a direct, uncached compile of the original text.
 	Fallback bool
-	// Canon and Fingerprint identify the normalized statement.
+	// Canon and Fingerprint identify the normalized statement — the
+	// *rewritten* one when Rewrite is set.
 	Canon       string
 	Fingerprint uint64
+	// Rewrite records a materialized-view rewrite applied at prepare
+	// time; nil when the statement runs against its base tables.
+	Rewrite *RewriteInfo
 	// PrepareTime is the wall time Prepare took for this statement.
 	PrepareTime time.Duration
 
 	key qcache.Key
+}
+
+// RewriteInfo describes a subsumption rewrite riding on a Prepared.
+type RewriteInfo struct {
+	View string // serving view
+	Base string // base table the original statement scanned
+	SQL  string // rewritten statement text (what was compiled)
+	Orig string // original statement text (the run-time fallback path)
 }
 
 // Prepare normalizes, caches/compiles and binds one statement.
@@ -229,14 +271,50 @@ func (se *Session) Prepare(sql string) (*Prepared, error) {
 	if p.Fallback {
 		se.stats.Fallbacks++
 	}
+	if p.Rewrite != nil {
+		se.stats.Rewrites++
+	}
 	se.stats.Prepare += p.PrepareTime
 	return p, nil
 }
 
 // Run executes a prepared statement under this session's run options,
 // bound to the session's pinned snapshot when one is set.
+//
+// Rewritten statements carry the zero-stale-read guard: the bound
+// snapshot's (base rows, view rows) pair must appear in the view's
+// refresh ledger — exact prefix agreement on both sides — or the run
+// transparently falls back to the original statement under the very
+// same snapshot. A refreshed view can therefore never serve rows a
+// snapshot should not see, and a snapshot taken mid-append can never
+// read half-covered partials.
 func (se *Session) Run(p *Prepared, cfg *pmu.Config) (*Result, error) {
 	t0 := time.Now()
+	if p.Rewrite != nil {
+		// Rewritten artifacts always bind an explicit snapshot: the one
+		// the consistency guard approved (pinned, or captured here).
+		snap := se.snap
+		if snap == nil {
+			snap = se.svc.Snapshot()
+		}
+		run := p
+		if !se.svc.views.ConsistentUnder(snap, p.Rewrite.View) {
+			se.svc.views.NoteFallback()
+			se.stats.RewriteFallbacks++
+			base, err := se.svc.prepareOpt(p.Rewrite.Orig, false)
+			if err != nil {
+				return nil, err
+			}
+			run = base
+		}
+		bound := RunState{Snap: snap}
+		if run.State != nil {
+			bound.Params = run.State.Params
+		}
+		res, err := se.exec.Run(run.Compiled, &bound, cfg)
+		se.stats.Execute += time.Since(t0)
+		return res, err
+	}
 	rs := p.State
 	if se.snap != nil {
 		bound := RunState{Snap: se.snap}
@@ -260,13 +338,36 @@ func (se *Session) Execute(sql string, cfg *pmu.Config) (*Prepared, *Result, err
 	return p, res, err
 }
 
-// prepare is the service-side statement path: normalize → cache lookup
-// (single-flight compile on miss) → argument encoding.
+// prepare is the service-side statement path: normalize → subsumption
+// rewrite → cache lookup (single-flight compile on miss) → argument
+// encoding.
 func (s *Service) prepare(sql string) (*Prepared, error) {
+	return s.prepareOpt(sql, true)
+}
+
+// prepareOpt is prepare with the rewrite hook gated: the run-time
+// consistency fallback re-prepares the *original* text with the
+// rewriter off, so a stale view can never bounce a statement back to
+// itself.
+func (s *Service) prepareOpt(sql string, allowRewrite bool) (*Prepared, error) {
 	t0 := time.Now()
 	fp, err := sqlparse.Normalize(sql)
 	if err != nil {
 		return nil, err
+	}
+	// Subsumption rewrite (internal/mview): with no views registered
+	// this is one atomic load. On a match the rewritten text replaces
+	// the statement and flows through the same normalize → cache →
+	// compile path, so every textual variant of a query family lands on
+	// ONE rewritten canonical form and ONE cached artifact.
+	var rw *mview.Rewrite
+	if allowRewrite {
+		if r, ok := s.views.Rewrite(fp); ok {
+			if rfp, rerr := sqlparse.Normalize(r.SQL); rerr == nil {
+				rw = r
+				fp = rfp
+			}
+		}
 	}
 	key := qcache.Key{
 		Fingerprint: fp.Hash,
@@ -274,6 +375,7 @@ func (s *Service) prepare(sql string) (*Prepared, error) {
 		Options:     s.optDigest,
 		Catalog:     s.cat.Version(),
 		Generation:  s.gens.Current(fp.Hash),
+		View:        s.views.Generation(),
 	}
 	comp := s.compiler()
 	cq, hit, err := s.cache.GetOrCompute(key, func() (*Compiled, error) {
@@ -328,6 +430,16 @@ func (s *Service) prepare(sql string) (*Prepared, error) {
 		return &Prepared{Compiled: direct, Fallback: true, PrepareTime: time.Since(t0)}, nil
 	}
 	p := &Prepared{Compiled: cq, CacheHit: hit, Canon: fp.Canon, Fingerprint: fp.Hash, key: key}
+	if rw != nil {
+		p.Rewrite = &RewriteInfo{View: rw.View, Base: rw.Base, SQL: rw.SQL, Orig: sql}
+	} else if allowRewrite && s.views.AutoEnabled() {
+		// Heat-based admission: a summarizable statement that missed the
+		// rewriter accumulates heat — its own miss count plus the
+		// cardinality history's touch count for its plan (the profile
+		// signal Adapt feeds). Crossing the threshold admits a
+		// generalizing view automatically.
+		s.views.NoteHeat(fp, s.history.Touches(plan.Canon(cq.Plan)))
+	}
 	if len(cq.Plan.Params) > 0 || len(fp.Args) > 0 {
 		vals, err := EncodeParams(cq.Plan.Params, fp.Args)
 		if err != nil {

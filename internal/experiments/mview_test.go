@@ -1,0 +1,140 @@
+package experiments
+
+// Materialized-view benchmark regression tests: a golden report at a
+// fixed scale (the simulated stack is deterministic end to end, so the
+// whole report must be byte-identical run to run), plus a strict-schema
+// guard over the committed BENCH_mview.json. The golden pins the
+// >= 10x dashboard speedup and the exactly-0% no-match tax; the schema
+// test asserts the same gates on the committed sf-0.2 report.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestMViewGolden: the report at (sf=0.2, seed=7) matches the committed
+// golden byte-for-byte, two runs agree, every dashboard statement was
+// rewritten onto one shared artifact with byte-identical rows, and the
+// no-match phase paid exactly zero cycles of rewrite tax.
+func TestMViewGolden(t *testing.T) {
+	run := func() *MViewReport {
+		rep, err := NewEnv(0.2, 7).MViewReportRun()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	r1 := run()
+	b1, err := r1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := run()
+	b2, err := r2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("two mview benchmark runs on the same seed produced different reports")
+	}
+	d := r1.Dashboard
+	if d.Rewritten != d.Statements {
+		t.Errorf("%d of %d dashboard statements rewritten, want all", d.Rewritten, d.Statements)
+	}
+	if !d.RowsIdentical {
+		t.Error("view-served rows differ from base execution")
+	}
+	if d.Artifacts != 1 {
+		t.Errorf("dashboard family compiled %d artifacts, want 1", d.Artifacts)
+	}
+	if d.Fallbacks != 0 {
+		t.Errorf("run-time consistency guard fell back %d time(s)", d.Fallbacks)
+	}
+	if d.Speedup < 10 {
+		t.Errorf("dashboard speedup %.2fx, want >= 10x", d.Speedup)
+	}
+	if r1.Tax.WithViewCycles != r1.Tax.BaseCycles || r1.Tax.TaxPct != 0 {
+		t.Errorf("no-match tax: %d vs %d cycles (%.2f%%), want exactly equal",
+			r1.Tax.WithViewCycles, r1.Tax.BaseCycles, r1.Tax.TaxPct)
+	}
+	if !r1.Pass {
+		t.Error("report-level pass flag is false")
+	}
+	golden, err := os.ReadFile("testdata/mview_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, golden) {
+		t.Fatalf("mview report drifted from testdata/mview_golden.json.\nRegenerate with:\n  go run ./cmd/experiments -exp mview -sf 0.2 -seed 7 -out internal/experiments/testdata/mview_golden.json\ngot:\n%s", b1)
+	}
+}
+
+// TestMViewBenchSchema: the committed BENCH_mview.json decodes strictly
+// into MViewReport (no unknown fields) and satisfies the acceptance
+// shape: a 1000-statement dashboard fully rewritten onto one artifact at
+// >= 10x, byte-identical rows across the mid-phase append, zero
+// fallbacks, and an exactly-zero no-match tax.
+func TestMViewBenchSchema(t *testing.T) {
+	b, err := os.ReadFile("../../BENCH_mview.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var rep MViewReport
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("BENCH_mview.json does not match the MViewReport schema: %v", err)
+	}
+
+	d := rep.Dashboard
+	if d.Statements < 1000 {
+		t.Fatalf("dashboard ran %d statements, want >= 1000", d.Statements)
+	}
+	if d.Rewritten != d.Statements {
+		t.Errorf("%d of %d dashboard statements rewritten, want all", d.Rewritten, d.Statements)
+	}
+	if !d.RowsIdentical {
+		t.Error("view-served rows differ from base execution")
+	}
+	if d.Speedup < 10 {
+		t.Errorf("dashboard speedup %.2fx, want >= 10x", d.Speedup)
+	}
+	if d.Artifacts != 1 {
+		t.Errorf("dashboard family compiled %d artifacts, want 1", d.Artifacts)
+	}
+	if d.WarmHits != uint64(d.Statements-1) {
+		t.Errorf("%d warm hits over %d statements, want all but the cold one", d.WarmHits, d.Statements)
+	}
+	if d.AppendedRows == 0 {
+		t.Error("dashboard phase never exercised the incremental catch-up path")
+	}
+	if d.Fallbacks != 0 {
+		t.Errorf("run-time consistency guard fell back %d time(s)", d.Fallbacks)
+	}
+
+	tx := rep.Tax
+	if tx.Statements == 0 {
+		t.Fatal("empty no-match phase")
+	}
+	if tx.Rewritten != 0 {
+		t.Errorf("%d no-match statements rewritten, want 0", tx.Rewritten)
+	}
+	if tx.WithViewCycles != tx.BaseCycles || tx.TaxPct != 0 {
+		t.Errorf("no-match tax: %d vs %d cycles (%.2f%%), want exactly equal",
+			tx.WithViewCycles, tx.BaseCycles, tx.TaxPct)
+	}
+
+	if len(rep.Gates) < 5 {
+		t.Fatalf("want >= 5 gates, got %d", len(rep.Gates))
+	}
+	for _, g := range rep.Gates {
+		if !g.Pass {
+			t.Errorf("gate %s failed: %.2f (requires %s)", g.Name, g.Value, g.Required)
+		}
+	}
+	if !rep.Pass {
+		t.Error("report-level pass flag is false")
+	}
+}

@@ -4,8 +4,9 @@
 // Keys are the full identity of a compilation (DESIGN.md §10): the query
 // fingerprint (hash + canonical text, so hash collisions cannot alias
 // artifacts), a digest of the compiler options, the catalog version the
-// plan was bound against, and the PGO generation. Values are opaque to
-// the cache; the engine stores *engine.Compiled.
+// plan was bound against, the PGO generation, and the materialized-view
+// generation. Values are opaque to the cache; the engine stores
+// *engine.Compiled.
 //
 // Single-flight: when N goroutines ask for the same absent key, exactly
 // one runs the compute function while the rest block on the entry's ready
@@ -33,6 +34,15 @@ type Key struct {
 	// compilations, bumped every time adaptive recompilation promotes a
 	// hotter profile for this fingerprint.
 	Generation uint64
+	// View is the materialized-view generation the statement was
+	// rewritten (or not rewritten) under: it changes exactly when the
+	// set of registered views changes — a new view can newly subsume a
+	// cached statement, a dropped one can orphan its rewrite. View
+	// refreshes do NOT bump it: refreshes are epoch appends, freshness
+	// is decided per execution against the bound snapshot, and keeping
+	// the generation stable is what keeps artifacts warm across
+	// incremental refresh (the qcache key contract of DESIGN.md §16).
+	View uint64
 }
 
 // Stats counts cache traffic. Reads are only consistent via Cache.Stats.

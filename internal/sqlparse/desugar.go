@@ -1,0 +1,301 @@
+package sqlparse
+
+// Token-level canonicalization pre-passes shared by Normalize: BETWEEN
+// and IN predicates over simple column operands are desugared into the
+// comparison form the planner sees anyway, and top-level WHERE conjuncts
+// are sorted under a value-insensitive key. Together they make the
+// fingerprint insensitive to the three syntactic choices dashboards vary
+// most — range syntax, IN-list spelling, and predicate order — which is
+// what lets the materialized-view rewriter treat "the same query modulo
+// constants" as one canonical statement. The parser desugars BETWEEN/IN
+// on its own (AST level), so statements these passes leave untouched
+// still parse; the passes only decide which spellings *collide*.
+
+import "strings"
+
+// desugarTokens rewrites `col BETWEEN a AND b` into `col >= a AND
+// col <= b` and `col IN (v1, v2, ...)` into an OR-chain of equalities
+// (parenthesized, single-item lists into a bare equality), deduplicating
+// IN-list items by token identity. Only simple operands — an optionally
+// qualified column on the left, literals/params/columns (with optional
+// unary minus) on the right — are rewritten; anything else passes
+// through for the parser to handle.
+func desugarTokens(toks []token) []token {
+	out := make([]token, 0, len(toks))
+	i := 0
+	for i < len(toks) {
+		t := toks[i]
+		if t.kind == tkKeyword && (t.text == "BETWEEN" || t.text == "IN") {
+			// The left operand is the just-emitted column run.
+			opStart := len(out)
+			if n := trailingColumn(out); n > 0 {
+				opStart = len(out) - n
+			} else {
+				out = append(out, t)
+				i++
+				continue
+			}
+			operand := make([]token, len(out)-opStart)
+			copy(operand, out[opStart:])
+			if t.text == "BETWEEN" {
+				lo, after, ok := simpleOperand(toks, i+1)
+				if !ok || !atKeyword(toks, after, "AND") {
+					out = append(out, t)
+					i++
+					continue
+				}
+				hi, end, ok := simpleOperand(toks, after+1)
+				if !ok {
+					out = append(out, t)
+					i++
+					continue
+				}
+				out = out[:opStart]
+				out = append(out, operand...)
+				out = append(out, sym(">=", t.pos))
+				out = append(out, lo...)
+				out = append(out, token{kind: tkKeyword, text: "AND", pos: t.pos})
+				out = append(out, operand...)
+				out = append(out, sym("<=", t.pos))
+				out = append(out, hi...)
+				i = end
+				continue
+			}
+			// IN ( item, item, ... )
+			items, end, ok := inList(toks, i+1)
+			if !ok {
+				out = append(out, t)
+				i++
+				continue
+			}
+			items = dedupItems(items)
+			out = out[:opStart]
+			if len(items) > 1 {
+				out = append(out, sym("(", t.pos))
+			}
+			for k, item := range items {
+				if k > 0 {
+					out = append(out, token{kind: tkKeyword, text: "OR", pos: t.pos})
+				}
+				out = append(out, operand...)
+				out = append(out, sym("=", t.pos))
+				out = append(out, item...)
+			}
+			if len(items) > 1 {
+				out = append(out, sym(")", t.pos))
+			}
+			i = end
+			continue
+		}
+		out = append(out, t)
+		i++
+	}
+	return out
+}
+
+func sym(text string, pos int) token { return token{kind: tkSymbol, text: text, pos: pos} }
+
+func atKeyword(toks []token, i int, kw string) bool {
+	return i < len(toks) && toks[i].kind == tkKeyword && toks[i].text == kw
+}
+
+// trailingColumn reports how many tokens at the end of out form a bare
+// or qualified column reference (ident or ident.ident); 0 if none.
+func trailingColumn(out []token) int {
+	n := len(out)
+	if n == 0 || out[n-1].kind != tkIdent {
+		return 0
+	}
+	if n >= 3 && out[n-2].kind == tkSymbol && out[n-2].text == "." && out[n-3].kind == tkIdent {
+		return 3
+	}
+	return 1
+}
+
+// simpleOperand recognizes a literal, parameter, or (qualified) column,
+// with an optional unary minus, starting at i. Returns the operand's
+// tokens and the index just past it.
+func simpleOperand(toks []token, i int) ([]token, int, bool) {
+	start := i
+	if i < len(toks) && toks[i].kind == tkSymbol && toks[i].text == "-" {
+		i++
+	}
+	if i >= len(toks) {
+		return nil, start, false
+	}
+	switch toks[i].kind {
+	case tkNumber, tkString, tkParam:
+		i++
+	case tkIdent:
+		i++
+		if i+1 < len(toks) && toks[i].kind == tkSymbol && toks[i].text == "." && toks[i+1].kind == tkIdent {
+			i += 2
+		}
+	default:
+		return nil, start, false
+	}
+	return toks[start:i], i, true
+}
+
+// inList recognizes `( item (, item)* )` of simple operands starting at
+// i; returns the items and the index just past the closing paren.
+func inList(toks []token, i int) ([][]token, int, bool) {
+	if i >= len(toks) || toks[i].kind != tkSymbol || toks[i].text != "(" {
+		return nil, i, false
+	}
+	i++
+	var items [][]token
+	for {
+		item, next, ok := simpleOperand(toks, i)
+		if !ok {
+			return nil, i, false
+		}
+		items = append(items, item)
+		i = next
+		if i < len(toks) && toks[i].kind == tkSymbol && toks[i].text == "," {
+			i++
+			continue
+		}
+		break
+	}
+	if i >= len(toks) || toks[i].kind != tkSymbol || toks[i].text != ")" {
+		return nil, i, false
+	}
+	return items, i + 1, true
+}
+
+// dedupItems drops IN-list items that repeat an earlier item exactly
+// (same token kinds and texts), preserving first-occurrence order.
+func dedupItems(items [][]token) [][]token {
+	seen := map[string]bool{}
+	out := items[:0]
+	for _, item := range items {
+		var sb strings.Builder
+		for _, t := range item {
+			sb.WriteByte(byte(t.kind))
+			sb.WriteString(t.text)
+			sb.WriteByte(0)
+		}
+		k := sb.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, item)
+	}
+	return out
+}
+
+// sortWhereConjuncts reorders the top-level AND conjuncts of the WHERE
+// clause under a value-insensitive key (literals masked), so predicate
+// order does not change the fingerprint and parameter indices follow the
+// sorted order. Conjunction is commutative, so the reorder is sound; if
+// the clause has a top-level OR the pass backs off (splitting on AND
+// would mis-associate, since OR binds looser).
+func sortWhereConjuncts(toks []token) []token {
+	// Locate the WHERE clause at paren depth 0.
+	start, end := -1, len(toks)
+	depth := 0
+	for i, t := range toks {
+		if t.kind == tkSymbol {
+			switch t.text {
+			case "(":
+				depth++
+			case ")":
+				depth--
+			case ";":
+				if depth == 0 && start >= 0 && end == len(toks) {
+					end = i
+				}
+			}
+			continue
+		}
+		if t.kind != tkKeyword || depth != 0 {
+			continue
+		}
+		switch t.text {
+		case "WHERE":
+			start = i + 1
+		case "GROUP", "ORDER", "LIMIT":
+			if start >= 0 && end == len(toks) {
+				end = i
+			}
+		}
+	}
+	if start < 0 || start >= end {
+		return toks
+	}
+
+	// Split into conjuncts on depth-0 AND; back off on depth-0 OR.
+	depth = 0
+	var bounds []int // conjunct start indices
+	bounds = append(bounds, start)
+	for i := start; i < end; i++ {
+		t := toks[i]
+		if t.kind == tkSymbol {
+			switch t.text {
+			case "(":
+				depth++
+			case ")":
+				depth--
+			}
+			continue
+		}
+		if t.kind == tkKeyword && depth == 0 {
+			switch t.text {
+			case "OR":
+				return toks
+			case "AND":
+				bounds = append(bounds, i+1)
+			}
+		}
+	}
+	if len(bounds) < 2 {
+		return toks
+	}
+
+	type conjunct struct {
+		toks []token
+		key  string
+	}
+	cs := make([]conjunct, len(bounds))
+	for ci, lo := range bounds {
+		hi := end
+		if ci+1 < len(bounds) {
+			hi = bounds[ci+1] - 1 // exclude the AND keyword
+		}
+		c := conjunct{toks: toks[lo:hi]}
+		var sb strings.Builder
+		for _, t := range c.toks {
+			switch t.kind {
+			case tkNumber, tkString:
+				sb.WriteString("#") // value-insensitive
+			case tkIdent:
+				sb.WriteString(strings.ToLower(t.text))
+			default:
+				sb.WriteString(t.text)
+			}
+			sb.WriteByte(' ')
+		}
+		c.key = sb.String()
+		cs[ci] = c
+	}
+	// Stable insertion sort by key (tiny n; keeps equal keys in input
+	// order, which is sound — equal keys mean identical masked text).
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].key < cs[j-1].key; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+
+	out := make([]token, 0, len(toks))
+	out = append(out, toks[:start]...)
+	for ci, c := range cs {
+		if ci > 0 {
+			out = append(out, token{kind: tkKeyword, text: "AND", pos: toks[start].pos})
+		}
+		out = append(out, c.toks...)
+	}
+	out = append(out, toks[end:]...)
+	return out
+}

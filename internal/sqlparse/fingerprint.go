@@ -28,6 +28,14 @@ package sqlparse
 //     SQL subset has no subqueries, so ORDER/LIMIT can only introduce the
 //     statement tail.)
 //
+// Before lifting, two token-level canonicalization passes run (see
+// desugar.go): BETWEEN and IN predicates over simple column operands are
+// desugared into their comparison form (with IN-list items deduplicated),
+// and top-level WHERE conjuncts are sorted under a value-insensitive key,
+// so range syntax, IN spelling, and predicate order do not change the
+// fingerprint — the collisions the materialized-view rewriter (package
+// mview) relies on.
+//
 // A statement that already contains $N placeholders is passed through
 // verbatim (no lifting): it is somebody else's prepared form, and lifted
 // indices would collide with the explicit ones.
@@ -74,6 +82,12 @@ func Normalize(src string) (*Fingerprint, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Canonicalization pre-passes (desugar.go): BETWEEN/IN to comparison
+	// form, then top-level WHERE conjuncts into a value-insensitive sort
+	// order, both BEFORE lifting so parameter indices follow the sorted
+	// canonical text.
+	toks = desugarTokens(toks)
+	toks = sortWhereConjuncts(toks)
 
 	// Pre-scan: explicit $N placeholders disable lifting entirely.
 	lift := true

@@ -163,3 +163,149 @@ func countSub(s, sub string) int {
 	}
 	return n
 }
+
+// TestBetweenCollidesWithPairedComparisons: the rewriter treats `x
+// BETWEEN a AND b` and `x >= a AND x <= b` as one statement; the
+// fingerprint must agree, including the argument order.
+func TestBetweenCollidesWithPairedComparisons(t *testing.T) {
+	a := norm(t, "select count(*) from lineitem where l_quantity between 5 and 20")
+	b := norm(t, "select count(*) from lineitem where l_quantity >= 5 and l_quantity <= 20")
+	if a.Canon != b.Canon || a.Hash != b.Hash {
+		t.Fatalf("BETWEEN did not collide with paired comparisons:\n  %q\n  %q", a.Canon, b.Canon)
+	}
+	// Conjunct sorting puts "<=" before ">=" (byte order of the masked
+	// text), so the canonical argument order is [hi lo] for both spellings.
+	if len(a.Args) != 2 || a.Args[0].Num != 20 || a.Args[1].Num != 5 {
+		t.Fatalf("args = %+v, want [20 5]", a.Args)
+	}
+	// Qualified columns desugar too.
+	c := norm(t, "select count(*) from lineitem l where l.l_tax between 1 and 3")
+	d := norm(t, "select count(*) from lineitem l where l.l_tax >= 1 and l.l_tax <= 3")
+	if c.Canon != d.Canon {
+		t.Fatalf("qualified BETWEEN did not collide:\n  %q\n  %q", c.Canon, d.Canon)
+	}
+}
+
+// TestBetweenParses: the parser's own desugaring — BETWEEN statements
+// must parse even when Normalize left them alone.
+func TestBetweenParses(t *testing.T) {
+	q, err := Parse("select count(*) from lineitem where l_quantity + 1 between 5 and 20")
+	if err != nil {
+		t.Fatalf("BETWEEN with compound operand does not parse: %v", err)
+	}
+	if len(q.Where) != 1 {
+		t.Fatalf("want one WHERE conjunct, got %d", len(q.Where))
+	}
+}
+
+// TestInListDedupAndCollision: IN lists desugar into equality OR-chains
+// with duplicate items dropped, so `IN (3, 5, 3)` and `IN (3, 5)` and the
+// hand-written OR-chain all share one fingerprint.
+func TestInListDedupAndCollision(t *testing.T) {
+	a := norm(t, "select count(*) from lineitem where l_quantity in (3, 5, 3)")
+	b := norm(t, "select count(*) from lineitem where l_quantity in (3, 5)")
+	c := norm(t, "select count(*) from lineitem where (l_quantity = 3 or l_quantity = 5)")
+	if a.Canon != b.Canon {
+		t.Fatalf("IN-list dup not deduplicated:\n  %q\n  %q", a.Canon, b.Canon)
+	}
+	if a.Canon != c.Canon {
+		t.Fatalf("IN did not collide with OR-chain:\n  %q\n  %q", a.Canon, c.Canon)
+	}
+	if len(a.Args) != 2 || a.Args[0].Num != 3 || a.Args[1].Num != 5 {
+		t.Fatalf("args = %+v, want [3 5]", a.Args)
+	}
+	// Single-item lists collapse to a bare equality.
+	d := norm(t, "select count(*) from lineitem where l_quantity in (7)")
+	e := norm(t, "select count(*) from lineitem where l_quantity = 7")
+	if d.Canon != e.Canon {
+		t.Fatalf("single-item IN did not collapse:\n  %q\n  %q", d.Canon, e.Canon)
+	}
+	// String lists keep per-occurrence parameters (no cross-string dedup
+	// by value — each faces its own dictionary) but drop exact dup items.
+	f := norm(t, "select count(*) from products where category in ('Chip', 'Board', 'Chip')")
+	if len(f.Args) != 2 {
+		t.Fatalf("string IN args = %+v, want two", f.Args)
+	}
+}
+
+// TestInParses: parser-level IN desugaring for operands Normalize's
+// token pass does not touch.
+func TestInParses(t *testing.T) {
+	q, err := Parse("select count(*) from lineitem where l_quantity % 10 in (1, 2)")
+	if err != nil {
+		t.Fatalf("IN with compound operand does not parse: %v", err)
+	}
+	if len(q.Where) != 1 {
+		t.Fatalf("want one WHERE conjunct, got %d", len(q.Where))
+	}
+}
+
+// TestPredicateOrderInsensitive: top-level WHERE conjunct order must not
+// change the fingerprint; parameter indices follow the sorted text, so
+// the argument vectors line up positionally across spellings.
+func TestPredicateOrderInsensitive(t *testing.T) {
+	a := norm(t, "select count(*) from lineitem where l_quantity < 24 and l_tax > 2 and l_returnflag = 'R'")
+	b := norm(t, "select count(*) from lineitem where l_returnflag = 'R' and l_quantity < 24 and l_tax > 2")
+	c := norm(t, "select count(*) from lineitem where l_tax > 2 and l_returnflag = 'R' and l_quantity < 24")
+	if a.Canon != b.Canon || a.Canon != c.Canon {
+		t.Fatalf("conjunct order changed the canon:\n  %q\n  %q\n  %q", a.Canon, b.Canon, c.Canon)
+	}
+	if a.Hash != b.Hash || a.Hash != c.Hash {
+		t.Fatalf("conjunct order changed the hash")
+	}
+	// Same structure, different values: same canon, args in canon order.
+	d := norm(t, "select count(*) from lineitem where l_tax > 9 and l_returnflag = 'N' and l_quantity < 11")
+	if d.Canon != a.Canon {
+		t.Fatalf("value change altered the canon:\n  %q\n  %q", a.Canon, d.Canon)
+	}
+	if len(a.Args) != len(d.Args) {
+		t.Fatalf("arg counts differ: %d vs %d", len(a.Args), len(d.Args))
+	}
+	for i := range a.Args {
+		if a.Args[i].Kind != d.Args[i].Kind {
+			t.Fatalf("arg %d kinds differ across spellings", i)
+		}
+	}
+}
+
+// TestPredicateOrderBacksOffUnderOr: a top-level OR makes AND-splitting
+// unsound; the sort pass must leave the clause alone (both spellings
+// still normalize and parse, they just need not collide).
+func TestPredicateOrderBacksOffUnderOr(t *testing.T) {
+	fp := norm(t, "select count(*) from lineitem where l_quantity < 24 and l_tax > 2 or l_returnflag = 'R'")
+	if _, err := Parse(fp.Canon); err != nil {
+		t.Fatalf("canon with top-level OR does not parse: %v", err)
+	}
+	// Parenthesized OR groups are fine to sort around.
+	a := norm(t, "select count(*) from lineitem where (l_tax = 1 or l_tax = 2) and l_quantity < 24")
+	b := norm(t, "select count(*) from lineitem where l_quantity < 24 and (l_tax = 1 or l_tax = 2)")
+	if a.Canon != b.Canon {
+		t.Fatalf("parenthesized OR group broke order insensitivity:\n  %q\n  %q", a.Canon, b.Canon)
+	}
+}
+
+// TestDesugaredCanonReparses: desugared canons re-lex, re-normalize
+// (idempotence) and re-parse with matching parameter counts.
+func TestDesugaredCanonReparses(t *testing.T) {
+	srcs := []string{
+		"select count(*) from lineitem where l_quantity between 5 and 20",
+		"select count(*) from lineitem where l_quantity in (3, 5, 3) and l_tax > 1",
+		"select sum(l_extendedprice) from lineitem where l_returnflag in ('R', 'N') and l_quantity between 1 and 40",
+	}
+	for _, src := range srcs {
+		fp := norm(t, src)
+		fp2 := norm(t, fp.Canon)
+		if fp2.Canon != fp.Canon {
+			t.Errorf("not idempotent:\n  src   %q\n  canon %q\n  again %q", src, fp.Canon, fp2.Canon)
+			continue
+		}
+		q, err := Parse(fp.Canon)
+		if err != nil {
+			t.Errorf("canon %q does not parse: %v", fp.Canon, err)
+			continue
+		}
+		if q.NumParams != len(fp.Args) {
+			t.Errorf("canon %q parses with %d params, lifted %d", fp.Canon, q.NumParams, len(fp.Args))
+		}
+	}
+}

@@ -40,7 +40,7 @@ type token struct {
 var keywords = map[string]bool{
 	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
 	"ORDER": true, "LIMIT": true, "AND": true, "OR": true, "AS": true,
-	"ASC": true, "DESC": true, "NOT": true,
+	"ASC": true, "DESC": true, "NOT": true, "BETWEEN": true, "IN": true,
 }
 
 type lexer struct {

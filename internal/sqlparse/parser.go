@@ -242,7 +242,84 @@ func (p *parser) parseCmp() (plan.Expr, error) {
 			return &plan.Bin{Op: op, L: l, R: r}, nil
 		}
 	}
+	// BETWEEN and IN desugar at parse time into the comparison form the
+	// planner handles (Normalize performs the same rewrite token-level so
+	// the spellings share a fingerprint, but raw statements parse too).
+	if p.accept(tkKeyword, "BETWEEN") {
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Bin{Op: plan.OpAnd,
+			L: &plan.Bin{Op: plan.OpGe, L: l, R: lo},
+			R: &plan.Bin{Op: plan.OpLe, L: cloneExpr(l), R: hi}}, nil
+	}
+	if p.accept(tkKeyword, "IN") {
+		if _, err := p.expect(tkSymbol, "("); err != nil {
+			return nil, err
+		}
+		var chain plan.Expr
+		for {
+			item, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			var operand plan.Expr = l
+			if chain != nil {
+				operand = cloneExpr(l)
+			}
+			eq := &plan.Bin{Op: plan.OpEq, L: operand, R: item}
+			if chain == nil {
+				chain = eq
+			} else {
+				chain = &plan.Bin{Op: plan.OpOr, L: chain, R: eq}
+			}
+			if !p.accept(tkSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tkSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return chain, nil
+	}
 	return l, nil
+}
+
+// cloneExpr deep-copies an expression so BETWEEN/IN desugaring never
+// shares AST nodes between the branches it synthesizes.
+func cloneExpr(e plan.Expr) plan.Expr {
+	switch x := e.(type) {
+	case *plan.ColRef:
+		c := *x
+		return &c
+	case *plan.Const:
+		c := *x
+		return &c
+	case *plan.StrConst:
+		c := *x
+		return &c
+	case *plan.Param:
+		c := *x
+		return &c
+	case *plan.Bin:
+		return &plan.Bin{Op: x.Op, L: cloneExpr(x.L), R: cloneExpr(x.R)}
+	case *plan.Agg:
+		c := &plan.Agg{Fn: x.Fn}
+		if x.Arg != nil {
+			c.Arg = cloneExpr(x.Arg)
+		}
+		return c
+	default:
+		return e
+	}
 }
 
 func (p *parser) parseAdd() (plan.Expr, error) {
