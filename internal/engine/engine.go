@@ -206,10 +206,10 @@ type Compiled struct {
 	// prefixes and row counts — is staged per execution from a
 	// catalog.Snapshot, exactly like bound parameters, so one artifact
 	// serves every epoch its capacities admit without recompiling.
-	cat    *catalog.Catalog
-	binds  []colBind
+	cat       *catalog.Catalog
+	binds     []colBind
 	rowsBinds []rowsBind
-	tables []tableBind
+	tables    []tableBind
 }
 
 // colBind maps one heap column region to its source (table, column).

@@ -359,7 +359,14 @@ func (s *Service) prepareOpt(sql string, allowRewrite bool) (*Prepared, error) {
 	// this is one atomic load. On a match the rewritten text replaces
 	// the statement and flows through the same normalize → cache →
 	// compile path, so every textual variant of a query family lands on
-	// ONE rewritten canonical form and ONE cached artifact.
+	// ONE rewritten canonical form and ONE cached artifact. The view
+	// generation and catalog version are captured BEFORE the rewrite
+	// decision: a concurrent CreateView/DropView between the decision
+	// and the key read would otherwise cache a decision made under the
+	// old generation against the new generation's key, pinning it past
+	// the bump.
+	viewGen := s.views.Generation()
+	catVer := s.cat.Version()
 	var rw *mview.Rewrite
 	if allowRewrite {
 		if r, ok := s.views.Rewrite(fp); ok {
@@ -373,9 +380,9 @@ func (s *Service) prepareOpt(sql string, allowRewrite bool) (*Prepared, error) {
 		Fingerprint: fp.Hash,
 		Canon:       fp.Canon,
 		Options:     s.optDigest,
-		Catalog:     s.cat.Version(),
+		Catalog:     catVer,
 		Generation:  s.gens.Current(fp.Hash),
-		View:        s.views.Generation(),
+		View:        viewGen,
 	}
 	comp := s.compiler()
 	cq, hit, err := s.cache.GetOrCompute(key, func() (*Compiled, error) {

@@ -127,10 +127,15 @@ type Manager struct {
 	autoBudget    int
 
 	// costGate caches the plan-cost verdict per (query canon, view):
-	// true = the rewritten plan is cheaper, serve it. costFn prices a
-	// plan (SetCostModel; the engine installs cost.Annotate).
-	costGate map[[2]uint64]bool
-	costFn   CostModel
+	// true = the rewritten plan is cheaper, serve it. Verdicts are
+	// priced from catalog cardinalities, so costVer/costEpoch record
+	// the catalog version and epoch they were computed under; movement
+	// of either clears the cache. costFn prices a plan (SetCostModel;
+	// the engine installs cost.Annotate).
+	costGate  map[[2]uint64]bool
+	costVer   uint64
+	costEpoch uint64
+	costFn    CostModel
 
 	fallbacks uint64 // consistency-guard fallbacks served
 }

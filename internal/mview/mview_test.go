@@ -442,6 +442,43 @@ func TestCostGateRefusesUselessView(t *testing.T) {
 	}
 }
 
+// TestCostGateRevisitsVerdictAfterGrowth: the cached cost verdict is
+// priced from catalog cardinalities, so it must not outlive them. A
+// view refused on a tiny base (view ≈ base size) must be re-priced —
+// and served — once appends grow the base past the view's group count.
+func TestCostGateRevisitsVerdictAfterGrowth(t *testing.T) {
+	c := catalog.New()
+	tb := catalog.NewTable("sales")
+	id := tb.AddCol("id", catalog.TInt)
+	price := tb.AddCol("price", catalog.TInt)
+	for i := 0; i < 100; i++ {
+		id.Data = append(id.Data, int64(i)) // all distinct: view ≈ base
+		price.Data = append(price.Data, int64(i*3))
+	}
+	c.Add(tb)
+	m := NewManager(c)
+	m.SetCostModel(scanRowsModel)
+	if _, err := m.Create("byid", "select id, sum(price) from sales group by id", RefreshIncremental); err != nil {
+		t.Fatal(err)
+	}
+	q := "select id, sum(price) as r from sales group by id order by id"
+	if sql, ok := rewriteSQL(t, m, q); ok {
+		t.Fatalf("view as large as base must fail the cost gate, got %q", sql)
+	}
+	// Grow the base 20x within the existing id domain: group count (and
+	// so the view) stays ~100 rows while the base reaches ~2100.
+	var rows [][]int64
+	for i := 0; i < 2000; i++ {
+		rows = append(rows, []int64{int64(i % 100), 7})
+	}
+	if _, err := c.Append("sales", rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rewriteSQL(t, m, q); !ok {
+		t.Fatal("stale cost verdict pinned after base growth: rewrite still refused")
+	}
+}
+
 func TestComputePartialsWindowsComposeExactly(t *testing.T) {
 	// Building [0,N) in one shot and in two windows must agree after
 	// rollup — the invariant incremental refresh and CheckViews rely on.

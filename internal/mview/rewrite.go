@@ -267,12 +267,20 @@ func (m *Manager) SetCostModel(f CostModel) {
 
 // costGateOK plans both forms and serves the rewrite only if the cost
 // model prices it strictly cheaper. The verdict is cached per
-// (statement canon, view): both sides' plans are pure functions of the
-// canon and the catalog schema, and Drop clears the cache. The
-// rewritten text must plan in any case — an emission the planner
-// rejects is never served. Without an installed model only that
-// plannability check gates.
+// (statement canon, view) for the current catalog state: the cycle
+// model prices plans from catalog cardinalities, which move as base
+// and view tables grow, so the cache is cleared whenever the catalog
+// version (DDL, over-capacity growth) or epoch (in-capacity appends,
+// refreshes) has advanced — a verdict computed on a tiny table must
+// not outlive the sizes it was priced on. Drop and SetCostModel clear
+// it too. The rewritten text must plan in any case — an emission the
+// planner rejects is never served. Without an installed model only
+// that plannability check gates.
 func (m *Manager) costGateOK(fp *sqlparse.Fingerprint, v *View, rewritten string) bool {
+	if ver, ep := m.cat.Version(), m.cat.Epoch(); ver != m.costVer || ep != m.costEpoch {
+		m.costGate = map[[2]uint64]bool{}
+		m.costVer, m.costEpoch = ver, ep
+	}
 	key := [2]uint64{fp.Hash, sqlparse.Hash64(v.Name)}
 	if verdict, ok := m.costGate[key]; ok {
 		return verdict

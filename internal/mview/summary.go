@@ -169,12 +169,13 @@ func Summarize(canon string, args []sqlparse.Literal, cat *catalog.Catalog) (*Su
 	if err != nil {
 		return nil, false, err
 	}
-	if len(q.Tables) != 1 || q.Tables[0].Alias != "" && q.Tables[0].Alias != q.Tables[0].Name {
+	if len(q.Tables) != 1 {
+		return nil, false, nil
+	}
+	if a := q.Tables[0].Alias; a != "" && a != q.Tables[0].Name {
 		// Aliased single tables are fine in principle, but the canonical
 		// re-emission drops quals; keep the fragment qual-free.
-		if len(q.Tables) != 1 {
-			return nil, false, nil
-		}
+		return nil, false, nil
 	}
 	t, err := cat.Table(q.Tables[0].Name)
 	if err != nil {

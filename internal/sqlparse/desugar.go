@@ -18,8 +18,13 @@ import "strings"
 // (parenthesized, single-item lists into a bare equality), deduplicating
 // IN-list items by token identity. Only simple operands — an optionally
 // qualified column on the left, literals/params/columns (with optional
-// unary minus) on the right — are rewritten; anything else passes
-// through for the parser to handle.
+// unary minus) on the right — are rewritten, and only when the column
+// run starts at a clause boundary (start of statement, WHERE/AND/OR,
+// '(' or ','). A preceding NOT or arithmetic operator means the column
+// is not the whole left operand — `a + b BETWEEN ...` and
+// `NOT a BETWEEN ...` would desugar to a predicate with the wrong
+// binding — so those spellings pass through for the parser's AST-level
+// desugar to handle.
 func desugarTokens(toks []token) []token {
 	out := make([]token, 0, len(toks))
 	i := 0
@@ -28,7 +33,7 @@ func desugarTokens(toks []token) []token {
 		if t.kind == tkKeyword && (t.text == "BETWEEN" || t.text == "IN") {
 			// The left operand is the just-emitted column run.
 			opStart := len(out)
-			if n := trailingColumn(out); n > 0 {
+			if n := trailingColumn(out); n > 0 && clauseBoundary(out, len(out)-n) {
 				opStart = len(out) - n
 			} else {
 				out = append(out, t)
@@ -97,6 +102,26 @@ func sym(text string, pos int) token { return token{kind: tkSymbol, text: text, 
 
 func atKeyword(toks []token, i int, kw string) bool {
 	return i < len(toks) && toks[i].kind == tkKeyword && toks[i].text == kw
+}
+
+// clauseBoundary reports whether the token before index i (the start of
+// a candidate left-operand column run) guarantees the run is a complete
+// operand: start of statement, a WHERE/AND/OR keyword, or an opening
+// paren or comma. Anything else — NOT, an arithmetic or comparison
+// symbol, another identifier — means the run is only the tail of a
+// larger expression and the rewrite would bind wrongly.
+func clauseBoundary(out []token, i int) bool {
+	if i == 0 {
+		return true
+	}
+	p := out[i-1]
+	switch p.kind {
+	case tkKeyword:
+		return p.text == "WHERE" || p.text == "AND" || p.text == "OR"
+	case tkSymbol:
+		return p.text == "(" || p.text == ","
+	}
+	return false
 }
 
 // trailingColumn reports how many tokens at the end of out form a bare
@@ -226,8 +251,12 @@ func sortWhereConjuncts(toks []token) []token {
 		return toks
 	}
 
-	// Split into conjuncts on depth-0 AND; back off on depth-0 OR.
+	// Split into conjuncts on depth-0 AND; back off on depth-0 OR. An
+	// un-desugared BETWEEN (compound left operand — the token pass left
+	// it for the parser) owns the next AND: that AND joins the range
+	// bounds, not two conjuncts, so it must not become a split point.
 	depth = 0
+	pendingBetween := false
 	var bounds []int // conjunct start indices
 	bounds = append(bounds, start)
 	for i := start; i < end; i++ {
@@ -245,7 +274,13 @@ func sortWhereConjuncts(toks []token) []token {
 			switch t.text {
 			case "OR":
 				return toks
+			case "BETWEEN":
+				pendingBetween = true
 			case "AND":
+				if pendingBetween {
+					pendingBetween = false
+					continue
+				}
 				bounds = append(bounds, i+1)
 			}
 		}

@@ -1,6 +1,9 @@
 package sqlparse
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func norm(t *testing.T, src string) *Fingerprint {
 	t.Helper()
@@ -183,6 +186,50 @@ func TestBetweenCollidesWithPairedComparisons(t *testing.T) {
 	d := norm(t, "select count(*) from lineitem l where l.l_tax >= 1 and l.l_tax <= 3")
 	if c.Canon != d.Canon {
 		t.Fatalf("qualified BETWEEN did not collide:\n  %q\n  %q", c.Canon, d.Canon)
+	}
+}
+
+// TestBetweenCompoundOperandBacksOff: the token-level desugar fires
+// only when the trailing column run is the WHOLE left operand. With a
+// compound operand (`a + b BETWEEN lo AND hi`) the naive rewrite would
+// bind the range to `b` alone and silently change the predicate, so
+// the pass must leave the statement for the parser's AST-level
+// desugar — and the conjunct sorter must keep the BETWEEN's own AND
+// attached instead of splitting (and then reordering) on it.
+func TestBetweenCompoundOperandBacksOff(t *testing.T) {
+	cases := []string{
+		"select count(*) from lineitem where l_quantity + l_tax between 2 and 3",
+		"select count(*) from lineitem where l_quantity + 1 between 5 and 20",
+		"select count(*) from lineitem where l_quantity + l_tax between 2 and 3 and l_tax = 1",
+	}
+	for _, sql := range cases {
+		fp := norm(t, sql)
+		if !strings.Contains(fp.Canon, "BETWEEN") {
+			t.Errorf("compound-operand BETWEEN was token-desugared:\n  %q -> %q", sql, fp.Canon)
+			continue
+		}
+		if _, err := Parse(fp.Canon); err != nil {
+			t.Errorf("canon of %q does not parse: %v\n  canon %q", sql, err, fp.Canon)
+		}
+	}
+	// The compound spelling must NOT collide with the single-column one
+	// the broken rewrite would have produced.
+	a := norm(t, "select count(*) from lineitem where l_quantity + l_tax between 2 and 3")
+	b := norm(t, "select count(*) from lineitem where l_quantity + l_tax >= 2 and l_tax <= 3")
+	if a.Canon == b.Canon {
+		t.Fatalf("compound BETWEEN collided with mis-bound comparison pair: %q", a.Canon)
+	}
+	// Same back-off for IN: `a + b IN (...)` keeps its IN.
+	c := norm(t, "select count(*) from lineitem where l_quantity + l_tax in (2, 3)")
+	if !strings.Contains(c.Canon, " IN ") {
+		t.Fatalf("compound-operand IN was token-desugared: %q", c.Canon)
+	}
+	// A parenthesized simple operand is still a clause boundary, so the
+	// desugar fires there and collides with the paired-comparison form.
+	d := norm(t, "select count(*) from lineitem where (l_quantity between 5 and 20)")
+	e := norm(t, "select count(*) from lineitem where (l_quantity >= 5 and l_quantity <= 20)")
+	if d.Canon != e.Canon {
+		t.Fatalf("parenthesized BETWEEN did not desugar:\n  %q\n  %q", d.Canon, e.Canon)
 	}
 }
 
